@@ -1,0 +1,91 @@
+"""Figure 1 -- efficiency of the three parallelization strategies.
+
+Strip vs block vs replica decomposition of a 2-D TFIM workload on the
+Paragon model.  Shape criteria (who wins where): all three are
+equivalent at small P; on *latency-bound* (thin-halo) workloads strip
+stays competitive because it sends half as many messages, but only
+block scales past P = Lx; on *bandwidth-bound* (thick-halo) workloads
+block wins outright since its per-rank halo shrinks like 1/sqrt(P);
+replica is flat until its serial (equilibration) fraction caps it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
+from repro.util.tables import Series, render_series
+from repro.vmp import PARAGON
+from repro.vmp.performance import PerformanceModel, WorkloadShape
+
+COMMON = dict(
+    lx=128, ly=128, lt=16,
+    flops_per_site=2 * FLOPS_PER_SPIN_UPDATE,
+    sweeps=500, bytes_per_site=1,
+    measurement_interval=10,
+)
+
+P_GRID = [1, 4, 16, 64, 256, 1024]
+
+
+def build_series() -> dict[str, Series]:
+    out = {}
+    for strategy, extra in (
+        ("strip", {}),
+        ("block", {}),
+        ("replica", {"serial_fraction": 0.02}),  # shared equilibration cost
+    ):
+        w = WorkloadShape(strategy=strategy, **COMMON, **extra)
+        pm = PerformanceModel(PARAGON, w)
+        s = Series(strategy)
+        for p in P_GRID:
+            if strategy == "strip" and p > COMMON["lx"]:
+                continue
+            s.add(p, pm.efficiency(p))
+        out[strategy] = s
+    return out
+
+
+def bandwidth_bound_crossover() -> tuple[float, float]:
+    """Block vs strip efficiency at P=64 with thick (8-byte, 64-slice) halos."""
+    import dataclasses
+
+    thick = dict(COMMON, bytes_per_site=8, lt=64)
+    e = {}
+    for strategy in ("strip", "block"):
+        pm = PerformanceModel(PARAGON, WorkloadShape(strategy=strategy, **thick))
+        e[strategy] = pm.efficiency(64)
+    return e["strip"], e["block"]
+
+
+def test_fig1_decomposition(benchmark, record):
+    series = run_once(benchmark, build_series)
+
+    def eff(strategy, p):
+        s = series[strategy]
+        return s.y[s.x.index(p)]
+
+    # Small P: everything near 1.
+    for strategy in series:
+        assert eff(strategy, 4) > 0.9
+    # Thin halos: strip's lower message count keeps it within a few
+    # percent of block wherever both exist...
+    assert abs(eff("block", 64) - eff("strip", 64)) < 0.05
+    # ...but only block reaches P = 1024 at all (strip is capped at Lx).
+    assert 1024 in series["block"].x
+    assert 1024 not in series["strip"].x
+    # Thick halos: block wins outright (bandwidth-bound crossover).
+    strip_thick, block_thick = bandwidth_bound_crossover()
+    assert block_thick > strip_thick
+    # Replica's Amdahl cap: below the domain-decomposed strategies once
+    # P exceeds 1/serial_fraction.
+    assert eff("replica", 256) < eff("block", 256)
+    assert eff("replica", 1024) < 0.25
+
+    record(
+        "fig1_decomposition",
+        render_series(
+            "Figure 1: parallel efficiency by strategy (Paragon, 128x128x16 TFIM)",
+            list(series.values()),
+            x_label="P",
+        )
+        + f"\n\nbandwidth-bound variant at P=64 (8 B/site, 64 slices): "
+        f"strip eff {strip_thick:.3f} < block eff {block_thick:.3f}",
+    )

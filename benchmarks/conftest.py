@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the reconstructed
+evaluation (see DESIGN.md).  The rendered text is printed to the
+terminal *and* persisted under ``benchmarks/output/`` so EXPERIMENTS.md
+can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record():
+    """record(name, text): persist + print one rendered table/figure."""
+
+    def _record(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/output/{name}.txt]")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Benchmark a table-producing callable exactly once and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

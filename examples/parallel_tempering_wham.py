@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Parallel tempering + multi-histogram reweighting (WHAM).
+
+Eight simulated ranks each hold one temperature of a 2-D Ising model
+spanning the critical region; neighboring replicas exchange
+configurations, and the per-rank energy histograms are combined by
+multiple-histogram reweighting into a single density-of-states estimate
+from which the specific-heat curve is interpolated at *any*
+temperature.  The peak location is compared against Onsager's exact
+T_c.
+
+Run:  python examples/parallel_tempering_wham.py
+"""
+
+import numpy as np
+
+from repro.models.ising_exact import onsager_critical_temperature
+from repro.qmc.tempering import (
+    TemperingConfig,
+    histograms_from_results,
+    tempering_program,
+)
+from repro.stats.wham import multi_histogram_reweight
+from repro.util.tables import Series, Table, render_series
+from repro.vmp import IDEAL, run_spmd
+
+L = 12
+TC = onsager_critical_temperature()
+
+
+def main() -> None:
+    temperatures = np.linspace(1.8, 3.2, 8)
+    betas = tuple(1.0 / t for t in temperatures)
+    cfg = TemperingConfig(
+        shape=(L, L),
+        couplings_j=(1.0, 1.0),
+        betas=betas,
+        n_sweeps=2000,
+        n_thermalize=400,
+        exchange_every=5,
+        histogram_bins=96,
+    )
+    res = run_spmd(tempering_program, len(betas), machine=IDEAL, seed=3, args=(cfg,))
+    results = res.values
+
+    table = Table(
+        f"parallel tempering, {L}x{L} Ising, {len(betas)} replicas",
+        ["T", "<E>/N", "swap acc."],
+    )
+    for r in results:
+        acc = r["exchange_accepts"] / max(r["exchange_attempts"], 1)
+        table.add_row([1.0 / r["beta"], np.mean(r["energy"]) / L**2, acc])
+    print(table.render())
+
+    hists = histograms_from_results(results)
+    wham = multi_histogram_reweight(hists, [r["beta"] for r in results])
+    print(f"\nWHAM converged in {wham.iterations} iterations")
+
+    c = Series("C/N")
+    ts = np.linspace(1.9, 3.1, 25)
+    for t in ts:
+        c.add(t, wham.specific_heat(1.0 / t) / L**2)
+    print(render_series("specific heat per site (WHAM-interpolated)", [c],
+                        x_label="T"))
+    t_peak = c.x[int(np.argmax(c.y))]
+    print(f"\nspecific-heat peak at T ~ {t_peak:.2f}; "
+          f"Onsager T_c = {TC:.3f} (finite L={L} shifts the peak slightly)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Parallel scaling study on the virtual massively parallel machines.
+
+Reproduces the paper genre's two headline analyses:
+
+1. executed small-P runs of the domain-decomposed TFIM sampler on the
+   simulated CM-5/Paragon fabric (data actually moves; time is modeled),
+2. the closed-form performance model pushed to 1024 nodes -- fixed-size
+   speedup, scaled (Gustafson) speedup, and the communication fraction
+   -- for several 1993 machines.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
+from repro.qmc.parallel import IsingBlockConfig, ising_block_program
+from repro.vmp import CM5, NCUBE2, PARAGON, run_spmd
+from repro.vmp.performance import PerformanceModel, WorkloadShape
+from repro.util.tables import Table
+
+
+def executed_scaling() -> None:
+    print("=== executed runs (TFIM 32x32x8 classical lattice, Paragon model) ===")
+    cfg = IsingBlockConfig(
+        lx=32, ly=32, lt=8, kx=0.05, ky=0.05, kt=0.8, n_sweeps=30
+    )
+    table = Table("small-P executed scaling", ["P", "T_model[s]", "speedup",
+                                               "efficiency", "comm frac"])
+    t1 = None
+    for p in (1, 2, 4):
+        res = run_spmd(ising_block_program, p, machine=PARAGON, seed=1, args=(cfg,))
+        t = res.elapsed_model_time
+        t1 = t1 or t
+        table.add_row([p, t, t1 / t, t1 / t / p, res.comm_fraction()])
+    print(table.render())
+
+
+def modeled_scaling() -> None:
+    print("\n=== performance model to 1024 nodes ===")
+    w = WorkloadShape(
+        lx=256, ly=256, lt=32,
+        flops_per_site=2 * FLOPS_PER_SPIN_UPDATE,
+        sweeps=1000, bytes_per_site=1, strategy="block",
+    )
+    for machine in (CM5, PARAGON, NCUBE2):
+        pm = PerformanceModel(machine, w)
+        table = Table(
+            f"{machine.name}: 256x256 lattice, 32 slices",
+            ["P", "speedup", "efficiency", "scaled speedup", "comm frac"],
+        )
+        p = 1
+        while p <= min(1024, machine.max_nodes):
+            table.add_row(
+                [p, pm.speedup(p), pm.efficiency(p), pm.scaled_speedup(p),
+                 pm.comm_fraction(p)]
+            )
+            p *= 4
+        print(table.render())
+        print()
+
+
+def main() -> None:
+    executed_scaling()
+    modeled_scaling()
+    print("Expected shape: executed and modeled efficiencies agree at small P;")
+    print("fixed-size efficiency rolls off with P while scaled speedup stays")
+    print("near-linear (Gustafson).  The CM-5 rolls off first in *efficiency*")
+    print("(fast vector nodes paired with high per-message overhead) yet wins")
+    print("in absolute time; the nCUBE-2's slow nodes hide its network, the")
+    print("classic slow-processors-scale-better effect.")
+
+
+if __name__ == "__main__":
+    main()

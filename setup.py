@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works without the wheel package.
+
+The container's setuptools (65.x) lacks an importable `wheel`, which
+PEP-517 editable installs require; `setup.py develop` does not.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro -- parallel world-line quantum Monte Carlo on a simulated MPP.
+
+Reproduction of *"Monte Carlo simulations of Quantum systems on
+massively parallel computers"* (SC 1993); see DESIGN.md for the scope
+and the paper-text mismatch notice.
+
+Quick start::
+
+    from repro import Simulation, XXZRunConfig, ParallelLayout
+
+    cfg = XXZRunConfig(n_sites=16, beta=1.0, n_slices=16,
+                       layout=ParallelLayout("strip", 4, "Paragon"))
+    print(Simulation(cfg).run().summary())
+
+Subpackages
+-----------
+``repro.qmc``
+    World-line XXZ sampler, TFIM sampler, VMC baseline, parallel
+    drivers (strip / block / replica / tempering).
+``repro.vmp``
+    The virtual massively parallel machine: MPI-like communicator,
+    machine models (CM-5, Paragon, Delta, nCUBE-2), topologies,
+    performance model.
+``repro.models``
+    Hamiltonians and exact references (ED, free fermions, Onsager).
+``repro.stats``
+    Binning, jackknife, autocorrelation, reweighting, WHAM.
+``repro.lattice``
+    Lattices and domain decompositions.
+``repro.util``
+    Log-space arithmetic, RNG streams, timers, table rendering.
+"""
+
+from repro.run import (
+    ObservableEstimate,
+    ParallelLayout,
+    RunResult,
+    Simulation,
+    TfimRunConfig,
+    XXZ2DRunConfig,
+    XXZRunConfig,
+    load_checkpoint,
+    load_result,
+    save_checkpoint,
+    save_result,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "XXZRunConfig",
+    "XXZ2DRunConfig",
+    "TfimRunConfig",
+    "ParallelLayout",
+    "RunResult",
+    "ObservableEstimate",
+    "save_result",
+    "load_result",
+    "save_checkpoint",
+    "load_checkpoint",
+    "__version__",
+]

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run-xxz``
+    World-line QMC of the XXZ chain via the Simulation facade.
+``run-tfim``
+    Transverse-field Ising QMC (chain or square lattice).
+``machines``
+    List the calibrated machine models.
+``scaling``
+    Print a performance-model scaling table for a chosen machine,
+    strategy and lattice.
+
+Every ``run-*`` command accepts ``--output PATH`` to persist the result
+as JSON (+NPZ series) via :mod:`repro.run.results`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.run.config import (
+    ParallelLayout,
+    TfimRunConfig,
+    XXZ2DRunConfig,
+    XXZRunConfig,
+)
+from repro.run.results import save_result
+from repro.run.simulation import Simulation
+from repro.util.tables import Table
+from repro.vmp.machines import MACHINES
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_layout_args(p: argparse.ArgumentParser, strategies: list[str]) -> None:
+    p.add_argument("--strategy", choices=strategies, default="serial",
+                   help="parallelization strategy")
+    p.add_argument("--ranks", type=int, default=1, help="virtual processors")
+    p.add_argument("--machine", choices=sorted(MACHINES), default="Ideal",
+                   help="machine cost model")
+
+
+def _add_mc_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--beta", type=float, required=True, help="inverse temperature")
+    p.add_argument("--slices", type=int, default=16, help="Trotter slices")
+    p.add_argument("--sweeps", type=int, default=2000, help="measured sweeps")
+    p.add_argument("--thermalize", type=int, default=200, help="warm-up sweeps")
+    p.add_argument("--seed", type=int, default=0, help="root random seed")
+    p.add_argument("--output", type=str, default=None,
+                   help="save result to PATH.json/.npz")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel world-line quantum Monte Carlo on a simulated MPP",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_xxz = sub.add_parser("run-xxz", help="world-line QMC of the XXZ chain")
+    p_xxz.add_argument("--sites", type=int, required=True)
+    p_xxz.add_argument("--jz", type=float, default=1.0)
+    p_xxz.add_argument("--jxy", type=float, default=1.0)
+    p_xxz.add_argument("--open-chain", action="store_true",
+                       help="open boundaries (default periodic)")
+    _add_mc_args(p_xxz)
+    _add_layout_args(p_xxz, ["serial", "replica", "strip"])
+
+    p_xxz2d = sub.add_parser(
+        "run-xxz2d", help="world-line QMC of the 2-D XXZ (Heisenberg) model"
+    )
+    p_xxz2d.add_argument("--lx", type=int, required=True)
+    p_xxz2d.add_argument("--ly", type=int, required=True)
+    p_xxz2d.add_argument("--jz", type=float, default=1.0)
+    p_xxz2d.add_argument("--jxy", type=float, default=1.0)
+    _add_mc_args(p_xxz2d)
+    _add_layout_args(p_xxz2d, ["serial", "replica"])
+
+    p_tfim = sub.add_parser("run-tfim", help="transverse-field Ising QMC")
+    p_tfim.add_argument("--shape", type=str, required=True,
+                        help="spatial shape, e.g. '32' or '8x8'")
+    p_tfim.add_argument("--j", type=float, default=1.0)
+    p_tfim.add_argument("--gamma", type=float, default=1.0)
+    _add_mc_args(p_tfim)
+    _add_layout_args(p_tfim, ["serial", "replica", "block"])
+
+    sub.add_parser("machines", help="list calibrated machine models")
+
+    p_sc = sub.add_parser("scaling", help="performance-model scaling table")
+    p_sc.add_argument("--machine", choices=sorted(MACHINES), default="CM-5")
+    p_sc.add_argument("--strategy", choices=["strip", "block", "replica"],
+                      default="block")
+    p_sc.add_argument("--lx", type=int, default=128)
+    p_sc.add_argument("--ly", type=int, default=128)
+    p_sc.add_argument("--slices", type=int, default=32)
+    p_sc.add_argument("--max-p", type=int, default=1024)
+    return parser
+
+
+def _cmd_run_xxz(args) -> int:
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine)
+    cfg = XXZRunConfig(
+        n_sites=args.sites,
+        beta=args.beta,
+        jz=args.jz,
+        jxy=args.jxy,
+        n_slices=args.slices,
+        periodic=not args.open_chain,
+        n_sweeps=args.sweeps,
+        n_thermalize=args.thermalize,
+        seed=args.seed,
+        layout=layout,
+    )
+    result = Simulation(cfg).run()
+    print(result.summary())
+    if args.output:
+        save_result(result, args.output)
+        print(f"saved to {args.output}.json")
+    return 0
+
+
+def _cmd_run_xxz2d(args) -> int:
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine)
+    cfg = XXZ2DRunConfig(
+        lx=args.lx,
+        ly=args.ly,
+        beta=args.beta,
+        jz=args.jz,
+        jxy=args.jxy,
+        n_slices=args.slices,
+        n_sweeps=args.sweeps,
+        n_thermalize=args.thermalize,
+        seed=args.seed,
+        layout=layout,
+    )
+    result = Simulation(cfg).run()
+    print(result.summary())
+    if args.output:
+        save_result(result, args.output)
+        print(f"saved to {args.output}.json")
+    return 0
+
+
+def _cmd_run_tfim(args) -> int:
+    shape = tuple(int(x) for x in args.shape.lower().split("x"))
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine)
+    cfg = TfimRunConfig(
+        spatial_shape=shape,
+        beta=args.beta,
+        j=args.j,
+        gamma=args.gamma,
+        n_slices=args.slices,
+        n_sweeps=args.sweeps,
+        n_thermalize=args.thermalize,
+        seed=args.seed,
+        layout=layout,
+    )
+    result = Simulation(cfg).run()
+    print(result.summary())
+    if args.output:
+        save_result(result, args.output)
+        print(f"saved to {args.output}.json")
+    return 0
+
+
+def _cmd_machines(_args) -> int:
+    table = Table(
+        "calibrated machine models",
+        ["name", "MFLOP/s/node", "latency [us]", "MB/s", "topology", "max nodes"],
+    )
+    for m in MACHINES.values():
+        bandwidth = (1.0 / m.byte_time / 1e6) if m.byte_time else float("inf")
+        table.add_row(
+            [m.name, m.flops / 1e6, m.latency * 1e6, bandwidth,
+             m.topology_name, m.max_nodes]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
+    from repro.vmp.performance import PerformanceModel, WorkloadShape
+
+    machine = MACHINES[args.machine]
+    w = WorkloadShape(
+        lx=args.lx,
+        ly=args.ly,
+        lt=args.slices,
+        flops_per_site=2 * FLOPS_PER_SPIN_UPDATE,
+        sweeps=1000,
+        bytes_per_site=1,
+        strategy=args.strategy,
+        measurement_interval=10,
+    )
+    pm = PerformanceModel(machine, w)
+    table = Table(
+        f"{machine.name}, {args.strategy} decomposition, "
+        f"{args.lx}x{args.ly}x{args.slices}",
+        ["P", "T[s]", "speedup", "efficiency", "comm frac"],
+    )
+    p = 1
+    while p <= min(args.max_p, machine.max_nodes):
+        try:
+            table.add_row(
+                [p, pm.time(p), pm.speedup(p), pm.efficiency(p), pm.comm_fraction(p)]
+            )
+        except ValueError as exc:
+            print(f"(stopping at P={p}: {exc})")
+            break
+        p *= 2
+    print(table.render())
+    return 0
+
+
+_COMMANDS = {
+    "run-xxz": _cmd_run_xxz,
+    "run-xxz2d": _cmd_run_xxz2d,
+    "run-tfim": _cmd_run_tfim,
+    "machines": _cmd_machines,
+    "scaling": _cmd_scaling,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Lattice geometry and domain decomposition.
+
+* :mod:`repro.lattice.lattice` -- chains and square lattices with
+  periodic boundaries, bond lists, and bipartite (checkerboard)
+  colorings.
+* :mod:`repro.lattice.decomposition` -- strip and block domain
+  decompositions with owned/ghost index bookkeeping for halo exchange.
+"""
+
+from repro.lattice.decomposition import BlockDecomposition, StripDecomposition
+from repro.lattice.lattice import Chain, SquareLattice
+
+__all__ = ["Chain", "SquareLattice", "StripDecomposition", "BlockDecomposition"]

@@ -1,0 +1,144 @@
+"""Finite lattices with periodic boundaries.
+
+These are *spatial* lattices; the QMC kernels extend them with a
+Trotter (imaginary-time) axis themselves.  Bonds carry a *color* --
+the index of the Suzuki--Trotter breakup term they belong to -- such
+that bonds of one color share no site and can be updated
+simultaneously (the vectorization and parallelization unit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Chain", "SquareLattice"]
+
+
+class Chain:
+    """1-D chain of ``n_sites`` spins.
+
+    Periodic chains used with the checkerboard breakup must have an
+    even number of sites, so that bonds split into the two
+    non-overlapping colors (even bonds ``(2i, 2i+1)``, odd bonds
+    ``(2i+1, 2i+2)``).
+    """
+
+    def __init__(self, n_sites: int, periodic: bool = True):
+        if n_sites < 2:
+            raise ValueError("chain needs at least 2 sites")
+        if periodic and n_sites % 2:
+            raise ValueError(
+                "periodic checkerboard chains need an even site count, "
+                f"got {n_sites}"
+            )
+        self.n_sites = int(n_sites)
+        self.periodic = bool(periodic)
+
+    @property
+    def n_bonds(self) -> int:
+        return self.n_sites if self.periodic else self.n_sites - 1
+
+    def bonds(self) -> list[tuple[int, int, int]]:
+        """All bonds as ``(site_a, site_b, color)`` with color = a mod 2."""
+        out = []
+        for a in range(self.n_bonds):
+            b = (a + 1) % self.n_sites
+            out.append((a, b, a % 2))
+        return out
+
+    def bonds_of_color(self, color: int) -> np.ndarray:
+        """Left sites of all bonds of one color, as an index array."""
+        if color not in (0, 1):
+            raise ValueError("chain bonds have colors 0 and 1")
+        return np.array(
+            [a for a, _, c in self.bonds() if c == color], dtype=np.intp
+        )
+
+    def neighbors(self, site: int) -> list[int]:
+        if not 0 <= site < self.n_sites:
+            raise ValueError(f"site {site} out of range")
+        out = []
+        if self.periodic:
+            return [(site - 1) % self.n_sites, (site + 1) % self.n_sites]
+        if site > 0:
+            out.append(site - 1)
+        if site < self.n_sites - 1:
+            out.append(site + 1)
+        return out
+
+    def sublattice(self, site: int) -> int:
+        """Bipartite sublattice index (0 = A, 1 = B)."""
+        return site % 2
+
+    def __repr__(self) -> str:
+        bc = "periodic" if self.periodic else "open"
+        return f"Chain(n_sites={self.n_sites}, {bc})"
+
+
+class SquareLattice:
+    """2-D square lattice, sites indexed row-major as ``x * ly + y``.
+
+    Bonds carry four colors (two x-direction, two y-direction,
+    alternating), the standard 2-D checkerboard breakup.  Periodic
+    directions must have even extent for the coloring to close.
+    """
+
+    def __init__(self, lx: int, ly: int, periodic: bool = True):
+        if lx < 2 or ly < 2:
+            raise ValueError("square lattice needs extents >= 2")
+        if periodic and (lx % 2 or ly % 2):
+            raise ValueError("periodic checkerboard lattices need even extents")
+        self.lx, self.ly = int(lx), int(ly)
+        self.periodic = bool(periodic)
+
+    @property
+    def n_sites(self) -> int:
+        return self.lx * self.ly
+
+    def site(self, x: int, y: int) -> int:
+        return (x % self.lx) * self.ly + (y % self.ly)
+
+    def coords(self, site: int) -> tuple[int, int]:
+        if not 0 <= site < self.n_sites:
+            raise ValueError(f"site {site} out of range")
+        return divmod(site, self.ly)
+
+    def bonds(self) -> list[tuple[int, int, int]]:
+        """Bonds as ``(a, b, color)``; colors 0/1 along x, 2/3 along y."""
+        out = []
+        for x in range(self.lx):
+            for y in range(self.ly):
+                a = self.site(x, y)
+                if self.periodic or x + 1 < self.lx:
+                    out.append((a, self.site(x + 1, y), x % 2))
+                if self.periodic or y + 1 < self.ly:
+                    out.append((a, self.site(x, y + 1), 2 + y % 2))
+        return out
+
+    @property
+    def n_bonds(self) -> int:
+        return len(self.bonds())
+
+    def neighbors(self, site: int) -> list[int]:
+        x, y = self.coords(site)
+        out = []
+        for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nx, ny = x + dx, y + dy
+            if self.periodic:
+                out.append(self.site(nx, ny))
+            elif 0 <= nx < self.lx and 0 <= ny < self.ly:
+                out.append(self.site(nx, ny))
+        # PBC on a 2-wide lattice duplicates neighbors; keep them unique.
+        seen: list[int] = []
+        for s in out:
+            if s not in seen and s != site:
+                seen.append(s)
+        return seen
+
+    def sublattice(self, site: int) -> int:
+        x, y = self.coords(site)
+        return (x + y) % 2
+
+    def __repr__(self) -> str:
+        bc = "periodic" if self.periodic else "open"
+        return f"SquareLattice({self.lx}x{self.ly}, {bc})"

@@ -1,0 +1,57 @@
+"""Model Hamiltonians and independent exact references.
+
+* :mod:`repro.models.operators` -- sparse spin-1/2 operator algebra
+  (Kronecker constructions of Pauli/spin operators on n sites).
+* :mod:`repro.models.hamiltonians` -- parameter records and sparse
+  builders for the XXZ/Heisenberg chain and the transverse-field Ising
+  model (TFIM) in 1-D and 2-D.
+* :mod:`repro.models.ed` -- exact diagonalization: full thermal
+  statistics for small systems, Lanczos ground states for medium ones.
+  This is the validation oracle every QMC estimator is tested against.
+* :mod:`repro.models.tfim_exact` -- exact free-fermion solution of the
+  1-D TFIM (Jordan--Wigner), usable at sizes far beyond ED.
+* :mod:`repro.models.ising_exact` -- Onsager's exact thermodynamic-limit
+  results for the 2-D classical Ising model, used to validate the
+  classical sampler that underlies the TFIM mapping.
+"""
+
+from repro.models.ed import ExactDiagonalization, ThermalExpectation
+from repro.models.hamiltonians import TFIM1D, TFIM2D, XXZChainModel
+from repro.models.ising_exact import (
+    onsager_critical_temperature,
+    onsager_energy_per_site,
+    onsager_spontaneous_magnetization,
+)
+from repro.models.operators import (
+    identity_on,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    site_operator,
+    two_site_operator,
+)
+from repro.models.tfim_exact import (
+    tfim_finite_temperature_energy,
+    tfim_ground_state_energy,
+    tfim_mode_energies,
+)
+
+__all__ = [
+    "ExactDiagonalization",
+    "ThermalExpectation",
+    "XXZChainModel",
+    "TFIM1D",
+    "TFIM2D",
+    "identity_on",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "site_operator",
+    "two_site_operator",
+    "tfim_ground_state_energy",
+    "tfim_finite_temperature_energy",
+    "tfim_mode_energies",
+    "onsager_critical_temperature",
+    "onsager_energy_per_site",
+    "onsager_spontaneous_magnetization",
+]

@@ -1,0 +1,78 @@
+"""Sparse spin-1/2 operator constructions.
+
+Spin-z basis convention used throughout the repository: basis state
+``n`` (an integer) encodes site ``i``'s spin in bit ``i``, with bit
+value 1 = spin up (+1/2) and 0 = spin down (-1/2).  Site 0 is the
+*least significant* bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "identity_on",
+    "site_operator",
+    "two_site_operator",
+    "total_sz",
+]
+
+
+def pauli_x() -> sp.csr_matrix:
+    """Single-site Pauli x."""
+    return sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+
+def pauli_y() -> sp.csr_matrix:
+    """Single-site Pauli y (complex)."""
+    return sp.csr_matrix(np.array([[0.0, -1.0j], [1.0j, 0.0]]))
+
+
+def pauli_z() -> sp.csr_matrix:
+    """Single-site Pauli z, diag(+1, -1) in the (up, down) = (1, 0) basis.
+
+    With the bit convention above the matrix is expressed in the
+    ordering (down, up) = (bit 0, bit 1): element [0,0] acts on
+    bit=0 = down, so sigma_z = diag(-1, +1) in *bit order*.
+    """
+    return sp.csr_matrix(np.array([[-1.0, 0.0], [0.0, 1.0]]))
+
+
+def identity_on(n_sites: int) -> sp.csr_matrix:
+    return sp.identity(2**n_sites, format="csr")
+
+
+def site_operator(op: sp.spmatrix, site: int, n_sites: int) -> sp.csr_matrix:
+    """Embed a single-site operator at ``site`` in an ``n_sites`` chain.
+
+    Site 0 is the least significant bit, hence the *rightmost* factor
+    of the Kronecker product.
+    """
+    if not 0 <= site < n_sites:
+        raise ValueError(f"site {site} out of range for {n_sites} sites")
+    left = sp.identity(2 ** (n_sites - site - 1), format="csr")
+    right = sp.identity(2**site, format="csr")
+    return sp.kron(left, sp.kron(op, right, format="csr"), format="csr")
+
+
+def two_site_operator(
+    op_a: sp.spmatrix, site_a: int, op_b: sp.spmatrix, site_b: int, n_sites: int
+) -> sp.csr_matrix:
+    """Product of single-site operators on two distinct sites."""
+    if site_a == site_b:
+        raise ValueError("sites must differ")
+    return site_operator(op_a, site_a, n_sites) @ site_operator(op_b, site_b, n_sites)
+
+
+def total_sz(n_sites: int) -> sp.csr_matrix:
+    """Total S^z = (1/2) sum_i sigma^z_i (diagonal)."""
+    states = np.arange(2**n_sites, dtype=np.uint64)
+    ups = np.zeros(2**n_sites)
+    for i in range(n_sites):
+        ups += ((states >> np.uint64(i)) & np.uint64(1)).astype(float)
+    sz = ups - n_sites / 2.0
+    return sp.diags(sz, format="csr")

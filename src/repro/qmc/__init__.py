@@ -1,0 +1,56 @@
+"""Quantum Monte Carlo kernels -- the paper's primary contribution.
+
+* :mod:`repro.qmc.plaquette` -- exact Suzuki--Trotter two-site
+  plaquette weights for the spin-1/2 XXZ bond Hamiltonian.
+* :mod:`repro.qmc.worldline` -- world-line QMC for XXZ chains:
+  checkerboard space--time lattice, local corner-flip updates,
+  straight-line (magnetization) updates; scalar reference sweep and a
+  vectorized multi-color sweep.
+* :mod:`repro.qmc.classical_ising` -- vectorized checkerboard
+  Metropolis for anisotropic classical Ising models in 2-D/3-D, the
+  engine behind the TFIM mapping.
+* :mod:`repro.qmc.tfim` -- transverse-field Ising QMC via the
+  quantum--classical mapping, with quantum estimators.
+* :mod:`repro.qmc.vmc` -- variational Monte Carlo (Marshall--Jastrow)
+  baseline for the Heisenberg chain.
+* :mod:`repro.qmc.trotter` -- Delta-tau -> 0 extrapolation driver.
+* :mod:`repro.qmc.parallel` -- domain-decomposed SPMD drivers (strip
+  world-line, block classical/TFIM) over :mod:`repro.vmp`.
+* :mod:`repro.qmc.replica` -- replica (independent Markov chain)
+  parallelism.
+* :mod:`repro.qmc.tempering` -- parallel tempering across ranks.
+"""
+
+from repro.qmc.classical_ising import AnisotropicIsing, IsingObservables
+from repro.qmc.cluster import SwendsenWangIsing
+from repro.qmc.multicanonical import (
+    MulticanonicalSampler,
+    WangLandauResult,
+    WangLandauSampler,
+)
+from repro.qmc.plaquette import PlaquetteTable
+from repro.qmc.tfim import TfimQmc, TfimMeasurement
+from repro.qmc.trotter import TrotterPoint, trotter_extrapolate
+from repro.qmc.vmc import MarshallJastrowVmc, VmcResult
+from repro.qmc.worldline import WorldlineChainQmc, WorldlineMeasurement
+from repro.qmc.worldline2d import Worldline2DMeasurement, WorldlineSquareQmc
+
+__all__ = [
+    "PlaquetteTable",
+    "WorldlineChainQmc",
+    "WorldlineMeasurement",
+    "WorldlineSquareQmc",
+    "Worldline2DMeasurement",
+    "AnisotropicIsing",
+    "IsingObservables",
+    "SwendsenWangIsing",
+    "WangLandauSampler",
+    "WangLandauResult",
+    "MulticanonicalSampler",
+    "TfimQmc",
+    "TfimMeasurement",
+    "MarshallJastrowVmc",
+    "VmcResult",
+    "TrotterPoint",
+    "trotter_extrapolate",
+]

@@ -1,0 +1,229 @@
+"""Multicanonical and Wang--Landau sampling of the classical engine.
+
+Generalized-ensemble methods flatten the energy histogram so a single
+run crosses free-energy barriers that trap canonical sampling: the
+acceptance weight of a configuration with energy ``E`` is ``1/g(E)``
+(the inverse density of states) instead of ``exp(-beta E)``.
+
+* :class:`WangLandauSampler` builds the ``ln g(E)`` estimate on the fly:
+  every visit multiplies ``g(E)`` by a modification factor ``f`` (i.e.
+  adds ``ln f`` in log space), and ``f`` is annealed ``f -> sqrt(f)``
+  whenever the visit histogram passes a flatness test.  Detailed
+  balance is violated while ``f > 1``, so the result is an *estimate*
+  of ``ln g`` -- the standard practice is to follow with
+* :class:`MulticanonicalSampler`, a **fixed-weight** (detailed-balance
+  exact) run using that estimate, whose measurements reweight to any
+  temperature::
+
+      <O>_beta = sum_t O_t g(E_t) e^{-beta E_t} / sum_t g(E_t) e^{-beta E_t}
+
+Both act on single-spin flips of an :class:`~repro.qmc.classical_ising`
+lattice; energies are binned on an :class:`~repro.stats.histogram`
+grid.  Everything runs in log space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qmc.classical_ising import AnisotropicIsing
+from repro.stats.histogram import EnergyHistogram
+from repro.util.logspace import logsumexp
+from repro.util.rng import RankStream, SeedSequenceFactory
+
+__all__ = ["WangLandauSampler", "MulticanonicalSampler", "WangLandauResult"]
+
+
+@dataclass
+class WangLandauResult:
+    """Converged Wang--Landau estimate of the density of states."""
+
+    bin_centers: np.ndarray
+    log_g: np.ndarray  # gauge: min over visited bins = 0
+    visited: np.ndarray  # bool mask of ever-visited bins
+    iterations: int
+    final_log_f: float
+
+    def log_g_normalized(self, log_total_states: float) -> np.ndarray:
+        """Rescale so ``logsumexp(log_g) = ln(total number of states)``."""
+        visited = self.log_g[self.visited]
+        offset = log_total_states - logsumexp(visited)
+        out = np.where(self.visited, self.log_g + offset, -np.inf)
+        return out
+
+
+class _FlipWalker:
+    """Shared single-spin-flip machinery over an AnisotropicIsing state."""
+
+    def __init__(self, sampler: AnisotropicIsing):
+        self.sampler = sampler
+        self.shape = sampler.shape
+        self.n_sites = sampler.n_sites
+        self.energy = float(-np.dot(sampler.couplings, sampler.bond_sums()))
+
+    def propose(self, stream: RankStream) -> tuple[tuple, float]:
+        """A uniformly random site and the energy after flipping it."""
+        flat = stream.choice(self.n_sites)
+        idx = np.unravel_index(flat, self.shape)
+        s = self.sampler.spins
+        field = 0.0
+        for a in range(self.sampler.ndim):
+            k = self.sampler.couplings[a]
+            if k == 0.0:
+                continue
+            up = list(idx)
+            up[a] = (idx[a] + 1) % self.shape[a]
+            dn = list(idx)
+            dn[a] = (idx[a] - 1) % self.shape[a]
+            field += k * (s[tuple(up)] + s[tuple(dn)])
+        delta = 2.0 * s[idx] * field  # energy change of flipping idx
+        return idx, self.energy + delta
+
+    def apply(self, idx: tuple, new_energy: float) -> None:
+        self.sampler.spins[idx] = -self.sampler.spins[idx]
+        self.energy = new_energy
+
+
+class WangLandauSampler:
+    """Wang--Landau estimation of ``ln g(E)`` for the classical model."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        couplings: tuple[float, ...],
+        e_min: float,
+        e_max: float,
+        n_bins: int,
+        seed: int | None = 0,
+        stream: RankStream | None = None,
+        flatness: float = 0.8,
+        log_f_final: float = 1e-6,
+        initial_log_f: float = 1.0,
+    ):
+        self.sampler = AnisotropicIsing(shape, couplings, seed=seed, stream=stream)
+        self.stream = self.sampler.stream
+        self.walker = _FlipWalker(self.sampler)
+        self.grid = EnergyHistogram(e_min, e_max, n_bins)
+        self.log_g = np.zeros(n_bins)
+        self.visited = np.zeros(n_bins, dtype=bool)
+        self.flatness = float(flatness)
+        self.log_f_final = float(log_f_final)
+        self.initial_log_f = float(initial_log_f)
+
+    def _bin(self, energy: float) -> int:
+        return int(self.grid.bin_index(energy)[0])
+
+    def run(self, sweeps_per_check: int = 50, max_iterations: int = 30) -> WangLandauResult:
+        """Anneal ``ln f`` from ``initial_log_f`` down to ``log_f_final``."""
+        log_f = self.initial_log_f
+        visits = np.zeros(self.grid.n_bins, dtype=np.int64)
+        iteration = 0
+        current_bin = self._bin(self.walker.energy)
+        while log_f > self.log_f_final and iteration < max_iterations:
+            iteration += 1
+            visits[:] = 0
+            flat = False
+            while not flat:
+                for _ in range(sweeps_per_check * self.walker.n_sites):
+                    idx, e_new = self.walker.propose(self.stream)
+                    if not (self.grid.e_min <= e_new <= self.grid.e_max):
+                        new_bin = None
+                    else:
+                        new_bin = self._bin(e_new)
+                    if new_bin is not None and (
+                        self.log_g[new_bin] <= self.log_g[current_bin]
+                        or self.stream.uniform()
+                        < np.exp(self.log_g[current_bin] - self.log_g[new_bin])
+                    ):
+                        self.walker.apply(idx, e_new)
+                        current_bin = new_bin
+                    self.log_g[current_bin] += log_f
+                    self.visited[current_bin] = True
+                    visits[current_bin] += 1
+                occupied = visits[self.visited]
+                flat = occupied.size > 0 and (
+                    occupied.min() >= self.flatness * occupied.mean()
+                )
+            log_f /= 2.0
+        self.log_g -= self.log_g[self.visited].min()
+        return WangLandauResult(
+            bin_centers=self.grid.bin_centers.copy(),
+            log_g=self.log_g.copy(),
+            visited=self.visited.copy(),
+            iterations=iteration,
+            final_log_f=log_f,
+        )
+
+
+class MulticanonicalSampler:
+    """Fixed-weight multicanonical production run.
+
+    Samples with weight ``exp(-ln g(E))`` for a *frozen* ``ln g``
+    (detailed balance holds exactly); records the energy series, from
+    which :meth:`reweighted_energy` returns canonical expectation
+    values at any temperature covered by the sampled window.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        couplings: tuple[float, ...],
+        wl: WangLandauResult,
+        seed: int | None = 0,
+        stream: RankStream | None = None,
+    ):
+        self.sampler = AnisotropicIsing(shape, couplings, seed=seed, stream=stream)
+        self.stream = self.sampler.stream
+        self.walker = _FlipWalker(self.sampler)
+        self.wl = wl
+        self.grid = EnergyHistogram(
+            wl.bin_centers[0] - (wl.bin_centers[1] - wl.bin_centers[0]) / 2,
+            wl.bin_centers[-1] + (wl.bin_centers[1] - wl.bin_centers[0]) / 2,
+            len(wl.bin_centers),
+        )
+        # Unvisited bins get an infinite weight barrier.
+        self._log_g = np.where(wl.visited, wl.log_g, np.inf)
+        self.energies: list[float] = []
+
+    def _bin(self, energy: float) -> int:
+        return int(self.grid.bin_index(energy)[0])
+
+    def sweep(self) -> None:
+        for _ in range(self.walker.n_sites):
+            idx, e_new = self.walker.propose(self.stream)
+            if not (self.grid.e_min <= e_new <= self.grid.e_max):
+                continue
+            b_old = self._bin(self.walker.energy)
+            b_new = self._bin(e_new)
+            log_ratio = self._log_g[b_old] - self._log_g[b_new]
+            if log_ratio >= 0 or self.stream.uniform() < np.exp(log_ratio):
+                self.walker.apply(idx, e_new)
+
+    def run(self, n_sweeps: int, n_thermalize: int = 0) -> np.ndarray:
+        for _ in range(n_thermalize):
+            self.sweep()
+        self.energies = []
+        for _ in range(n_sweeps):
+            self.sweep()
+            self.energies.append(self.walker.energy)
+        return np.asarray(self.energies)
+
+    def histogram(self) -> EnergyHistogram:
+        """Visit histogram of the production run (flatness diagnostic)."""
+        h = EnergyHistogram(self.grid.e_min, self.grid.e_max, self.grid.n_bins)
+        if self.energies:
+            h.add(np.asarray(self.energies))
+        return h
+
+    def reweighted_energy(self, beta: float) -> float:
+        """Canonical ``<E>`` at inverse temperature ``beta``."""
+        e = np.asarray(self.energies, dtype=float)
+        if e.size == 0:
+            raise ValueError("run() first")
+        bins = self.grid.bin_index(e)
+        log_w = self.wl.log_g[bins] - beta * e  # W_muca^-1 * exp(-beta E)
+        log_w -= log_w.max()
+        w = np.exp(log_w)
+        return float(np.sum(w * e) / np.sum(w))

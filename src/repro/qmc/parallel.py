@@ -1,0 +1,506 @@
+"""Domain-decomposed SPMD drivers for the QMC kernels.
+
+Two production drivers, each an ordinary rank program runnable under
+:func:`repro.vmp.run_spmd` (threads), the multiprocessing backend, or
+-- the API being mpi4py-shaped -- real MPI:
+
+* :func:`worldline_strip_program` -- the world-line XXZ chain split
+  into contiguous site strips.  Updates proceed class-by-class through
+  the eight independence classes of the corner moves (stride-4 grids in
+  both bond and interval index), with ghost-column refreshes before and
+  a boundary write-back after each class.  Because moves within a class
+  touch disjoint neighborhoods, the decomposed Markov chain samples
+  *exactly* the same distribution as the serial sampler.
+
+* :func:`ising_block_program` -- the anisotropic classical Ising model
+  (and therefore the TFIM) split into 2-D spatial blocks over a process
+  grid, with four-plane halo exchanges per checkerboard color.  Given
+  the same per-site uniforms the parallel trajectory is **bit-identical**
+  to the serial one (same-color sites do not interact), which the
+  integration tests assert literally.
+
+Ownership conventions (world-line strip, global column indices):
+
+* rank ``r`` owns columns ``[start, stop)``; block sizes are even.
+* corner move at bond ``i`` (flips columns ``i, i+1``) is executed by
+  the owner of column ``i``; the flip of ghost column ``stop`` is sent
+  to the right neighbor after the class.
+* straight-line move at column ``c`` is executed by its owner and
+  writes only ``c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lattice.decomposition import BlockDecomposition, StripDecomposition
+from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
+from repro.qmc.plaquette import PlaquetteTable
+from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = [
+    "WorldlineStripConfig",
+    "worldline_strip_program",
+    "IsingBlockConfig",
+    "ising_block_program",
+]
+
+# Tag bases for the two drivers (distinct from the collective range).
+_TAG_WL = 4096
+_TAG_ISING = 8192
+
+
+# ======================================================================
+# world-line strip driver
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class WorldlineStripConfig:
+    """Run parameters of the strip-decomposed world-line chain."""
+
+    n_sites: int
+    jz: float
+    jxy: float
+    beta: float
+    n_slices: int
+    n_sweeps: int
+    n_thermalize: int = 0
+    measure_every: int = 1
+
+    def __post_init__(self):
+        if self.n_sites % 4:
+            raise ValueError("parallel world-line driver needs L % 4 == 0")
+        if self.n_slices % 4:
+            raise ValueError("parallel world-line driver needs n_slices % 4 == 0")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.n_sweeps < 1:
+            raise ValueError("need at least one sweep")
+
+
+class _StripState:
+    """Per-rank world-line state: owned columns plus three ghost columns.
+
+    Local layout along axis 0: ``[ghost(start-1), owned..., ghost(stop),
+    ghost(stop+1)]``; local index of global column ``g`` is
+    ``g - start + 1``.
+    """
+
+    def __init__(self, comm, cfg: WorldlineStripConfig):
+        self.comm = comm
+        self.cfg = cfg
+        self.L = cfg.n_sites
+        self.T = cfg.n_slices
+        self.n_trotter = cfg.n_slices // 2
+        self.dtau = cfg.beta / self.n_trotter
+        self.table = PlaquetteTable.build(cfg.jz, cfg.jxy, self.dtau)
+        decomp = StripDecomposition(self.L, comm.size, require_even=True)
+        piece = decomp.piece(comm.rank)
+        self.start, self.stop = piece.start, piece.stop
+        self.n_owned = piece.n_owned
+        self.left, self.right = piece.left_rank, piece.right_rank
+        if comm.size > 1 and self.n_owned < 4:
+            raise ValueError(
+                "strip world-line driver needs >= 4 owned columns per rank"
+            )
+        # Neel start, straight world lines (legal everywhere).
+        g = np.arange(self.start - 1, self.stop + 2)
+        self.loc = np.repeat((g % 2).astype(np.int8)[:, None], self.T, axis=1)
+        self._t_even = np.arange(0, self.T, 2, dtype=np.intp)
+        self._t_odd = np.arange(1, self.T, 2, dtype=np.intp)
+
+    # -- indexing helpers -------------------------------------------------
+    def _codes(self, li: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Corner codes of plaquettes at *local* bond index li, interval t."""
+        s = self.loc
+        t1 = (t + 1) % self.T
+        return (
+            s[li, t].astype(np.intp)
+            + 2 * s[li + 1, t].astype(np.intp)
+            + 4 * s[li, t1].astype(np.intp)
+            + 8 * s[li + 1, t1].astype(np.intp)
+        )
+
+    # -- communication -----------------------------------------------------
+    def refresh_ghosts(self, tag: int) -> None:
+        """Pull fresh copies of columns start-1, stop, stop+1.
+
+        Each rank ships its last owned column rightward and its first
+        two owned columns leftward.  Single-rank runs wrap locally.
+        """
+        n = self.n_owned
+        if self.comm.size == 1:
+            self.loc[0] = self.loc[n]  # start-1 == stop-1 (mod L) wrap
+            self.loc[n + 1] = self.loc[1]
+            self.loc[n + 2] = self.loc[2]
+            return
+        comm = self.comm
+        comm.send(self.loc[n].copy(), self.right, tag=tag)
+        comm.send(self.loc[1:3].copy(), self.left, tag=tag + 1)
+        self.loc[0] = comm.recv(source=self.left, tag=tag)
+        ghosts = comm.recv(source=self.right, tag=tag + 1)
+        self.loc[n + 1] = ghosts[0]
+        self.loc[n + 2] = ghosts[1]
+
+    def writeback_right_ghost(self, a: int, tag: int) -> None:
+        """Push the updated ghost column ``stop`` to its owner.
+
+        Only class ``a`` moves at bond ``stop - 1`` write the ghost, so
+        the transfer happens exactly when ``(stop - 1) % 4 == a`` --
+        otherwise the ghost is a stale copy and adopting it would clobber
+        the owner's accepted class-``a`` moves at its own bond ``start``.
+        Sender and receiver agree on the condition because the
+        receiver's ``start - 1`` *is* the sender's ``stop - 1``.
+        """
+        n = self.n_owned
+        if self.comm.size == 1:
+            if (self.stop - 1) % 4 == a:
+                self.loc[1] = self.loc[n + 1]
+            return
+        if (self.stop - 1) % 4 == a:
+            self.comm.send(self.loc[n + 1].copy(), self.right, tag=tag)
+        if (self.start - 1) % self.L % 4 == a:
+            self.loc[1] = self.comm.recv(source=self.left, tag=tag)
+
+    # -- moves --------------------------------------------------------------
+    def corner_class(self, a: int, b: int) -> None:
+        """All corner moves of class (a, b) owned by this rank."""
+        # Global bonds i in [start, stop-1] with i % 4 == a.
+        first = self.start + ((a - self.start) % 4)
+        gi = np.arange(first, self.stop, 4, dtype=np.intp)
+        tt = np.arange(b, self.T, 4, dtype=np.intp)
+        if gi.size == 0 or tt.size == 0:
+            return
+        ggi, gtt = np.meshgrid(gi, tt, indexing="ij")
+        ggi, gtt = ggi.ravel(), gtt.ravel()
+        # Unshaded plaquettes only: (i + t) odd.
+        sel = (ggi + gtt) % 2 == 1
+        ggi, gtt = ggi[sel], gtt[sel]
+        if ggi.size == 0:
+            return
+        li = ggi - self.start + 1  # local bond index
+        t = gtt
+        w = self.table.weights
+        t1 = (t + 1) % self.T
+        tm1, tp1 = (t - 1) % self.T, (t + 1) % self.T
+        old = (
+            w[self._codes(li - 1, t)]
+            * w[self._codes(li + 1, t)]
+            * w[self._codes(li, tm1)]
+            * w[self._codes(li, tp1)]
+        )
+        self.loc[li, t] ^= 1
+        self.loc[li, t1] ^= 1
+        self.loc[li + 1, t] ^= 1
+        self.loc[li + 1, t1] ^= 1
+        new = (
+            w[self._codes(li - 1, t)]
+            * w[self._codes(li + 1, t)]
+            * w[self._codes(li, tm1)]
+            * w[self._codes(li, tp1)]
+        )
+        u = self.comm.stream.uniform(size=li.size)
+        reject = ~(new > 0.0) | (u * old >= new)
+        rl, rt, rt1 = li[reject], t[reject], t1[reject]
+        self.loc[rl, rt] ^= 1
+        self.loc[rl, rt1] ^= 1
+        self.loc[rl + 1, rt] ^= 1
+        self.loc[rl + 1, rt1] ^= 1
+        self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * li.size)
+
+    def column_parity(self, parity: int) -> None:
+        """Straight-line moves on owned columns of one (global) parity."""
+        first = self.start + ((parity - self.start) % 2)
+        gc = np.arange(first, self.stop, 2, dtype=np.intp)
+        if gc.size == 0:
+            return
+        lc = gc - self.start + 1
+        straight = self.loc[lc].min(axis=1) == self.loc[lc].max(axis=1)
+        gc, lc = gc[straight], lc[straight]
+        if gc.size == 0:
+            return
+        logw = np.where(
+            self.table.weights > 0,
+            np.log(np.maximum(self.table.weights, 1e-300)),
+            -np.inf,
+        )
+
+        def col_log_weight() -> np.ndarray:
+            total = np.zeros(lc.size)
+            for off in (-1, 0):
+                lb = lc + off  # local bond index of bond (gc + off)
+                gb = gc + off
+                ts = self._t_even if (gb[0] % 2 == 0) else self._t_odd
+                bb = np.repeat(lb, ts.size)
+                tt = np.tile(ts, lb.size)
+                total += logw[self._codes(bb, tt)].reshape(lb.size, ts.size).sum(axis=1)
+            return total
+
+        old_lw = col_log_weight()
+        self.loc[lc] ^= 1
+        new_lw = col_log_weight()
+        u = self.comm.stream.uniform(size=lc.size)
+        with np.errstate(invalid="ignore"):
+            log_ratio = new_lw - old_lw
+        reject = ~np.isfinite(log_ratio) | (
+            np.log(np.maximum(u, 1e-300)) >= log_ratio
+        )
+        self.loc[lc[reject]] ^= 1
+        self.comm.charge_compute(2.0 * self.T * lc.size)
+
+    def sweep(self) -> None:
+        """One full sweep: 8 corner classes + 2 column parities."""
+        tag = _TAG_WL
+        for a in range(4):
+            for b in range(4):
+                if (a + b) % 2 == 0:
+                    continue
+                self.refresh_ghosts(tag)
+                self.corner_class(a, b)
+                self.writeback_right_ghost(a, tag + 2)
+                tag += 3
+        for parity in (0, 1):
+            self.refresh_ghosts(tag)
+            self.column_parity(parity)
+            tag += 3
+
+    # -- measurement ---------------------------------------------------------
+    def local_dlog_sum(self) -> float:
+        """Sum of d ln W over shaded plaquettes at owned bonds."""
+        gi = np.arange(self.start, self.stop, dtype=np.intp)
+        li = gi - self.start + 1
+        total = 0.0
+        for parity, ts in ((0, self._t_even), (1, self._t_odd)):
+            sel = li[(gi % 2) == parity]
+            if sel.size == 0:
+                continue
+            bb = np.repeat(sel, ts.size)
+            tt = np.tile(ts, sel.size)
+            total += float(np.sum(self.table.dlog[self._codes(bb, tt)]))
+        return total
+
+    def local_magnetization(self) -> float:
+        """Owned-column contribution to total S^z on slice 0."""
+        return float(self.loc[1 : self.n_owned + 1, 0].sum() - self.n_owned / 2.0)
+
+
+def worldline_strip_program(comm, cfg: WorldlineStripConfig) -> dict:
+    """SPMD rank program: strip-decomposed world-line XXZ chain.
+
+    Returns, on every rank, a dict with the energy and magnetization
+    time series (identical across ranks thanks to allreduce) plus this
+    rank's final owned spin block (for invariant checks).
+    """
+    state = _StripState(comm, cfg)
+    for _ in range(cfg.n_thermalize):
+        state.sweep()
+    energies, mags = [], []
+    for s in range(cfg.n_sweeps):
+        state.sweep()
+        if s % cfg.measure_every == 0:
+            state.refresh_ghosts(_TAG_WL + 2000)
+            dlog = comm.allreduce(state.local_dlog_sum())
+            mag = comm.allreduce(state.local_magnetization())
+            energies.append(-dlog / state.n_trotter)
+            mags.append(mag)
+    owned = state.loc[1 : state.n_owned + 1].copy()
+    return {
+        "energy": np.array(energies),
+        "magnetization": np.array(mags),
+        "owned_spins": owned,
+        "start": state.start,
+        "stop": state.stop,
+        "beta": cfg.beta,
+        "dtau": state.dtau,
+    }
+
+
+# ======================================================================
+# block-decomposed classical Ising / TFIM driver
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class IsingBlockConfig:
+    """Run parameters of the block-decomposed anisotropic Ising sampler.
+
+    The lattice is ``(lx, ly, lt)`` with couplings ``(kx, ky, kt)``; set
+    ``ly = 2, ky = 0`` axes as needed for lower-dimensional problems --
+    or use the TFIM helpers in :mod:`repro.run` which fill these in.
+    ``sweep_seed`` drives the shared per-sweep uniforms that make
+    parallel runs bit-identical to serial ones.
+    """
+
+    lx: int
+    ly: int
+    lt: int
+    kx: float
+    ky: float
+    kt: float
+    n_sweeps: int
+    n_thermalize: int = 0
+    measure_every: int = 1
+    sweep_seed: int = 12345
+
+    def __post_init__(self):
+        for name, k in (("lx", self.kx), ("ly", self.ky), ("lt", self.kt)):
+            v = getattr(self, name)
+            if v == 1:
+                if k != 0.0:
+                    raise ValueError(f"extent-1 axis {name} must have zero coupling")
+            elif v < 2 or v % 2:
+                raise ValueError(f"{name} must be even and >= 2 (or inert 1), got {v}")
+        if self.n_sweeps < 1:
+            raise ValueError("need at least one sweep")
+
+
+class _BlockState:
+    """Per-rank block of the (lx, ly, lt) classical lattice."""
+
+    def __init__(self, comm, cfg: IsingBlockConfig):
+        self.comm = comm
+        self.cfg = cfg
+        grid = None
+        if cfg.ly == 1:
+            grid = (comm.size, 1)  # inert y axis: decompose x only
+        elif cfg.lx == 1:
+            grid = (1, comm.size)
+        decomp = BlockDecomposition(
+            cfg.lx, cfg.ly, comm.size, process_grid=grid, require_even=False
+        )
+        # Evenness is needed only along axes the process grid actually
+        # splits (so checkerboard parities align across rank boundaries).
+        for p in decomp.pieces:
+            bx, by = p.shape
+            if decomp.px > 1 and bx % 2:
+                raise ValueError(f"odd x-block of {bx} columns on rank {p.rank}")
+            if decomp.py > 1 and by % 2:
+                raise ValueError(f"odd y-block of {by} columns on rank {p.rank}")
+        self.decomp = decomp
+        p = decomp.piece(comm.rank)
+        self.piece = p
+        self.bx, self.by = p.shape
+        self.lt = cfg.lt
+        self.couplings = np.array([cfg.kx, cfg.ky, cfg.kt])
+        # Cold start matching AnisotropicIsing's default.
+        self.spins = np.ones((self.bx, self.by, self.lt), dtype=np.int8)
+        # Global parity of each local site (for checkerboard colors).
+        gx = np.arange(p.x_start, p.x_stop)
+        gy = np.arange(p.y_start, p.y_stop)
+        gt = np.arange(self.lt)
+        parity = (gx[:, None, None] + gy[None, :, None] + gt[None, None, :]) % 2
+        self.color_masks = [(parity == c) for c in (0, 1)]
+        self.sweep_factory = SeedSequenceFactory(cfg.sweep_seed)
+        self.sweep_index = 0
+
+    # -- halo exchange ------------------------------------------------------
+    def _exchange_planes(self, tag: int) -> tuple[np.ndarray, ...]:
+        """Fetch the four ghost planes (west, east, south, north).
+
+        Falls back to local periodic wrap along axes the process grid
+        does not split.
+        """
+        comm, p = self.comm, self.piece
+        if self.decomp.px > 1:
+            comm.send(self.spins[-1].copy(), p.east, tag=tag)
+            comm.send(self.spins[0].copy(), p.west, tag=tag + 1)
+            west = comm.recv(source=p.west, tag=tag)
+            east = comm.recv(source=p.east, tag=tag + 1)
+        else:
+            west, east = self.spins[-1].copy(), self.spins[0].copy()
+        if self.decomp.py > 1:
+            comm.send(self.spins[:, -1].copy(), p.north, tag=tag + 2)
+            comm.send(self.spins[:, 0].copy(), p.south, tag=tag + 3)
+            south = comm.recv(source=p.south, tag=tag + 2)
+            north = comm.recv(source=p.north, tag=tag + 3)
+        else:
+            south, north = self.spins[:, -1].copy(), self.spins[:, 0].copy()
+        return west, east, south, north
+
+    def local_field(self, tag: int) -> np.ndarray:
+        """``sum_a K_a (s_+a + s_-a)`` for every owned site, via halos."""
+        west, east, south, north = self._exchange_planes(tag)
+        kx, ky, kt = self.couplings
+        s = self.spins
+        up_x = np.concatenate([s[1:], east[None, :, :]], axis=0)
+        down_x = np.concatenate([west[None, :, :], s[:-1]], axis=0)
+        up_y = np.concatenate([s[:, 1:], north[:, None, :]], axis=1)
+        down_y = np.concatenate([south[:, None, :], s[:, :-1]], axis=1)
+        field = kx * (up_x + down_x) + ky * (up_y + down_y)
+        field += kt * (np.roll(s, 1, axis=2) + np.roll(s, -1, axis=2))
+        return field
+
+    def _sweep_uniforms(self) -> np.ndarray:
+        """This sweep's per-site uniforms, *sliced from the global field*.
+
+        Every rank generates the same global (lx, ly, lt) uniform lattice
+        from the shared sweep seed and takes its own block -- the source
+        of serial/parallel bit-identity.  (A production code would use a
+        counter-based generator to skip the unused portion; regenerating
+        is the simple deterministic equivalent.)
+        """
+        gen = self.sweep_factory.stream("scratch", self.sweep_index).generator
+        full = gen.random((self.cfg.lx, self.cfg.ly, self.lt))
+        p = self.piece
+        self.sweep_index += 1
+        return full[p.x_start : p.x_stop, p.y_start : p.y_stop]
+
+    def sweep(self) -> None:
+        """Both checkerboard colors, one halo exchange per color."""
+        uniforms = self._sweep_uniforms()
+        log_u = np.log(np.maximum(uniforms, 1e-300))
+        tag = _TAG_ISING + (self.sweep_index % 64) * 8
+        for c, mask in enumerate(self.color_masks):
+            field = self.local_field(tag + 4 * c)
+            accept = mask & (log_u < -2.0 * self.spins * field)
+            self.spins = np.where(accept, -self.spins, self.spins)
+        self.comm.charge_compute(
+            FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
+        )
+
+    # -- measurement -----------------------------------------------------------
+    def local_bond_sums(self, tag: int) -> np.ndarray:
+        """(x, y, t) bond sums counting each owned-origin bond once."""
+        west, east, south, north = self._exchange_planes(tag)
+        s = self.spins.astype(np.int64)
+        up_x = np.concatenate([s[1:], east[None, :, :].astype(np.int64)], axis=0)
+        up_y = np.concatenate([s[:, 1:], north[:, None, :].astype(np.int64)], axis=1)
+        bx = float(np.sum(s * up_x))
+        by = float(np.sum(s * up_y))
+        bt = float(np.sum(s * np.roll(s, -1, axis=2)))
+        return np.array([bx, by, bt])
+
+    def local_spin_sum(self) -> float:
+        return float(self.spins.sum())
+
+
+def ising_block_program(comm, cfg: IsingBlockConfig) -> dict:
+    """SPMD rank program: block-decomposed anisotropic Ising sweeps.
+
+    Returns on every rank the (identical) global time series of
+    magnetization and per-axis bond sums, plus the rank's owned block
+    for bit-identity checks.
+    """
+    state = _BlockState(comm, cfg)
+    n_sites = cfg.lx * cfg.ly * cfg.lt
+    for _ in range(cfg.n_thermalize):
+        state.sweep()
+    mags, bonds = [], []
+    for s in range(cfg.n_sweeps):
+        state.sweep()
+        if s % cfg.measure_every == 0:
+            m = comm.allreduce(state.local_spin_sum()) / n_sites
+            b = comm.allreduce(state.local_bond_sums(_TAG_ISING + 7000))
+            mags.append(m)
+            bonds.append(b)
+    return {
+        "magnetization": np.array(mags),
+        "bond_sums": np.array(bonds),
+        "block": state.spins.copy(),
+        "piece": (state.piece.x_start, state.piece.x_stop,
+                  state.piece.y_start, state.piece.y_stop),
+    }

@@ -1,0 +1,158 @@
+"""Parallel tempering (replica exchange) across ranks.
+
+One rank per temperature: each runs checkerboard Metropolis on the
+classical (mapped) model at its own inverse temperature, and every
+``exchange_every`` sweeps neighboring temperatures attempt to swap
+configurations with the replica-exchange acceptance
+
+    a = min(1, exp[ (beta_i - beta_j)(E_i - E_j) ])
+
+where ``E`` is the *physical* energy ``-sum_a J_a sum ss``.  Both
+partners must reach the same accept/reject decision without an extra
+round trip; they do so by drawing the decision uniform from a shared
+counter-indexed stream (same seed, same (round, pair) address -> same
+number on both ranks).
+
+Each rank accumulates an energy histogram on a shared grid; the driver
+returns everything needed for multiple-histogram reweighting
+(:mod:`repro.stats.wham`) -- together they reproduce benchmark F9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.qmc.classical_ising import AnisotropicIsing, FLOPS_PER_SPIN_UPDATE
+from repro.stats.histogram import EnergyHistogram
+from repro.util.rng import SeedSequenceFactory
+
+__all__ = ["TemperingConfig", "tempering_program"]
+
+_TAG_PT = 16384
+
+
+@dataclass(frozen=True)
+class TemperingConfig:
+    """Parameters of a parallel-tempering run on the classical model.
+
+    ``betas`` must have one entry per rank, sorted ascending or not --
+    neighbor exchanges use rank adjacency, so sort them for sensible
+    overlap.  ``couplings_j`` are the physical per-axis couplings; rank
+    r simulates reduced couplings ``betas[r] * couplings_j``.
+    """
+
+    shape: tuple[int, ...]
+    couplings_j: tuple[float, ...]
+    betas: tuple[float, ...]
+    n_sweeps: int
+    n_thermalize: int = 0
+    exchange_every: int = 5
+    histogram_bins: int = 64
+    shared_seed: int = 777
+
+    def __post_init__(self):
+        if len(self.couplings_j) != len(self.shape):
+            raise ValueError("need one physical coupling per axis")
+        if self.n_sweeps < 1:
+            raise ValueError("need at least one sweep")
+        if self.exchange_every < 1:
+            raise ValueError("exchange_every must be >= 1")
+
+
+def _physical_energy(sampler: AnisotropicIsing, couplings_j: np.ndarray) -> float:
+    """``H = -sum_a J_a sum_<ij>_a s_i s_j`` of the current configuration."""
+    return float(-np.dot(couplings_j, sampler.bond_sums()))
+
+
+def tempering_program(comm, cfg: TemperingConfig) -> dict:
+    """SPMD rank program: one temperature per rank with neighbor swaps.
+
+    Returns per-rank: beta, the energy time series, the histogram counts
+    (grid shared across ranks), and per-neighbor exchange acceptance.
+    """
+    if len(cfg.betas) != comm.size:
+        raise ValueError(
+            f"need exactly one beta per rank: {len(cfg.betas)} betas, "
+            f"{comm.size} ranks"
+        )
+    beta = float(cfg.betas[comm.rank])
+    j = np.asarray(cfg.couplings_j, dtype=float)
+    sampler = AnisotropicIsing(
+        cfg.shape, tuple(beta * j), stream=comm.stream, hot_start=True
+    )
+    n_bonds_max = sum(
+        np.prod(cfg.shape) for _ in cfg.shape
+    )  # one bond per site per axis (periodic)
+    e_max = float(np.abs(j).sum() * np.prod(cfg.shape))
+    hist = EnergyHistogram(-e_max, e_max, cfg.histogram_bins)
+    shared = SeedSequenceFactory(cfg.shared_seed)
+
+    for _ in range(cfg.n_thermalize):
+        sampler.sweep()
+
+    energies = []
+    magnetizations = []
+    attempts = 0
+    accepts = 0
+    n_rounds = 0
+    for s in range(cfg.n_sweeps):
+        sampler.sweep()
+        comm.charge_compute(FLOPS_PER_SPIN_UPDATE * sampler.n_sites)
+        e = _physical_energy(sampler, j)
+        energies.append(e)
+        magnetizations.append(sampler.magnetization())
+        hist.add(e)
+        if (s + 1) % cfg.exchange_every == 0:
+            n_rounds += 1
+            # Alternate even/odd neighbor pairings (standard PT schedule).
+            offset = n_rounds % 2
+            pair = (comm.rank - offset) // 2  # index of my pair this round
+            lower = 2 * pair + offset  # rank of the pair's lower member
+            upper = lower + 1
+            if lower < 0 or upper >= comm.size or comm.rank not in (lower, upper):
+                continue
+            partner = upper if comm.rank == lower else lower
+            e_self = _physical_energy(sampler, j)
+            e_other = comm.sendrecv(
+                e_self, partner, partner, sendtag=_TAG_PT, recvtag=_TAG_PT
+            )
+            beta_other = float(cfg.betas[partner])
+            log_a = (beta - beta_other) * (e_self - e_other)
+            # Shared decision uniform: identical on both partners.
+            u = shared.stream("tempering", n_rounds * comm.size + lower).uniform()
+            attempts += 1
+            if log_a >= 0 or u < np.exp(log_a):
+                accepts += 1
+                other_spins = comm.sendrecv(
+                    sampler.spins,
+                    partner,
+                    partner,
+                    sendtag=_TAG_PT + 1,
+                    recvtag=_TAG_PT + 1,
+                )
+                sampler.spins = other_spins.astype(np.int8)
+    return {
+        "beta": beta,
+        "energy": np.array(energies),
+        "magnetization": np.array(magnetizations),
+        "histogram_counts": hist.counts.copy(),
+        "histogram_range": (hist.e_min, hist.e_max, hist.n_bins),
+        "n_samples": hist.n_samples,
+        "exchange_attempts": attempts,
+        "exchange_accepts": accepts,
+        "_n_bonds_max": n_bonds_max,
+    }
+
+
+def histograms_from_results(results: list[dict]) -> list[EnergyHistogram]:
+    """Rebuild :class:`EnergyHistogram` objects from rank result dicts."""
+    out = []
+    for r in results:
+        e_min, e_max, n_bins = r["histogram_range"]
+        h = EnergyHistogram(e_min, e_max, n_bins)
+        h.counts = np.asarray(r["histogram_counts"], dtype=np.int64).copy()
+        h.n_samples = int(r["n_samples"])
+        out.append(h)
+    return out

@@ -1,0 +1,492 @@
+"""World-line quantum Monte Carlo for spin-1/2 XXZ chains.
+
+The configuration space is the checkerboard space--time lattice of the
+Suzuki--Trotter decomposition: Ising variables ``S[i, t] in {0, 1}``
+(1 = up) on ``L`` sites times ``T = 2M`` imaginary-time slices, with
+``dtau = beta / M``.  Bond ``i`` (sites ``i, i+1``) is *active* during
+interval ``[t, t+1]`` iff ``(i + t)`` is even; each active bond-interval
+is a shaded plaquette carrying the exact two-site weight of
+:class:`~repro.qmc.plaquette.PlaquetteTable`.  Up spins trace out
+world lines that are continuous in time and may exchange across shaded
+plaquettes ("jumps" / kinks).
+
+Monte Carlo moves (all satisfying detailed balance individually):
+
+* **corner flips** -- flip the four corner spins of an *unshaded*
+  plaquette, deflecting a world line sideways.  Exactly four shaded
+  plaquettes are affected; illegal results carry zero weight and
+  reject themselves.
+* **edge flips** (open chains) -- flip the two time-adjacent spins of a
+  boundary site during its free-evolution interval (two affected
+  plaquettes).
+* **straight-line flips** -- flip an entire time column whose world
+  line is straight, changing total magnetization by one.  This is what
+  makes the uniform susceptibility measurable.
+
+Known, period-accurate limitation: spatial winding is not sampled; on
+periodic chains the simulation is confined to the zero-winding sector
+(corrections fall exponentially with L).  Validation tests therefore
+use *open* chains, where no winding sector exists.
+
+Two sweep implementations are provided and cross-checked: a scalar
+reference (any geometry) and a vectorized eight-color sweep requiring
+``L % 4 == 0`` (periodic) and ``T % 4 == 0``, following the
+vectorize-the-inner-loop idiom of the HPC guides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.hamiltonians import XXZChainModel
+from repro.qmc.plaquette import PlaquetteTable
+from repro.util.rng import RankStream, SeedSequenceFactory
+
+__all__ = ["WorldlineChainQmc", "WorldlineMeasurement", "FLOPS_PER_CORNER_MOVE"]
+
+#: Modeled floating-point work of one corner-flip attempt (4 plaquette
+#: weight lookups old+new, one ratio, one compare, index arithmetic).
+#: Used by the parallel drivers / performance model; the value matches
+#: the arithmetic of an optimized Fortran inner loop of the era.
+FLOPS_PER_CORNER_MOVE = 24.0
+
+
+@dataclass
+class WorldlineMeasurement:
+    """Time series measured during a world-line run (one entry per measurement).
+
+    ``energy`` is the total-energy estimator ``-(1/M) sum_p dlnW_p``;
+    ``magnetization`` the conserved-per-slice total S^z; ``m_stag_sq``
+    the squared staggered magnetization per site, slice-averaged;
+    ``szsz`` rows are the distance-resolved correlation function
+    ``C(r) = <S^z_0 S^z_r>`` averaged over sites and slices.
+    """
+
+    beta: float
+    dtau: float
+    energy: np.ndarray
+    magnetization: np.ndarray
+    m_stag_sq: np.ndarray
+    szsz: np.ndarray  # (n_measurements, L//2 + 1)
+
+    @property
+    def n_measurements(self) -> int:
+        return len(self.energy)
+
+    def susceptibility(self, n_sites: int) -> float:
+        """Uniform susceptibility ``beta (<M^2> - <M>^2) / L``."""
+        m = self.magnetization
+        return float(self.beta * (np.mean(m**2) - np.mean(m) ** 2) / n_sites)
+
+
+class WorldlineChainQmc:
+    """World-line sampler for one XXZ chain at fixed (beta, n_slices)."""
+
+    def __init__(
+        self,
+        model: XXZChainModel,
+        beta: float,
+        n_slices: int,
+        seed: int | None = 0,
+        stream: RankStream | None = None,
+    ):
+        if model.field != 0.0:
+            raise ValueError(
+                "world-line driver samples at zero field; susceptibility "
+                "comes from magnetization fluctuations"
+            )
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        if n_slices < 4 or n_slices % 2:
+            raise ValueError("n_slices must be even and >= 4 (T = 2M)")
+        self.model = model
+        self.beta = float(beta)
+        self.n_slices = int(n_slices)  # T
+        self.n_trotter = n_slices // 2  # M
+        self.dtau = beta / self.n_trotter
+        self.L = model.n_sites
+        self.periodic = model.periodic
+        self.table = PlaquetteTable.build(model.jz, model.jxy, self.dtau)
+        self.stream = stream if stream is not None else SeedSequenceFactory(
+            seed if seed is not None else 0
+        ).rank_stream(0)
+        # Neel product state, straight world lines: legal for every (Jz, Jxy).
+        self.spins = np.fromfunction(
+            lambda i, t: (i % 2).astype(np.int8), (self.L, self.n_slices), dtype=int
+        ).astype(np.int8)
+        self._init_shaded_index()
+        self.n_attempted = 0
+        self.n_accepted = 0
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_bonds(self) -> int:
+        return self.L if self.periodic else self.L - 1
+
+    def _init_shaded_index(self) -> None:
+        """Precompute (bond, interval) arrays of all shaded plaquettes."""
+        ii, tt = [], []
+        for i in range(self.n_bonds):
+            for t in range(self.n_slices):
+                if (i + t) % 2 == 0:
+                    ii.append(i)
+                    tt.append(t)
+        self._shaded_i = np.array(ii, dtype=np.intp)
+        self._shaded_t = np.array(tt, dtype=np.intp)
+
+    def _codes(self, i: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Corner codes of shaded plaquettes at bonds ``i``, intervals ``t``."""
+        s = self.spins
+        j = (i + 1) % self.L
+        t1 = (t + 1) % self.n_slices
+        return (
+            s[i, t].astype(np.intp)
+            + 2 * s[j, t].astype(np.intp)
+            + 4 * s[i, t1].astype(np.intp)
+            + 8 * s[j, t1].astype(np.intp)
+        )
+
+    def shaded_codes(self) -> np.ndarray:
+        """Corner codes of every shaded plaquette (measurement path)."""
+        return self._codes(self._shaded_i, self._shaded_t)
+
+    def config_log_weight(self) -> float:
+        """log of the configuration weight; ``-inf`` if illegal."""
+        w = self.table.weights[self.shaded_codes()]
+        if np.any(w <= 0):
+            return float("-inf")
+        return float(np.sum(np.log(w)))
+
+    def check_invariants(self) -> None:
+        """Assert world-line continuity: every shaded plaquette is legal
+        and each slice carries the same magnetization."""
+        if np.any(self.table.weights[self.shaded_codes()] <= 0):
+            raise AssertionError("illegal shaded plaquette in configuration")
+        mags = self.spins.sum(axis=0)
+        if self.periodic and np.any(mags != mags[0]):
+            raise AssertionError("slice magnetization not conserved")
+
+    # ------------------------------------------------------------------
+    # estimators
+    # ------------------------------------------------------------------
+    def energy_estimate(self) -> float:
+        """Total-energy estimator of the current configuration."""
+        d = self.table.dlog[self.shaded_codes()]
+        return float(-np.sum(d) / self.n_trotter)
+
+    def magnetization(self) -> float:
+        """Total S^z (identical on every slice for legal configurations)."""
+        return float(self.spins[:, 0].sum() - self.L / 2.0)
+
+    def staggered_magnetization_sq(self) -> float:
+        """Slice-averaged squared staggered magnetization per site."""
+        signs = np.where(np.arange(self.L) % 2 == 0, 1.0, -1.0)
+        m_st = (signs[:, None] * (self.spins - 0.5)).sum(axis=0) / self.L
+        return float(np.mean(m_st**2))
+
+    def szsz_time_correlation(self) -> np.ndarray:
+        """Imaginary-time autocorrelation ``G(k) = <S^z_i(0) S^z_i(tau_k)>``.
+
+        Returned for slice separations ``k = 0 .. T/2``; the physical
+        time of slice ``k`` is ``tau_k = k * beta / T``.  Averaged over
+        sites and reference slices (translation invariance in both).
+        """
+        sz = self.spins - 0.5
+        out = np.empty(self.n_slices // 2 + 1)
+        for k in range(out.size):
+            out[k] = float(np.mean(sz * np.roll(sz, -k, axis=1)))
+        return out
+
+    def szsz_correlation(self) -> np.ndarray:
+        """``C(r) = <S^z_i S^z_{i+r}>`` for r = 0..L//2 (sites+slices averaged)."""
+        sz = self.spins - 0.5
+        out = np.empty(self.L // 2 + 1)
+        for r in range(self.L // 2 + 1):
+            rolled = np.roll(sz, -r, axis=0)
+            if self.periodic:
+                out[r] = float(np.mean(sz * rolled))
+            else:
+                n = self.L - r
+                out[r] = float(np.mean(sz[:n] * rolled[:n]))
+        return out
+
+    # ------------------------------------------------------------------
+    # scalar reference moves
+    # ------------------------------------------------------------------
+    def _affected_by_corner(self, i: int, t: int) -> list[tuple[int, int]]:
+        """Shaded plaquettes read by a corner flip at unshaded (i, t)."""
+        T = self.n_slices
+        out = [(i, (t - 1) % T), (i, (t + 1) % T)]
+        if self.periodic:
+            out.append(((i - 1) % self.L, t))
+            out.append(((i + 1) % self.L, t))
+        else:
+            if i - 1 >= 0:
+                out.append((i - 1, t))
+            if i + 1 <= self.n_bonds - 1:
+                out.append((i + 1, t))
+        return out
+
+    def _weight_product(self, plaqs: list[tuple[int, int]]) -> float:
+        prod = 1.0
+        for i, t in plaqs:
+            prod *= float(
+                self.table.weights[
+                    int(self._codes(np.array([i]), np.array([t]))[0])
+                ]
+            )
+        return prod
+
+    def _metropolis(self, ratio: float) -> bool:
+        self.n_attempted += 1
+        if ratio >= 1.0 or self.stream.uniform() < ratio:
+            self.n_accepted += 1
+            return True
+        return False
+
+    def attempt_corner_flip(self, i: int, t: int) -> bool:
+        """Scalar corner flip at unshaded plaquette (bond i, interval t)."""
+        if (i + t) % 2 == 0:
+            raise ValueError(f"plaquette ({i}, {t}) is shaded, not unshaded")
+        affected = self._affected_by_corner(i, t)
+        w_old = self._weight_product(affected)
+        j = (i + 1) % self.L
+        t1 = (t + 1) % self.n_slices
+        idx = ([i, i, j, j], [t, t1, t, t1])
+        self.spins[idx] ^= 1
+        w_new = self._weight_product(affected)
+        if w_new <= 0.0 or not self._metropolis(w_new / w_old):
+            self.spins[idx] ^= 1  # undo
+            return False
+        return True
+
+    def attempt_edge_flip(self, site: int, t: int) -> bool:
+        """Open-chain edge move: flip (site, t), (site, t+1) during the
+        site's free-evolution interval."""
+        if self.periodic:
+            raise ValueError("edge moves exist only on open chains")
+        if site == 0:
+            bond = 0
+        elif site == self.L - 1:
+            bond = self.n_bonds - 1
+        else:
+            raise ValueError("edge moves act on the boundary sites only")
+        if (bond + t) % 2 == 0:
+            raise ValueError(f"interval {t} is not free evolution for site {site}")
+        T = self.n_slices
+        affected = [(bond, (t - 1) % T), (bond, (t + 1) % T)]
+        w_old = self._weight_product(affected)
+        idx = ([site, site], [t, (t + 1) % T])
+        self.spins[idx] ^= 1
+        w_new = self._weight_product(affected)
+        if w_new <= 0.0 or not self._metropolis(w_new / w_old):
+            self.spins[idx] ^= 1
+            return False
+        return True
+
+    def attempt_column_flip(self, site: int) -> bool:
+        """Straight-line move: flip the full time column of ``site``."""
+        col = self.spins[site]
+        if col.min() != col.max():
+            return False  # world line not straight: move undefined
+        affected = []
+        for b in (site - 1, site):
+            bb = b % self.L if self.periodic else b
+            if not self.periodic and not 0 <= b <= self.n_bonds - 1:
+                continue
+            for t in range(self.n_slices):
+                if (bb + t) % 2 == 0:
+                    affected.append((bb, t))
+        # Log-space product: T plaquettes can under/overflow in linear space.
+        codes_i = np.array([a for a, _ in affected], dtype=np.intp)
+        codes_t = np.array([b for _, b in affected], dtype=np.intp)
+        old_codes = self._codes(codes_i, codes_t)
+        self.spins[site] ^= 1
+        new_codes = self._codes(codes_i, codes_t)
+        w_new = self.table.weights[new_codes]
+        if np.any(w_new <= 0):
+            self.spins[site] ^= 1
+            return False
+        log_ratio = float(
+            np.sum(np.log(w_new)) - np.sum(np.log(self.table.weights[old_codes]))
+        )
+        if not self._metropolis(float(np.exp(min(log_ratio, 0.0))) if log_ratio < 0 else 1.0):
+            self.spins[site] ^= 1
+            return False
+        return True
+
+    def sweep_scalar(self) -> None:
+        """Reference sweep: every unshaded plaquette, edge interval and
+        column once, in deterministic raster order."""
+        for t in range(self.n_slices):
+            for i in range(self.n_bonds):
+                if (i + t) % 2 == 1:
+                    self.attempt_corner_flip(i, t)
+        if not self.periodic:
+            for t in range(self.n_slices):
+                if (0 + t) % 2 == 1:
+                    self.attempt_edge_flip(0, t)
+                if (self.n_bonds - 1 + t) % 2 == 1:
+                    self.attempt_edge_flip(self.L - 1, t)
+        for site in range(self.L):
+            self.attempt_column_flip(site)
+
+    # ------------------------------------------------------------------
+    # vectorized sweep (periodic, L % 4 == 0, T % 4 == 0)
+    # ------------------------------------------------------------------
+    @property
+    def can_vectorize(self) -> bool:
+        return self.periodic and self.L % 4 == 0 and self.n_slices % 4 == 0
+
+    def _class_indices(self, a: int, b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened (bond, interval) grids of independence class (a, b)."""
+        ii = np.arange(a, self.L, 4, dtype=np.intp)
+        tt = np.arange(b, self.n_slices, 4, dtype=np.intp)
+        gi, gt = np.meshgrid(ii, tt, indexing="ij")
+        return gi.ravel(), gt.ravel()
+
+    def _vector_corner_class(self, i: np.ndarray, t: np.ndarray) -> None:
+        """Simultaneous Metropolis on one independence class of corner flips.
+
+        Moves within a class touch disjoint spin neighborhoods (sites
+        i-1..i+2, slices t-1..t+2 are separated by the stride-4 grid),
+        so parallel acceptance equals sequential acceptance in any
+        order -- the property the domain-decomposed driver relies on.
+        """
+        L, T = self.L, self.n_slices
+        w = self.table.weights
+        im1, ip1 = (i - 1) % L, (i + 1) % L
+        tm1, tp1 = (t - 1) % T, (t + 1) % T
+        old = (
+            w[self._codes(im1, t)]
+            * w[self._codes(ip1, t)]
+            * w[self._codes(i, tm1)]
+            * w[self._codes(i, tp1)]
+        )
+        # Flip candidate corners, evaluate, then keep only accepted.
+        j = ip1
+        t1 = (t + 1) % T
+        self.spins[i, t] ^= 1
+        self.spins[i, t1] ^= 1
+        self.spins[j, t] ^= 1
+        self.spins[j, t1] ^= 1
+        new = (
+            w[self._codes(im1, t)]
+            * w[self._codes(ip1, t)]
+            * w[self._codes(i, tm1)]
+            * w[self._codes(i, tp1)]
+        )
+        u = self.stream.uniform(size=i.size)
+        reject = ~(new > 0.0) | (u * old >= new)
+        self.n_attempted += i.size
+        self.n_accepted += int(i.size - reject.sum())
+        ri, rt, rj, rt1 = i[reject], t[reject], j[reject], t1[reject]
+        self.spins[ri, rt] ^= 1
+        self.spins[ri, rt1] ^= 1
+        self.spins[rj, rt] ^= 1
+        self.spins[rj, rt1] ^= 1
+
+    def _vector_column_parity(self, parity: int) -> None:
+        """Simultaneous straight-line flips on all columns of one parity."""
+        L, T = self.L, self.n_slices
+        cols = np.arange(parity, L, 2, dtype=np.intp)
+        straight = self.spins[cols].min(axis=1) == self.spins[cols].max(axis=1)
+        cols = cols[straight]
+        if cols.size == 0:
+            return
+        logw = np.where(
+            self.table.weights > 0, np.log(np.maximum(self.table.weights, 1e-300)), -np.inf
+        )
+        # Affected: bonds (c-1) and c, at their active intervals.
+        t_even = np.arange(0, T, 2, dtype=np.intp)
+        t_odd = np.arange(1, T, 2, dtype=np.intp)
+
+        def col_log_weight(cs: np.ndarray) -> np.ndarray:
+            # Columns in one parity class share bond parity, so the active
+            # interval grid is identical for all of them: fully vectorized.
+            total = np.zeros(cs.size)
+            for b_off in (-1, 0):
+                b = (cs + b_off) % L
+                ts = t_even if b[0] % 2 == 0 else t_odd
+                bb = np.repeat(b, ts.size)
+                tt = np.tile(ts, b.size)
+                lw = logw[self._codes(bb, tt)].reshape(b.size, ts.size)
+                total += lw.sum(axis=1)
+            return total
+
+        old_lw = col_log_weight(cols)
+        self.spins[cols] ^= 1
+        new_lw = col_log_weight(cols)
+        log_ratio = new_lw - old_lw
+        u = self.stream.uniform(size=cols.size)
+        with np.errstate(over="ignore"):
+            reject = ~np.isfinite(log_ratio) | (np.log(np.maximum(u, 1e-300)) >= log_ratio)
+        self.n_attempted += cols.size
+        self.n_accepted += int(cols.size - reject.sum())
+        self.spins[cols[reject]] ^= 1
+
+    def sweep_vectorized(self) -> None:
+        """Eight-color vectorized sweep (periodic chains, L%4 == T%4 == 0)."""
+        if not self.can_vectorize:
+            raise ValueError(
+                "vectorized sweep needs a periodic chain with L % 4 == 0 and "
+                f"n_slices % 4 == 0; got L={self.L}, T={self.n_slices}, "
+                f"periodic={self.periodic}"
+            )
+        for a in range(4):
+            for b in range(4):
+                if (a + b) % 2 == 1:
+                    i, t = self._class_indices(a, b)
+                    self._vector_corner_class(i, t)
+        self._vector_column_parity(0)
+        self._vector_column_parity(1)
+
+    def sweep(self) -> None:
+        """One full sweep, vectorized when the geometry allows."""
+        if self.can_vectorize:
+            self.sweep_vectorized()
+        else:
+            self.sweep_scalar()
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / self.n_attempted if self.n_attempted else 0.0
+
+    # ------------------------------------------------------------------
+    # run driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_sweeps: int,
+        n_thermalize: int = 0,
+        measure_every: int = 1,
+    ) -> WorldlineMeasurement:
+        """Thermalize, then sweep and measure.
+
+        Returns the raw time series; error analysis is the caller's job
+        (see :mod:`repro.stats`).
+        """
+        if n_sweeps < 1:
+            raise ValueError("need at least one measured sweep")
+        for _ in range(n_thermalize):
+            self.sweep()
+        energies, mags, mstag, corr = [], [], [], []
+        for s in range(n_sweeps):
+            self.sweep()
+            if s % measure_every == 0:
+                energies.append(self.energy_estimate())
+                mags.append(self.magnetization())
+                mstag.append(self.staggered_magnetization_sq())
+                corr.append(self.szsz_correlation())
+        return WorldlineMeasurement(
+            beta=self.beta,
+            dtau=self.dtau,
+            energy=np.array(energies),
+            magnetization=np.array(mags),
+            m_stag_sq=np.array(mstag),
+            szsz=np.array(corr),
+        )

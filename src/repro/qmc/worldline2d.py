@@ -1,0 +1,406 @@
+"""World-line QMC for the spin-1/2 XXZ model on the square lattice.
+
+The 2-D generalization of :mod:`repro.qmc.worldline` -- the flagship
+application of early parallel QMC (the 2-D Heisenberg antiferromagnet
+and its relation to high-T_c parent compounds).  The Suzuki--Trotter
+breakup uses the **four bond colors** of the square lattice (even/odd
+x-bonds, even/odd y-bonds): one color acts per imaginary-time interval,
+so the time axis has ``T = 4 M`` intervals with ``dtau = beta / M``.
+Within one interval the active color's bonds tile *all* sites, giving
+the same shaded-plaquette structure as the chain:
+
+* interval ``t`` activates color ``t % 4``;
+* every site belongs to exactly one active bond per interval, found via
+  the precomputed ``partner[site, color]`` table;
+* shaded plaquettes carry the exact two-site weights of
+  :class:`~repro.qmc.plaquette.PlaquetteTable` (Marshall-rotated: the
+  square lattice is bipartite, so the rotation is exact).
+
+Monte Carlo moves:
+
+* **segment flips** -- the 2-D generalization of the chain's corner
+  flip.  Between two *consecutive activations* of a bond ``b = (i, j)``
+  (intervals ``t0`` and ``t0 + 4``), flip both sites' spins on the four
+  slices in between (``t0+1 .. t0+4``), deflecting a world line from
+  ``i`` to ``j`` across that window.  Exactly eight shaded plaquettes
+  are read: bond ``b`` at ``t0`` and ``t0+4``, plus the active
+  plaquettes of ``i`` and ``j`` at the three intermediate intervals;
+  any particle-number violation gives zero weight and auto-rejects.
+  (The naive two-slice pair flip of the 1-D sampler is *always* illegal
+  here, because at intervals ``t0 +- 1`` each site is paired with a
+  different partner -- in 1-D the window between activations is two
+  slices, which is exactly the corner flip.)
+* **straight-line flips** -- flip a site's full time column when its
+  world line is straight (changes S^z_total by one).
+
+The same period-accurate limitation as the chain applies: spatial
+winding is not sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.hamiltonians import XXZSquareModel
+from repro.qmc.plaquette import PlaquetteTable
+from repro.util.rng import RankStream, SeedSequenceFactory
+
+__all__ = ["WorldlineSquareQmc", "Worldline2DMeasurement"]
+
+
+@dataclass
+class Worldline2DMeasurement:
+    """Time series from a 2-D world-line run."""
+
+    beta: float
+    dtau: float
+    energy: np.ndarray
+    magnetization: np.ndarray
+    m_stag_sq: np.ndarray  # squared staggered magnetization per site
+
+    @property
+    def n_measurements(self) -> int:
+        return len(self.energy)
+
+    def susceptibility(self, n_sites: int) -> float:
+        m = self.magnetization
+        return float(self.beta * (np.mean(m**2) - np.mean(m) ** 2) / n_sites)
+
+    def staggered_structure_factor(self, n_sites: int) -> float:
+        """``S(pi, pi) = N <m_st^2>`` -- the 2-D AFM order diagnostic."""
+        return float(n_sites * np.mean(self.m_stag_sq))
+
+
+class WorldlineSquareQmc:
+    """Four-color world-line sampler on the periodic square lattice."""
+
+    N_COLORS = 4
+
+    def __init__(
+        self,
+        model: XXZSquareModel,
+        beta: float,
+        n_slices: int,
+        seed: int | None = 0,
+        stream: RankStream | None = None,
+    ):
+        if not model.periodic:
+            raise ValueError("the 2-D world-line sampler uses periodic lattices")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        if n_slices < 2 * self.N_COLORS or n_slices % self.N_COLORS:
+            raise ValueError(
+                "n_slices must be a multiple of 4 and >= 8 (T = 4M, M >= 2: "
+                "segment moves span the window between two activations)"
+            )
+        self.model = model
+        self.beta = float(beta)
+        self.n_slices = int(n_slices)
+        self.n_trotter = n_slices // self.N_COLORS  # M
+        self.dtau = beta / self.n_trotter
+        self.n_sites = model.n_sites
+        self.lattice = model.lattice
+        self.table = PlaquetteTable.build(model.jz, model.jxy, self.dtau)
+        self.stream = stream if stream is not None else SeedSequenceFactory(
+            seed if seed is not None else 0
+        ).rank_stream(0)
+
+        self._build_bond_tables()
+        # Neel product state, straight world lines (legal for all couplings).
+        sub = np.array(
+            [self.lattice.sublattice(s) for s in range(self.n_sites)], dtype=np.int8
+        )
+        self.spins = np.repeat(sub[:, None], self.n_slices, axis=1)
+        self._stag_signs = np.where(sub == 0, 1.0, -1.0)
+        self.n_attempted = 0
+        self.n_accepted = 0
+
+    # ------------------------------------------------------------------
+    # geometry tables
+    # ------------------------------------------------------------------
+    def _build_bond_tables(self) -> None:
+        bonds = self.lattice.bonds()
+        self.bond_sites = np.array([(a, b) for a, b, _c in bonds], dtype=np.intp)
+        self.bond_colors = np.array([c for _a, _b, c in bonds], dtype=np.intp)
+        self.n_bonds = len(bonds)
+        # partner[site, color] = the site paired with `site` under that
+        # color's tiling; bond_of[site, color] = that bond's index.
+        self.partner = np.full((self.n_sites, self.N_COLORS), -1, dtype=np.intp)
+        self.bond_of = np.full((self.n_sites, self.N_COLORS), -1, dtype=np.intp)
+        for idx, (a, b, c) in enumerate(bonds):
+            for s, o in ((a, b), (b, a)):
+                if self.partner[s, c] != -1:
+                    raise AssertionError(
+                        f"site {s} appears in two color-{c} bonds; breakup broken"
+                    )
+                self.partner[s, c] = o
+                self.bond_of[s, c] = idx
+        if np.any(self.partner < 0):
+            raise AssertionError("color tiling incomplete; need even extents")
+        # Pairs connected by more than one bond color (extent-2 axes wrap
+        # both directions onto the same neighbor).  Their world-line
+        # exchange windows may start and end on *different* colors, so
+        # they get the scalar multi-color window moves in the sweep.
+        pair_colors: dict[tuple[int, int], list[int]] = {}
+        for a, b, c in bonds:
+            pair_colors.setdefault((min(a, b), max(a, b)), []).append(c)
+        self.doubled_pairs = {
+            pair: sorted(colors)
+            for pair, colors in pair_colors.items()
+            if len(colors) > 1
+        }
+
+    def _affected_for(self, bond: int) -> list[tuple[int, int]]:
+        """Deduped (plaquette_bond, interval_offset) pairs read by a
+        segment flip at ``bond``.
+
+        Offsets are relative to the lower activation interval ``t0``:
+        the bond's own plaquettes at 0 and +4, and the active plaquettes
+        of both sites at offsets +1, +2, +3.  The set is
+        configuration-independent, so it is precomputed per bond.
+        """
+        i, j = self.bond_sites[bond]
+        c = int(self.bond_colors[bond])
+        out: list[tuple[int, int]] = [(bond, 0), (bond, self.N_COLORS)]
+        for off in (1, 2, 3):
+            color = (c + off) % self.N_COLORS
+            for s in (i, j):
+                pair = (int(self.bond_of[s, color]), off)
+                if pair not in out:
+                    out.append(pair)
+        return out
+
+    # ------------------------------------------------------------------
+    # plaquette codes
+    # ------------------------------------------------------------------
+    def _codes(self, bond: np.ndarray | int, t: np.ndarray) -> np.ndarray:
+        """Corner codes of plaquettes at (bond, interval t) -- vectorized in t."""
+        a = self.bond_sites[bond, 0]
+        b = self.bond_sites[bond, 1]
+        t1 = (t + 1) % self.n_slices
+        s = self.spins
+        return (
+            s[a, t].astype(np.intp)
+            + 2 * s[b, t].astype(np.intp)
+            + 4 * s[a, t1].astype(np.intp)
+            + 8 * s[b, t1].astype(np.intp)
+        )
+
+    def shaded_codes(self) -> np.ndarray:
+        """Codes of all shaded plaquettes (concatenated per color)."""
+        chunks = []
+        for c in range(self.N_COLORS):
+            ts = np.arange(c, self.n_slices, self.N_COLORS, dtype=np.intp)
+            for bond in np.nonzero(self.bond_colors == c)[0]:
+                chunks.append(self._codes(int(bond), ts))
+        return np.concatenate(chunks)
+
+    def config_log_weight(self) -> float:
+        w = self.table.weights[self.shaded_codes()]
+        if np.any(w <= 0):
+            return float("-inf")
+        return float(np.sum(np.log(w)))
+
+    def check_invariants(self) -> None:
+        if np.any(self.table.weights[self.shaded_codes()] <= 0):
+            raise AssertionError("illegal shaded plaquette")
+        mags = self.spins.sum(axis=0)
+        if np.any(mags != mags[0]):
+            raise AssertionError("slice magnetization not conserved")
+
+    # ------------------------------------------------------------------
+    # estimators
+    # ------------------------------------------------------------------
+    def energy_estimate(self) -> float:
+        d = self.table.dlog[self.shaded_codes()]
+        return float(-np.sum(d) / self.n_trotter)
+
+    def magnetization(self) -> float:
+        return float(self.spins[:, 0].sum() - self.n_sites / 2.0)
+
+    def staggered_magnetization_sq(self) -> float:
+        m_st = (self._stag_signs[:, None] * (self.spins - 0.5)).sum(axis=0)
+        return float(np.mean((m_st / self.n_sites) ** 2))
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / self.n_attempted if self.n_attempted else 0.0
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def _segment_window(self, t0: np.ndarray) -> np.ndarray:
+        """Flipped slices of segment moves at activation intervals t0:
+        shape (len(t0), 4) of slice indices t0+1 .. t0+4 (periodic)."""
+        return (t0[:, None] + np.arange(1, self.N_COLORS + 1)[None, :]) % self.n_slices
+
+    def segment_flip_class(self, bond: int, t0: np.ndarray) -> None:
+        """Segment flips at one bond for a set of activation intervals.
+
+        The supplied ``t0`` values must be conflict-free: a move at t0
+        reads slices t0..t0+5, so within one call they must be >= 8
+        apart (``sweep`` passes the two mod-8 classes separately; for
+        odd Trotter numbers it falls back to one-at-a-time calls).
+        """
+        c = int(self.bond_colors[bond])
+        if np.any(t0 % self.N_COLORS != c):
+            raise ValueError(f"t0 must be activation intervals of bond {bond}")
+        affected = self._affected_for(bond)
+        w = self.table.weights
+
+        def weight_products() -> np.ndarray:
+            prod = np.ones(t0.size)
+            for ab, off in affected:
+                prod = prod * w[self._codes(ab, (t0 + off) % self.n_slices)]
+            return prod
+
+        old = weight_products()
+        i, j = self.bond_sites[bond]
+        window = self._segment_window(t0)  # (n, 4)
+        self.spins[i, window] ^= 1
+        self.spins[j, window] ^= 1
+        new = weight_products()
+        u = self.stream.uniform(size=t0.size)
+        reject = ~(new > 0.0) | (u * old >= new)
+        rw = window[reject]
+        self.spins[i, rw] ^= 1
+        self.spins[j, rw] ^= 1
+        self.n_attempted += t0.size
+        self.n_accepted += int(t0.size - reject.sum())
+
+    def attempt_window_flip(self, i: int, j: int, t1: int, t2: int) -> bool:
+        """Generalized exchange of sites i, j over slices t1+1 .. t2.
+
+        ``t1`` and ``t2`` must be activation intervals of bonds
+        *connecting* i and j (possibly of different colors -- the case
+        that only exists on extent-2 lattices with doubled bonds, where
+        it is required for ergodicity).  Scalar Metropolis step.
+        """
+        T = self.n_slices
+        c1, c2 = t1 % self.N_COLORS, t2 % self.N_COLORS
+        if self.partner[i, c1] != j or self.partner[i, c2] != j:
+            raise ValueError(
+                f"intervals {t1},{t2} do not activate bonds connecting {i},{j}"
+            )
+        length = (t2 - t1) % T
+        if length == 0:
+            raise ValueError("window must have positive length")
+        # Affected plaquettes: the bounding pair-bond plaquettes plus the
+        # active plaquettes of both sites strictly inside the window.
+        affected: list[tuple[int, int]] = [
+            (int(self.bond_of[i, c1]), t1),
+            (int(self.bond_of[i, c2]), t2),
+        ]
+        for step in range(1, length):
+            tau = (t1 + step) % T
+            color = tau % self.N_COLORS
+            for s in (i, j):
+                pair = (int(self.bond_of[s, color]), tau)
+                if pair not in affected:
+                    affected.append(pair)
+        w = self.table.weights
+
+        def prod() -> float:
+            p = 1.0
+            for ab, tau in affected:
+                p *= float(w[self._codes(ab, np.array([tau], dtype=np.intp))][0])
+            return p
+
+        old = prod()
+        window = (t1 + 1 + np.arange(length)) % T
+        self.spins[i, window] ^= 1
+        self.spins[j, window] ^= 1
+        new = prod()
+        self.n_attempted += 1
+        if new <= 0.0 or (new < old and self.stream.uniform() >= new / old):
+            self.spins[i, window] ^= 1
+            self.spins[j, window] ^= 1
+            return False
+        self.n_accepted += 1
+        return True
+
+    def attempt_column_flip(self, site: int) -> bool:
+        """Straight-line move at one site (scalar; legality pre-checked)."""
+        col = self.spins[site]
+        if col.min() != col.max():
+            return False
+        ts = np.arange(self.n_slices, dtype=np.intp)
+        bonds = self.bond_of[site, ts % self.N_COLORS]
+        old_codes = self._codes(bonds, ts)
+        self.spins[site] ^= 1
+        new_codes = self._codes(bonds, ts)
+        w_new = self.table.weights[new_codes]
+        self.n_attempted += 1
+        if np.any(w_new <= 0):
+            self.spins[site] ^= 1
+            return False
+        log_ratio = float(
+            np.sum(np.log(w_new)) - np.sum(np.log(self.table.weights[old_codes]))
+        )
+        if log_ratio < 0 and self.stream.uniform() >= np.exp(log_ratio):
+            self.spins[site] ^= 1
+            return False
+        self.n_accepted += 1
+        return True
+
+    def sweep(self) -> None:
+        """One full sweep: every (bond, activation) segment move once,
+        then straight-line attempts on every site.
+
+        Activation intervals are batched into the two conflict-free
+        mod-8 classes when the Trotter number is even; odd M degrades
+        to one-at-a-time proposals (still correct, just unbatched).
+        """
+        for bond in range(self.n_bonds):
+            c = int(self.bond_colors[bond])
+            t0_all = np.arange(c, self.n_slices, self.N_COLORS, dtype=np.intp)
+            if self.n_trotter % 2 == 0:
+                self.segment_flip_class(bond, t0_all[0::2])
+                self.segment_flip_class(bond, t0_all[1::2])
+            else:
+                for t in t0_all:
+                    self.segment_flip_class(bond, np.array([t], dtype=np.intp))
+        # Doubled pairs additionally need the mixed-color minimal windows
+        # (between consecutive activations of *any* connecting bond).
+        for (i, j), colors in self.doubled_pairs.items():
+            activations = sorted(
+                t
+                for c in colors
+                for t in range(c, self.n_slices, self.N_COLORS)
+            )
+            for k, t1 in enumerate(activations):
+                t2 = activations[(k + 1) % len(activations)]
+                if t1 % self.N_COLORS == t2 % self.N_COLORS:
+                    continue  # same color: already covered by segment flips
+                self.attempt_window_flip(i, j, t1, t2)
+        for site in range(self.n_sites):
+            self.attempt_column_flip(site)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_sweeps: int,
+        n_thermalize: int = 0,
+        measure_every: int = 1,
+    ) -> Worldline2DMeasurement:
+        """Thermalize, sweep, measure."""
+        if n_sweeps < 1:
+            raise ValueError("need at least one measured sweep")
+        for _ in range(n_thermalize):
+            self.sweep()
+        energy, mags, mstag = [], [], []
+        for s in range(n_sweeps):
+            self.sweep()
+            if s % measure_every == 0:
+                energy.append(self.energy_estimate())
+                mags.append(self.magnetization())
+                mstag.append(self.staggered_magnetization_sq())
+        return Worldline2DMeasurement(
+            beta=self.beta,
+            dtau=self.dtau,
+            energy=np.array(energy),
+            magnetization=np.array(mags),
+            m_stag_sq=np.array(mstag),
+        )

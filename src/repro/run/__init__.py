@@ -1,0 +1,25 @@
+"""High-level orchestration: configs, the Simulation facade, result I/O."""
+
+from repro.run.checkpoint import load_checkpoint, save_checkpoint
+from repro.run.config import (
+    ParallelLayout,
+    TfimRunConfig,
+    XXZ2DRunConfig,
+    XXZRunConfig,
+)
+from repro.run.results import ObservableEstimate, RunResult, load_result, save_result
+from repro.run.simulation import Simulation
+
+__all__ = [
+    "ParallelLayout",
+    "TfimRunConfig",
+    "XXZRunConfig",
+    "XXZ2DRunConfig",
+    "Simulation",
+    "ObservableEstimate",
+    "RunResult",
+    "save_result",
+    "load_result",
+    "save_checkpoint",
+    "load_checkpoint",
+]

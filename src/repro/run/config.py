@@ -1,0 +1,126 @@
+"""Validated run configurations for the high-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ParallelLayout", "XXZRunConfig", "XXZ2DRunConfig", "TfimRunConfig"]
+
+
+@dataclass(frozen=True)
+class ParallelLayout:
+    """How a run maps onto the virtual machine.
+
+    strategy:
+        ``serial`` | ``strip`` | ``block`` | ``replica``.
+    n_ranks:
+        Logical processors.
+    machine:
+        Machine-model name from :data:`repro.vmp.MACHINES`.
+    """
+
+    strategy: str = "serial"
+    n_ranks: int = 1
+    machine: str = "Ideal"
+
+    def __post_init__(self):
+        if self.strategy not in ("serial", "strip", "block", "replica"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.strategy == "serial" and self.n_ranks != 1:
+            raise ValueError("serial runs use exactly one rank")
+
+
+@dataclass(frozen=True)
+class XXZRunConfig:
+    """World-line run of the spin-1/2 XXZ chain."""
+
+    n_sites: int
+    beta: float
+    jz: float = 1.0
+    jxy: float = 1.0
+    n_slices: int = 16
+    periodic: bool = True
+    n_sweeps: int = 2000
+    n_thermalize: int = 200
+    measure_every: int = 1
+    seed: int = 0
+    layout: ParallelLayout = field(default_factory=ParallelLayout)
+
+    def __post_init__(self):
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.n_slices % 2 or self.n_slices < 4:
+            raise ValueError("n_slices must be even and >= 4")
+        if self.n_sweeps < 1:
+            raise ValueError("need at least one sweep")
+        if self.layout.strategy == "block":
+            raise ValueError("the chain world-line driver has no block layout")
+        if self.layout.strategy == "strip":
+            if self.n_sites % 4 or self.n_slices % 4:
+                raise ValueError("strip layout needs L % 4 == 0 and n_slices % 4 == 0")
+            if not self.periodic:
+                raise ValueError("strip layout requires a periodic chain")
+
+
+@dataclass(frozen=True)
+class XXZ2DRunConfig:
+    """World-line run of the spin-1/2 XXZ model on the square lattice.
+
+    Serial and replica layouts only: the 2-D sampler's segment moves
+    have not been domain-decomposed (DESIGN.md lists this as future
+    work; the 1-D strip driver demonstrates the technique).
+    """
+
+    lx: int
+    ly: int
+    beta: float
+    jz: float = 1.0
+    jxy: float = 1.0
+    n_slices: int = 16
+    n_sweeps: int = 1000
+    n_thermalize: int = 100
+    measure_every: int = 1
+    seed: int = 0
+    layout: ParallelLayout = field(default_factory=ParallelLayout)
+
+    def __post_init__(self):
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.n_slices % 4 or self.n_slices < 8:
+            raise ValueError("n_slices must be a multiple of 4 and >= 8")
+        if self.n_sweeps < 1:
+            raise ValueError("need at least one sweep")
+        if self.layout.strategy not in ("serial", "replica"):
+            raise ValueError(
+                "the 2-D world-line sampler supports serial and replica layouts"
+            )
+
+
+@dataclass(frozen=True)
+class TfimRunConfig:
+    """Transverse-field Ising run via the classical mapping."""
+
+    spatial_shape: tuple[int, ...]
+    beta: float
+    j: float = 1.0
+    gamma: float = 1.0
+    n_slices: int = 16
+    n_sweeps: int = 2000
+    n_thermalize: int = 200
+    measure_every: int = 1
+    seed: int = 0
+    layout: ParallelLayout = field(default_factory=ParallelLayout)
+
+    def __post_init__(self):
+        if len(self.spatial_shape) not in (1, 2):
+            raise ValueError("TFIM runs support chains and square lattices")
+        if any(s % 2 or s < 2 for s in self.spatial_shape):
+            raise ValueError("spatial extents must be even and >= 2")
+        if self.beta <= 0 or self.gamma <= 0:
+            raise ValueError("need beta > 0 and gamma > 0")
+        if self.n_slices % 2 or self.n_slices < 2:
+            raise ValueError("n_slices must be even and >= 2")
+        if self.layout.strategy == "strip":
+            raise ValueError("TFIM uses 'block' (or serial/replica) layouts")

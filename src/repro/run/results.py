@@ -1,0 +1,111 @@
+"""Result records with JSON round-trip.
+
+A :class:`RunResult` is what every high-level entry point returns:
+point estimates with errors for the standard observables, the raw
+series (optional, NPZ side file), and enough metadata to reproduce the
+run.  Serialization is plain JSON + NPZ so results are readable without
+this package.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ObservableEstimate", "RunResult", "save_result", "load_result"]
+
+
+@dataclass(frozen=True)
+class ObservableEstimate:
+    """A point estimate with error bar and autocorrelation time."""
+
+    name: str
+    value: float
+    error: float
+    tau_int: float = 0.5
+
+    def agrees_with(self, reference: float, n_sigma: float = 3.0,
+                    atol: float = 0.0) -> bool:
+        """Whether ``reference`` lies within ``n_sigma`` error bars.
+
+        ``atol`` adds an absolute systematic allowance (e.g. a Trotter
+        bias bound) to the acceptance window.
+        """
+        return abs(self.value - reference) <= n_sigma * self.error + atol
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.value:.6g} +- {self.error:.2g}"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    kind: str  # "xxz" | "tfim" | ...
+    parameters: dict
+    estimates: dict[str, ObservableEstimate] = field(default_factory=dict)
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    model_time: float = 0.0  # virtual-machine makespan [s]
+    comm_fraction: float = 0.0
+
+    def estimate(self, name: str) -> ObservableEstimate:
+        try:
+            return self.estimates[name]
+        except KeyError:
+            raise KeyError(
+                f"no estimate {name!r}; have {sorted(self.estimates)}"
+            ) from None
+
+    def add_series(self, name: str, series: np.ndarray) -> None:
+        self.series[name] = np.asarray(series)
+
+    def summary(self) -> str:
+        lines = [f"RunResult[{self.kind}]"]
+        for est in self.estimates.values():
+            lines.append(f"  {est}")
+        if self.model_time:
+            lines.append(
+                f"  model_time = {self.model_time:.4g} s"
+                f" (comm fraction {self.comm_fraction:.1%})"
+            )
+        return "\n".join(lines)
+
+
+def save_result(result: RunResult, path: str | Path) -> None:
+    """Write ``<path>.json`` (metadata + estimates) and ``<path>.npz`` (series)."""
+    path = Path(path)
+    doc = {
+        "kind": result.kind,
+        "parameters": result.parameters,
+        "model_time": result.model_time,
+        "comm_fraction": result.comm_fraction,
+        "estimates": {k: asdict(v) for k, v in result.estimates.items()},
+        "series_keys": sorted(result.series),
+    }
+    path.with_suffix(".json").write_text(json.dumps(doc, indent=2, sort_keys=True))
+    if result.series:
+        np.savez_compressed(path.with_suffix(".npz"), **result.series)
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Inverse of :func:`save_result`."""
+    path = Path(path)
+    doc = json.loads(path.with_suffix(".json").read_text())
+    series = {}
+    npz_path = path.with_suffix(".npz")
+    if npz_path.exists():
+        with np.load(npz_path) as data:
+            series = {k: data[k] for k in data.files}
+    return RunResult(
+        kind=doc["kind"],
+        parameters=doc["parameters"],
+        estimates={
+            k: ObservableEstimate(**v) for k, v in doc["estimates"].items()
+        },
+        series=series,
+        model_time=doc.get("model_time", 0.0),
+        comm_fraction=doc.get("comm_fraction", 0.0),
+    )

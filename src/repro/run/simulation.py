@@ -1,0 +1,310 @@
+"""The high-level Simulation facade.
+
+One entry point per model ties together samplers, parallel drivers,
+virtual machine and error analysis::
+
+    from repro import Simulation, XXZRunConfig, ParallelLayout
+
+    cfg = XXZRunConfig(n_sites=16, beta=1.0, n_slices=16,
+                       layout=ParallelLayout("strip", 4, "Paragon"))
+    result = Simulation(cfg).run()
+    print(result.summary())
+
+Every estimate carries a binning-analysis error bar and integrated
+autocorrelation time; parallel runs also report the virtual machine's
+modeled makespan and communication fraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
+from repro.qmc.parallel import (
+    IsingBlockConfig,
+    WorldlineStripConfig,
+    ising_block_program,
+    worldline_strip_program,
+)
+from repro.qmc.tfim import (
+    TfimQmc,
+    tfim_energy_from_bond_sums,
+    tfim_sigma_x_from_time_bonds,
+)
+from repro.qmc.worldline import WorldlineChainQmc
+from repro.qmc.worldline2d import WorldlineSquareQmc
+from repro.run.config import TfimRunConfig, XXZ2DRunConfig, XXZRunConfig
+from repro.run.results import ObservableEstimate, RunResult
+from repro.stats.autocorr import integrated_autocorr_time
+from repro.stats.binning import BinningAnalysis
+from repro.vmp.machines import MACHINES
+from repro.vmp.scheduler import run_spmd
+
+__all__ = ["Simulation"]
+
+
+def _estimate(name: str, series: np.ndarray) -> ObservableEstimate:
+    """Binning-analysis point estimate of a time series."""
+    series = np.asarray(series, dtype=float)
+    if series.size >= 16:
+        ba = BinningAnalysis.from_series(series)
+        tau = integrated_autocorr_time(series) if series.size >= 32 else ba.tau_int
+        return ObservableEstimate(name, ba.mean, ba.error, tau)
+    err = float(series.std(ddof=1) / np.sqrt(series.size)) if series.size > 1 else 0.0
+    return ObservableEstimate(name, float(series.mean()), err)
+
+
+class Simulation:
+    """Configured simulation ready to run; see the module docstring."""
+
+    def __init__(self, config: XXZRunConfig | XXZ2DRunConfig | TfimRunConfig):
+        self.config = config
+        if isinstance(config, XXZRunConfig):
+            self.kind = "xxz"
+        elif isinstance(config, XXZ2DRunConfig):
+            self.kind = "xxz2d"
+        elif isinstance(config, TfimRunConfig):
+            self.kind = "tfim"
+        else:
+            raise TypeError(f"unsupported config type {type(config).__name__}")
+
+    def run(self) -> RunResult:
+        if self.kind == "xxz":
+            return self._run_xxz()
+        if self.kind == "xxz2d":
+            return self._run_xxz2d()
+        return self._run_tfim()
+
+    # ------------------------------------------------------------------
+    def _run_xxz2d(self) -> RunResult:
+        cfg: XXZ2DRunConfig = self.config
+        layout = cfg.layout
+        n_sites = cfg.lx * cfg.ly
+        params = {
+            "lx": cfg.lx,
+            "ly": cfg.ly,
+            "beta": cfg.beta,
+            "jz": cfg.jz,
+            "jxy": cfg.jxy,
+            "n_slices": cfg.n_slices,
+            "strategy": layout.strategy,
+            "n_ranks": layout.n_ranks,
+        }
+        result = RunResult(kind="xxz2d", parameters=params)
+        model = XXZSquareModel(lx=cfg.lx, ly=cfg.ly, jz=cfg.jz, jxy=cfg.jxy)
+        n_chains = layout.n_ranks if layout.strategy == "replica" else 1
+        energy_all, mag_all, mstag_all = [], [], []
+        for chain_idx in range(n_chains):
+            sampler = WorldlineSquareQmc(
+                model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx
+            )
+            meas = sampler.run(cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every)
+            energy_all.append(meas.energy)
+            mag_all.append(meas.magnetization)
+            mstag_all.append(meas.m_stag_sq)
+        energy = np.concatenate(energy_all)
+        mag = np.concatenate(mag_all)
+        mstag = np.concatenate(mstag_all)
+
+        result.estimates["energy"] = _estimate("energy", energy)
+        result.estimates["energy_per_site"] = _estimate(
+            "energy_per_site", energy / n_sites
+        )
+        chi = cfg.beta * (np.mean(mag**2) - np.mean(mag) ** 2) / n_sites
+        result.estimates["susceptibility"] = ObservableEstimate(
+            "susceptibility", float(chi),
+            _susceptibility_error(mag, cfg.beta, n_sites),
+        )
+        result.estimates["staggered_structure_factor"] = _estimate(
+            "staggered_structure_factor", n_sites * mstag
+        )
+        result.add_series("energy", energy)
+        result.add_series("magnetization", mag)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_xxz(self) -> RunResult:
+        cfg: XXZRunConfig = self.config
+        layout = cfg.layout
+        params = {
+            "n_sites": cfg.n_sites,
+            "beta": cfg.beta,
+            "jz": cfg.jz,
+            "jxy": cfg.jxy,
+            "n_slices": cfg.n_slices,
+            "periodic": cfg.periodic,
+            "strategy": layout.strategy,
+            "n_ranks": layout.n_ranks,
+            "machine": layout.machine,
+        }
+        result = RunResult(kind="xxz", parameters=params)
+
+        if layout.strategy in ("serial", "replica"):
+            n_chains = layout.n_ranks if layout.strategy == "replica" else 1
+            model = XXZChainModel(
+                n_sites=cfg.n_sites, jz=cfg.jz, jxy=cfg.jxy, periodic=cfg.periodic
+            )
+            all_energy, all_mag = [], []
+            for chain_idx in range(n_chains):
+                sampler = WorldlineChainQmc(
+                    model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx
+                )
+                meas = sampler.run(
+                    cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every
+                )
+                all_energy.append(meas.energy)
+                all_mag.append(meas.magnetization)
+            energy = np.concatenate(all_energy)
+            mag = np.concatenate(all_mag)
+        else:  # strip
+            wl_cfg = WorldlineStripConfig(
+                n_sites=cfg.n_sites,
+                jz=cfg.jz,
+                jxy=cfg.jxy,
+                beta=cfg.beta,
+                n_slices=cfg.n_slices,
+                n_sweeps=cfg.n_sweeps,
+                n_thermalize=cfg.n_thermalize,
+                measure_every=cfg.measure_every,
+            )
+            spmd = run_spmd(
+                worldline_strip_program,
+                layout.n_ranks,
+                machine=MACHINES[layout.machine],
+                seed=cfg.seed,
+                args=(wl_cfg,),
+            )
+            energy = spmd.values[0]["energy"]
+            mag = spmd.values[0]["magnetization"]
+            result.model_time = spmd.elapsed_model_time
+            result.comm_fraction = spmd.comm_fraction()
+
+        result.estimates["energy"] = _estimate("energy", energy)
+        result.estimates["energy_per_site"] = _estimate(
+            "energy_per_site", energy / cfg.n_sites
+        )
+        chi = cfg.beta * (np.mean(mag**2) - np.mean(mag) ** 2) / cfg.n_sites
+        chi_err = _susceptibility_error(mag, cfg.beta, cfg.n_sites)
+        result.estimates["susceptibility"] = ObservableEstimate(
+            "susceptibility", float(chi), chi_err
+        )
+        result.add_series("energy", energy)
+        result.add_series("magnetization", mag)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_tfim(self) -> RunResult:
+        cfg: TfimRunConfig = self.config
+        layout = cfg.layout
+        n_sites = int(np.prod(cfg.spatial_shape))
+        params = {
+            "spatial_shape": list(cfg.spatial_shape),
+            "beta": cfg.beta,
+            "j": cfg.j,
+            "gamma": cfg.gamma,
+            "n_slices": cfg.n_slices,
+            "strategy": layout.strategy,
+            "n_ranks": layout.n_ranks,
+            "machine": layout.machine,
+        }
+        result = RunResult(kind="tfim", parameters=params)
+
+        if layout.strategy in ("serial", "replica"):
+            n_chains = layout.n_ranks if layout.strategy == "replica" else 1
+            e_all, sx_all, m_all = [], [], []
+            for chain_idx in range(n_chains):
+                sampler = TfimQmc(
+                    cfg.spatial_shape,
+                    j=cfg.j,
+                    gamma=cfg.gamma,
+                    beta=cfg.beta,
+                    n_slices=cfg.n_slices,
+                    seed=cfg.seed + chain_idx,
+                )
+                meas = sampler.run(cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every)
+                e_all.append(meas.energy)
+                sx_all.append(meas.sigma_x)
+                m_all.append(meas.abs_magnetization)
+            energy = np.concatenate(e_all)
+            sigma_x = np.concatenate(sx_all)
+            abs_mag = np.concatenate(m_all)
+        else:  # block layout over the virtual machine
+            dtau = cfg.beta / cfg.n_slices
+            import math
+
+            k_space = dtau * cfg.j
+            k_tau = -0.5 * math.log(math.tanh(dtau * cfg.gamma))
+            if len(cfg.spatial_shape) == 1:
+                lx, ly, ky = cfg.spatial_shape[0], 1, 0.0
+            else:
+                lx, ly = cfg.spatial_shape
+                ky = k_space
+            block_cfg = IsingBlockConfig(
+                lx=lx,
+                ly=ly,
+                lt=cfg.n_slices,
+                kx=k_space,
+                ky=ky,
+                kt=k_tau,
+                n_sweeps=cfg.n_sweeps,
+                n_thermalize=cfg.n_thermalize,
+                measure_every=cfg.measure_every,
+                sweep_seed=cfg.seed,
+            )
+            spmd = run_spmd(
+                ising_block_program,
+                layout.n_ranks,
+                machine=MACHINES[layout.machine],
+                seed=cfg.seed,
+                args=(block_cfg,),
+            )
+            out = spmd.values[0]
+            bonds = out["bond_sums"]  # (n_meas, 3): x, y, t
+            space_sum = bonds[:, 0] + (bonds[:, 1] if ky != 0.0 else 0.0)
+            time_sum = bonds[:, 2]
+            n_time_bonds = n_sites * cfg.n_slices
+            energy = np.array(
+                [
+                    tfim_energy_from_bond_sums(
+                        float(s), float(t), n_sites, cfg.n_slices, cfg.j,
+                        cfg.gamma, dtau
+                    )
+                    for s, t in zip(space_sum, time_sum)
+                ]
+            )
+            sigma_x = np.array(
+                [
+                    tfim_sigma_x_from_time_bonds(
+                        float(t), n_time_bonds, cfg.gamma, dtau
+                    )
+                    for t in time_sum
+                ]
+            )
+            abs_mag = np.abs(out["magnetization"])
+            result.model_time = spmd.elapsed_model_time
+            result.comm_fraction = spmd.comm_fraction()
+
+        result.estimates["energy"] = _estimate("energy", energy)
+        result.estimates["energy_per_site"] = _estimate(
+            "energy_per_site", energy / n_sites
+        )
+        result.estimates["sigma_x"] = _estimate("sigma_x", sigma_x)
+        result.estimates["abs_magnetization"] = _estimate("abs_magnetization", abs_mag)
+        result.add_series("energy", energy)
+        result.add_series("sigma_x", sigma_x)
+        result.add_series("abs_magnetization", abs_mag)
+        return result
+
+
+def _susceptibility_error(mag: np.ndarray, beta: float, n_sites: int) -> float:
+    """Jackknife error of the fluctuation susceptibility."""
+    from repro.stats.jackknife import jackknife
+
+    if mag.size < 40:
+        return 0.0
+    _, err = jackknife(
+        lambda m: beta * (np.mean(m**2) - np.mean(m) ** 2) / n_sites,
+        mag,
+        n_blocks=20,
+    )
+    return err

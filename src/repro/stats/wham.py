@@ -1,0 +1,158 @@
+"""Multiple-histogram reweighting (Ferrenberg--Swendsen / WHAM).
+
+Combines energy histograms measured at several inverse temperatures
+``beta_i`` into one density-of-states estimate
+
+    g(E) = sum_i h_i(E) / sum_i M_i Z_i^{-1} exp(-beta_i E)
+
+with the partition functions determined self-consistently from
+
+    Z_i = sum_E g(E) exp(-beta_i E).
+
+Everything runs in log-space (see :mod:`repro.util.logspace`): the
+density of states of even a 16x16 Ising model spans ~70 orders of
+magnitude, so linear-space iteration overflows immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.histogram import EnergyHistogram
+from repro.util.logspace import NEG_INF, logsumexp
+
+__all__ = ["WhamResult", "multi_histogram_reweight"]
+
+
+@dataclass
+class WhamResult:
+    """Converged multi-histogram estimate.
+
+    Attributes
+    ----------
+    energies:
+        Bin centers (only bins with at least one count across all
+        threads are retained).
+    log_g:
+        Log density of states on those bins, normalized so that
+        ``log_g[0] == 0`` (an overall constant is unobservable).
+    log_z:
+        Log partition functions of the input threads, same gauge.
+    betas:
+        The input inverse temperatures.
+    iterations:
+        Number of self-consistency iterations performed.
+    converged:
+        Whether the fixed point was reached within tolerance.
+    """
+
+    energies: np.ndarray
+    log_g: np.ndarray
+    log_z: np.ndarray
+    betas: np.ndarray
+    iterations: int
+    converged: bool
+
+    def log_partition(self, beta: float) -> float:
+        """Interpolated ``log Z(beta)`` from the combined density of states."""
+        return float(logsumexp(self.log_g - beta * self.energies))
+
+    def canonical_distribution(self, beta: float) -> np.ndarray:
+        """Normalized canonical probability over the retained bins."""
+        lw = self.log_g - beta * self.energies
+        return np.exp(lw - logsumexp(lw))
+
+    def mean_energy(self, beta: float) -> float:
+        """``<E>`` at an arbitrary (interpolated) inverse temperature."""
+        p = self.canonical_distribution(beta)
+        return float(np.dot(p, self.energies))
+
+    def specific_heat(self, beta: float) -> float:
+        """``C = beta^2 (<E^2> - <E>^2)`` at inverse temperature ``beta``."""
+        p = self.canonical_distribution(beta)
+        m1 = float(np.dot(p, self.energies))
+        m2 = float(np.dot(p, self.energies**2))
+        return beta**2 * (m2 - m1 * m1)
+
+    def entropy(self) -> np.ndarray:
+        """Microcanonical entropy ``S(E) = log g(E)`` (gauge: S[0]=0)."""
+        return self.log_g.copy()
+
+
+def multi_histogram_reweight(
+    histograms: Sequence[EnergyHistogram],
+    betas: Sequence[float],
+    max_iter: int = 2000,
+    tol: float = 1e-10,
+) -> WhamResult:
+    """Iterate the WHAM equations to convergence in log-space.
+
+    Parameters
+    ----------
+    histograms:
+        Energy histograms on one *shared* grid, one per temperature
+        thread.
+    betas:
+        Inverse temperature of each thread (same order).
+    max_iter, tol:
+        Stop when the max absolute change of any ``log Z_i`` between
+        iterations falls below ``tol`` (or after ``max_iter``).
+    """
+    if len(histograms) != len(betas):
+        raise ValueError("need one beta per histogram")
+    if len(histograms) == 0:
+        raise ValueError("need at least one histogram")
+    grid = (histograms[0].e_min, histograms[0].e_max, histograms[0].n_bins)
+    for h in histograms[1:]:
+        if (h.e_min, h.e_max, h.n_bins) != grid:
+            raise ValueError("all histograms must share one bin grid")
+
+    betas_arr = np.asarray(betas, dtype=float)
+    counts = np.stack([h.counts for h in histograms])  # (I, K)
+    m_i = np.array([h.n_samples for h in histograms], dtype=float)
+    if np.any(m_i == 0):
+        raise ValueError("every thread must contain at least one sample")
+
+    support = np.nonzero(counts.sum(axis=0))[0]
+    if support.size == 0:
+        raise ValueError("all histograms are empty")
+    energies = histograms[0].bin_centers[support]
+    counts = counts[:, support].astype(float)
+
+    with np.errstate(divide="ignore"):
+        log_total_counts = np.log(counts.sum(axis=0))  # (K,) finite on support
+        log_m = np.log(m_i)
+
+    # beta_i * E_k matrix, fixed throughout the iteration.
+    be = betas_arr[:, None] * energies[None, :]  # (I, K)
+
+    log_z = np.zeros(len(histograms))
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        # Denominator: log sum_i exp(log M_i - log Z_i - beta_i E_k).
+        log_denom = logsumexp(log_m[:, None] - log_z[:, None] - be, axis=0)  # (K,)
+        log_g = log_total_counts - log_denom
+        log_g = log_g - log_g[0]  # gauge fixing
+        new_log_z = logsumexp(log_g[None, :] - be, axis=1)  # (I,)
+        delta = float(np.max(np.abs(new_log_z - log_z)))
+        log_z = new_log_z
+        if delta < tol:
+            converged = True
+            break
+
+    log_denom = logsumexp(log_m[:, None] - log_z[:, None] - be, axis=0)
+    log_g = log_total_counts - log_denom
+    log_g = log_g - log_g[0]
+
+    return WhamResult(
+        energies=energies,
+        log_g=log_g,
+        log_z=np.asarray(log_z),
+        betas=betas_arr,
+        iterations=iteration,
+        converged=converged,
+    )

@@ -1,0 +1,46 @@
+"""Low-level utilities shared by every other subpackage.
+
+This subpackage is dependency-free (NumPy only) and provides:
+
+* :mod:`repro.util.logspace` -- overflow-safe arithmetic on quantities
+  stored as logarithms (densities of states, partition functions).
+* :mod:`repro.util.rng` -- reproducible, collision-free random-number
+  streams for SPMD rank programs and replica threads.
+* :mod:`repro.util.timer` -- hierarchical timers that can account either
+  real wall-clock time or *modeled* time charged by the virtual machine.
+* :mod:`repro.util.tables` -- plain-text table / data-series rendering
+  used by the benchmark harness to print paper-style tables and figures.
+"""
+
+from repro.util.logspace import (
+    log_add,
+    log_diff,
+    log_mean,
+    log_sub,
+    log_sum,
+    logsumexp,
+    normalize_log_weights,
+)
+from repro.util.rng import RankStream, SeedSequenceFactory, spawn_streams
+from repro.util.tables import Series, Table, format_float, render_series
+from repro.util.timer import ModelClock, Timer, TimerRegistry
+
+__all__ = [
+    "log_add",
+    "log_diff",
+    "log_mean",
+    "log_sub",
+    "log_sum",
+    "logsumexp",
+    "normalize_log_weights",
+    "RankStream",
+    "SeedSequenceFactory",
+    "spawn_streams",
+    "Series",
+    "Table",
+    "format_float",
+    "render_series",
+    "ModelClock",
+    "Timer",
+    "TimerRegistry",
+]

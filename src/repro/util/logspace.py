@@ -1,0 +1,138 @@
+"""Overflow-safe arithmetic on log-represented quantities.
+
+Densities of states and partition functions in Monte Carlo work span
+hundreds to thousands of orders of magnitude, far beyond the range of
+IEEE doubles.  Every routine here therefore manipulates *logarithms* of
+the positive quantities of interest and never exponentiates a large
+argument.
+
+The core identity, for ``a >= b > 0`` stored as ``la = log a`` and
+``lb = log b``::
+
+    log(a + b) = la + log1p(exp(lb - la))
+
+``exp(lb - la) <= 1`` always, so the computation cannot overflow; when
+``lb - la`` underflows the result degrades gracefully to ``la``, which
+is the correct answer to machine precision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "NEG_INF",
+    "log_add",
+    "log_sub",
+    "log_diff",
+    "log_sum",
+    "log_mean",
+    "logsumexp",
+    "normalize_log_weights",
+]
+
+#: Logarithm of zero.  ``log_add(NEG_INF, x) == x`` for every finite x.
+NEG_INF = float("-inf")
+
+
+def log_add(la: float, lb: float) -> float:
+    """Return ``log(exp(la) + exp(lb))`` without overflow.
+
+    Either argument may be ``-inf`` (the log of zero), in which case the
+    other argument is returned unchanged.
+    """
+    if la == NEG_INF:
+        return lb
+    if lb == NEG_INF:
+        return la
+    if la < lb:
+        la, lb = lb, la
+    return la + math.log1p(math.exp(lb - la))
+
+
+def log_sub(la: float, lb: float) -> float:
+    """Return ``log(exp(la) - exp(lb))`` for ``la >= lb``.
+
+    Raises :class:`ValueError` when ``la < lb`` (the difference would be
+    negative, which has no logarithm).  ``la == lb`` returns ``-inf``.
+    """
+    if lb == NEG_INF:
+        return la
+    if la < lb:
+        raise ValueError(f"log_sub requires la >= lb, got la={la!r} lb={lb!r}")
+    if la == lb:
+        return NEG_INF
+    # expm1(x) = exp(x) - 1, accurate for small x.
+    return la + math.log(-math.expm1(lb - la))
+
+
+def log_diff(la: float, lb: float) -> float:
+    """Return ``log(|exp(la) - exp(lb)|)`` regardless of ordering."""
+    if la >= lb:
+        return log_sub(la, lb)
+    return log_sub(lb, la)
+
+
+def log_sum(values: Iterable[float]) -> float:
+    """Running :func:`log_add` over an iterable of log-values.
+
+    Numerically equivalent to :func:`logsumexp` but streaming: it never
+    materializes the sequence, so it suits accumulation during a Monte
+    Carlo run.  Returns ``-inf`` for an empty iterable (log of an empty
+    sum).
+    """
+    acc = NEG_INF
+    for v in values:
+        acc = log_add(acc, v)
+    return acc
+
+
+def logsumexp(log_values: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Vectorized ``log(sum(exp(x)))`` along ``axis``.
+
+    Unlike :func:`scipy.special.logsumexp` this copes with slices that
+    are entirely ``-inf`` (empty histogram bins) without emitting NaN
+    warnings: such slices produce ``-inf``.
+    """
+    x = np.asarray(log_values, dtype=float)
+    if x.size == 0:
+        return NEG_INF if axis is None else np.full(
+            np.delete(np.array(np.shape(x)), axis), NEG_INF
+        )
+    m = np.max(x, axis=axis, keepdims=True)
+    # Slices of all -inf: keep the max finite so exp() below is well-defined.
+    safe_m = np.where(np.isfinite(m), m, 0.0)
+    s = np.sum(np.exp(x - safe_m), axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):
+        out = safe_m + np.log(s)
+    out = np.where(np.isfinite(m), out, NEG_INF)
+    if axis is None:
+        return float(out.reshape(()))
+    return np.squeeze(out, axis=axis)
+
+
+def log_mean(log_values: np.ndarray) -> float:
+    """Return ``log(mean(exp(x)))`` for a 1-D array of log-values."""
+    x = np.asarray(log_values, dtype=float)
+    if x.size == 0:
+        raise ValueError("log_mean of an empty array is undefined")
+    return float(logsumexp(x)) - math.log(x.size)
+
+
+def normalize_log_weights(log_w: np.ndarray) -> np.ndarray:
+    """Exponentiate log-weights into probabilities that sum to one.
+
+    The common final step of reweighting: given ``log w_i`` spanning many
+    orders of magnitude, return ``w_i / sum_j w_j`` computed stably.
+    All ``-inf`` entries map to probability zero.
+    """
+    x = np.asarray(log_w, dtype=float)
+    total = logsumexp(x)
+    if total == NEG_INF:
+        raise ValueError("all weights are zero; cannot normalize")
+    with np.errstate(divide="ignore"):
+        p = np.exp(x - total)
+    return p

@@ -1,0 +1,95 @@
+"""Profiling helpers: "no optimization without measuring".
+
+Thin wrappers over :mod:`cProfile` shaped for this codebase's hot loops
+(sampler sweeps).  :func:`profile_callable` runs a callable under the
+profiler and returns a :class:`ProfileReport` whose ``top(n)`` rows are
+plain data -- so tests can assert on them and examples can print them --
+rather than a wall of pstats text.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["ProfileRow", "ProfileReport", "profile_callable"]
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One function's aggregate cost."""
+
+    name: str  # "file:lineno(function)"
+    calls: int
+    total_time: float  # excluding subcalls
+    cumulative_time: float
+
+
+@dataclass
+class ProfileReport:
+    """Structured result of one profiled run."""
+
+    rows: list[ProfileRow]
+    total_seconds: float
+    return_value: Any
+
+    def top(self, n: int = 10, by: str = "cumulative") -> list[ProfileRow]:
+        """The ``n`` most expensive rows, by 'cumulative' or 'total' time."""
+        key = {
+            "cumulative": lambda r: r.cumulative_time,
+            "total": lambda r: r.total_time,
+        }
+        try:
+            sort = key[by]
+        except KeyError:
+            raise ValueError("by must be 'cumulative' or 'total'") from None
+        return sorted(self.rows, key=sort, reverse=True)[:n]
+
+    def render(self, n: int = 10) -> str:
+        lines = [
+            f"profile: {self.total_seconds:.3f}s total",
+            f"{'calls':>9}  {'total[s]':>9}  {'cum[s]':>9}  function",
+        ]
+        for r in self.top(n):
+            lines.append(
+                f"{r.calls:>9d}  {r.total_time:>9.4f}  {r.cumulative_time:>9.4f}  {r.name}"
+            )
+        return "\n".join(lines)
+
+    def find(self, substring: str) -> list[ProfileRow]:
+        """Rows whose name contains ``substring`` (e.g. 'sweep')."""
+        return [r for r in self.rows if substring in r.name]
+
+
+def profile_callable(fn: Callable[[], Any]) -> ProfileReport:
+    """Run ``fn()`` under cProfile and return a structured report."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        value = fn()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    rows = []
+    total = 0.0
+    for (filename, lineno, funcname), (
+        _cc,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append(
+            ProfileRow(
+                name=f"{filename}:{lineno}({funcname})",
+                calls=int(ncalls),
+                total_time=float(tottime),
+                cumulative_time=float(cumtime),
+            )
+        )
+        total += float(tottime)
+    return ProfileReport(rows=rows, total_seconds=total, return_value=value)

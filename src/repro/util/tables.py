@@ -1,0 +1,134 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+The benchmark harness regenerates every table and figure of the
+(reconstructed) evaluation as text: tables as aligned columns, figures
+as labelled data series plus a crude unicode sparkline so the shape is
+visible directly in terminal output.  These renderers are intentionally
+dependency-free; downstream users can feed :class:`Table` /
+:class:`Series` rows into real plotting code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["format_float", "Table", "Series", "render_series"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_float(x: Any, digits: int = 4) -> str:
+    """Format a number compactly for table cells.
+
+    Integers render without a decimal point; floats use ``digits``
+    significant digits with scientific notation only when unavoidable;
+    non-numbers fall back to ``str``.
+    """
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if x != x:  # NaN
+        return "nan"
+    if x == 0:
+        return "0"
+    ax = abs(x)
+    if 1e-3 <= ax < 10 ** (digits + 2):
+        s = f"{x:.{digits}g}"
+    else:
+        s = f"{x:.{max(digits - 1, 0)}e}"
+    return s
+
+
+@dataclass
+class Table:
+    """An aligned text table with a title, e.g. one paper table.
+
+    >>> t = Table("Table 1: speedup", ["P", "S(P)", "eff"])
+    >>> t.add_row([2, 1.98, 0.99])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        try:
+            j = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {list(self.columns)}") from None
+        return [r[j] for r in self.rows]
+
+    def render(self, digits: int = 4) -> str:
+        cells = [[format_float(c, digits) for c in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [
+            max(len(headers[j]), *(len(r[j]) for r in cells)) if cells else len(headers[j])
+            for j in range(len(headers))
+        ]
+        sep = "  "
+        header_line = sep.join(h.rjust(w) for h, w in zip(headers, widths))
+        rule = "-" * len(header_line)
+        body = [sep.join(r[j].rjust(widths[j]) for j in range(len(headers))) for r in cells]
+        return "\n".join([self.title, rule, header_line, rule, *body, rule])
+
+
+@dataclass
+class Series:
+    """One labelled (x, y) data series of a figure."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def sparkline(self) -> str:
+        """Unicode mini-plot of y values (empty series -> empty string)."""
+        ys = [v for v in self.y if math.isfinite(v)]
+        if not ys:
+            return ""
+        lo, hi = min(ys), max(ys)
+        span = hi - lo
+        out = []
+        for v in self.y:
+            if not math.isfinite(v):
+                out.append("?")
+                continue
+            frac = 0.5 if span == 0 else (v - lo) / span
+            out.append(_BLOCKS[min(int(frac * len(_BLOCKS)), len(_BLOCKS) - 1)])
+        return "".join(out)
+
+
+def render_series(title: str, series: Sequence[Series], digits: int = 4,
+                  x_label: str = "x") -> str:
+    """Render a 'figure' as aligned per-series data plus sparklines.
+
+    All series sharing the same x grid are merged into one table; series
+    on different grids are printed separately.
+    """
+    lines = [title]
+    groups: dict[tuple, list[Series]] = {}
+    for s in series:
+        groups.setdefault(tuple(s.x), []).append(s)
+    for xs, group in groups.items():
+        tab = Table("", [x_label] + [s.label for s in group])
+        for i, x in enumerate(xs):
+            tab.add_row([x] + [s.y[i] for s in group])
+        lines.append(tab.render(digits))
+        for s in group:
+            lines.append(f"  {s.label:<24} {s.sparkline()}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Wall-clock and modeled-time accounting.
+
+Two clocks coexist in this codebase:
+
+* real wall-clock time (``time.perf_counter``) for host-side profiling
+  of the Python kernels, and
+* **modeled time** -- the virtual machine charges each rank for
+  computation (flop counts / machine flop rate) and communication
+  (latency--bandwidth model).  Modeled time is what the scaling
+  benchmarks report, because it is deterministic and represents the
+  1993-era target machine rather than this container.
+
+:class:`ModelClock` is a trivial accumulator; the richness lives in who
+charges it (see :mod:`repro.vmp.costmodel`).  :class:`Timer` /
+:class:`TimerRegistry` provide hierarchical wall-time sections for
+profiling per the optimization guide ("no optimization without
+measuring").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["ModelClock", "Timer", "TimerRegistry"]
+
+
+class ModelClock:
+    """Deterministic simulated-time accumulator for one rank.
+
+    Time is split into named categories (``compute``, ``halo``,
+    ``collective``, ...) so benchmarks can report communication
+    fractions.  ``advance_to`` supports synchronization: a barrier or a
+    blocking receive moves a rank's clock forward to the event time.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._by_category: dict[str, float] = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def charge(self, seconds: float, category: str = "compute") -> None:
+        """Advance the clock by ``seconds``, attributed to ``category``."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._now += seconds
+        self._by_category[category] = self._by_category.get(category, 0.0) + seconds
+
+    def advance_to(self, t: float, category: str = "wait") -> None:
+        """Move the clock to absolute time ``t`` if that is in the future.
+
+        The waited interval is attributed to ``category``.  Moving to a
+        past instant is a no-op (the rank was simply already late).
+        """
+        if t > self._now:
+            self._by_category[category] = self._by_category.get(category, 0.0) + (
+                t - self._now
+            )
+            self._now = t
+
+    def breakdown(self) -> dict[str, float]:
+        """Seconds spent per category (copy)."""
+        return dict(self._by_category)
+
+    def fraction(self, category: str) -> float:
+        """Share of total elapsed time spent in ``category``."""
+        if self._now == 0.0:
+            return 0.0
+        return self._by_category.get(category, 0.0) / self._now
+
+    def reset(self) -> None:
+        self._now = 0.0
+        self._by_category.clear()
+
+
+@dataclass
+class Timer:
+    """One named wall-clock section, usable as a context manager."""
+
+    name: str
+    elapsed: float = 0.0
+    calls: int = 0
+    _started: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError(f"timer {self.name!r} is already running")
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._started is not None
+        self.elapsed += time.perf_counter() - self._started
+        self.calls += 1
+        self._started = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call (0 when never called)."""
+        return self.elapsed / self.calls if self.calls else 0.0
+
+
+class TimerRegistry:
+    """A flat namespace of :class:`Timer` objects.
+
+    Usage::
+
+        timers = TimerRegistry()
+        with timers("sweep"):
+            ...
+        print(timers.report())
+    """
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    def __call__(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def __getitem__(self, name: str) -> Timer:
+        return self._timers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def report(self) -> str:
+        """Plain-text profile sorted by total elapsed time."""
+        rows = sorted(self._timers.values(), key=lambda t: -t.elapsed)
+        if not rows:
+            return "(no timers)"
+        width = max(len(t.name) for t in rows)
+        lines = [f"{'section':<{width}}  {'calls':>7}  {'total[s]':>10}  {'mean[s]':>10}"]
+        for t in rows:
+            lines.append(
+                f"{t.name:<{width}}  {t.calls:>7d}  {t.elapsed:>10.4f}  {t.mean:>10.6f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,414 @@
+"""MPI-like communicator with executed data movement and modeled time.
+
+Every rank of an SPMD program owns one :class:`Communicator`.  Point-to-
+point messages *really* transfer (deep copies of) payloads between rank
+address spaces through a shared in-process fabric, so the correctness
+of a parallel algorithm -- halo exchanges, reductions, tempering swaps
+-- is exercised, not assumed.  Time, by contrast, is *modeled*: each
+rank carries a :class:`~repro.util.timer.ModelClock` charged according
+to the machine's alpha--beta--hops cost model, which is what lets a
+2-core container report 1024-node scaling behaviour.
+
+Cost convention (documented once, used everywhere):
+
+* ``send`` charges the sender ``alpha + n*beta`` (category ``comm``);
+  the message is stamped with arrival time
+  ``t_send_start + alpha + hops*hop_time + n*beta``.
+* ``recv`` charges the receiver ``alpha`` (category ``comm``) and then
+  advances its clock to the arrival stamp if that lies in the future
+  (category ``comm_wait``).  Receives posted after arrival wait for
+  nothing, exactly like an eager-protocol MPI.
+
+Collectives are built from point-to-point messages with the standard
+algorithms (binomial trees, recursive doubling, ring), so their modeled
+cost has the correct ``log P`` / ``P`` structure by construction; see
+:mod:`repro.vmp.collectives`.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.util.rng import RankStream
+from repro.util.timer import ModelClock
+from repro.vmp.machines import MachineModel
+from repro.vmp.topology import Topology
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "AbortError",
+    "ReduceOp",
+    "Communicator",
+    "Fabric",
+    "Request",
+]
+
+#: Wildcard source for :meth:`Communicator.recv`.  Matching order then
+#: depends on thread interleaving; prefer explicit sources in
+#: deterministic code.
+ANY_SOURCE = -1
+#: Wildcard tag.
+ANY_TAG = -1
+
+
+class AbortError(RuntimeError):
+    """Raised in blocked ranks when a peer rank died with an exception."""
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators understood by reduce/allreduce."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Elementwise combination; supports scalars and ndarrays."""
+        if self is ReduceOp.SUM:
+            return a + b
+        if self is ReduceOp.PROD:
+            return a * b
+        if self is ReduceOp.MAX:
+            return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+        return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a payload for the cost model.
+
+    NumPy arrays count their raw buffer (the fast path of the era's
+    message layers); everything else is costed at its pickled size, as
+    mpi4py does for generic objects.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (tuple, list)) and all(
+        isinstance(x, (bool, int, float, complex, np.generic)) for x in obj
+    ):
+        return 8 * len(obj)
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Deep-copy a payload to emulate distributed address spaces."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
+        return obj
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float  # modeled arrival time at the destination
+
+
+class Request:
+    """Handle of a nonblocking operation (mpi4py ``isend``/``irecv`` style).
+
+    ``wait()`` blocks until completion and returns the received payload
+    (``None`` for sends); ``test()`` polls without blocking.  The cost
+    convention mirrors the eager blocking path: the initiating call
+    charges only software overhead; transfer/wait time is charged when
+    the receive completes.
+    """
+
+    def __init__(self, comm: "Communicator", kind: str, source: int = ANY_SOURCE,
+                 tag: int = ANY_TAG):
+        self._comm = comm
+        self._kind = kind  # "send" | "recv"
+        self._source = source
+        self._tag = tag
+        self._done = kind == "send"  # buffered sends complete immediately
+        self._payload: Any = None
+
+    def test(self) -> bool:
+        """Nonblocking completion check; a ready receive is consumed."""
+        if self._done:
+            return True
+        msg = self._comm.fabric.try_collect(self._comm.rank, self._source, self._tag)
+        if msg is None:
+            return False
+        self._finish(msg)
+        return True
+
+    def wait(self) -> Any:
+        """Block until complete; returns the payload (None for sends)."""
+        if not self._done:
+            msg = self._comm.fabric.collect(self._comm.rank, self._source, self._tag)
+            self._finish(msg)
+        return self._payload
+
+    def _finish(self, msg: _Message) -> None:
+        comm = self._comm
+        comm.clock.charge(comm.machine.latency, "comm")
+        comm.clock.advance_to(msg.arrival, "comm_wait")
+        comm.stats.messages_received += 1
+        comm.stats.bytes_received += msg.nbytes
+        self._payload = msg.payload
+        self._done = True
+
+
+@dataclass
+class CommStats:
+    """Per-rank message counters (reported by the comm-fraction bench)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+
+    def merge(self, other: "CommStats") -> None:
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.messages_received += other.messages_received
+        self.bytes_received += other.bytes_received
+
+
+class Fabric:
+    """Shared in-process message fabric connecting ``n`` ranks.
+
+    One instance per SPMD run; owns the mailboxes and the abort flag.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: MachineModel,
+        topology: Topology,
+        trace: bool = False,
+    ):
+        if topology.size != n_ranks:
+            raise ValueError(
+                f"topology size {topology.size} != number of ranks {n_ranks}"
+            )
+        self.n_ranks = n_ranks
+        self.machine = machine
+        self.topology = topology
+        self._lock = threading.Lock()
+        self._conditions = [threading.Condition(self._lock) for _ in range(n_ranks)]
+        self._mailboxes: list[list[_Message]] = [[] for _ in range(n_ranks)]
+        self.abort_exc: BaseException | None = None
+        #: When tracing, every message is appended here as a MessageEvent.
+        self.trace_events: list | None = [] if trace else None
+        self._trace_lock = threading.Lock()
+
+    def record_event(self, event) -> None:
+        if self.trace_events is not None:
+            with self._trace_lock:
+                self.trace_events.append(event)
+
+    def deposit(self, dst: int, msg: _Message) -> None:
+        with self._conditions[dst]:
+            self._mailboxes[dst].append(msg)
+            self._conditions[dst].notify_all()
+
+    def collect(self, dst: int, src: int, tag: int) -> _Message:
+        """Block until a message matching (src, tag) is available."""
+        cond = self._conditions[dst]
+        with cond:
+            while True:
+                if self.abort_exc is not None:
+                    raise AbortError(f"peer rank failed: {self.abort_exc!r}")
+                box = self._mailboxes[dst]
+                for i, m in enumerate(box):
+                    if (src in (ANY_SOURCE, m.src)) and (tag in (ANY_TAG, m.tag)):
+                        return box.pop(i)
+                # Timeout so aborts are noticed even with no traffic.
+                cond.wait(timeout=0.25)
+
+    def try_collect(self, dst: int, src: int, tag: int) -> _Message | None:
+        """Nonblocking matching receive; None when nothing matches."""
+        with self._conditions[dst]:
+            if self.abort_exc is not None:
+                raise AbortError(f"peer rank failed: {self.abort_exc!r}")
+            box = self._mailboxes[dst]
+            for i, m in enumerate(box):
+                if (src in (ANY_SOURCE, m.src)) and (tag in (ANY_TAG, m.tag)):
+                    return box.pop(i)
+            return None
+
+    def abort(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.abort_exc is None:
+                self.abort_exc = exc
+        for cond in self._conditions:
+            with cond:
+                cond.notify_all()
+
+    def pending(self, dst: int) -> int:
+        """Number of undelivered messages in a rank's mailbox."""
+        with self._conditions[dst]:
+            return len(self._mailboxes[dst])
+
+
+class Communicator:
+    """One rank's endpoint: point-to-point ops, collectives, clock, RNG.
+
+    The public surface deliberately mirrors mpi4py's lowercase
+    (pickle-based) API -- ``send``/``recv``/``bcast``/``allreduce``/... --
+    so the SPMD programs in :mod:`repro.qmc` read like ordinary MPI
+    codes and could be ported to real MPI verbatim.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        rank: int,
+        stream: RankStream,
+    ):
+        self.fabric = fabric
+        self.rank = int(rank)
+        self.size = fabric.n_ranks
+        self.machine = fabric.machine
+        self.topology = fabric.topology
+        self.clock = ModelClock()
+        self.stream = stream
+        self.stats = CommStats()
+
+    # -- modeled compute -------------------------------------------------
+    def charge_compute(self, flops: float) -> None:
+        """Charge modeled compute time for ``flops`` floating-point ops."""
+        self.clock.charge(self.machine.compute_time(flops), "compute")
+
+    def charge_seconds(self, seconds: float, category: str = "compute") -> None:
+        """Charge an explicit modeled duration (e.g. measurement I/O)."""
+        self.clock.charge(seconds, category)
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send (returns once the message is en route)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        nbytes = payload_nbytes(obj)
+        hops = self.topology.hops(self.rank, dest)
+        start = self.clock.now
+        self.clock.charge(
+            self.machine.latency + self.machine.byte_time * nbytes, "comm"
+        )
+        arrival = (
+            start
+            + self.machine.latency
+            + self.machine.hop_time * hops
+            + self.machine.byte_time * nbytes
+        )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        if self.fabric.trace_events is not None:
+            from repro.vmp.trace import MessageEvent
+
+            self.fabric.record_event(
+                MessageEvent(
+                    src=self.rank,
+                    dst=dest,
+                    tag=tag,
+                    nbytes=nbytes,
+                    t_send=start,
+                    t_arrival=arrival,
+                )
+            )
+        self.fabric.deposit(
+            dest,
+            _Message(
+                src=self.rank,
+                tag=tag,
+                payload=_copy_payload(obj),
+                nbytes=nbytes,
+                arrival=arrival,
+            ),
+        )
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload object."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        msg = self.fabric.collect(self.rank, source, tag)
+        self.clock.charge(self.machine.latency, "comm")
+        self.clock.advance_to(msg.arrival, "comm_wait")
+        self.stats.messages_received += 1
+        self.stats.bytes_received += msg.nbytes
+        return msg.payload
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+    ) -> Any:
+        """Combined exchange; safe against the head-to-head deadlock."""
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send.  The fabric buffers eagerly, so the request
+        is complete on return; the handle exists for mpi4py parity."""
+        self.send(obj, dest, tag=tag)
+        return Request(self, "send")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive: returns a :class:`Request` to wait/test on."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        return Request(self, "recv", source=source, tag=tag)
+
+    # -- collectives (implemented in repro.vmp.collectives) ----------------
+    def barrier(self) -> None:
+        from repro.vmp import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        from repro.vmp import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def reduce(self, value: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0) -> Any:
+        from repro.vmp import collectives
+
+        return collectives.reduce(self, value, op, root)
+
+    def allreduce(self, value: Any, op: ReduceOp = ReduceOp.SUM) -> Any:
+        from repro.vmp import collectives
+
+        return collectives.allreduce(self, value, op)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        from repro.vmp import collectives
+
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value: Any) -> list[Any]:
+        from repro.vmp import collectives
+
+        return collectives.allgather(self, value)
+
+    def scatter(self, values: list[Any] | None, root: int = 0) -> Any:
+        from repro.vmp import collectives
+
+        return collectives.scatter(self, values, root)
+
+    def alltoall(self, values: list[Any]) -> list[Any]:
+        from repro.vmp import collectives
+
+        return collectives.alltoall(self, values)
+
+    def __repr__(self) -> str:
+        return f"Communicator(rank={self.rank}, size={self.size}, machine={self.machine.name})"

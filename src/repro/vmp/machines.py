@@ -1,0 +1,144 @@
+"""Calibrated models of early-1990s massively parallel machines.
+
+Each :class:`MachineModel` carries the handful of numbers the cost
+model needs:
+
+* ``flops`` -- *sustained* per-node floating-point rate on this kind of
+  lattice kernel (a small fraction of peak, as was typical),
+* ``latency`` -- per-message software overhead alpha (seconds),
+* ``byte_time`` -- inverse bandwidth beta (seconds per byte),
+* ``hop_time`` -- additional per-hop wire/switch latency,
+* ``topology`` -- the interconnect family the machine shipped with.
+
+The absolute numbers are calibrated to published figures of the era
+(CM-5 vector units, Paragon i860 nodes, nCUBE-2, Intel Delta); their
+*ratios* are what shape the scaling curves, and those ratios are
+faithful: hypercube machines pay log-distance routing, mesh machines
+pay sqrt(P) distances, the CM-5 fat-tree is distance-flat but has
+higher per-message software overhead than its wormhole-routed rivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.vmp.topology import Topology, topology_for
+
+__all__ = [
+    "MachineModel",
+    "CM5",
+    "PARAGON",
+    "DELTA",
+    "NCUBE2",
+    "IDEAL",
+    "MACHINES",
+]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Alpha--beta--hops cost model of one machine family."""
+
+    name: str
+    #: Sustained per-node flop rate on lattice-update kernels [flop/s].
+    flops: float
+    #: Per-message software latency alpha [s].
+    latency: float
+    #: Transfer time per byte beta (inverse bandwidth) [s/B].
+    byte_time: float
+    #: Extra latency per network hop [s].
+    hop_time: float
+    #: Interconnect family name understood by :func:`topology_for`.
+    topology_name: str
+    #: Maximum configuration size sold (used to clamp sweeps).
+    max_nodes: int = 4096
+
+    def topology(self, size: int) -> Topology:
+        """Instantiate this machine's interconnect for ``size`` nodes."""
+        return topology_for(self.topology_name, size)
+
+    # -- elementary cost formulas ---------------------------------------
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError("negative flop count")
+        return flops / self.flops
+
+    def message_time(self, nbytes: int, hops: int = 1) -> float:
+        """Seconds for one point-to-point message of ``nbytes`` over ``hops``."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        if hops < 0:
+            raise ValueError("negative hop count")
+        return self.latency + self.hop_time * hops + self.byte_time * nbytes
+
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        """A copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Thinking Machines CM-5 (1993: 32-1024 nodes, SPARC + vector units,
+#: fat-tree data network).  ~25 sustained MFLOP/s per node on stencil
+#: kernels, ~80 us message latency through CMMD, ~8 MB/s per-node
+#: point-to-point bandwidth.
+CM5 = MachineModel(
+    name="CM-5",
+    flops=25e6,
+    latency=80e-6,
+    byte_time=1.0 / 8e6,
+    hop_time=0.5e-6,
+    topology_name="fattree",
+    max_nodes=1024,
+)
+
+#: Intel Paragon XP/S (i860 XP nodes on a 2-D mesh).  ~10 sustained
+#: MFLOP/s, NX message passing ~60 us latency, ~70 MB/s bandwidth.
+PARAGON = MachineModel(
+    name="Paragon",
+    flops=10e6,
+    latency=60e-6,
+    byte_time=1.0 / 70e6,
+    hop_time=0.1e-6,
+    topology_name="mesh2d",
+    max_nodes=2048,
+)
+
+#: Intel Touchstone Delta (the Paragon's 1991 prototype; slower network).
+DELTA = MachineModel(
+    name="Delta",
+    flops=8e6,
+    latency=75e-6,
+    byte_time=1.0 / 22e6,
+    hop_time=0.2e-6,
+    topology_name="mesh2d",
+    max_nodes=512,
+)
+
+#: nCUBE-2: slow custom CISC nodes on a dense hypercube.
+NCUBE2 = MachineModel(
+    name="nCUBE-2",
+    flops=2.4e6,
+    latency=100e-6,
+    byte_time=1.0 / 2.2e6,
+    hop_time=0.4e-6,
+    topology_name="hypercube",
+    max_nodes=8192,
+)
+
+#: Zero-communication-cost reference machine (exposes Amdahl limits only).
+IDEAL = MachineModel(
+    name="Ideal",
+    flops=25e6,
+    latency=0.0,
+    byte_time=0.0,
+    hop_time=0.0,
+    topology_name="crossbar",
+    max_nodes=1 << 20,
+)
+
+MACHINES: dict[str, MachineModel] = {
+    m.name: m for m in (CM5, PARAGON, DELTA, NCUBE2, IDEAL)
+}

@@ -1,0 +1,288 @@
+"""Closed-form parallel performance model for QMC lattice sweeps.
+
+The scaling tables of the paper genre (fixed-size speedup, scaled
+speedup, communication fractions) are generated from this analytic
+model, which charges exactly the same alpha--beta--hops costs as the
+executed simulator in :mod:`repro.vmp.comm` -- the two are
+cross-validated by integration tests.  The model covers the three
+parallelization strategies implemented in :mod:`repro.qmc.parallel`:
+
+``strip``
+    1-D spatial decomposition of the space--time lattice: each of P
+    ranks owns ``ceil(Lx/P)`` site columns over all ``Lt`` Trotter
+    slices and exchanges one boundary column with each spatial
+    neighbor per checkerboard half-sweep.
+
+``block``
+    2-D spatial decomposition on a ``px x py`` process grid; halos are
+    the four boundary edges of the owned block, again over all slices.
+
+``replica``
+    Trivial parallelism: each rank runs an independent Markov chain
+    over the full lattice for ``1/P`` of the sweeps, and results are
+    combined with one allreduce per measurement.  No halo traffic, but
+    also no reduction of equilibration time -- modeled via the
+    ``serial_fraction`` parameter (Amdahl term).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.vmp.machines import MachineModel
+from repro.vmp.topology import Topology
+
+__all__ = [
+    "WorkloadShape",
+    "PerformanceModel",
+    "speedup",
+    "efficiency",
+    "gustafson_scaled_speedup",
+]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """Fixed-size speedup ``T(1)/T(P)``."""
+    if tp <= 0:
+        raise ValueError("parallel time must be positive")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """Parallel efficiency ``S(P)/P``."""
+    return speedup(t1, tp) / p
+
+
+def gustafson_scaled_speedup(serial_fraction: float, p: int) -> float:
+    """Gustafson's scaled speedup ``P - s(P-1)`` for serial fraction ``s``."""
+    if not 0 <= serial_fraction <= 1:
+        raise ValueError("serial fraction must lie in [0, 1]")
+    return p - serial_fraction * (p - 1)
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Static description of one domain-decomposed QMC sweep workload.
+
+    Attributes
+    ----------
+    lx, ly:
+        Spatial lattice extents (``ly = 1`` for chains).
+    lt:
+        Trotter (imaginary-time) slices.
+    flops_per_site:
+        Floating-point work per space--time site per full sweep
+        (plaquette weight evaluations + Metropolis logic).
+    sweeps:
+        Monte Carlo sweeps in the run.
+    bytes_per_site:
+        Wire bytes per transferred boundary site (1 spin packs into a
+        byte, but era codes shipped word-aligned buffers: default 8).
+    strategy:
+        ``strip`` | ``block`` | ``replica``.
+    measurement_interval:
+        Sweeps between measurements; each measurement costs one
+        allreduce of ``allreduce_doubles`` doubles.
+    allreduce_doubles:
+        Accumulator width reduced per measurement.
+    serial_fraction:
+        Non-parallelizable fraction of the total work (equilibration
+        bookkeeping, global RNG setup, output).  Dominates the replica
+        strategy's Amdahl limit.
+    halo_messages_per_sweep:
+        Override for the number of halo messages a rank sends per sweep
+        (default ``None`` = the strategy's half-sweep-batched count:
+        2 half-sweeps x neighbors).  Set it to model fine-grained
+        schedules such as the executed 8-class world-line driver.
+    """
+
+    lx: int
+    ly: int
+    lt: int
+    flops_per_site: float
+    sweeps: int
+    bytes_per_site: int = 8
+    strategy: str = "strip"
+    measurement_interval: int = 1
+    allreduce_doubles: int = 8
+    serial_fraction: float = 0.0
+    halo_messages_per_sweep: int | None = None
+
+    def __post_init__(self):
+        if self.strategy not in ("strip", "block", "replica"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if min(self.lx, self.ly, self.lt) < 1:
+            raise ValueError("lattice extents must be positive")
+        if self.sweeps < 1:
+            raise ValueError("need at least one sweep")
+        if not 0 <= self.serial_fraction < 1:
+            raise ValueError("serial_fraction must lie in [0, 1)")
+
+    @property
+    def sites(self) -> int:
+        """Total space--time sites."""
+        return self.lx * self.ly * self.lt
+
+    @property
+    def total_flops(self) -> float:
+        return self.sites * self.flops_per_site * self.sweeps
+
+    def scaled_to(self, p: int) -> "WorkloadShape":
+        """Grow the spatial lattice so per-rank work is constant (weak scaling).
+
+        The x extent is multiplied by ``p``; this keeps strip halos
+        constant per rank, the memory-per-node constraint that drove
+        scaled-speedup reporting on real MPPs.
+        """
+        import dataclasses
+
+        return dataclasses.replace(self, lx=self.lx * p)
+
+
+class PerformanceModel:
+    """Predict run time, speedup and communication split for a workload."""
+
+    def __init__(self, machine: MachineModel, workload: WorkloadShape):
+        self.machine = machine
+        self.workload = workload
+
+    # -- geometry helpers -------------------------------------------------
+    @staticmethod
+    def _process_grid(p: int) -> tuple[int, int]:
+        """Most-square px*py = p factorization (px <= py)."""
+        px = int(math.isqrt(p))
+        while p % px:
+            px -= 1
+        return px, p // px
+
+    def _neighbor_hops(self, p: int) -> int:
+        """Representative hop count for a nearest-neighbor exchange.
+
+        Adjacent subdomains map to consecutive ranks; we take the worst
+        consecutive-rank distance on the machine topology, which is the
+        honest number for a non-embedded mapping.
+        """
+        if p == 1:
+            return 0
+        topo: Topology = self.machine.topology(p)
+        return max(topo.hops(r, (r + 1) % p) for r in range(p))
+
+    def _collective_hop(self, p: int) -> int:
+        """Representative per-round hop count inside a tree collective."""
+        if p == 1:
+            return 0
+        topo = self.machine.topology(p)
+        return max(1, topo.diameter // max(1, int(math.log2(p)) or 1))
+
+    # -- per-sweep cost terms ----------------------------------------------
+    def compute_seconds_per_sweep(self, p: int) -> float:
+        """Modeled compute seconds per sweep on the slowest rank."""
+        w = self.workload
+        if w.strategy == "replica":
+            owned_sites = w.sites
+        elif w.strategy == "strip":
+            if p > w.lx:
+                raise ValueError(f"strip decomposition needs P <= Lx ({w.lx}), got {p}")
+            owned_sites = math.ceil(w.lx / p) * w.ly * w.lt
+        else:  # block
+            px, py = self._process_grid(p)
+            if px > w.lx or py > w.ly:
+                raise ValueError(
+                    f"block decomposition grid {px}x{py} exceeds lattice {w.lx}x{w.ly}"
+                )
+            owned_sites = math.ceil(w.lx / px) * math.ceil(w.ly / py) * w.lt
+        return self.machine.compute_time(owned_sites * w.flops_per_site)
+
+    def halo_seconds_per_sweep(self, p: int) -> float:
+        """Modeled halo-exchange seconds per sweep on one rank.
+
+        Two checkerboard half-sweeps per sweep; each half-sweep sends
+        and receives the full boundary.
+        """
+        w = self.workload
+        if p == 1 or w.strategy == "replica":
+            return 0.0
+        hops = self._neighbor_hops(p)
+        if w.strategy == "strip":
+            neighbor_messages = 2  # left + right
+            halo_sites = w.ly * w.lt
+        else:
+            px, py = self._process_grid(p)
+            bx = math.ceil(w.lx / px)
+            by = math.ceil(w.ly / py)
+            neighbor_messages = (2 if px > 1 else 0) + (2 if py > 1 else 0)
+            # Mean boundary-edge sites per message across the two axes.
+            edges = ([by * w.lt] * 2 if px > 1 else []) + ([bx * w.lt] * 2 if py > 1 else [])
+            halo_sites = sum(edges) / len(edges) if edges else 0
+        per_message = self.machine.message_time(
+            int(halo_sites * w.bytes_per_site), hops
+        )
+        if w.halo_messages_per_sweep is not None:
+            return w.halo_messages_per_sweep * per_message
+        half_sweeps = 2
+        return half_sweeps * neighbor_messages * per_message
+
+    def collective_seconds_per_sweep(self, p: int) -> float:
+        """Allreduce cost amortized per sweep."""
+        w = self.workload
+        if p == 1:
+            return 0.0
+        rounds = 2 * math.ceil(math.log2(p))  # reduce + bcast trees
+        per_round = self.machine.message_time(
+            8 * w.allreduce_doubles, self._collective_hop(p)
+        )
+        return rounds * per_round / w.measurement_interval
+
+    # -- totals -------------------------------------------------------------
+    def time(self, p: int) -> float:
+        """Modeled wall time of the full run on ``p`` nodes."""
+        if p < 1:
+            raise ValueError("need at least one node")
+        w = self.workload
+        serial = w.serial_fraction * self.machine.compute_time(w.total_flops)
+        if w.strategy == "replica":
+            sweeps_per_rank = math.ceil(w.sweeps / p)
+            parallel = sweeps_per_rank * (
+                self.compute_seconds_per_sweep(p) + self.collective_seconds_per_sweep(p)
+            )
+        else:
+            parallel = (1 - w.serial_fraction) * w.sweeps * (
+                self.compute_seconds_per_sweep(p)
+                + self.halo_seconds_per_sweep(p)
+                + self.collective_seconds_per_sweep(p)
+            )
+            return serial + parallel
+        return serial + parallel
+
+    def speedup(self, p: int) -> float:
+        return speedup(self.time(1), self.time(p))
+
+    def efficiency(self, p: int) -> float:
+        return self.speedup(p) / p
+
+    def comm_fraction(self, p: int) -> float:
+        """Fraction of per-sweep time spent in halo + collective traffic."""
+        comp = self.compute_seconds_per_sweep(p)
+        halo = self.halo_seconds_per_sweep(p)
+        coll = self.collective_seconds_per_sweep(p)
+        total = comp + halo + coll
+        return (halo + coll) / total if total > 0 else 0.0
+
+    def scaled_speedup(self, p: int) -> float:
+        """Weak-scaling speedup: work grows with P (Gustafson regime).
+
+        Defined as ``p * T_1(W) / T_p(W_p)`` with ``W_p = p*W`` -- equals
+        ``p`` when halos and collectives are free.
+        """
+        grown = PerformanceModel(self.machine, self.workload.scaled_to(p))
+        return p * self.time(1) / grown.time(p)
+
+    def updates_per_second(self, p: int) -> float:
+        """Site updates per second of the whole machine (Table 3 metric)."""
+        w = self.workload
+        if w.strategy == "replica":
+            total_updates = w.sites * math.ceil(w.sweeps / p) * p
+        else:
+            total_updates = w.sites * w.sweeps
+        return total_updates / self.time(p)

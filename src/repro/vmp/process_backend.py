@@ -1,0 +1,219 @@
+"""Real-process execution of SPMD rank programs via multiprocessing.
+
+The cooperative thread scheduler in :mod:`repro.vmp.scheduler` is the
+default backend; this module runs the *same program objects* on real OS
+processes with genuinely disjoint address spaces, demonstrating that
+nothing in the programming model depends on shared memory.  It supports
+the full collective set by reusing :mod:`repro.vmp.collectives`, which
+only needs ``send``/``recv``/``sendrecv``.
+
+Intended for small rank counts (P <= 8 on this container); programs
+must be picklable (defined at module top level).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from typing import Any, Callable, Sequence
+
+from repro.util.rng import SeedSequenceFactory
+from repro.util.timer import ModelClock
+from repro.vmp.comm import ANY_SOURCE, ANY_TAG, payload_nbytes
+from repro.vmp.machines import IDEAL, MachineModel
+from repro.vmp.topology import Topology
+
+__all__ = ["MpCommunicator", "run_multiprocessing"]
+
+_JOIN_TIMEOUT_S = 120.0
+
+
+class MpCommunicator:
+    """Communicator over multiprocessing queues (one inbox per rank).
+
+    Implements the same cost convention as the in-process fabric: the
+    sender's clock time travels with each message so arrival stamps and
+    ``comm_wait`` accounting behave identically across backends.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        inboxes: Sequence[mp.Queue],
+        machine: MachineModel,
+        topology: Topology,
+        stream,
+    ):
+        self.rank = rank
+        self.size = size
+        self.machine = machine
+        self.topology = topology
+        self.stream = stream
+        self._inboxes = inboxes
+        self._stash: list[tuple[int, int, float, Any]] = []
+        self.clock = ModelClock()
+
+    # -- modeled compute ---------------------------------------------------
+    def charge_compute(self, flops: float) -> None:
+        self.clock.charge(self.machine.compute_time(flops), "compute")
+
+    def charge_seconds(self, seconds: float, category: str = "compute") -> None:
+        self.clock.charge(seconds, category)
+
+    # -- point-to-point ------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        nbytes = payload_nbytes(obj)
+        hops = self.topology.hops(self.rank, dest)
+        start = self.clock.now
+        self.clock.charge(self.machine.latency + self.machine.byte_time * nbytes, "comm")
+        arrival = (
+            start
+            + self.machine.latency
+            + self.machine.hop_time * hops
+            + self.machine.byte_time * nbytes
+        )
+        self._inboxes[dest].put((self.rank, tag, arrival, obj))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        while True:
+            for i, (src, t, arrival, obj) in enumerate(self._stash):
+                if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
+                    self._stash.pop(i)
+                    self.clock.charge(self.machine.latency, "comm")
+                    self.clock.advance_to(arrival, "comm_wait")
+                    return obj
+            try:
+                item = self._inboxes[self.rank].get(timeout=_JOIN_TIMEOUT_S)
+            except queue_mod.Empty:
+                raise TimeoutError(
+                    f"rank {self.rank} waited {_JOIN_TIMEOUT_S}s for a message "
+                    f"(source={source}, tag={tag}); peer likely died"
+                ) from None
+            self._stash.append(item)
+
+    def sendrecv(self, obj, dest, source, sendtag=0, recvtag=0):
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    # -- collectives: identical algorithms as the thread backend -------------
+    def barrier(self) -> None:
+        from repro.vmp import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj, root: int = 0):
+        from repro.vmp import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def reduce(self, value, op=None, root: int = 0):
+        from repro.vmp import collectives
+        from repro.vmp.comm import ReduceOp
+
+        return collectives.reduce(self, value, op or ReduceOp.SUM, root)
+
+    def allreduce(self, value, op=None):
+        from repro.vmp import collectives
+        from repro.vmp.comm import ReduceOp
+
+        return collectives.allreduce(self, value, op or ReduceOp.SUM)
+
+    def gather(self, value, root: int = 0):
+        from repro.vmp import collectives
+
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value):
+        from repro.vmp import collectives
+
+        return collectives.allgather(self, value)
+
+    def scatter(self, values, root: int = 0):
+        from repro.vmp import collectives
+
+        return collectives.scatter(self, values, root)
+
+    def alltoall(self, values):
+        from repro.vmp import collectives
+
+        return collectives.alltoall(self, values)
+
+
+def _worker(
+    program: Callable[..., Any],
+    rank: int,
+    size: int,
+    inboxes,
+    machine: MachineModel,
+    topology: Topology,
+    seed: int,
+    args: tuple,
+    results: mp.Queue,
+) -> None:
+    try:
+        stream = SeedSequenceFactory(seed).rank_stream(rank)
+        comm = MpCommunicator(rank, size, inboxes, machine, topology, stream)
+        value = program(comm, *args)
+        results.put((rank, "ok", value, comm.clock.now))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        results.put((rank, "error", repr(exc), 0.0))
+
+
+def run_multiprocessing(
+    program: Callable[..., Any],
+    n_ranks: int,
+    machine: MachineModel = IDEAL,
+    topology: Topology | None = None,
+    seed: int = 0,
+    args: Sequence[Any] = (),
+) -> list[Any]:
+    """Run ``program(comm, *args)`` on ``n_ranks`` OS processes.
+
+    Returns the rank-ordered list of program return values.  Raises
+    :class:`RuntimeError` carrying the first failing rank's exception
+    repr if any process fails.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    topo = topology if topology is not None else machine.topology(n_ranks)
+    if topo.size != n_ranks:
+        raise ValueError("topology size mismatch")
+
+    ctx = mp.get_context("fork")
+    inboxes = [ctx.Queue() for _ in range(n_ranks)]
+    results: mp.Queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker,
+            args=(program, r, n_ranks, inboxes, machine, topo, seed, tuple(args), results),
+            daemon=True,
+        )
+        for r in range(n_ranks)
+    ]
+    for p in procs:
+        p.start()
+
+    outcomes: dict[int, Any] = {}
+    errors: list[tuple[int, str]] = []
+    for _ in range(n_ranks):
+        try:
+            rank, status, value, _model_time = results.get(timeout=_JOIN_TIMEOUT_S)
+        except queue_mod.Empty:
+            for p in procs:
+                p.terminate()
+            raise TimeoutError("multiprocessing SPMD run did not complete") from None
+        if status == "ok":
+            outcomes[rank] = value
+        else:
+            errors.append((rank, value))
+    for p in procs:
+        p.join(timeout=5.0)
+        if p.is_alive():
+            p.terminate()
+    if errors:
+        rank, msg = errors[0]
+        raise RuntimeError(f"rank {rank} failed: {msg}")
+    return [outcomes[r] for r in range(n_ranks)]

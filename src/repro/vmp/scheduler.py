@@ -1,0 +1,199 @@
+"""SPMD runner: execute one rank program per logical processor.
+
+A *rank program* is any callable ``program(comm, *args) -> result``
+taking a :class:`~repro.vmp.comm.Communicator` as its first argument --
+the same shape as an mpi4py ``main(comm)``.  :func:`run_spmd` launches
+one OS thread per rank over a shared in-process fabric.  Threads (not
+processes) are the right default here: payloads move by deep copy, the
+GIL serializes the NumPy-light control flow anyway, and modeled time --
+not wall time -- is what the benchmarks report.  For real-process
+execution of the same program object see
+:mod:`repro.vmp.process_backend`.
+
+Failure handling: if any rank raises, the fabric is aborted, blocked
+peers wake with :class:`~repro.vmp.comm.AbortError`, and the original
+exception is re-raised in the caller with its rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.util.rng import SeedSequenceFactory
+from repro.vmp.comm import AbortError, Communicator, Fabric
+from repro.vmp.machines import IDEAL, MachineModel
+from repro.vmp.topology import Topology
+
+__all__ = ["SpmdResult", "run_spmd"]
+
+
+@dataclass
+class RankOutcome:
+    """Result and accounting of one rank."""
+
+    rank: int
+    value: Any
+    model_time: float
+    breakdown: dict[str, float]
+    messages_sent: int
+    bytes_sent: int
+
+
+@dataclass
+class SpmdResult:
+    """Aggregate outcome of an SPMD run.
+
+    ``elapsed_model_time`` is the makespan -- the slowest rank's clock --
+    which is what "time to solution" means on a space-shared MPP.
+    ``trace`` holds per-message events when the run was launched with
+    ``trace=True`` (else None); render with
+    :func:`repro.vmp.trace.render_timeline`.
+    """
+
+    outcomes: list[RankOutcome]
+    machine: MachineModel
+    topology: Topology
+    trace: list | None = None
+
+    def render_timeline(self, width: int = 72) -> str:
+        """Text Gantt view of traced messages (requires trace=True)."""
+        from repro.vmp.trace import render_timeline
+
+        if self.trace is None:
+            raise ValueError("run was not traced; pass trace=True to run_spmd")
+        return render_timeline(
+            self.trace,
+            [o.breakdown for o in self.outcomes],
+            self.elapsed_model_time,
+            width=width,
+        )
+
+    @property
+    def values(self) -> list[Any]:
+        return [o.value for o in self.outcomes]
+
+    @property
+    def elapsed_model_time(self) -> float:
+        return max(o.model_time for o in self.outcomes)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(o.messages_sent for o in self.outcomes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(o.bytes_sent for o in self.outcomes)
+
+    def comm_fraction(self) -> float:
+        """Share of the makespan rank 0 spent communicating or waiting.
+
+        Rank 0 is representative for the homogeneous SPMD workloads in
+        this repository; the per-rank breakdown is in ``outcomes``.
+        """
+        o = self.outcomes[0]
+        if o.model_time == 0:
+            return 0.0
+        comm = o.breakdown.get("comm", 0.0) + o.breakdown.get("comm_wait", 0.0)
+        return comm / o.model_time
+
+    def category_seconds(self, category: str) -> float:
+        """Max-over-ranks seconds spent in one clock category."""
+        return max(o.breakdown.get(category, 0.0) for o in self.outcomes)
+
+
+@dataclass
+class _RankBox:
+    value: Any = None
+    error: BaseException | None = None
+    comm: Communicator | None = None
+    done: bool = field(default=False)
+
+
+def run_spmd(
+    program: Callable[..., Any],
+    n_ranks: int,
+    machine: MachineModel = IDEAL,
+    topology: Topology | None = None,
+    seed: int = 0,
+    args: Sequence[Any] = (),
+    trace: bool = False,
+) -> SpmdResult:
+    """Run ``program(comm, *args)`` on ``n_ranks`` simulated processors.
+
+    Parameters
+    ----------
+    program:
+        The rank program.  All ranks execute the same callable with the
+        same extra ``args``; rank-dependent behaviour comes from
+        ``comm.rank`` (ordinary SPMD style).
+    n_ranks:
+        Number of logical processors.
+    machine:
+        Cost model used to charge the modeled clocks.
+    topology:
+        Interconnect; defaults to the machine's native topology.
+    seed:
+        Root seed; each rank receives an independent child stream at
+        ``comm.stream``.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if n_ranks > machine.max_nodes:
+        raise ValueError(
+            f"{machine.name} supports at most {machine.max_nodes} nodes, asked for {n_ranks}"
+        )
+    topo = topology if topology is not None else machine.topology(n_ranks)
+    fabric = Fabric(n_ranks, machine, topo, trace=trace)
+    factory = SeedSequenceFactory(seed)
+    boxes = [_RankBox() for _ in range(n_ranks)]
+
+    def runner(rank: int) -> None:
+        comm = Communicator(fabric, rank, factory.rank_stream(rank))
+        boxes[rank].comm = comm
+        try:
+            boxes[rank].value = program(comm, *args)
+            boxes[rank].done = True
+        except AbortError:
+            pass  # secondary failure; the primary exception is reported
+        except BaseException as exc:  # noqa: BLE001 - must propagate everything
+            boxes[rank].error = exc
+            fabric.abort(exc)
+
+    if n_ranks == 1:
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"vmp-rank-{r}", daemon=True)
+            for r in range(n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    for box in boxes:
+        if box.error is not None:
+            raise box.error
+
+    outcomes = []
+    for r, box in enumerate(boxes):
+        comm = box.comm
+        assert comm is not None
+        outcomes.append(
+            RankOutcome(
+                rank=r,
+                value=box.value,
+                model_time=comm.clock.now,
+                breakdown=comm.clock.breakdown(),
+                messages_sent=comm.stats.messages_sent,
+                bytes_sent=comm.stats.bytes_sent,
+            )
+        )
+    return SpmdResult(
+        outcomes=outcomes,
+        machine=machine,
+        topology=topo,
+        trace=fabric.trace_events,
+    )

@@ -1,0 +1,324 @@
+"""Interconnect topologies and their distance metrics.
+
+A topology answers one question for the cost model -- how many network
+hops separate ranks ``a`` and ``b`` -- plus a few aggregate figures
+(diameter, bisection width) used by the analytic performance model and
+reported in the machine-comparison benchmark.
+
+All topologies are defined over ranks ``0..n-1``.  Rank-to-coordinate
+embeddings follow the conventions of the era: binary-reflected
+positions on hypercubes, row-major grids on meshes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "Topology",
+    "Hypercube",
+    "Ring",
+    "Mesh2D",
+    "Mesh3D",
+    "FatTree",
+    "Crossbar",
+    "topology_for",
+]
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+class Topology(ABC):
+    """Abstract interconnect over ranks ``0..size-1``."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("topology size must be >= 1")
+        self.size = int(size)
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops on a shortest route from src to dst."""
+
+    @abstractmethod
+    def neighbors(self, rank: int) -> list[int]:
+        """Directly connected ranks."""
+
+    @property
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop distance between any two ranks."""
+
+    @property
+    @abstractmethod
+    def bisection_width(self) -> int:
+        """Number of links cut by a best balanced bisection."""
+
+    def _check(self, *ranks: int) -> None:
+        for r in ranks:
+            if not 0 <= r < self.size:
+                raise ValueError(f"rank {r} outside topology of size {self.size}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self.size})"
+
+
+class Hypercube(Topology):
+    """Binary hypercube (nCUBE-2, early Caltech machines).
+
+    Size must be a power of two; hop distance is Hamming distance.
+    """
+
+    def __init__(self, size: int):
+        if not _is_power_of_two(size):
+            raise ValueError(f"hypercube size must be a power of two, got {size}")
+        super().__init__(size)
+        self.dimension = size.bit_length() - 1
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return (src ^ dst).bit_count()
+
+    def neighbors(self, rank: int) -> list[int]:
+        self._check(rank)
+        return [rank ^ (1 << d) for d in range(self.dimension)]
+
+    @property
+    def diameter(self) -> int:
+        return self.dimension
+
+    @property
+    def bisection_width(self) -> int:
+        return self.size // 2 if self.size > 1 else 0
+
+
+class Ring(Topology):
+    """Bidirectional ring (the degenerate 1-D torus)."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.size - d)
+
+    def neighbors(self, rank: int) -> list[int]:
+        self._check(rank)
+        if self.size == 1:
+            return []
+        if self.size == 2:
+            return [1 - rank]
+        return [(rank - 1) % self.size, (rank + 1) % self.size]
+
+    @property
+    def diameter(self) -> int:
+        return self.size // 2
+
+    @property
+    def bisection_width(self) -> int:
+        return 2 if self.size > 2 else (1 if self.size == 2 else 0)
+
+
+class Mesh2D(Topology):
+    """2-D mesh or torus (Intel Paragon / Delta class).
+
+    Ranks are laid out row-major on an ``nx x ny`` grid.  ``torus=True``
+    adds wraparound links.
+    """
+
+    def __init__(self, nx: int, ny: int, torus: bool = False):
+        if nx < 1 or ny < 1:
+            raise ValueError("mesh extents must be >= 1")
+        super().__init__(nx * ny)
+        self.nx, self.ny, self.torus = int(nx), int(ny), bool(torus)
+
+    @classmethod
+    def square_for(cls, size: int, torus: bool = False) -> "Mesh2D":
+        """Most-square factorization of ``size`` into nx*ny."""
+        nx = int(math.isqrt(size))
+        while size % nx:
+            nx -= 1
+        return cls(nx, size // nx, torus=torus)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        self._check(rank)
+        return rank // self.ny, rank % self.ny
+
+    def rank_of(self, x: int, y: int) -> int:
+        return (x % self.nx) * self.ny + (y % self.ny)
+
+    def _axis_dist(self, a: int, b: int, n: int) -> int:
+        d = abs(a - b)
+        return min(d, n - d) if self.torus else d
+
+    def hops(self, src: int, dst: int) -> int:
+        (x1, y1), (x2, y2) = self.coords(src), self.coords(dst)
+        return self._axis_dist(x1, x2, self.nx) + self._axis_dist(y1, y2, self.ny)
+
+    def neighbors(self, rank: int) -> list[int]:
+        x, y = self.coords(rank)
+        out = []
+        for dx, dy in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            nx_, ny_ = x + dx, y + dy
+            if self.torus:
+                cand = self.rank_of(nx_, ny_)
+                if cand != rank and cand not in out:
+                    out.append(cand)
+            elif 0 <= nx_ < self.nx and 0 <= ny_ < self.ny:
+                out.append(nx_ * self.ny + ny_)
+        return out
+
+    @property
+    def diameter(self) -> int:
+        if self.torus:
+            return self.nx // 2 + self.ny // 2
+        return (self.nx - 1) + (self.ny - 1)
+
+    @property
+    def bisection_width(self) -> int:
+        # Cut across the longer axis.
+        short = min(self.nx, self.ny)
+        return short * (2 if self.torus else 1)
+
+    def __repr__(self) -> str:
+        kind = "Torus2D" if self.torus else "Mesh2D"
+        return f"{kind}({self.nx}x{self.ny})"
+
+
+class Mesh3D(Topology):
+    """3-D mesh or torus, row-major ranks on nx x ny x nz."""
+
+    def __init__(self, nx: int, ny: int, nz: int, torus: bool = False):
+        if min(nx, ny, nz) < 1:
+            raise ValueError("mesh extents must be >= 1")
+        super().__init__(nx * ny * nz)
+        self.nx, self.ny, self.nz, self.torus = int(nx), int(ny), int(nz), bool(torus)
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        self._check(rank)
+        x, rem = divmod(rank, self.ny * self.nz)
+        y, z = divmod(rem, self.nz)
+        return x, y, z
+
+    def _axis_dist(self, a: int, b: int, n: int) -> int:
+        d = abs(a - b)
+        return min(d, n - d) if self.torus else d
+
+    def hops(self, src: int, dst: int) -> int:
+        c1, c2 = self.coords(src), self.coords(dst)
+        return (
+            self._axis_dist(c1[0], c2[0], self.nx)
+            + self._axis_dist(c1[1], c2[1], self.ny)
+            + self._axis_dist(c1[2], c2[2], self.nz)
+        )
+
+    def neighbors(self, rank: int) -> list[int]:
+        x, y, z = self.coords(rank)
+        out = []
+        for dx, dy, dz in (
+            (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)
+        ):
+            nx_, ny_, nz_ = x + dx, y + dy, z + dz
+            if self.torus:
+                cand = ((nx_ % self.nx) * self.ny + (ny_ % self.ny)) * self.nz + (
+                    nz_ % self.nz
+                )
+                if cand != rank and cand not in out:
+                    out.append(cand)
+            elif 0 <= nx_ < self.nx and 0 <= ny_ < self.ny and 0 <= nz_ < self.nz:
+                out.append((nx_ * self.ny + ny_) * self.nz + nz_)
+        return out
+
+    @property
+    def diameter(self) -> int:
+        if self.torus:
+            return self.nx // 2 + self.ny // 2 + self.nz // 2
+        return (self.nx - 1) + (self.ny - 1) + (self.nz - 1)
+
+    @property
+    def bisection_width(self) -> int:
+        dims = sorted([self.nx, self.ny, self.nz])
+        return dims[0] * dims[1] * (2 if self.torus else 1)
+
+
+class FatTree(Topology):
+    """Fat-tree with uniform arity (the CM-5 data network, arity 4).
+
+    Hop distance between leaves is twice the height of their lowest
+    common ancestor.  The fat-tree's defining property -- full bisection
+    bandwidth -- is reflected in :attr:`bisection_width`.
+    """
+
+    def __init__(self, size: int, arity: int = 4):
+        if arity < 2:
+            raise ValueError("fat-tree arity must be >= 2")
+        super().__init__(size)
+        self.arity = int(arity)
+        self.height = max(1, math.ceil(math.log(size, arity))) if size > 1 else 1
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        if src == dst:
+            return 0
+        a, b, level = src, dst, 0
+        while a != b:
+            a //= self.arity
+            b //= self.arity
+            level += 1
+        return 2 * level
+
+    def neighbors(self, rank: int) -> list[int]:
+        # Leaves sharing the first-level switch.
+        self._check(rank)
+        base = (rank // self.arity) * self.arity
+        return [r for r in range(base, min(base + self.arity, self.size)) if r != rank]
+
+    @property
+    def diameter(self) -> int:
+        return 2 * self.height if self.size > 1 else 0
+
+    @property
+    def bisection_width(self) -> int:
+        return self.size // 2 if self.size > 1 else 0
+
+
+class Crossbar(Topology):
+    """Idealized full crossbar: every pair one hop apart."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+    def neighbors(self, rank: int) -> list[int]:
+        self._check(rank)
+        return [r for r in range(self.size) if r != rank]
+
+    @property
+    def diameter(self) -> int:
+        return 1 if self.size > 1 else 0
+
+    @property
+    def bisection_width(self) -> int:
+        return (self.size // 2) * ((self.size + 1) // 2)
+
+
+_FACTORIES = {
+    "hypercube": Hypercube,
+    "ring": Ring,
+    "mesh2d": lambda n: Mesh2D.square_for(n, torus=False),
+    "torus2d": lambda n: Mesh2D.square_for(n, torus=True),
+    "fattree": FatTree,
+    "crossbar": Crossbar,
+}
+
+
+def topology_for(name: str, size: int) -> Topology:
+    """Construct a topology by name (``hypercube``, ``mesh2d``, ...)."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; expected one of {sorted(_FACTORIES)}"
+        ) from None
+    return factory(size)

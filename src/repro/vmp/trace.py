@@ -1,0 +1,93 @@
+"""Message tracing and text timelines for the virtual machine.
+
+Era papers illustrated their communication behaviour with per-node
+timelines; this module reproduces that instrumentationally: when a
+:class:`~repro.vmp.comm.Fabric` is created with ``trace=True`` every
+point-to-point message is recorded as a :class:`MessageEvent` (modeled
+send time, arrival time, endpoints, size, tag), and
+:func:`render_timeline` draws a character-cell Gantt view -- one row
+per rank, ``#`` where the rank is computing, ``~`` where it is inside
+communication, ``.`` idle/waiting.
+
+Tracing costs one list append per message; leave it off (the default)
+for production sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MessageEvent", "render_timeline", "summarize_traffic"]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One traced point-to-point message (modeled times in seconds)."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    t_send: float  # sender's clock when the send started
+    t_arrival: float  # modeled arrival time at the destination
+
+
+def summarize_traffic(events: list[MessageEvent], n_ranks: int) -> dict:
+    """Aggregate counts/bytes per (src, dst) pair and totals."""
+    pair_bytes: dict[tuple[int, int], int] = {}
+    pair_count: dict[tuple[int, int], int] = {}
+    for e in events:
+        key = (e.src, e.dst)
+        pair_bytes[key] = pair_bytes.get(key, 0) + e.nbytes
+        pair_count[key] = pair_count.get(key, 0) + 1
+    return {
+        "n_messages": len(events),
+        "total_bytes": sum(e.nbytes for e in events),
+        "pair_bytes": pair_bytes,
+        "pair_count": pair_count,
+        "busiest_pair": max(pair_bytes, key=pair_bytes.get) if pair_bytes else None,
+    }
+
+
+def render_timeline(
+    events: list[MessageEvent],
+    breakdowns: list[dict[str, float]],
+    makespan: float,
+    width: int = 72,
+) -> str:
+    """Character-cell timeline of message activity per rank.
+
+    Parameters
+    ----------
+    events:
+        Traced messages (from ``SpmdResult.trace``).
+    breakdowns:
+        Per-rank clock category breakdowns (``outcome.breakdown``) --
+        used for the legend totals.
+    makespan:
+        Total modeled time spanned by the row (seconds).
+    width:
+        Characters per row.
+    """
+    if makespan <= 0:
+        return "(empty timeline)"
+    n_ranks = len(breakdowns)
+    rows = [["."] * width for _ in range(n_ranks)]
+
+    def cell(t: float) -> int:
+        return min(int(t / makespan * width), width - 1)
+
+    for e in events:
+        a, b = cell(e.t_send), cell(e.t_arrival)
+        for rank in (e.src, e.dst):
+            if 0 <= rank < n_ranks:
+                for k in range(a, b + 1):
+                    rows[rank][k] = "~"
+    lines = [f"timeline ({makespan:.4g} s across {width} cells; ~ = in-flight msg)"]
+    for r in range(n_ranks):
+        comm = breakdowns[r].get("comm", 0.0) + breakdowns[r].get("comm_wait", 0.0)
+        comp = breakdowns[r].get("compute", 0.0)
+        lines.append(
+            f"rank {r:>3} |{''.join(rows[r])}| comp {comp:.3g}s comm {comm:.3g}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Shared fixtures and test-speed knobs.
+
+Statistical tests use short runs with wide (4-5 sigma + systematic
+allowance) acceptance windows: they are correctness tripwires, not
+precision measurements -- the benchmarks do the precision runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test-local noise."""
+    return np.random.default_rng(20260705)
+
+
+def assert_within(value: float, reference: float, error: float,
+                  n_sigma: float = 4.0, atol: float = 0.0, label: str = "") -> None:
+    """Assert a stochastic estimate agrees with a reference."""
+    window = n_sigma * error + atol
+    assert abs(value - reference) <= window, (
+        f"{label or 'estimate'} {value:.6g} vs reference {reference:.6g}: "
+        f"|diff| {abs(value - reference):.3g} > window {window:.3g} "
+        f"({n_sigma} sigma x {error:.3g} + {atol:.3g})"
+    )

@@ -1,0 +1,114 @@
+"""Property-based tests: collectives vs reference semantics.
+
+For random rank counts, roots, and payload shapes, every collective
+must reproduce the obvious sequential reference computation -- the
+algorithmic sophistication (trees, rings) must be observationally
+invisible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmp.comm import ReduceOp, payload_nbytes
+from repro.vmp.machines import IDEAL
+from repro.vmp.scheduler import run_spmd
+
+ranks = st.integers(min_value=1, max_value=7)
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=ranks, root=st.integers(0, 6), payload_len=st.integers(1, 5))
+def test_bcast_delivers_identical_object_everywhere(p, root, payload_len):
+    root = root % p
+
+    def prog(comm):
+        obj = list(range(payload_len)) if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    res = run_spmd(prog, p, machine=IDEAL)
+    assert all(v == list(range(payload_len)) for v in res.values)
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=ranks, values=st.lists(st.integers(-100, 100), min_size=7, max_size=7))
+def test_allreduce_equals_python_reduction(p, values):
+    vals = values[:p]
+
+    def prog(comm):
+        x = vals[comm.rank]
+        return (
+            comm.allreduce(x, ReduceOp.SUM),
+            comm.allreduce(x, ReduceOp.MAX),
+            comm.allreduce(x, ReduceOp.MIN),
+            comm.allreduce(x, ReduceOp.PROD),
+        )
+
+    res = run_spmd(prog, p, machine=IDEAL)
+    import math
+
+    expected = (sum(vals), max(vals), min(vals), math.prod(vals))
+    assert all(v == expected for v in res.values)
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=ranks, root=st.integers(0, 6))
+def test_scatter_then_gather_roundtrip(p, root):
+    root = root % p
+
+    def prog(comm):
+        values = [f"item{r}" for r in range(comm.size)] if comm.rank == root else None
+        mine = comm.scatter(values, root=root)
+        return comm.gather(mine, root=root)
+
+    res = run_spmd(prog, p, machine=IDEAL)
+    assert res.values[root] == [f"item{r}" for r in range(p)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=ranks)
+def test_alltoall_is_a_transpose(p):
+    def prog(comm):
+        return comm.alltoall([(comm.rank, dst) for dst in range(comm.size)])
+
+    res = run_spmd(prog, p, machine=IDEAL)
+    for r, row in enumerate(res.values):
+        assert row == [(src, r) for src in range(p)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(p=ranks, shape=st.integers(1, 20))
+def test_allgather_array_payloads(p, shape):
+    def prog(comm):
+        return comm.allgather(np.full(shape, float(comm.rank)))
+
+    res = run_spmd(prog, p, machine=IDEAL)
+    for v in res.values:
+        assert len(v) == p
+        for r, arr in enumerate(v):
+            np.testing.assert_array_equal(arr, np.full(shape, float(r)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.one_of(
+        st.integers(-(2**40), 2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.binary(max_size=64),
+        st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=8),
+        st.dictionaries(st.text(max_size=4), st.integers(-5, 5), max_size=4),
+    )
+)
+def test_payload_nbytes_is_positive_and_deterministic(data):
+    n1 = payload_nbytes(data)
+    n2 = payload_nbytes(data)
+    assert n1 == n2
+    assert n1 >= 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+       dtype=st.sampled_from([np.int8, np.float64, np.complex128]))
+def test_payload_nbytes_matches_numpy_buffers(shape, dtype):
+    arr = np.zeros(shape, dtype=dtype)
+    assert payload_nbytes(arr) == arr.nbytes

@@ -1,0 +1,114 @@
+"""Tests for lattice geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lattice.lattice import Chain, SquareLattice
+
+
+class TestChain:
+    def test_bond_counts(self):
+        assert Chain(8, periodic=True).n_bonds == 8
+        assert Chain(8, periodic=False).n_bonds == 7
+
+    def test_odd_periodic_rejected(self):
+        with pytest.raises(ValueError, match="even site count"):
+            Chain(7, periodic=True)
+
+    def test_odd_open_allowed(self):
+        assert Chain(7, periodic=False).n_bonds == 6
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Chain(1)
+
+    def test_bond_colors_alternate_and_partition(self):
+        c = Chain(8)
+        bonds = c.bonds()
+        for a, b, color in bonds:
+            assert color == a % 2
+            assert b == (a + 1) % 8
+        # Each color's bonds must be site-disjoint (the breakup property).
+        for color in (0, 1):
+            sites = [s for a, b, c_ in bonds if c_ == color for s in (a, b)]
+            assert len(sites) == len(set(sites))
+
+    def test_bonds_of_color(self):
+        c = Chain(8)
+        np.testing.assert_array_equal(c.bonds_of_color(0), [0, 2, 4, 6])
+        np.testing.assert_array_equal(c.bonds_of_color(1), [1, 3, 5, 7])
+        with pytest.raises(ValueError):
+            c.bonds_of_color(2)
+
+    def test_neighbors_periodic_and_open(self):
+        assert Chain(6).neighbors(0) == [5, 1]
+        assert Chain(6, periodic=False).neighbors(0) == [1]
+        assert Chain(6, periodic=False).neighbors(5) == [4]
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(ValueError):
+            Chain(6).neighbors(6)
+
+    def test_sublattice_bipartite(self):
+        c = Chain(8)
+        for a, b, _ in c.bonds():
+            assert c.sublattice(a) != c.sublattice(b)
+
+
+class TestSquareLattice:
+    def test_sites_and_bonds(self):
+        lat = SquareLattice(4, 4)
+        assert lat.n_sites == 16
+        assert lat.n_bonds == 32  # 2 per site, periodic
+
+    def test_open_bond_count(self):
+        lat = SquareLattice(3, 4, periodic=False)
+        assert lat.n_bonds == (3 - 1) * 4 + 3 * (4 - 1)
+
+    def test_odd_periodic_rejected(self):
+        with pytest.raises(ValueError):
+            SquareLattice(3, 4, periodic=True)
+
+    def test_site_coords_roundtrip(self):
+        lat = SquareLattice(4, 6)
+        for s in range(lat.n_sites):
+            x, y = lat.coords(s)
+            assert lat.site(x, y) == s
+
+    def test_four_color_breakup_is_site_disjoint(self):
+        lat = SquareLattice(4, 4)
+        bonds = lat.bonds()
+        for color in range(4):
+            sites = [s for a, b, c in bonds if c == color for s in (a, b)]
+            assert len(sites) == len(set(sites)), f"color {color} overlaps"
+
+    def test_colors_partition_all_bonds(self):
+        lat = SquareLattice(6, 4)
+        bonds = lat.bonds()
+        assert sum(1 for *_, c in bonds if c in (0, 1)) == lat.n_sites  # x bonds
+        assert sum(1 for *_, c in bonds if c in (2, 3)) == lat.n_sites  # y bonds
+
+    def test_neighbors_interior(self):
+        lat = SquareLattice(4, 4)
+        assert sorted(lat.neighbors(lat.site(1, 1))) == sorted(
+            [lat.site(0, 1), lat.site(2, 1), lat.site(1, 0), lat.site(1, 2)]
+        )
+
+    def test_neighbors_unique_on_width_two(self):
+        lat = SquareLattice(2, 4)
+        for s in range(lat.n_sites):
+            ns = lat.neighbors(s)
+            assert len(ns) == len(set(ns))
+
+    def test_sublattice_bipartite(self):
+        lat = SquareLattice(4, 6)
+        for a, b, _ in lat.bonds():
+            assert lat.sublattice(a) != lat.sublattice(b)
+
+
+@given(st.integers(2, 20).map(lambda n: 2 * n))
+def test_chain_bond_colors_tile_any_even_size(n):
+    c = Chain(n)
+    for color in (0, 1):
+        assert len(c.bonds_of_color(color)) == n // 2

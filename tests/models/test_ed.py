@@ -1,0 +1,117 @@
+"""Tests for exact diagonalization thermodynamics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.models.ed import ExactDiagonalization, lanczos_ground_state
+from repro.models.hamiltonians import TFIM1D, XXZChainModel
+
+
+@pytest.fixture(scope="module")
+def heis4():
+    m = XXZChainModel(n_sites=4, periodic=True)
+    return ExactDiagonalization(m.build_sparse(), 4)
+
+
+class TestConstruction:
+    def test_dimension_mismatch_rejected(self):
+        h = sp.identity(8)
+        with pytest.raises(ValueError):
+            ExactDiagonalization(h, 4)
+
+    def test_non_hermitian_rejected(self):
+        h = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        with pytest.raises(ValueError, match="not Hermitian"):
+            ExactDiagonalization(h, 1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="impractical"):
+            ExactDiagonalization(sp.identity(2**15), 15)
+
+
+class TestGroundState(object):
+    def test_heisenberg_ring(self, heis4):
+        assert heis4.ground_state_energy == pytest.approx(-2.0)
+
+    def test_ground_state_normalized(self, heis4):
+        assert np.linalg.norm(heis4.ground_state) == pytest.approx(1.0)
+
+
+class TestThermal:
+    def test_high_temperature_limit(self, heis4):
+        # beta -> 0: <E> -> mean of spectrum = Tr H / dim = 0 for Heisenberg.
+        t = heis4.thermal(1e-8)
+        assert t.energy == pytest.approx(0.0, abs=1e-6)
+
+    def test_low_temperature_limit(self, heis4):
+        t = heis4.thermal(100.0)
+        assert t.energy == pytest.approx(-2.0, abs=1e-6)
+
+    def test_energy_monotone_in_beta(self, heis4):
+        energies = [heis4.thermal(b).energy for b in (0.1, 0.5, 1.0, 2.0, 5.0)]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_specific_heat_consistent_with_derivative(self, heis4):
+        # C = -beta^2 dE/dbeta; finite-difference cross-check.
+        beta, eps = 1.0, 1e-5
+        dE = (heis4.thermal(beta + eps).energy - heis4.thermal(beta - eps).energy) / (
+            2 * eps
+        )
+        assert heis4.thermal(beta).specific_heat == pytest.approx(
+            -(beta**2) * dE, rel=1e-4
+        )
+
+    def test_entropy_limits(self, heis4):
+        # T -> inf: S -> ln(dim); T -> 0: S -> ln(degeneracy) = 0 here.
+        assert heis4.thermal(1e-9).entropy == pytest.approx(np.log(16), abs=1e-5)
+        assert heis4.thermal(200.0).entropy == pytest.approx(0.0, abs=1e-6)
+
+    def test_magnetization_zero_without_field(self, heis4):
+        assert heis4.thermal(1.0).magnetization == pytest.approx(0.0, abs=1e-12)
+
+    def test_susceptibility_positive(self, heis4):
+        assert heis4.thermal(1.0).susceptibility > 0
+
+    def test_negative_beta_rejected(self, heis4):
+        with pytest.raises(ValueError):
+            heis4.thermal(-1.0)
+
+    def test_free_energy_relation(self, heis4):
+        # F = E - T S.
+        t = heis4.thermal(2.0)
+        assert t.free_energy == pytest.approx(t.energy - t.entropy / 2.0, rel=1e-10)
+
+
+class TestCorrelations:
+    def test_nn_correlation_from_energy(self, heis4):
+        # Heisenberg ring: E = J sum_<ij> <S_i S_j> = 3 J L <Sz Sz>_nn by
+        # SU(2) symmetry; check <Sz_0 Sz_1> = E / (3 L) at beta.
+        beta = 1.5
+        e = heis4.thermal(beta).energy
+        c01 = heis4.correlation_zz(0, 1, beta)
+        assert c01 == pytest.approx(e / 12.0, rel=1e-8)
+
+    def test_autocorrelation_is_quarter(self, heis4):
+        # <Sz_i Sz_i> = 1/4 for spin-1/2 at any temperature.
+        assert heis4.correlation_zz(2, 2, 0.7) == pytest.approx(0.25)
+
+
+class TestLanczos:
+    def test_matches_dense_for_heisenberg(self):
+        m = XXZChainModel(n_sites=8, periodic=True)
+        h = m.build_sparse()
+        lz = lanczos_ground_state(h, k=1)[0]
+        dense = np.linalg.eigvalsh(np.asarray(h.todense()))[0]
+        assert lz == pytest.approx(dense, abs=1e-8)
+
+    def test_small_matrix_fallback(self):
+        h = sp.diags([3.0, 1.0, 2.0])
+        assert lanczos_ground_state(h, k=2).tolist() == [1.0, 2.0]
+
+    def test_tfim_ground_state(self):
+        h = TFIM1D(n_sites=10, gamma=1.0).build_sparse()
+        from repro.models.tfim_exact import tfim_ground_state_energy
+
+        lz = lanczos_ground_state(h)[0]
+        assert lz == pytest.approx(tfim_ground_state_energy(10, 1.0, 1.0), abs=1e-6)

@@ -1,0 +1,99 @@
+"""Tests for Hamiltonian builders against known exact values."""
+
+import numpy as np
+import pytest
+
+from repro.models.hamiltonians import TFIM1D, TFIM2D, XXZChainModel
+
+
+def eigvals(model):
+    return np.linalg.eigvalsh(np.asarray(model.build_sparse().todense()))
+
+
+class TestXXZChain:
+    def test_hermitian(self):
+        h = XXZChainModel(n_sites=6).build_sparse()
+        d = np.asarray(h.todense())
+        np.testing.assert_allclose(d, d.T.conj())
+
+    def test_two_site_heisenberg_spectrum(self):
+        # Two spins, open chain: singlet -3/4 J, triplet +1/4 J.
+        vals = eigvals(XXZChainModel(n_sites=2, periodic=False))
+        np.testing.assert_allclose(vals, [-0.75, 0.25, 0.25, 0.25], atol=1e-12)
+
+    def test_four_site_ring_ground_state(self):
+        # Classic result: E0 = -2J for the 4-site Heisenberg ring.
+        vals = eigvals(XXZChainModel(n_sites=4, periodic=True))
+        assert vals[0] == pytest.approx(-2.0)
+
+    def test_ising_limit(self):
+        # Jxy = 0: diagonal; Neel state energy -J/4 per bond.
+        m = XXZChainModel(n_sites=4, jz=1.0, jxy=0.0, periodic=True)
+        vals = eigvals(m)
+        assert vals[0] == pytest.approx(-1.0)  # 4 bonds * (-1/4)
+
+    def test_xy_limit_free_fermions(self):
+        # Jz = 0 (XY chain): E0 = -sqrt(2) J for the 4-site ring (JW
+        # fermions with hopping Jxy/2, antiperiodic momenta).
+        m = XXZChainModel(n_sites=4, jz=0.0, jxy=1.0, periodic=True)
+        assert eigvals(m)[0] == pytest.approx(-np.sqrt(2.0))
+
+    def test_field_shifts_sectors(self):
+        m0 = XXZChainModel(n_sites=4, field=0.0)
+        m1 = XXZChainModel(n_sites=4, field=10.0)
+        # Strong field polarizes: ground state fully up, E = E_neel-ish.
+        v0, v1 = eigvals(m0)[0], eigvals(m1)[0]
+        assert v1 < v0
+
+    def test_energy_scale(self):
+        assert XXZChainModel(n_sites=4, jz=2.0, jxy=0.5).energy_scale == 0.5
+
+    def test_odd_periodic_rejected(self):
+        with pytest.raises(ValueError):
+            XXZChainModel(n_sites=5, periodic=True)
+
+
+class TestTFIM1D:
+    def test_hermitian(self):
+        h = TFIM1D(n_sites=6, gamma=0.7).build_sparse()
+        d = np.asarray(h.todense())
+        np.testing.assert_allclose(d, d.T)
+
+    def test_zero_field_classical_limit(self):
+        vals = eigvals(TFIM1D(n_sites=4, j=1.0, gamma=0.0))
+        assert vals[0] == pytest.approx(-4.0)  # all aligned, 4 bonds
+
+    def test_strong_field_limit(self):
+        vals = eigvals(TFIM1D(n_sites=4, j=0.0, gamma=2.0))
+        assert vals[0] == pytest.approx(-8.0)  # 4 sites * (-Gamma)
+
+    def test_open_vs_periodic_bond_count(self):
+        e_open = eigvals(TFIM1D(n_sites=4, gamma=0.0, periodic=False))[0]
+        e_pbc = eigvals(TFIM1D(n_sites=4, gamma=0.0, periodic=True))[0]
+        assert e_open == pytest.approx(-3.0)
+        assert e_pbc == pytest.approx(-4.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            TFIM1D(n_sites=1)
+
+
+class TestTFIM2D:
+    def test_classical_limit_energy(self):
+        # 2x2 periodic: 8 bonds (with doubled links), all aligned.
+        m = TFIM2D(lx=2, ly=2, j=1.0, gamma=0.0)
+        vals = np.linalg.eigvalsh(np.asarray(m.build_sparse().todense()))
+        assert vals[0] == pytest.approx(-8.0)
+
+    def test_ground_state_monotone_in_gamma(self):
+        e = [
+            np.linalg.eigvalsh(
+                np.asarray(TFIM2D(2, 2, gamma=g).build_sparse().todense())
+            )[0]
+            for g in (0.5, 1.0, 2.0)
+        ]
+        assert e[0] > e[1] > e[2]
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            TFIM2D(6, 4).build_sparse()

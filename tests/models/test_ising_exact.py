@@ -1,0 +1,69 @@
+"""Tests for Onsager exact 2-D Ising results."""
+
+import math
+
+import pytest
+
+from repro.models.ising_exact import (
+    onsager_critical_temperature,
+    onsager_energy_per_site,
+    onsager_spontaneous_magnetization,
+)
+
+
+class TestCriticalTemperature:
+    def test_value(self):
+        assert onsager_critical_temperature() == pytest.approx(2.269185, abs=1e-5)
+
+    def test_scales_with_j(self):
+        assert onsager_critical_temperature(2.0) == pytest.approx(
+            2 * onsager_critical_temperature(1.0)
+        )
+
+    def test_nonpositive_j_rejected(self):
+        with pytest.raises(ValueError):
+            onsager_critical_temperature(0.0)
+
+
+class TestEnergy:
+    def test_critical_value(self):
+        # u(Tc) = -sqrt(2) J exactly.
+        beta_c = 1.0 / onsager_critical_temperature()
+        assert onsager_energy_per_site(beta_c) == pytest.approx(
+            -math.sqrt(2.0), abs=1e-8
+        )
+
+    def test_ground_state_limit(self):
+        assert onsager_energy_per_site(50.0) == pytest.approx(-2.0, abs=1e-6)
+
+    def test_high_temperature_limit(self):
+        assert onsager_energy_per_site(1e-4) == pytest.approx(0.0, abs=0.01)
+
+    def test_monotone_in_beta(self):
+        es = [onsager_energy_per_site(b) for b in (0.1, 0.3, 0.44, 0.6, 1.0)]
+        assert all(a > b for a, b in zip(es, es[1:]))
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            onsager_energy_per_site(0.0)
+
+
+class TestMagnetization:
+    def test_zero_above_tc(self):
+        beta_hot = 0.9 / onsager_critical_temperature()
+        assert onsager_spontaneous_magnetization(beta_hot) == 0.0
+
+    def test_saturates_at_low_temperature(self):
+        assert onsager_spontaneous_magnetization(10.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_onset_below_tc(self):
+        # The 1/8 exponent makes the onset extremely steep: 2% below Tc
+        # the magnetization is already ~0.74.
+        beta_c = 1.0 / onsager_critical_temperature()
+        m = onsager_spontaneous_magnetization(1.02 * beta_c)
+        assert 0.5 < m < 0.85
+
+    def test_known_value(self):
+        # At beta = 0.5, J = 1: m = (1 - sinh(1)^-4)^(1/8).
+        expected = (1 - math.sinh(1.0) ** -4) ** 0.125
+        assert onsager_spontaneous_magnetization(0.5) == pytest.approx(expected)

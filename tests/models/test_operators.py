@@ -1,0 +1,89 @@
+"""Tests for sparse spin operator construction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.models.operators import (
+    identity_on,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    site_operator,
+    total_sz,
+    two_site_operator,
+)
+
+
+def dense(m):
+    return np.asarray(m.todense())
+
+
+class TestSingleSite:
+    def test_pauli_algebra(self):
+        x, y, z = dense(pauli_x()), dense(pauli_y()), dense(pauli_z())
+        np.testing.assert_allclose(x @ x, np.eye(2))
+        np.testing.assert_allclose(y @ y, np.eye(2))
+        np.testing.assert_allclose(z @ z, np.eye(2))
+        # [x, y] = 2iz in the bit-ordered basis (down, up): check via
+        # anticommutation and product identities instead of sign
+        # conventions: x y = i z requires our z = diag(-1, +1).
+        np.testing.assert_allclose(x @ y - y @ x, 2 * (x @ y))
+        np.testing.assert_allclose(x @ y + y @ x, np.zeros((2, 2)))
+
+    def test_z_is_diagonal_in_bit_order(self):
+        z = dense(pauli_z())
+        assert z[0, 0] == -1.0  # bit 0 = down
+        assert z[1, 1] == +1.0  # bit 1 = up
+
+
+class TestSiteOperator:
+    def test_embedding_shape(self):
+        op = site_operator(pauli_x(), 2, 4)
+        assert op.shape == (16, 16)
+
+    def test_site0_is_least_significant(self):
+        # sigma^x on site 0 of 2 sites maps |00> -> |01> (basis index 0 -> 1).
+        op = dense(site_operator(pauli_x(), 0, 2))
+        assert op[1, 0] == 1.0
+        op1 = dense(site_operator(pauli_x(), 1, 2))
+        assert op1[2, 0] == 1.0  # flips bit 1: index 0 -> 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            site_operator(pauli_x(), 3, 3)
+
+    def test_commuting_distinct_sites(self):
+        a = site_operator(pauli_x(), 0, 3)
+        b = site_operator(pauli_z(), 2, 3)
+        np.testing.assert_allclose(dense(a @ b), dense(b @ a))
+
+
+class TestTwoSiteOperator:
+    def test_equals_product(self):
+        ab = two_site_operator(pauli_z(), 0, pauli_z(), 2, 3)
+        direct = site_operator(pauli_z(), 0, 3) @ site_operator(pauli_z(), 2, 3)
+        np.testing.assert_allclose(dense(ab), dense(direct))
+
+    def test_same_site_rejected(self):
+        with pytest.raises(ValueError):
+            two_site_operator(pauli_x(), 1, pauli_x(), 1, 3)
+
+
+class TestTotalSz:
+    def test_diagonal_values(self):
+        sz = dense(total_sz(2)).diagonal()
+        # states: 00 (-1), 01 (0), 10 (0), 11 (+1)
+        np.testing.assert_allclose(sz, [-1.0, 0.0, 0.0, 1.0])
+
+    def test_matches_sum_of_site_operators(self):
+        n = 4
+        total = sum(
+            (site_operator(pauli_z(), i, n) / 2.0 for i in range(n)),
+            start=sp.csr_matrix((2**n, 2**n)),
+        )
+        np.testing.assert_allclose(dense(total_sz(n)), dense(total))
+
+    def test_identity(self):
+        assert identity_on(3).shape == (8, 8)
+        np.testing.assert_allclose(dense(identity_on(2)), np.eye(4))

@@ -1,0 +1,118 @@
+"""Tests for the free-fermion TFIM solution."""
+
+import numpy as np
+import pytest
+
+from repro.models.ed import ExactDiagonalization
+from repro.models.hamiltonians import TFIM1D
+from repro.models.tfim_exact import (
+    tfim_finite_temperature_energy,
+    tfim_free_energy,
+    tfim_ground_state_energy,
+    tfim_mode_energies,
+    tfim_transverse_magnetization,
+)
+
+
+class TestModeEnergies:
+    def test_count_and_positivity(self):
+        lam = tfim_mode_energies(16, 1.0, 0.8)
+        assert lam.shape == (16,)
+        assert np.all(lam > 0)
+
+    def test_critical_gap_closes(self):
+        # At Gamma = J the minimum mode energy vanishes like pi/N.
+        lam_crit = tfim_mode_energies(64, 1.0, 1.0).min()
+        lam_off = tfim_mode_energies(64, 1.0, 0.5).min()
+        assert lam_crit < 0.1
+        assert lam_off > 0.9
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            tfim_mode_energies(1)
+
+
+class TestGroundState:
+    @pytest.mark.parametrize("gamma", [0.3, 0.7, 1.0, 1.5])
+    def test_matches_ed(self, gamma):
+        n = 8
+        ed = ExactDiagonalization(TFIM1D(n_sites=n, gamma=gamma).build_sparse(), n)
+        assert tfim_ground_state_energy(n, 1.0, gamma) == pytest.approx(
+            ed.ground_state_energy, abs=1e-10
+        )
+
+    def test_thermodynamic_limit_at_criticality(self):
+        # e0 = -4/pi per site at Gamma = J = 1.
+        e = tfim_ground_state_energy(4096, 1.0, 1.0) / 4096
+        assert e == pytest.approx(-4 / np.pi, abs=1e-4)
+
+    def test_strong_field_asymptote(self):
+        # Gamma >> J: e0 -> -Gamma per site.
+        e = tfim_ground_state_energy(256, 1.0, 50.0) / 256
+        assert e == pytest.approx(-50.0, rel=0.01)
+
+
+class TestFiniteTemperature:
+    def test_zero_temperature_limit(self):
+        n = 32
+        e_gs = tfim_ground_state_energy(n, 1.0, 0.8)
+        e_lowt = tfim_finite_temperature_energy(n, 50.0, 1.0, 0.8)
+        assert e_lowt == pytest.approx(e_gs, abs=1e-6)
+
+    def test_high_temperature_limit(self):
+        # beta -> 0: <H> -> 0 (traceless Hamiltonian).
+        assert tfim_finite_temperature_energy(32, 1e-9, 1.0, 1.0) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_matches_ed_at_large_n_proxy(self):
+        # Parity corrections are O(exp(-N)); at N=8 and moderate beta
+        # they are visible but small -- assert 3% agreement.
+        n, beta, gamma = 8, 1.0, 0.9
+        ed = ExactDiagonalization(TFIM1D(n_sites=n, gamma=gamma).build_sparse(), n)
+        ff = tfim_finite_temperature_energy(n, beta, 1.0, gamma)
+        assert ff == pytest.approx(ed.thermal(beta).energy, rel=0.03)
+
+    def test_energy_from_free_energy_derivative(self):
+        # E = d(beta F)/d(beta).
+        n, gamma = 64, 0.7
+        beta, eps = 1.3, 1e-6
+        bf = lambda b: b * tfim_free_energy(n, b, 1.0, gamma)
+        dE = (bf(beta + eps) - bf(beta - eps)) / (2 * eps)
+        assert tfim_finite_temperature_energy(n, beta, 1.0, gamma) == pytest.approx(
+            dE, rel=1e-5
+        )
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            tfim_finite_temperature_energy(8, -1.0)
+
+
+class TestTransverseMagnetization:
+    def test_strong_field_saturates(self):
+        assert tfim_transverse_magnetization(64, 100.0, 1.0, 20.0) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_matches_ed_ground_state(self):
+        # The antiperiodic sector is exact for the ground state, so the
+        # T = 0 comparison is sharp: <sigma^x> = -dE0/dGamma / N.
+        n, gamma = 8, 0.8
+        eps = 1e-5
+        e = lambda g: ExactDiagonalization(
+            TFIM1D(n_sites=n, gamma=g).build_sparse(), n
+        ).ground_state_energy
+        sx_ed = -(e(gamma + eps) - e(gamma - eps)) / (2 * eps) / n
+        sx_ff = tfim_transverse_magnetization(n, float("inf"), 1.0, gamma)
+        assert sx_ff == pytest.approx(sx_ed, abs=1e-5)
+
+    def test_matches_ed_high_temperature(self):
+        # Parity-projection corrections shrink at high T; 5% at N=8.
+        n, gamma, beta = 8, 0.8, 0.5
+        eps = 1e-5
+        f = lambda g: -ExactDiagonalization(
+            TFIM1D(n_sites=n, gamma=g).build_sparse(), n
+        ).log_partition(beta) / beta
+        sx_ed = -(f(gamma + eps) - f(gamma - eps)) / (2 * eps) / n
+        sx_ff = tfim_transverse_magnetization(n, beta, 1.0, gamma)
+        assert sx_ff == pytest.approx(sx_ed, rel=0.05)

@@ -1,0 +1,86 @@
+"""Tests for the matrix-product Trotter reference."""
+
+import numpy as np
+import pytest
+
+from repro.models.ed import ExactDiagonalization
+from repro.models.hamiltonians import XXZChainModel
+from repro.models.trotter_ref import (
+    checkerboard_split,
+    trotter_log_z,
+    trotter_reference_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return XXZChainModel(n_sites=4, jz=1.0, jxy=1.0, periodic=False)
+
+
+class TestCheckerboardSplit:
+    def test_sum_is_rotated_hamiltonian(self, model):
+        h_even, h_odd = checkerboard_split(model)
+        total = h_even + h_odd
+        # The Marshall rotation flips Jxy; the spectrum must match the
+        # unrotated Hamiltonian exactly (unitary equivalence).
+        rotated_spec = np.linalg.eigvalsh(total)
+        original_spec = np.linalg.eigvalsh(
+            np.asarray(model.build_sparse().todense())
+        )
+        np.testing.assert_allclose(rotated_spec, original_spec, atol=1e-10)
+
+    def test_even_odd_terms_commute_within_color(self, model):
+        # Bonds within one color are site-disjoint, hence commute; test
+        # the weaker, directly checkable consequence that exp splits.
+        from scipy.linalg import expm
+
+        h_even, _ = checkerboard_split(model)
+        dt = 0.1
+        # For L=4 open: even bonds are (0,1) and (2,3).
+        e1 = expm(-dt * h_even)
+        np.testing.assert_allclose(e1 @ e1, expm(-2 * dt * h_even), atol=1e-10)
+
+    def test_size_limit(self):
+        big = XXZChainModel(n_sites=14, periodic=True)
+        with pytest.raises(ValueError, match="impractical"):
+            checkerboard_split(big)
+
+
+class TestTrotterLogZ:
+    def test_converges_to_exact_as_m_grows(self, model):
+        ed = ExactDiagonalization(model.build_sparse(), 4)
+        beta = 1.0
+        exact = ed.log_partition(beta)
+        errors = [abs(trotter_log_z(model, beta, m) - exact) for m in (2, 4, 8, 16)]
+        # O(dtau^2) convergence: quadrupling M should cut the error ~16x;
+        # assert at least monotone with big reduction overall.
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+        assert errors[-1] < errors[0] / 20
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ValueError):
+            trotter_log_z(model, -1.0, 4)
+        with pytest.raises(ValueError):
+            trotter_log_z(model, 1.0, 0)
+
+
+class TestTrotterReferenceEnergy:
+    def test_second_order_trotter_error(self, model):
+        ed = ExactDiagonalization(model.build_sparse(), 4)
+        beta = 1.0
+        exact = ed.thermal(beta).energy
+        e4 = trotter_reference_energy(model, beta, 4)
+        e8 = trotter_reference_energy(model, beta, 8)
+        # Error ratio should be ~4 (dtau^2 halving M->2M).
+        r = abs(e4 - exact) / abs(e8 - exact)
+        assert 2.5 < r < 6.0
+
+    def test_approaches_exact(self, model):
+        ed = ExactDiagonalization(model.build_sparse(), 4)
+        e = trotter_reference_energy(model, 1.0, 64)
+        assert e == pytest.approx(ed.thermal(1.0).energy, abs=2e-4)
+
+    def test_periodic_chain_supported(self):
+        m = XXZChainModel(n_sites=4, periodic=True)
+        e = trotter_reference_energy(m, 0.5, 8)
+        assert np.isfinite(e)

@@ -1,0 +1,115 @@
+"""Tests for Wang-Landau + multicanonical sampling.
+
+Oracle: the exactly enumerable 4x4 periodic Ising model (2^16
+configurations) -- exact density of states and exact canonical
+averages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qmc.multicanonical import (
+    MulticanonicalSampler,
+    WangLandauSampler,
+)
+from repro.util.logspace import logsumexp
+
+L = 4
+N = L * L
+E_MIN, E_MAX, N_BINS = -2.0 * N - 2.0, 2.0 * N + 2.0, 17
+
+
+@pytest.fixture(scope="module")
+def exact_dos():
+    """Exact (energies, log_g) of the 4x4 periodic Ising model (J=1)."""
+    counts: dict[float, int] = {}
+    for bits in range(2**N):
+        s = (
+            np.array([(bits >> k) & 1 for k in range(N)], dtype=np.int8).reshape(L, L)
+            * 2
+            - 1
+        )
+        e = -float(
+            np.sum(s * np.roll(s, -1, axis=0)) + np.sum(s * np.roll(s, -1, axis=1))
+        )
+        counts[e] = counts.get(e, 0) + 1
+    energies = np.array(sorted(counts))
+    log_g = np.log(np.array([counts[e] for e in energies], dtype=float))
+    return energies, log_g
+
+
+@pytest.fixture(scope="module")
+def wl_result():
+    wl = WangLandauSampler(
+        (L, L), (1.0, 1.0), E_MIN, E_MAX, N_BINS, seed=3, log_f_final=5e-5
+    )
+    return wl.run(sweeps_per_check=30)
+
+
+class TestWangLandau:
+    def test_visits_full_spectrum(self, wl_result):
+        centers = wl_result.bin_centers[wl_result.visited]
+        assert centers.min() == pytest.approx(-2.0 * N, abs=2.0)
+        assert centers.max() == pytest.approx(2.0 * N, abs=2.0)
+
+    def test_gap_bins_never_visited(self, wl_result):
+        # E = +-(2N - 4) does not exist on the periodic square lattice.
+        centers = wl_result.bin_centers
+        for e_gap in (-(2.0 * N - 4.0), 2.0 * N - 4.0):
+            k = int(np.argmin(np.abs(centers - e_gap)))
+            assert not wl_result.visited[k]
+
+    def test_recovers_exact_dos_shape(self, wl_result, exact_dos):
+        energies, log_g_exact = exact_dos
+        log_g = wl_result.log_g_normalized(N * np.log(2.0))
+        for e, lg in zip(energies, log_g_exact):
+            k = int(np.argmin(np.abs(wl_result.bin_centers - e)))
+            assert wl_result.visited[k]
+            assert log_g[k] == pytest.approx(lg, abs=0.5), f"E={e}"
+
+    def test_normalization(self, wl_result):
+        log_g = wl_result.log_g_normalized(N * np.log(2.0))
+        assert logsumexp(log_g[np.isfinite(log_g)]) == pytest.approx(
+            N * np.log(2.0), abs=1e-9
+        )
+
+    def test_annealing_terminated(self, wl_result):
+        assert wl_result.final_log_f <= 5e-5
+        assert wl_result.iterations >= 10
+
+
+class TestMulticanonical:
+    @pytest.fixture(scope="class")
+    def muca(self, wl_result):
+        m = MulticanonicalSampler((L, L), (1.0, 1.0), wl_result, seed=7)
+        m.run(n_sweeps=4000, n_thermalize=200)
+        return m
+
+    def test_histogram_roughly_flat(self, muca):
+        h = muca.histogram()
+        occupied = h.counts[h.counts > 0]
+        # Random walk in energy: occupied bins within ~6x of each other
+        # (far flatter than any canonical histogram over 25 decades of g).
+        assert occupied.min() > occupied.max() / 20
+
+    def test_visits_both_phase_regions(self, muca):
+        e = np.asarray(muca.energies)
+        assert e.min() <= -2.0 * N + 4.0  # reached the ground states
+        assert e.max() >= 0.0  # and the disordered region
+
+    def test_reweighted_energy_matches_exact(self, muca, exact_dos):
+        energies, log_g_exact = exact_dos
+        for beta in (0.2, 0.4, 0.6):
+            lw = log_g_exact - beta * energies
+            lw -= lw.max()
+            w = np.exp(lw)
+            exact = float(np.sum(w * energies) / np.sum(w))
+            est = muca.reweighted_energy(beta)
+            assert est == pytest.approx(exact, abs=0.06 * abs(exact) + 0.4), (
+                f"beta={beta}"
+            )
+
+    def test_requires_run_before_reweight(self, wl_result):
+        m = MulticanonicalSampler((L, L), (1.0, 1.0), wl_result, seed=9)
+        with pytest.raises(ValueError):
+            m.reweighted_energy(0.4)

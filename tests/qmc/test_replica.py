@@ -1,0 +1,73 @@
+"""Tests for replica parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.qmc.classical_ising import AnisotropicIsing
+from repro.qmc.replica import ReplicaConfig, combined_mean_error, replica_program
+from repro.vmp.machines import CM5, IDEAL
+from repro.vmp.scheduler import run_spmd
+
+
+def ising_factory(stream):
+    return AnisotropicIsing((8, 8), (0.3, 0.3), stream=stream, hot_start=True)
+
+
+CFG = ReplicaConfig(
+    sampler_factory=ising_factory,
+    observables=("magnetization", "abs_magnetization"),
+    n_sweeps=60,
+    n_thermalize=20,
+    flops_per_sweep=8 * 8 * 14.0,
+)
+
+
+class TestReplicaProgram:
+    def test_pooled_mean_identical_on_all_ranks(self):
+        res = run_spmd(replica_program, 4, machine=IDEAL, seed=3, args=(CFG,))
+        pooled = [v["pooled_mean"]["abs_magnetization"] for v in res.values]
+        assert len(set(pooled)) == 1
+
+    def test_rank0_collects_all_series(self):
+        res = run_spmd(replica_program, 3, machine=IDEAL, seed=3, args=(CFG,))
+        series = res.values[0]["series"]
+        assert set(series) == {"magnetization", "abs_magnetization"}
+        assert len(series["magnetization"]) == 3
+        assert all(len(s) == 60 for s in series["magnetization"])
+        assert "series" not in res.values[1]
+
+    def test_replicas_are_independent(self):
+        res = run_spmd(replica_program, 3, machine=IDEAL, seed=3, args=(CFG,))
+        series = res.values[0]["series"]["magnetization"]
+        assert not np.array_equal(series[0], series[1])
+
+    def test_pooled_mean_is_mean_of_replicas(self):
+        res = run_spmd(replica_program, 3, machine=IDEAL, seed=3, args=(CFG,))
+        series = res.values[0]["series"]["abs_magnetization"]
+        manual = np.mean(np.concatenate(series))
+        assert res.values[0]["pooled_mean"]["abs_magnetization"] == pytest.approx(
+            manual
+        )
+
+    def test_compute_charged(self):
+        res = run_spmd(replica_program, 2, machine=CM5, seed=3, args=(CFG,))
+        assert res.category_seconds("compute") > 0
+
+
+class TestCombinedMeanError:
+    def test_known_replicas(self):
+        series = [np.full(10, 1.0), np.full(10, 2.0), np.full(10, 3.0)]
+        mean, err = combined_mean_error(series)
+        assert mean == pytest.approx(2.0)
+        assert err == pytest.approx(1.0 / np.sqrt(3))
+
+    def test_single_replica_rejected(self):
+        with pytest.raises(ValueError):
+            combined_mean_error([np.arange(5.0)])
+
+    def test_error_shrinks_with_replica_count(self, rng):
+        series_many = [rng.normal(size=100) for _ in range(16)]
+        series_few = series_many[:4]
+        _, err_many = combined_mean_error(series_many)
+        _, err_few = combined_mean_error(series_few)
+        assert err_many < err_few

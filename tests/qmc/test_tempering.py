@@ -1,0 +1,81 @@
+"""Tests for parallel tempering + WHAM integration."""
+
+import numpy as np
+import pytest
+
+from repro.qmc.tempering import (
+    TemperingConfig,
+    histograms_from_results,
+    tempering_program,
+)
+from repro.stats.wham import multi_histogram_reweight
+from repro.vmp.machines import IDEAL
+from repro.vmp.scheduler import run_spmd
+
+BETAS = (0.25, 0.32, 0.40, 0.50)
+
+CFG = TemperingConfig(
+    shape=(8, 8),
+    couplings_j=(1.0, 1.0),
+    betas=BETAS,
+    n_sweeps=400,
+    n_thermalize=100,
+    exchange_every=5,
+    histogram_bins=48,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    res = run_spmd(tempering_program, len(BETAS), machine=IDEAL, seed=21, args=(CFG,))
+    return res.values
+
+
+class TestTemperingRun:
+    def test_one_beta_per_rank_enforced(self):
+        with pytest.raises(ValueError, match="one beta per rank"):
+            run_spmd(tempering_program, 2, machine=IDEAL, args=(CFG,))
+
+    def test_energies_ordered_by_temperature(self, results):
+        # Colder replicas sit at lower physical energy on average.
+        means = [np.mean(r["energy"]) for r in results]
+        assert means[0] > means[-1]
+
+    def test_exchange_acceptance_reasonable(self, results):
+        # With this closely spaced grid most swap attempts should land.
+        total_att = sum(r["exchange_attempts"] for r in results)
+        total_acc = sum(r["exchange_accepts"] for r in results)
+        assert total_att > 0
+        assert 0.2 < total_acc / total_att <= 1.0
+
+    def test_partner_bookkeeping_symmetric(self, results):
+        # Each exchange is counted once by each partner: totals are even.
+        assert sum(r["exchange_attempts"] for r in results) % 2 == 0
+        assert sum(r["exchange_accepts"] for r in results) % 2 == 0
+
+    def test_histograms_populated(self, results):
+        for r in results:
+            assert r["n_samples"] == CFG.n_sweeps
+
+
+class TestWhamIntegration:
+    def test_wham_combines_threads(self, results):
+        hists = histograms_from_results(results)
+        wham = multi_histogram_reweight(hists, [r["beta"] for r in results])
+        assert wham.converged
+
+    def test_interpolated_energy_is_monotone(self, results):
+        hists = histograms_from_results(results)
+        wham = multi_histogram_reweight(hists, [r["beta"] for r in results])
+        betas = np.linspace(0.26, 0.48, 8)
+        energies = [wham.mean_energy(b) for b in betas]
+        assert all(a >= b for a, b in zip(energies, energies[1:]))
+
+    def test_interpolation_matches_direct_thread_means(self, results):
+        hists = histograms_from_results(results)
+        wham = multi_histogram_reweight(hists, [r["beta"] for r in results])
+        for r in results[1:3]:  # interior temperatures, well-supported
+            direct = float(np.mean(r["energy"]))
+            assert wham.mean_energy(r["beta"]) == pytest.approx(
+                direct, abs=0.05 * abs(direct) + 2.0
+            )

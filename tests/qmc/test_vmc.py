@@ -1,0 +1,90 @@
+"""Tests for the Marshall-Jastrow VMC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models.ed import ExactDiagonalization
+from repro.models.hamiltonians import XXZChainModel
+from repro.qmc.vmc import MarshallJastrowVmc
+
+
+@pytest.fixture(scope="module")
+def model():
+    return XXZChainModel(n_sites=8, periodic=True)
+
+
+@pytest.fixture(scope="module")
+def e0(model):
+    return ExactDiagonalization(model.build_sparse(), 8).ground_state_energy
+
+
+class TestConstruction:
+    def test_neel_start_sz0(self, model):
+        vmc = MarshallJastrowVmc(model, alpha=0.3)
+        assert vmc.spins.sum() == pytest.approx(0.0)
+
+    def test_odd_sites_rejected(self):
+        m = XXZChainModel(n_sites=5, periodic=False)
+        with pytest.raises(ValueError):
+            MarshallJastrowVmc(m, 0.3)
+
+    def test_field_rejected(self):
+        m = XXZChainModel(n_sites=4, field=1.0, periodic=False)
+        with pytest.raises(ValueError):
+            MarshallJastrowVmc(m, 0.3)
+
+
+class TestSampling:
+    def test_sweep_conserves_sz(self, model):
+        vmc = MarshallJastrowVmc(model, alpha=0.4, seed=1)
+        for _ in range(50):
+            vmc.sweep()
+            assert vmc.spins.sum() == pytest.approx(0.0)
+
+    def test_spins_stay_half(self, model):
+        vmc = MarshallJastrowVmc(model, alpha=0.4, seed=2)
+        for _ in range(20):
+            vmc.sweep()
+        assert set(np.unique(vmc.spins)) == {-0.5, 0.5}
+
+    def test_acceptance_nontrivial(self, model):
+        res = MarshallJastrowVmc(model, alpha=0.3, seed=3).run(200)
+        assert 0.05 < res.acceptance_rate <= 1.0
+
+
+class TestVariationalPrinciple:
+    @pytest.mark.parametrize("alpha", [0.0, 0.2, 0.4, 0.8])
+    def test_energy_above_ground_state(self, model, e0, alpha):
+        res = MarshallJastrowVmc(model, alpha, seed=5).run(1500, n_thermalize=200)
+        # E_vmc >= E_0 up to statistical noise.
+        assert res.energy >= e0 - 5 * res.energy_error_naive - 0.02
+
+    def test_good_alpha_close_to_exact(self, model, e0):
+        # The one-parameter Marshall-Jastrow state reaches ~98% of the
+        # 8-site ring's ground-state energy at its optimum alpha ~= 1.0.
+        res = MarshallJastrowVmc(model, alpha=1.0, seed=7).run(
+            3000, n_thermalize=300
+        )
+        assert res.energy == pytest.approx(e0, abs=0.03 * abs(e0))
+
+    def test_alpha_zero_is_worse_than_optimum(self, model):
+        e_zero = MarshallJastrowVmc(model, 0.0, seed=9).run(1500, 200).energy
+        e_opt = MarshallJastrowVmc(model, 1.0, seed=9).run(1500, 200).energy
+        assert e_opt < e_zero
+
+
+class TestOptimization:
+    def test_grid_search_finds_interior_optimum(self, model):
+        alphas = np.array([0.0, 0.5, 1.0, 1.6, 2.5])
+        best, results = MarshallJastrowVmc.optimize_alpha(
+            model, alphas, n_sweeps=800, seed=11
+        )
+        assert len(results) == 5
+        # The optimum should not be at the extreme ends of the grid.
+        assert best in (0.5, 1.0, 1.6)
+
+    def test_local_energy_of_neel(self, model):
+        # Neel configuration: all bonds antiparallel; diagonal part
+        # = -J/4 per bond; off-diagonal negative => E_L < -L*J/4.
+        vmc = MarshallJastrowVmc(model, alpha=0.3)
+        assert vmc.local_energy() < -model.n_sites / 4.0 + 1e-12

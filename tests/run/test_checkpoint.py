@@ -1,0 +1,93 @@
+"""Tests for exact-resume checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
+from repro.qmc.classical_ising import AnisotropicIsing
+from repro.qmc.tfim import TfimQmc
+from repro.qmc.worldline import WorldlineChainQmc
+from repro.qmc.worldline2d import WorldlineSquareQmc
+from repro.run.checkpoint import load_checkpoint, save_checkpoint
+
+
+def assert_bitwise_resume(make_sampler, run, tmp_path, n_before=20, n_after=30):
+    """save at t, resume in a fresh sampler, compare with uninterrupted."""
+    a = make_sampler()
+    for _ in range(n_before):
+        run(a)
+    save_checkpoint(a, tmp_path / "state.npz")
+    # Uninterrupted continuation.
+    for _ in range(n_after):
+        run(a)
+
+    b = make_sampler()
+    load_checkpoint(b, tmp_path / "state.npz")
+    for _ in range(n_after):
+        run(b)
+
+    sa = a.classical.spins if hasattr(a, "classical") else a.spins
+    sb = b.classical.spins if hasattr(b, "classical") else b.spins
+    np.testing.assert_array_equal(sa, sb)
+
+
+class TestBitwiseResume:
+    def test_worldline_chain(self, tmp_path):
+        model = XXZChainModel(n_sites=8, periodic=True)
+        assert_bitwise_resume(
+            lambda: WorldlineChainQmc(model, 0.5, 8, seed=3),
+            lambda s: s.sweep(),
+            tmp_path,
+        )
+
+    def test_worldline_square(self, tmp_path):
+        model = XXZSquareModel(lx=2, ly=4)
+        assert_bitwise_resume(
+            lambda: WorldlineSquareQmc(model, 0.5, 8, seed=5),
+            lambda s: s.sweep(),
+            tmp_path,
+            n_before=5,
+            n_after=8,
+        )
+
+    def test_classical_ising(self, tmp_path):
+        assert_bitwise_resume(
+            lambda: AnisotropicIsing((8, 8), (0.3, 0.3), seed=7, hot_start=True),
+            lambda s: s.sweep(),
+            tmp_path,
+        )
+
+    def test_tfim_delegates_to_classical(self, tmp_path):
+        assert_bitwise_resume(
+            lambda: TfimQmc((8,), 1.0, 1.0, 2.0, 16, seed=9),
+            lambda s: s.sweep(),
+            tmp_path,
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, tmp_path):
+        a = AnisotropicIsing((4, 4), (0.3, 0.3), seed=1)
+        save_checkpoint(a, tmp_path / "s.npz")
+        b = AnisotropicIsing((6, 6), (0.3, 0.3), seed=1)
+        with pytest.raises(ValueError, match="lattice"):
+            load_checkpoint(b, tmp_path / "s.npz")
+
+    def test_class_mismatch_rejected(self, tmp_path):
+        a = AnisotropicIsing((4, 4), (0.3, 0.3), seed=1)
+        save_checkpoint(a, tmp_path / "s.npz")
+        model = XXZChainModel(n_sites=4, periodic=True)
+        b = WorldlineChainQmc(model, 0.5, 4 + 4, seed=1)
+        with pytest.raises(ValueError, match="state"):
+            load_checkpoint(b, tmp_path / "s.npz")
+
+    def test_counters_restored(self, tmp_path):
+        a = AnisotropicIsing((4, 4), (0.3, 0.3), seed=2, hot_start=True)
+        for _ in range(10):
+            a.sweep()
+        save_checkpoint(a, tmp_path / "s.npz")
+        b = AnisotropicIsing((4, 4), (0.3, 0.3), seed=99)
+        load_checkpoint(b, tmp_path / "s.npz")
+        assert b.n_attempted == a.n_attempted
+        assert b.n_accepted == a.n_accepted
+        assert b.acceptance_rate == a.acceptance_rate

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run_xxz(self):
+        args = build_parser().parse_args(
+            ["run-xxz", "--sites", "8", "--beta", "1.0", "--strategy", "strip",
+             "--ranks", "2", "--machine", "Paragon"]
+        )
+        assert args.sites == 8
+        assert args.machine == "Paragon"
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-xxz", "--sites", "8", "--beta", "1", "--machine", "Cray-1"]
+            )
+
+
+class TestCommands:
+    def test_machines_lists_all(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CM-5", "Paragon", "nCUBE-2", "Delta", "Ideal"):
+            assert name in out
+
+    def test_scaling_table(self, capsys):
+        assert main(["scaling", "--machine", "Paragon", "--lx", "32", "--ly",
+                     "32", "--slices", "8", "--max-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "16" in out
+
+    def test_scaling_strip_stops_at_lattice_limit(self, capsys):
+        assert main(["scaling", "--strategy", "strip", "--lx", "8", "--ly", "8",
+                     "--slices", "8", "--max-p", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "stopping at P=16" in out
+
+    def test_run_xxz_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "res"
+        code = main([
+            "run-xxz", "--sites", "8", "--beta", "0.5", "--slices", "8",
+            "--sweeps", "50", "--thermalize", "5", "--output", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy" in out
+        doc = json.loads((tmp_path / "res.json").read_text())
+        assert doc["kind"] == "xxz"
+
+    def test_run_tfim_smoke(self, capsys):
+        code = main([
+            "run-tfim", "--shape", "8", "--beta", "1.0", "--gamma", "1.0",
+            "--slices", "8", "--sweeps", "50", "--thermalize", "5",
+        ])
+        assert code == 0
+        assert "sigma_x" in capsys.readouterr().out
+
+    def test_run_tfim_2d_shape(self, capsys):
+        code = main([
+            "run-tfim", "--shape", "4x4", "--beta", "1.0", "--slices", "8",
+            "--sweeps", "30", "--thermalize", "5",
+        ])
+        assert code == 0
+
+    def test_invalid_config_returns_error_code(self, capsys):
+        code = main([
+            "run-xxz", "--sites", "7", "--beta", "1.0", "--sweeps", "10",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestXXZ2DCommand:
+    def test_run_xxz2d_smoke(self, capsys):
+        code = main([
+            "run-xxz2d", "--lx", "2", "--ly", "4", "--beta", "0.5",
+            "--slices", "8", "--sweeps", "40", "--thermalize", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "staggered_structure_factor" in out
+
+    def test_run_xxz2d_rejects_strip(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-xxz2d", "--lx", "4", "--ly", "4", "--beta", "1",
+                 "--strategy", "strip"]
+            )

@@ -1,0 +1,82 @@
+"""Tests for run configuration validation."""
+
+import pytest
+
+from repro.run.config import ParallelLayout, TfimRunConfig, XXZRunConfig
+
+
+class TestParallelLayout:
+    def test_defaults(self):
+        layout = ParallelLayout()
+        assert layout.strategy == "serial"
+        assert layout.n_ranks == 1
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ParallelLayout(strategy="diagonal")
+
+    def test_serial_multi_rank_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(strategy="serial", n_ranks=4)
+
+    def test_nonpositive_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(strategy="strip", n_ranks=0)
+
+
+class TestXXZRunConfig:
+    def test_valid(self):
+        cfg = XXZRunConfig(n_sites=8, beta=1.0)
+        assert cfg.n_slices == 16
+
+    def test_bad_beta(self):
+        with pytest.raises(ValueError):
+            XXZRunConfig(n_sites=8, beta=-1.0)
+
+    def test_bad_slices(self):
+        with pytest.raises(ValueError):
+            XXZRunConfig(n_sites=8, beta=1.0, n_slices=5)
+
+    def test_block_layout_rejected_for_chain(self):
+        with pytest.raises(ValueError, match="no block layout"):
+            XXZRunConfig(
+                n_sites=8, beta=1.0,
+                layout=ParallelLayout("block", 4),
+            )
+
+    def test_strip_layout_geometry_checked(self):
+        with pytest.raises(ValueError, match="L % 4"):
+            XXZRunConfig(
+                n_sites=6, beta=1.0, periodic=True,
+                layout=ParallelLayout("strip", 2),
+            )
+        with pytest.raises(ValueError, match="periodic"):
+            XXZRunConfig(
+                n_sites=8, beta=1.0, periodic=False,
+                layout=ParallelLayout("strip", 2),
+            )
+
+
+class TestTfimRunConfig:
+    def test_valid(self):
+        cfg = TfimRunConfig(spatial_shape=(8,), beta=2.0)
+        assert cfg.gamma == 1.0
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            TfimRunConfig(spatial_shape=(4, 4, 4), beta=1.0)
+
+    def test_odd_extent_rejected(self):
+        with pytest.raises(ValueError):
+            TfimRunConfig(spatial_shape=(5,), beta=1.0)
+
+    def test_zero_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            TfimRunConfig(spatial_shape=(8,), beta=1.0, gamma=0.0)
+
+    def test_strip_layout_rejected(self):
+        with pytest.raises(ValueError, match="block"):
+            TfimRunConfig(
+                spatial_shape=(8,), beta=1.0,
+                layout=ParallelLayout("strip", 2),
+            )

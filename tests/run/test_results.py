@@ -1,0 +1,71 @@
+"""Tests for result records and their JSON/NPZ round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.run.results import ObservableEstimate, RunResult, load_result, save_result
+
+
+class TestObservableEstimate:
+    def test_agrees_with(self):
+        est = ObservableEstimate("energy", -2.0, 0.1)
+        assert est.agrees_with(-2.25)  # 2.5 sigma
+        assert not est.agrees_with(-2.5)  # 5 sigma
+        assert est.agrees_with(-2.5, atol=0.3)
+
+    def test_str(self):
+        s = str(ObservableEstimate("chi", 0.123456, 0.01))
+        assert "chi" in s and "+-" in s
+
+
+class TestRunResult:
+    def test_estimate_lookup(self):
+        r = RunResult(kind="xxz", parameters={})
+        r.estimates["energy"] = ObservableEstimate("energy", 1.0, 0.1)
+        assert r.estimate("energy").value == 1.0
+        with pytest.raises(KeyError, match="no estimate"):
+            r.estimate("missing")
+
+    def test_summary_mentions_everything(self):
+        r = RunResult(kind="tfim", parameters={}, model_time=1.5, comm_fraction=0.25)
+        r.estimates["energy"] = ObservableEstimate("energy", -3.0, 0.2)
+        s = r.summary()
+        assert "tfim" in s and "energy" in s and "model_time" in s and "25" in s
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        r = RunResult(
+            kind="xxz",
+            parameters={"n_sites": 8, "beta": 1.0},
+            model_time=2.5,
+            comm_fraction=0.1,
+        )
+        r.estimates["energy"] = ObservableEstimate("energy", -3.1, 0.05, tau_int=2.0)
+        r.add_series("energy", np.arange(10.0))
+
+        save_result(r, tmp_path / "run1")
+        loaded = load_result(tmp_path / "run1")
+
+        assert loaded.kind == "xxz"
+        assert loaded.parameters == {"n_sites": 8, "beta": 1.0}
+        assert loaded.model_time == 2.5
+        est = loaded.estimate("energy")
+        assert est.value == -3.1 and est.tau_int == 2.0
+        np.testing.assert_array_equal(loaded.series["energy"], np.arange(10.0))
+
+    def test_save_without_series(self, tmp_path):
+        r = RunResult(kind="tfim", parameters={})
+        save_result(r, tmp_path / "bare")
+        loaded = load_result(tmp_path / "bare")
+        assert loaded.series == {}
+
+    def test_json_is_readable(self, tmp_path):
+        import json
+
+        r = RunResult(kind="xxz", parameters={"beta": 2.0})
+        r.estimates["e"] = ObservableEstimate("e", 1.0, 0.1)
+        save_result(r, tmp_path / "doc")
+        doc = json.loads((tmp_path / "doc.json").read_text())
+        assert doc["kind"] == "xxz"
+        assert doc["estimates"]["e"]["value"] == 1.0

@@ -1,0 +1,124 @@
+"""Tests for the Simulation facade (small, fast runs)."""
+
+import numpy as np
+import pytest
+
+from repro.run.config import ParallelLayout, TfimRunConfig, XXZRunConfig
+from repro.run.simulation import Simulation
+
+
+class TestDispatch:
+    def test_unknown_config_rejected(self):
+        with pytest.raises(TypeError):
+            Simulation(object())
+
+    def test_kind_detection(self):
+        assert Simulation(XXZRunConfig(n_sites=8, beta=1.0, n_sweeps=2)).kind == "xxz"
+        assert (
+            Simulation(TfimRunConfig(spatial_shape=(4,), beta=1.0, n_sweeps=2)).kind
+            == "tfim"
+        )
+
+
+class TestXXZRuns:
+    def test_serial_run_produces_estimates(self):
+        cfg = XXZRunConfig(
+            n_sites=8, beta=0.5, n_slices=8, n_sweeps=200, n_thermalize=20
+        )
+        result = Simulation(cfg).run()
+        assert result.kind == "xxz"
+        assert np.isfinite(result.estimate("energy").value)
+        assert result.estimate("energy_per_site").value == pytest.approx(
+            result.estimate("energy").value / 8
+        )
+        assert result.estimate("susceptibility").value > 0
+        assert len(result.series["energy"]) == 200
+
+    def test_replica_concatenates_chains(self):
+        cfg = XXZRunConfig(
+            n_sites=8, beta=0.5, n_slices=8, n_sweeps=50, n_thermalize=10,
+            layout=ParallelLayout("replica", 3),
+        )
+        result = Simulation(cfg).run()
+        assert len(result.series["energy"]) == 150
+
+    def test_strip_run_reports_machine_time(self):
+        cfg = XXZRunConfig(
+            n_sites=8, beta=0.5, n_slices=8, n_sweeps=60, n_thermalize=10,
+            layout=ParallelLayout("strip", 2, "Paragon"),
+        )
+        result = Simulation(cfg).run()
+        assert result.model_time > 0
+        assert 0 < result.comm_fraction < 1
+        assert result.parameters["machine"] == "Paragon"
+
+
+class TestTfimRuns:
+    def test_serial_run(self):
+        cfg = TfimRunConfig(
+            spatial_shape=(8,), beta=1.0, gamma=1.0, n_slices=8,
+            n_sweeps=200, n_thermalize=20,
+        )
+        result = Simulation(cfg).run()
+        assert np.isfinite(result.estimate("energy").value)
+        assert 0 < result.estimate("sigma_x").value < 1.2
+        assert 0 <= result.estimate("abs_magnetization").value <= 1
+
+    def test_block_parallel_chain_matches_serial_estimators(self):
+        # Same seed feeds the shared-uniform stream: the block run's
+        # estimator series must be statistically indistinguishable (here:
+        # same model, same sweep counts; not bit-identical because the
+        # serial TfimQmc path uses a 2-D classical lattice while the
+        # block driver uses the inert-axis 3-D embedding).
+        common = dict(
+            spatial_shape=(8,), beta=1.0, gamma=1.0, n_slices=8,
+            n_sweeps=400, n_thermalize=50, seed=5,
+        )
+        serial = Simulation(TfimRunConfig(**common)).run()
+        block = Simulation(
+            TfimRunConfig(**common, layout=ParallelLayout("block", 2, "CM-5"))
+        ).run()
+        es, eb = serial.estimate("energy"), block.estimate("energy")
+        err = float(np.hypot(es.error, eb.error))
+        assert abs(es.value - eb.value) < 5 * err + 0.02 * abs(es.value)
+        assert block.model_time > 0
+
+    def test_block_parallel_2d(self):
+        cfg = TfimRunConfig(
+            spatial_shape=(4, 4), beta=1.0, gamma=2.0, n_slices=8,
+            n_sweeps=100, n_thermalize=20,
+            layout=ParallelLayout("block", 4, "Paragon"),
+        )
+        result = Simulation(cfg).run()
+        assert np.isfinite(result.estimate("energy").value)
+        assert result.comm_fraction > 0
+
+
+class TestXXZ2DRuns:
+    def test_serial_run(self):
+        from repro.run.config import XXZ2DRunConfig
+
+        cfg = XXZ2DRunConfig(lx=2, ly=4, beta=0.5, n_slices=8,
+                             n_sweeps=60, n_thermalize=10)
+        result = Simulation(cfg).run()
+        assert result.kind == "xxz2d"
+        assert np.isfinite(result.estimate("energy").value)
+        assert result.estimate("staggered_structure_factor").value > 0
+        assert result.estimate("susceptibility").value >= 0
+
+    def test_replica_run_concatenates(self):
+        from repro.run.config import XXZ2DRunConfig
+
+        cfg = XXZ2DRunConfig(
+            lx=2, ly=4, beta=0.5, n_slices=8, n_sweeps=30, n_thermalize=5,
+            layout=ParallelLayout("replica", 2),
+        )
+        result = Simulation(cfg).run()
+        assert len(result.series["energy"]) == 60
+
+    def test_block_layout_rejected(self):
+        from repro.run.config import XXZ2DRunConfig
+
+        with pytest.raises(ValueError, match="serial and replica"):
+            XXZ2DRunConfig(lx=4, ly=4, beta=1.0,
+                           layout=ParallelLayout("block", 4))

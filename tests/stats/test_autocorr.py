@@ -1,0 +1,68 @@
+"""Tests for autocorrelation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.autocorr import autocorrelation_function, integrated_autocorr_time
+
+
+def ar1(rng, n, rho):
+    x = np.empty(n)
+    x[0] = rng.normal()
+    noise = rng.normal(size=n) * np.sqrt(1 - rho**2)
+    for i in range(1, n):
+        x[i] = rho * x[i - 1] + noise[i]
+    return x
+
+
+class TestAutocorrelationFunction:
+    def test_normalized_at_zero(self, rng):
+        a = autocorrelation_function(rng.normal(size=1024))
+        assert a[0] == pytest.approx(1.0)
+
+    def test_white_noise_decorrelates(self, rng):
+        a = autocorrelation_function(rng.normal(size=2**14), max_lag=50)
+        assert np.all(np.abs(a[1:]) < 0.05)
+
+    def test_ar1_matches_theory(self, rng):
+        rho = 0.7
+        a = autocorrelation_function(ar1(rng, 2**16, rho), max_lag=10)
+        for t in range(1, 6):
+            assert a[t] == pytest.approx(rho**t, abs=0.05)
+
+    def test_constant_series(self):
+        a = autocorrelation_function(np.full(100, 2.0), max_lag=5)
+        assert a[0] == 1.0
+        assert np.all(a[1:] == 0.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation_function(np.array([1.0]))
+
+    def test_max_lag_clamped(self, rng):
+        a = autocorrelation_function(rng.normal(size=16), max_lag=100)
+        assert len(a) == 16
+
+
+class TestIntegratedAutocorrTime:
+    def test_white_noise_near_half(self, rng):
+        tau = integrated_autocorr_time(rng.normal(size=2**15))
+        assert tau == pytest.approx(0.5, abs=0.2)
+
+    def test_ar1_matches_theory(self, rng):
+        # tau_int = 0.5 + sum_t rho^t = 0.5 + rho/(1-rho)
+        rho = 0.8
+        tau_true = 0.5 + rho / (1 - rho)
+        tau = integrated_autocorr_time(ar1(rng, 2**17, rho))
+        assert tau == pytest.approx(tau_true, rel=0.25)
+
+    def test_monotone_in_correlation(self, rng):
+        t1 = integrated_autocorr_time(ar1(rng, 2**15, 0.3))
+        t2 = integrated_autocorr_time(ar1(rng, 2**15, 0.9))
+        assert t2 > t1
+
+    def test_never_below_half(self, rng):
+        # Anticorrelated series would push the raw sum below 0.5.
+        x = rng.normal(size=4096)
+        x[1::2] = -x[::2]
+        assert integrated_autocorr_time(x) >= 0.5

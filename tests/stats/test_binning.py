@@ -1,0 +1,86 @@
+"""Tests for binning (blocking) error analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binning import BinningAnalysis, binned_error, binning_levels
+
+
+def ar1_series(rng, n, rho, sigma=1.0):
+    """AR(1) process with autocorrelation ``rho`` and known tau_int."""
+    x = np.empty(n)
+    x[0] = rng.normal()
+    noise = rng.normal(size=n) * np.sqrt(1 - rho**2)
+    for i in range(1, n):
+        x[i] = rho * x[i - 1] + noise[i]
+    return sigma * x
+
+
+class TestBinningLevels:
+    def test_levels_are_powers_of_two(self, rng):
+        levels = binning_levels(rng.normal(size=1024))
+        blocks = [b for b, _ in levels]
+        assert blocks == [2**k for k in range(len(blocks))]
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            binning_levels(np.arange(5.0))
+
+    def test_uncorrelated_series_is_flat(self, rng):
+        levels = binning_levels(rng.normal(size=2**14))
+        errs = np.array([e for _, e in levels])
+        # All levels within 30% of level zero for white noise.
+        assert np.all(np.abs(errs - errs[0]) < 0.3 * errs[0])
+
+    def test_correlated_series_error_grows(self, rng):
+        x = ar1_series(rng, 2**14, rho=0.9)
+        levels = binning_levels(x)
+        assert levels[-1][1] > 2.0 * levels[0][1]
+
+
+class TestBinnedError:
+    def test_matches_naive_for_white_noise(self, rng):
+        x = rng.normal(size=2**13)
+        naive = x.std(ddof=1) / np.sqrt(x.size)
+        assert binned_error(x) == pytest.approx(naive, rel=0.5)
+
+    def test_recovers_true_error_of_ar1(self, rng):
+        # AR(1): tau_int = (1+rho)/(2(1-rho)); true error of the mean is
+        # naive * sqrt(2 tau_int).  The top binning level holds only ~8
+        # blocks (chi^2_7 noise, ~27% rel. std), so average the estimate
+        # over several independent series before comparing.
+        rho = 0.8
+        tau = (1 + rho) / (2 * (1 - rho))
+        estimates, truths = [], []
+        for k in range(6):
+            x = ar1_series(np.random.default_rng(1000 + k), 2**15, rho=rho)
+            truths.append(x.std(ddof=1) / np.sqrt(x.size) * np.sqrt(2 * tau))
+            estimates.append(binned_error(x))
+        assert np.mean(estimates) == pytest.approx(np.mean(truths), rel=0.3)
+
+
+class TestBinningAnalysis:
+    def test_fields_consistent(self, rng):
+        x = rng.normal(loc=3.0, size=4096)
+        ba = BinningAnalysis.from_series(x)
+        assert ba.mean == pytest.approx(3.0, abs=5 * ba.error)
+        assert ba.error >= 0.8 * ba.naive_error
+        assert ba.tau_int >= 0.2
+
+    def test_tau_of_white_noise_near_half(self, rng):
+        ba = BinningAnalysis.from_series(rng.normal(size=2**14))
+        assert ba.tau_int == pytest.approx(0.5, abs=0.3)
+
+    def test_tau_of_correlated_series_large(self, rng):
+        ba = BinningAnalysis.from_series(ar1_series(rng, 2**14, rho=0.9))
+        assert ba.tau_int > 3.0
+
+    def test_converged_flag_for_white_noise(self, rng):
+        ba = BinningAnalysis.from_series(rng.normal(size=2**15))
+        assert ba.is_converged(rtol=0.3)
+
+    def test_constant_series(self):
+        ba = BinningAnalysis.from_series(np.full(256, 7.0))
+        assert ba.mean == 7.0
+        assert ba.error == 0.0
+        assert ba.tau_int == 0.5

@@ -1,0 +1,84 @@
+"""Tests for Binder-cumulant finite-size analysis."""
+
+import numpy as np
+import pytest
+
+from repro.stats.finite_size import BinderCurve, binder_cumulant, crossing_temperature
+
+
+class TestBinderCumulant:
+    def test_ordered_limit(self):
+        # |m| constant: <m^4> = <m^2>^2 -> U4 = 2/3.
+        m = np.array([1.0, -1.0, 1.0, -1.0])
+        assert binder_cumulant(m) == pytest.approx(2.0 / 3.0)
+
+    def test_gaussian_limit(self, rng):
+        # Gaussian m: <m^4> = 3 <m^2>^2 -> U4 = 0.
+        m = rng.normal(size=200_000)
+        assert binder_cumulant(m) == pytest.approx(0.0, abs=0.01)
+
+    def test_zero_magnetization(self):
+        assert binder_cumulant(np.zeros(10)) == 0.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            binder_cumulant(np.array([1.0]))
+
+
+class TestBinderCurve:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinderCurve(8, np.array([1.0, 2.0]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            BinderCurve(8, np.array([2.0, 1.0]), np.array([0.5, 0.4]))
+
+    def test_interpolation(self):
+        c = BinderCurve(8, np.array([1.0, 2.0, 3.0]), np.array([0.6, 0.4, 0.2]))
+        assert c.interpolate(1.5) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            c.interpolate(4.0)
+
+
+class TestCrossing:
+    def synthetic_curves(self, tc=2.5):
+        # U4(T, L) = f((T - tc) * L): bigger L = steeper curve; all curves
+        # pass through the same value at tc -> exact crossing at tc.
+        t = np.linspace(2.0, 3.0, 11)
+        curves = []
+        for L in (8, 16):
+            u4 = 0.4 - 0.3 * np.tanh((t - tc) * L / 4.0)
+            curves.append(BinderCurve(L, t, u4))
+        return curves
+
+    def test_recovers_known_crossing(self):
+        a, b = self.synthetic_curves(tc=2.5)
+        assert crossing_temperature(a, b) == pytest.approx(2.5, abs=0.01)
+
+    def test_off_grid_crossing_interpolated(self):
+        a, b = self.synthetic_curves(tc=2.53)
+        assert crossing_temperature(a, b) == pytest.approx(2.53, abs=0.02)
+
+    def test_same_size_rejected(self):
+        a, _ = self.synthetic_curves()
+        with pytest.raises(ValueError, match="different lattice sizes"):
+            crossing_temperature(a, a)
+
+    def test_grid_mismatch_rejected(self):
+        a, b = self.synthetic_curves()
+        shifted = BinderCurve(32, b.temperatures + 0.1, b.u4)
+        with pytest.raises(ValueError, match="share one temperature grid"):
+            crossing_temperature(a, shifted)
+
+    def test_no_crossing_rejected(self):
+        t = np.linspace(2.0, 3.0, 5)
+        a = BinderCurve(8, t, np.full(5, 0.6))
+        b = BinderCurve(16, t, np.full(5, 0.3))
+        with pytest.raises(ValueError, match="do not cross"):
+            crossing_temperature(a, b)
+
+    def test_multiple_crossings_rejected(self):
+        t = np.linspace(2.0, 3.0, 5)
+        a = BinderCurve(8, t, np.array([0.5, 0.3, 0.5, 0.3, 0.5]))
+        b = BinderCurve(16, t, np.full(5, 0.4))
+        with pytest.raises(ValueError, match="refine the scan"):
+            crossing_temperature(a, b)

@@ -1,0 +1,88 @@
+"""Tests for the shared-grid energy histogram."""
+
+import numpy as np
+import pytest
+
+from repro.stats.histogram import EnergyHistogram
+
+
+class TestGrid:
+    def test_bin_geometry(self):
+        h = EnergyHistogram(0.0, 10.0, 5)
+        assert h.bin_width == 2.0
+        np.testing.assert_allclose(h.bin_centers, [1, 3, 5, 7, 9])
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyHistogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            EnergyHistogram(0.0, 1.0, 0)
+
+    def test_right_edge_belongs_to_last_bin(self):
+        h = EnergyHistogram(0.0, 10.0, 5)
+        assert h.bin_index(10.0)[0] == 4
+
+    def test_out_of_range_raises_by_default(self):
+        h = EnergyHistogram(0.0, 1.0, 4)
+        with pytest.raises(ValueError, match="outside histogram range"):
+            h.add(2.0)
+
+    def test_clip_mode(self):
+        h = EnergyHistogram(0.0, 1.0, 4, clip=True)
+        h.add(np.array([-5.0, 5.0]))
+        assert h.counts[0] == 1 and h.counts[-1] == 1
+
+
+class TestAccumulation:
+    def test_scalar_and_vector_add(self):
+        h = EnergyHistogram(0.0, 4.0, 4)
+        h.add(0.5)
+        h.add(np.array([1.5, 1.6, 3.9]))
+        assert h.n_samples == 4
+        np.testing.assert_array_equal(h.counts, [1, 2, 0, 1])
+
+    def test_duplicate_bins_counted(self):
+        # np.add.at must accumulate repeated indices (plain fancy
+        # indexing would lose them).
+        h = EnergyHistogram(0.0, 1.0, 2)
+        h.add(np.full(100, 0.25))
+        assert h.counts[0] == 100
+
+    def test_merge_same_grid(self):
+        a = EnergyHistogram(0.0, 1.0, 4)
+        b = EnergyHistogram(0.0, 1.0, 4)
+        a.add(0.1)
+        b.add(0.9)
+        a.merge(b)
+        assert a.n_samples == 2
+        assert a.counts[0] == 1 and a.counts[-1] == 1
+
+    def test_merge_grid_mismatch_rejected(self):
+        a = EnergyHistogram(0.0, 1.0, 4)
+        b = EnergyHistogram(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestViews:
+    def test_normalized_integrates_to_one(self, rng):
+        h = EnergyHistogram(-4.0, 4.0, 32, clip=True)
+        h.add(rng.normal(size=10000))
+        assert h.normalized().sum() * h.bin_width == pytest.approx(1.0)
+
+    def test_normalized_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyHistogram(0.0, 1.0, 4).normalized()
+
+    def test_nonzero_support(self):
+        h = EnergyHistogram(0.0, 4.0, 4)
+        h.add(np.array([0.5, 3.5]))
+        np.testing.assert_array_equal(h.nonzero_support(), [0, 3])
+
+    def test_flatness(self):
+        h = EnergyHistogram(0.0, 4.0, 4)
+        assert h.flatness() == 0.0
+        h.add(np.array([0.5, 1.5, 2.5, 3.5]))
+        assert h.flatness() == pytest.approx(1.0)
+        h.add(np.full(9, 0.5))
+        assert h.flatness() < 0.5

@@ -1,0 +1,82 @@
+"""Tests for jackknife resampling."""
+
+import numpy as np
+import pytest
+
+from repro.stats.jackknife import jackknife, jackknife_blocks, jackknife_ratio
+
+
+class TestJackknifeBlocks:
+    def test_delete_one_means(self):
+        x = np.arange(12.0)
+        jk = jackknife_blocks(x, 4)
+        assert jk.shape == (4,)
+        # Removing block 0 (0,1,2): mean of 3..11 = 7.
+        assert jk[0] == pytest.approx(7.0)
+
+    def test_tail_discarded(self):
+        x = np.arange(10.0)  # 3 blocks of 3, one sample dropped
+        jk = jackknife_blocks(x, 3)
+        assert jk.shape == (3,)
+        assert jk[0] == pytest.approx(np.mean(x[3:9]))
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            jackknife_blocks(np.arange(10.0), 1)
+
+    def test_too_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            jackknife_blocks(np.arange(3.0), 8)
+
+
+class TestJackknife:
+    def test_mean_estimator_matches_classic_error(self, rng):
+        x = rng.normal(size=2000)
+        value, err = jackknife(lambda a: float(np.mean(a)), x, n_blocks=20)
+        assert value == pytest.approx(x[: (2000 // 20) * 20].mean(), abs=1e-10)
+        classic = x.std(ddof=1) / np.sqrt(x.size)
+        assert err == pytest.approx(classic, rel=0.35)
+
+    def test_variance_estimator_bias_corrected(self, rng):
+        # The plug-in variance is biased by -sigma^2/M; jackknife removes
+        # the leading term, so the estimate should be closer to 1.
+        sigma2 = 1.0
+        estimates = []
+        for k in range(40):
+            x = np.random.default_rng(k).normal(size=200)
+            v, _ = jackknife(lambda a: float(np.mean(a**2) - np.mean(a) ** 2), x, 20)
+            estimates.append(v)
+        assert np.mean(estimates) == pytest.approx(sigma2, abs=0.03)
+
+    def test_multi_series_estimator(self, rng):
+        e = rng.normal(loc=2.0, size=1000)
+        w = rng.normal(loc=4.0, size=1000) * 0.01 + 1.0
+        v, err = jackknife(
+            lambda a, b: float(np.mean(a) / np.mean(b)), [e, w], n_blocks=10
+        )
+        assert v == pytest.approx(2.0 / np.mean(w), abs=5 * err + 0.05)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            jackknife(lambda a, b: 0.0, [np.arange(10.0), np.arange(9.0)])
+
+    def test_error_positive_for_noisy_data(self, rng):
+        _, err = jackknife(lambda a: float(np.mean(a)), rng.normal(size=400))
+        assert err > 0
+
+
+class TestJackknifeRatio:
+    def test_correlated_ratio(self, rng):
+        # numerator = 2 * denominator + noise: ratio ~ 2 with small error
+        # despite both series being noisy (correlation cancels).
+        d = 1.0 + 0.1 * rng.normal(size=4000)
+        n = 2.0 * d + 0.001 * rng.normal(size=4000)
+        v, err = jackknife_ratio(n, d)
+        assert v == pytest.approx(2.0, abs=0.01)
+        assert err < 0.01
+
+    def test_reweighting_shape(self, rng):
+        o = rng.normal(size=500)
+        w = np.exp(0.1 * rng.normal(size=500))
+        v, err = jackknife_ratio(o * w, w)
+        assert np.isfinite(v) and err >= 0

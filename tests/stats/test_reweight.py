@@ -1,0 +1,78 @@
+"""Tests for single-histogram reweighting against exact two-level systems."""
+
+import numpy as np
+import pytest
+
+from repro.stats.reweight import (
+    effective_sample_fraction,
+    reweight_observable,
+    reweighted_moments,
+)
+
+
+def sample_two_level(rng, beta, n, e0=0.0, e1=1.0):
+    """Exact canonical sampling of a two-level system."""
+    p1 = np.exp(-beta * e1) / (np.exp(-beta * e0) + np.exp(-beta * e1))
+    return np.where(rng.random(n) < p1, e1, e0)
+
+
+def exact_mean_energy(beta, e0=0.0, e1=1.0):
+    w0, w1 = np.exp(-beta * e0), np.exp(-beta * e1)
+    return (e0 * w0 + e1 * w1) / (w0 + w1)
+
+
+class TestReweightObservable:
+    def test_identity_reweighting(self, rng):
+        e = sample_two_level(rng, 1.0, 20000)
+        v, err = reweight_observable(e, e, beta0=1.0, beta=1.0)
+        assert v == pytest.approx(e.mean(), abs=1e-12)
+
+    def test_small_shift_matches_exact(self, rng):
+        beta0, beta = 1.0, 1.3
+        e = sample_two_level(rng, beta0, 60000)
+        v, err = reweight_observable(e, e, beta0, beta)
+        assert v == pytest.approx(exact_mean_energy(beta), abs=5 * err + 0.005)
+
+    def test_downshift_too(self, rng):
+        beta0, beta = 1.0, 0.6
+        e = sample_two_level(rng, beta0, 60000)
+        v, err = reweight_observable(e, e, beta0, beta)
+        assert v == pytest.approx(exact_mean_energy(beta), abs=5 * err + 0.005)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            reweight_observable(np.zeros(5), np.zeros(6), 1.0, 1.1)
+
+    def test_huge_shift_is_stable(self, rng):
+        # Overflow safety: shifting by Delta-beta = 1000 must not produce
+        # inf/nan even though the estimate itself is garbage.
+        e = sample_two_level(rng, 1.0, 1000)
+        v, err = reweight_observable(e, e, 1.0, 1001.0)
+        assert np.isfinite(v)
+
+
+class TestReweightedMoments:
+    def test_moments_match_exact(self, rng):
+        beta0, beta = 1.0, 1.2
+        e = sample_two_level(rng, beta0, 80000)
+        m1, var = reweighted_moments(e, beta0, beta)
+        assert m1 == pytest.approx(exact_mean_energy(beta), abs=0.01)
+        p1 = np.exp(-beta) / (1 + np.exp(-beta))
+        assert var == pytest.approx(p1 * (1 - p1), abs=0.01)
+
+
+class TestEffectiveSampleFraction:
+    def test_no_shift_gives_one(self, rng):
+        e = sample_two_level(rng, 1.0, 1000)
+        assert effective_sample_fraction(e, 1.0, 1.0) == pytest.approx(1.0)
+
+    def test_decreases_with_shift(self, rng):
+        e = rng.normal(size=5000)
+        f_small = effective_sample_fraction(e, 1.0, 1.1)
+        f_large = effective_sample_fraction(e, 1.0, 3.0)
+        assert f_large < f_small <= 1.0
+
+    def test_bounded_below(self, rng):
+        e = rng.normal(size=100)
+        f = effective_sample_fraction(e, 1.0, 50.0)
+        assert f >= 1.0 / 100 - 1e-12

@@ -1,0 +1,131 @@
+"""Tests for multiple-histogram reweighting (WHAM).
+
+The oracle is a discrete system with a *known* density of states
+g(E) = binomial(N, k): N independent spins in a field, E = k.  Exact
+canonical sampling at several temperatures feeds WHAM, which must
+recover g(E) and interpolate thermodynamics between the simulated
+temperatures.
+"""
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.stats.histogram import EnergyHistogram
+from repro.stats.wham import multi_histogram_reweight
+
+N_SPINS = 24
+
+
+def log_g_exact(k):
+    return gammaln(N_SPINS + 1) - gammaln(k + 1) - gammaln(N_SPINS - k + 1)
+
+
+def sample_energies(rng, beta, n):
+    """Exact canonical sampling: E = number of up spins, each with
+    Boltzmann factor exp(-beta) per unit energy."""
+    p_up = np.exp(-beta) / (1 + np.exp(-beta))
+    return rng.binomial(N_SPINS, p_up, size=n).astype(float)
+
+
+def exact_mean_energy(beta):
+    p_up = np.exp(-beta) / (1 + np.exp(-beta))
+    return N_SPINS * p_up
+
+
+@pytest.fixture
+def wham_result(rng):
+    betas = [0.2, 0.6, 1.0, 1.4]
+    hists = []
+    for i, b in enumerate(betas):
+        h = EnergyHistogram(-0.5, N_SPINS + 0.5, N_SPINS + 1)
+        h.add(sample_energies(rng, b, 40000))
+        hists.append(h)
+    return multi_histogram_reweight(hists, betas), betas
+
+
+class TestConvergence:
+    def test_converges(self, wham_result):
+        result, _ = wham_result
+        assert result.converged
+        assert result.iterations < 2000
+
+    def test_gauge_fixed(self, wham_result):
+        result, _ = wham_result
+        assert result.log_g[0] == pytest.approx(0.0)
+
+
+class TestDensityOfStates:
+    def test_recovers_binomial_dos(self, wham_result):
+        result, _ = wham_result
+        # Compare log g differences (the absolute scale is gauge).
+        ks = np.round(result.energies).astype(int)
+        expected = log_g_exact(ks) - log_g_exact(ks[0])
+        # Only well-sampled bins: even the hottest thread (beta=0.2,
+        # p_up=0.45) puts only a handful of counts at k near N, so the
+        # high-energy tail carries O(1/sqrt(counts)) ~ 0.5 noise in log g.
+        sel = (ks >= 2) & (ks <= N_SPINS - 6)
+        np.testing.assert_allclose(result.log_g[sel], expected[sel], atol=0.35)
+
+
+class TestInterpolation:
+    def test_mean_energy_at_simulated_temperatures(self, wham_result):
+        result, betas = wham_result
+        for b in betas:
+            assert result.mean_energy(b) == pytest.approx(
+                exact_mean_energy(b), abs=0.15
+            )
+
+    def test_mean_energy_between_temperatures(self, wham_result):
+        result, _ = wham_result
+        b = 0.8  # never simulated
+        assert result.mean_energy(b) == pytest.approx(exact_mean_energy(b), abs=0.15)
+
+    def test_specific_heat_positive(self, wham_result):
+        result, _ = wham_result
+        assert result.specific_heat(0.8) > 0
+
+    def test_canonical_distribution_normalized(self, wham_result):
+        result, _ = wham_result
+        p = result.canonical_distribution(0.7)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_log_partition_monotone_decreasing_in_beta(self, wham_result):
+        result, _ = wham_result
+        # For positive energies, Z decreases with beta.
+        assert result.log_partition(0.5) > result.log_partition(1.2)
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        h = EnergyHistogram(0, 1, 4)
+        h.add(0.5)
+        with pytest.raises(ValueError):
+            multi_histogram_reweight([h], [1.0, 2.0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            multi_histogram_reweight([], [])
+
+    def test_grid_mismatch_rejected(self):
+        a = EnergyHistogram(0, 1, 4)
+        b = EnergyHistogram(0, 2, 4)
+        a.add(0.5)
+        b.add(0.5)
+        with pytest.raises(ValueError):
+            multi_histogram_reweight([a, b], [1.0, 2.0])
+
+    def test_empty_thread_rejected(self):
+        a = EnergyHistogram(0, 1, 4)
+        a.add(0.5)
+        b = EnergyHistogram(0, 1, 4)
+        with pytest.raises(ValueError):
+            multi_histogram_reweight([a, b], [1.0, 2.0])
+
+    def test_single_histogram_works(self, rng):
+        h = EnergyHistogram(-0.5, N_SPINS + 0.5, N_SPINS + 1)
+        h.add(sample_energies(rng, 0.5, 20000))
+        result = multi_histogram_reweight([h], [0.5])
+        assert result.converged
+        assert result.mean_energy(0.5) == pytest.approx(exact_mean_energy(0.5), abs=0.2)

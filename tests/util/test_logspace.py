@@ -1,0 +1,139 @@
+"""Unit and property tests for overflow-safe log arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.logspace import (
+    NEG_INF,
+    log_add,
+    log_diff,
+    log_mean,
+    log_sub,
+    log_sum,
+    logsumexp,
+    normalize_log_weights,
+)
+
+finite_logs = st.floats(min_value=-600.0, max_value=600.0, allow_nan=False)
+
+
+class TestLogAdd:
+    def test_matches_direct_computation(self):
+        assert log_add(math.log(2.0), math.log(3.0)) == pytest.approx(math.log(5.0))
+
+    def test_identity_with_neg_inf(self):
+        assert log_add(NEG_INF, 1.5) == 1.5
+        assert log_add(1.5, NEG_INF) == 1.5
+        assert log_add(NEG_INF, NEG_INF) == NEG_INF
+
+    def test_huge_arguments_do_not_overflow(self):
+        # exp(1e5) overflows a double; the log-space sum must not.
+        out = log_add(1e5, 1e5)
+        assert out == pytest.approx(1e5 + math.log(2.0))
+
+    def test_vastly_different_magnitudes_degrade_gracefully(self):
+        assert log_add(0.0, -1e9) == 0.0
+
+    @given(finite_logs, finite_logs)
+    def test_commutative(self, a, b):
+        assert log_add(a, b) == pytest.approx(log_add(b, a))
+
+    @given(finite_logs, finite_logs, finite_logs)
+    def test_associative_within_tolerance(self, a, b, c):
+        left = log_add(log_add(a, b), c)
+        right = log_add(a, log_add(b, c))
+        assert left == pytest.approx(right, abs=1e-9)
+
+    @given(finite_logs, finite_logs)
+    def test_result_at_least_max(self, a, b):
+        # log(e^a + e^b) >= max(a, b) always.
+        assert log_add(a, b) >= max(a, b)
+
+
+class TestLogSub:
+    def test_matches_direct_computation(self):
+        assert log_sub(math.log(5.0), math.log(3.0)) == pytest.approx(math.log(2.0))
+
+    def test_equal_arguments_give_neg_inf(self):
+        assert log_sub(2.5, 2.5) == NEG_INF
+
+    def test_subtracting_zero(self):
+        assert log_sub(1.0, NEG_INF) == 1.0
+
+    def test_rejects_negative_difference(self):
+        with pytest.raises(ValueError):
+            log_sub(1.0, 2.0)
+
+    @given(
+        st.floats(min_value=-30.0, max_value=30.0, allow_nan=False),
+        st.floats(min_value=-30.0, max_value=30.0, allow_nan=False),
+    )
+    def test_add_then_sub_roundtrip(self, a, b):
+        # Catastrophic cancellation is inherent when |a - b| is large
+        # (the roundtrip error grows like eps * exp(|b - a|)), so the
+        # property is asserted on a bounded dynamic range in linear space.
+        total = log_add(a, b)
+        back = log_sub(total, b)
+        tolerance = 1e-12 * math.exp(abs(b - a)) + 1e-9
+        assert abs(math.exp(back - a) - 1.0) <= tolerance
+
+    def test_log_diff_is_symmetric(self):
+        assert log_diff(1.0, 3.0) == pytest.approx(log_diff(3.0, 1.0))
+
+
+class TestLogSumAndLogsumexp:
+    def test_log_sum_empty_is_neg_inf(self):
+        assert log_sum([]) == NEG_INF
+
+    def test_log_sum_matches_logsumexp(self):
+        vals = [0.3, -2.0, 5.5, 5.5, -100.0]
+        assert log_sum(vals) == pytest.approx(logsumexp(np.array(vals)))
+
+    def test_logsumexp_axis(self):
+        x = np.log(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        np.testing.assert_allclose(logsumexp(x, axis=0), np.log([4.0, 6.0]))
+        np.testing.assert_allclose(logsumexp(x, axis=1), np.log([3.0, 7.0]))
+
+    def test_logsumexp_all_neg_inf_slice(self):
+        x = np.array([[NEG_INF, NEG_INF], [0.0, 0.0]])
+        out = logsumexp(x, axis=1)
+        assert out[0] == NEG_INF
+        assert out[1] == pytest.approx(math.log(2.0))
+
+    def test_logsumexp_extreme_range(self):
+        x = np.array([1e4, -1e4, 0.0])
+        assert logsumexp(x) == pytest.approx(1e4)
+
+    @given(st.lists(finite_logs, min_size=1, max_size=30))
+    def test_scaling_invariance(self, vals):
+        # logsumexp(x + c) == logsumexp(x) + c exactly in exact arithmetic.
+        x = np.array(vals)
+        c = 123.456
+        assert logsumexp(x + c) == pytest.approx(logsumexp(x) + c, abs=1e-8)
+
+
+class TestNormalizeAndMean:
+    def test_normalize_sums_to_one(self):
+        p = normalize_log_weights(np.array([0.0, math.log(3.0), -800.0]))
+        assert p.sum() == pytest.approx(1.0)
+        assert p[1] == pytest.approx(0.75, abs=1e-12)
+
+    def test_normalize_handles_huge_offsets(self):
+        p = normalize_log_weights(np.array([1e6, 1e6 - math.log(2.0)]))
+        assert p.sum() == pytest.approx(1.0)
+        assert p[0] == pytest.approx(2.0 / 3.0)
+
+    def test_normalize_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize_log_weights(np.array([NEG_INF, NEG_INF]))
+
+    def test_log_mean(self):
+        vals = np.log(np.array([1.0, 2.0, 3.0]))
+        assert log_mean(vals) == pytest.approx(math.log(2.0))
+
+    def test_log_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            log_mean(np.array([]))

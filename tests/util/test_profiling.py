@@ -1,0 +1,73 @@
+"""Tests for the structured profiling helper."""
+
+import time
+
+import pytest
+
+from repro.util.profiling import profile_callable
+
+
+def workload():
+    def inner_hot():
+        s = 0.0
+        for k in range(20000):
+            s += k * 0.5
+        return s
+
+    def inner_cold():
+        return 1
+
+    for _ in range(5):
+        inner_hot()
+    inner_cold()
+    return "done"
+
+
+class TestProfileCallable:
+    def test_returns_value(self):
+        report = profile_callable(workload)
+        assert report.return_value == "done"
+
+    def test_finds_hot_function(self):
+        report = profile_callable(workload)
+        hot = report.find("inner_hot")
+        cold = report.find("inner_cold")
+        assert hot and cold
+        assert hot[0].calls == 5
+        assert hot[0].total_time >= cold[0].total_time
+
+    def test_top_sorting(self):
+        report = profile_callable(workload)
+        top = report.top(5, by="total")
+        assert all(
+            a.total_time >= b.total_time for a, b in zip(top, top[1:])
+        )
+        with pytest.raises(ValueError):
+            report.top(3, by="wallclock")
+
+    def test_render_contains_header(self):
+        report = profile_callable(workload)
+        text = report.render(3)
+        assert "profile:" in text
+        assert "calls" in text
+
+    def test_profiles_sampler_sweep(self):
+        # Integration: profile a real QMC sweep and find the kernel.
+        from repro.qmc.classical_ising import AnisotropicIsing
+
+        sampler = AnisotropicIsing((32, 32), (0.3, 0.3), seed=1)
+
+        def run():
+            for _ in range(10):
+                sampler.sweep()
+
+        report = profile_callable(run)
+        assert report.find("sweep")
+        assert report.total_seconds > 0
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("kaboom")
+
+        with pytest.raises(RuntimeError, match="kaboom"):
+            profile_callable(boom)

@@ -1,0 +1,82 @@
+"""Tests for reproducible SPMD random streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RankStream, SeedSequenceFactory, spawn_streams
+
+
+class TestSeedSequenceFactory:
+    def test_same_address_same_stream(self):
+        a = SeedSequenceFactory(42).rank_stream(3).uniform(size=10)
+        b = SeedSequenceFactory(42).rank_stream(3).uniform(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_ranks_differ(self):
+        a = SeedSequenceFactory(42).rank_stream(0).uniform(size=10)
+        b = SeedSequenceFactory(42).rank_stream(1).uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceFactory(1).rank_stream(0).uniform(size=10)
+        b = SeedSequenceFactory(2).rank_stream(0).uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_kinds_are_disjoint_namespaces(self):
+        f = SeedSequenceFactory(7)
+        a = f.stream("rank", 5).uniform(size=10)
+        b = f.stream("replica", 5).uniform(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown stream kind"):
+            SeedSequenceFactory(0).stream("bogus", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(0).stream("rank", -1)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("42")  # type: ignore[arg-type]
+
+
+class TestRankStream:
+    def test_uniform_range(self):
+        s = SeedSequenceFactory(0).rank_stream(0)
+        u = s.uniform(size=1000)
+        assert np.all((u >= 0) & (u < 1))
+
+    def test_integers_range(self):
+        s = SeedSequenceFactory(0).rank_stream(0)
+        v = s.integers(2, 5, size=500)
+        assert set(np.unique(v)) <= {2, 3, 4}
+
+    def test_choice_range(self):
+        s = SeedSequenceFactory(0).rank_stream(1)
+        vals = {s.choice(4) for _ in range(100)}
+        assert vals <= {0, 1, 2, 3}
+        assert len(vals) > 1
+
+    def test_rank_label(self):
+        assert SeedSequenceFactory(0).rank_stream(9).rank == 9
+
+
+class TestSpawnStreams:
+    def test_spawn_count_and_independence(self):
+        streams = spawn_streams(99, 8)
+        assert [s.rank for s in streams] == list(range(8))
+        draws = [s.uniform(size=4).tolist() for s in streams]
+        # All pairwise distinct (probability of collision ~ 0).
+        flat = {tuple(d) for d in draws}
+        assert len(flat) == 8
+
+    def test_streams_statistically_uncorrelated(self):
+        s0, s1 = spawn_streams(5, 2)
+        a, b = s0.uniform(size=20000), s1.uniform(size=20000)
+        corr = np.corrcoef(a, b)[0, 1]
+        assert abs(corr) < 0.03

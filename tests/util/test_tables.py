@@ -1,0 +1,101 @@
+"""Tests for the table / series renderers used by the bench harness."""
+
+import pytest
+
+from repro.util.tables import Series, Table, format_float, render_series
+
+
+class TestFormatFloat:
+    def test_integers_stay_plain(self):
+        assert format_float(42) == "42"
+
+    def test_float_sig_digits(self):
+        assert format_float(3.14159, digits=3) == "3.14"
+
+    def test_tiny_numbers_go_scientific(self):
+        assert "e" in format_float(1.5e-7)
+
+    def test_zero_and_nan(self):
+        assert format_float(0.0) == "0"
+        assert format_float(float("nan")) == "nan"
+
+    def test_non_number_falls_back(self):
+        assert format_float("CM-5") == "CM-5"
+        assert format_float(True) == "True"
+
+
+class TestTable:
+    def test_render_alignment_and_content(self):
+        t = Table("Table 1: speedup", ["P", "S(P)"])
+        t.add_row([1, 1.0])
+        t.add_row([1024, 812.5])
+        out = t.render()
+        assert "Table 1: speedup" in out
+        assert "1024" in out and "812.5" in out
+        lines = out.splitlines()
+        # All body lines equal width (alignment check)
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_column_extraction(self):
+        t = Table("t", ["P", "eff"])
+        t.add_row([2, 0.9])
+        t.add_row([4, 0.8])
+        assert t.column("eff") == [0.9, 0.8]
+        with pytest.raises(KeyError):
+            t.column("missing")
+
+    def test_empty_table_renders(self):
+        out = Table("empty", ["x"]).render()
+        assert "empty" in out
+
+
+class TestSeries:
+    def test_add_and_sparkline(self):
+        s = Series("energy")
+        for x, y in [(0, 1.0), (1, 2.0), (2, 3.0)]:
+            s.add(x, y)
+        spark = s.sparkline()
+        assert len(spark) == 3
+        assert spark[0] != spark[-1]  # rising series spans block range
+
+    def test_constant_series_sparkline(self):
+        s = Series("flat")
+        s.add(0, 5.0)
+        s.add(1, 5.0)
+        assert len(s.sparkline()) == 2
+
+    def test_empty_sparkline(self):
+        assert Series("none").sparkline() == ""
+
+    def test_nonfinite_marked(self):
+        s = Series("gaps")
+        s.add(0, 1.0)
+        s.add(1, float("nan"))
+        assert "?" in s.sparkline()
+
+
+class TestRenderSeries:
+    def test_shared_grid_merges_into_one_table(self):
+        a = Series("A")
+        b = Series("B")
+        for x in (1, 2, 4):
+            a.add(x, x * 1.0)
+            b.add(x, x * 2.0)
+        out = render_series("Fig 1", [a, b], x_label="P")
+        assert "Fig 1" in out
+        assert out.count("P") >= 1
+        assert "A" in out and "B" in out
+
+    def test_distinct_grids_render_separately(self):
+        a = Series("A")
+        a.add(1, 1.0)
+        b = Series("B")
+        b.add(2, 2.0)
+        out = render_series("Fig", [a, b])
+        assert "A" in out and "B" in out

@@ -1,0 +1,170 @@
+"""Tests for the collective operations, at several rank counts."""
+
+import numpy as np
+import pytest
+
+from repro.vmp.collectives import allreduce_recursive_doubling
+from repro.vmp.comm import ReduceOp
+from repro.vmp.machines import CM5, IDEAL
+from repro.vmp.scheduler import run_spmd
+
+RANK_COUNTS = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("p", RANK_COUNTS)
+class TestCollectivesAllSizes:
+    def test_barrier_completes(self, p):
+        def prog(comm):
+            comm.barrier()
+            return True
+
+        assert all(run_spmd(prog, p, machine=IDEAL).values)
+
+    def test_bcast_from_every_root(self, p):
+        def prog(comm):
+            out = []
+            for root in range(comm.size):
+                obj = {"root": root} if comm.rank == root else None
+                out.append(comm.bcast(obj, root=root))
+            return out
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        for vals in res.values:
+            assert vals == [{"root": r} for r in range(p)]
+
+    def test_reduce_sum_to_root(self, p):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, ReduceOp.SUM, root=0)
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        assert res.values[0] == p * (p + 1) // 2
+        assert all(v is None for v in res.values[1:])
+
+    def test_allreduce_ops(self, p):
+        def prog(comm):
+            return (
+                comm.allreduce(float(comm.rank), ReduceOp.SUM),
+                comm.allreduce(comm.rank, ReduceOp.MAX),
+                comm.allreduce(comm.rank, ReduceOp.MIN),
+            )
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        for s, mx, mn in res.values:
+            assert s == sum(range(p))
+            assert mx == p - 1
+            assert mn == 0
+
+    def test_allreduce_arrays(self, p):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        for v in res.values:
+            np.testing.assert_allclose(v, sum(range(p)))
+
+    def test_gather_in_rank_order(self, p):
+        def prog(comm):
+            return comm.gather(f"r{comm.rank}", root=0)
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        assert res.values[0] == [f"r{r}" for r in range(p)]
+
+    def test_allgather(self, p):
+        def prog(comm):
+            return comm.allgather(comm.rank * 10)
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        for v in res.values:
+            assert v == [r * 10 for r in range(p)]
+
+    def test_scatter(self, p):
+        def prog(comm):
+            values = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        assert res.values == [f"item{r}" for r in range(p)]
+
+    def test_alltoall(self, p):
+        def prog(comm):
+            return comm.alltoall([(comm.rank, dst) for dst in range(comm.size)])
+
+        res = run_spmd(prog, p, machine=IDEAL)
+        for r, v in enumerate(res.values):
+            assert v == [(src, r) for src in range(p)]
+
+
+class TestAllreduceDeterminism:
+    def test_identical_float_result_on_all_ranks(self):
+        # reduce+bcast guarantees bitwise identity across ranks.
+        def prog(comm):
+            x = (comm.rank + 1) * 0.1  # not exactly representable
+            return comm.allreduce(x)
+
+        res = run_spmd(prog, 7, machine=IDEAL)
+        assert len({v.hex() for v in res.values}) == 1
+
+    def test_recursive_doubling_matches_sum(self):
+        def prog(comm):
+            from repro.vmp import collectives
+
+            return collectives.allreduce_recursive_doubling(comm, comm.rank + 1)
+
+        res = run_spmd(prog, 8, machine=IDEAL)
+        assert all(v == 36 for v in res.values)
+
+    def test_recursive_doubling_rejects_non_power_of_two(self):
+        def prog(comm):
+            return allreduce_recursive_doubling(comm, 1.0)
+
+        with pytest.raises(ValueError, match="power-of-two"):
+            run_spmd(prog, 6, machine=IDEAL)
+
+
+class TestCollectiveCosts:
+    def test_allreduce_cost_scales_logarithmically(self):
+        def prog(comm):
+            comm.allreduce(1.0)
+            return comm.clock.now
+
+        t8 = max(run_spmd(prog, 8, machine=CM5).values)
+        t64 = max(run_spmd(prog, 64, machine=CM5).values)
+        # 2*log2(P) rounds: doubling log P should roughly double the cost,
+        # definitely not scale linearly with P.
+        assert t64 < 4 * t8
+        assert t64 > t8
+
+    def test_allgather_cost_scales_linearly(self):
+        def prog(comm):
+            comm.allgather(np.zeros(64))
+            return comm.clock.now
+
+        t4 = max(run_spmd(prog, 4, machine=CM5).values)
+        t16 = max(run_spmd(prog, 16, machine=CM5).values)
+        assert t16 > 2.5 * t4  # (P-1) neighbor steps
+
+    def test_barrier_synchronizes_clocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.charge_compute(250e6)  # 10 s on CM-5
+            comm.barrier()
+            return comm.clock.now
+
+        res = run_spmd(prog, 4, machine=CM5)
+        # After the barrier every clock is at least the slowest entrant.
+        assert min(res.values) >= 10.0
+
+    def test_scatter_mismatch_rejected(self):
+        def prog(comm):
+            vals = [1] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, 3, machine=IDEAL)
+
+    def test_alltoall_length_mismatch_rejected(self):
+        def prog(comm):
+            return comm.alltoall([0])
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, 3, machine=IDEAL)

@@ -1,0 +1,67 @@
+"""Tests for machine cost models."""
+
+import pytest
+
+from repro.vmp.machines import CM5, DELTA, IDEAL, MACHINES, NCUBE2, PARAGON
+
+
+class TestCostFormulas:
+    def test_compute_time(self):
+        assert CM5.compute_time(25e6) == pytest.approx(1.0)
+        assert IDEAL.compute_time(0.0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            CM5.compute_time(-1)
+
+    def test_message_time_structure(self):
+        # alpha + hops * hop + n * beta, monotone in both n and hops.
+        t_small = PARAGON.message_time(8, hops=1)
+        t_big = PARAGON.message_time(8192, hops=1)
+        t_far = PARAGON.message_time(8, hops=20)
+        assert t_small > PARAGON.latency
+        assert t_big > t_small
+        assert t_far > t_small
+
+    def test_latency_dominates_small_messages(self):
+        t = CM5.message_time(8, hops=1)
+        assert t == pytest.approx(CM5.latency, rel=0.1)
+
+    def test_bandwidth_dominates_large_messages(self):
+        n = 10_000_000
+        t = CM5.message_time(n, hops=1)
+        assert t == pytest.approx(n * CM5.byte_time, rel=0.1)
+
+    def test_ideal_machine_has_free_messages(self):
+        assert IDEAL.message_time(1 << 20, hops=100) == 0.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            CM5.message_time(-1)
+        with pytest.raises(ValueError):
+            CM5.message_time(8, hops=-1)
+
+
+class TestMachineRoster:
+    def test_all_registered(self):
+        assert set(MACHINES) == {"CM-5", "Paragon", "Delta", "nCUBE-2", "Ideal"}
+
+    def test_native_topologies_instantiate(self):
+        assert CM5.topology(64).size == 64
+        assert PARAGON.topology(100).size == 100
+        assert NCUBE2.topology(128).size == 128
+        assert DELTA.topology(16).size == 16
+
+    def test_relative_node_speeds_are_era_faithful(self):
+        # CM-5 vector nodes > Paragon i860 > Delta > nCUBE-2.
+        assert CM5.flops > PARAGON.flops > DELTA.flops > NCUBE2.flops
+
+    def test_paragon_network_faster_than_ncube(self):
+        n = 4096
+        assert PARAGON.message_time(n) < NCUBE2.message_time(n)
+
+    def test_with_overrides(self):
+        fast = NCUBE2.with_overrides(latency=0.0)
+        assert fast.latency == 0.0
+        assert fast.flops == NCUBE2.flops
+        assert NCUBE2.latency > 0  # original untouched (frozen dataclass)

@@ -1,0 +1,97 @@
+"""Tests for nonblocking point-to-point operations."""
+
+import numpy as np
+import pytest
+
+from repro.vmp.machines import CM5, IDEAL
+from repro.vmp.scheduler import run_spmd
+
+
+class TestIsendIrecv:
+    def test_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(4.0), 1, tag=5)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=5)
+            return req.wait().tolist()
+
+        res = run_spmd(prog, 2, machine=IDEAL)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_send_request_completes_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return comm.isend("x", 1).test()
+            return comm.recv(source=0)
+
+        res = run_spmd(prog, 2, machine=IDEAL)
+        assert res.values[0] is True
+
+    def test_overlap_multiple_irecvs(self):
+        # Post receives before sends arrive, complete out of order.
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=1, tag=t) for t in (1, 2, 3)]
+                comm.send("go", 1, tag=0)
+                return [r.wait() for r in reversed(reqs)]
+            comm.recv(source=0, tag=0)
+            for t in (1, 2, 3):
+                comm.send(t * 10, 0, tag=t)
+            return None
+
+        res = run_spmd(prog, 2, machine=IDEAL)
+        assert res.values[0] == [30, 20, 10]
+
+    def test_test_polls_without_blocking(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=9)
+                early = req.test()  # nothing sent yet (rank 1 waits for us)
+                comm.send("go", 1, tag=8)
+                late = req.wait()
+                return (early, late)
+            comm.recv(source=0, tag=8)
+            comm.send("done", 0, tag=9)
+            return None
+
+        res = run_spmd(prog, 2, machine=IDEAL)
+        early, late = res.values[0]
+        assert early is False
+        assert late == "done"
+
+    def test_wait_charges_modeled_time(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1000), 1)
+                return None
+            req = comm.irecv(source=0)
+            req.wait()
+            return comm.clock.now
+
+        res = run_spmd(prog, 2, machine=CM5)
+        assert res.values[1] > 0
+
+    def test_invalid_source_rejected(self):
+        def prog(comm):
+            comm.irecv(source=7)
+
+        with pytest.raises(ValueError):
+            run_spmd(prog, 2, machine=IDEAL)
+
+    def test_halo_exchange_with_nonblocking(self):
+        # The canonical usage pattern: post irecvs, send, wait.
+        def prog(comm):
+            left = (comm.rank - 1) % comm.size
+            right = (comm.rank + 1) % comm.size
+            r_left = comm.irecv(source=left, tag=1)
+            r_right = comm.irecv(source=right, tag=2)
+            comm.isend(comm.rank, right, tag=1)
+            comm.isend(comm.rank, left, tag=2)
+            return (r_left.wait(), r_right.wait())
+
+        res = run_spmd(prog, 5, machine=IDEAL)
+        for r, (lv, rv) in enumerate(res.values):
+            assert lv == (r - 1) % 5
+            assert rv == (r + 1) % 5

@@ -1,0 +1,75 @@
+"""Tests for the real-process (multiprocessing) backend.
+
+These prove the same SPMD program objects run with genuinely disjoint
+address spaces.  Kept small (P <= 4) -- the container has 2 cores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vmp.machines import IDEAL
+from repro.vmp.process_backend import run_multiprocessing
+from repro.vmp.scheduler import run_spmd
+
+
+# Programs must live at module scope to be picklable.
+def prog_allreduce(comm):
+    return comm.allreduce(float(comm.rank + 1))
+
+
+def prog_pingpong(comm):
+    if comm.rank == 0:
+        comm.send(np.arange(4.0), 1, tag=1)
+        return comm.recv(source=1, tag=2).tolist()
+    x = comm.recv(source=0, tag=1)
+    comm.send(x * 3, 0, tag=2)
+    return None
+
+
+def prog_gather_streams(comm):
+    draw = comm.stream.uniform(size=2).tolist()
+    return comm.gather(draw, root=0)
+
+
+def prog_barrier_then_rank(comm):
+    comm.barrier()
+    return comm.rank
+
+
+def prog_crash(comm):
+    # Rank 0 finishes independently; rank 1 dies.  (Peers blocked on a
+    # dead partner are only released by the 120 s receive timeout in
+    # this backend, so the crash test avoids communication.)
+    if comm.rank == 1:
+        raise RuntimeError("process died")
+    return comm.rank
+
+
+class TestProcessBackend:
+    def test_allreduce(self):
+        values = run_multiprocessing(prog_allreduce, 3, machine=IDEAL)
+        assert values == [6.0, 6.0, 6.0]
+
+    def test_pointwise_exchange(self):
+        values = run_multiprocessing(prog_pingpong, 2, machine=IDEAL)
+        assert values[0] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_barrier(self):
+        assert run_multiprocessing(prog_barrier_then_rank, 4, machine=IDEAL) == [
+            0, 1, 2, 3
+        ]
+
+    def test_rank_streams_match_thread_backend(self):
+        # Same seed => identical random draws under both backends: the
+        # stream derivation is backend-independent by construction.
+        mp_values = run_multiprocessing(prog_gather_streams, 2, machine=IDEAL, seed=9)
+        th_values = run_spmd(prog_gather_streams, 2, machine=IDEAL, seed=9).values
+        assert mp_values[0] == th_values[0]
+
+    def test_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="process died"):
+            run_multiprocessing(prog_crash, 2, machine=IDEAL)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            run_multiprocessing(prog_allreduce, 0)

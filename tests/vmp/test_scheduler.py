@@ -1,0 +1,128 @@
+"""Tests for the SPMD thread scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.vmp.machines import CM5, IDEAL
+from repro.vmp.scheduler import run_spmd
+from repro.vmp.topology import Ring
+
+
+class TestBasics:
+    def test_values_in_rank_order(self):
+        res = run_spmd(lambda comm: comm.rank * 2, 5, machine=IDEAL)
+        assert res.values == [0, 2, 4, 6, 8]
+
+    def test_args_passed_through(self):
+        res = run_spmd(lambda comm, a, b: a + b + comm.rank, 2, machine=IDEAL,
+                       args=(10, 20))
+        assert res.values == [30, 31]
+
+    def test_single_rank_runs_inline(self):
+        res = run_spmd(lambda comm: comm.size, 1, machine=IDEAL)
+        assert res.values == [1]
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: None, 0)
+
+    def test_max_nodes_enforced(self):
+        with pytest.raises(ValueError, match="supports at most"):
+            run_spmd(lambda comm: None, 2048, machine=CM5)
+
+    def test_topology_override(self):
+        res = run_spmd(lambda comm: type(comm.topology).__name__, 4,
+                       machine=CM5, topology=Ring(4))
+        assert res.values[0] == "Ring"
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: None, 4, machine=CM5, topology=Ring(5))
+
+
+class TestRandomStreams:
+    def test_ranks_get_distinct_streams(self):
+        def prog(comm):
+            return comm.stream.uniform(size=4).tolist()
+
+        res = run_spmd(prog, 4, machine=IDEAL, seed=3)
+        assert len({tuple(v) for v in res.values}) == 4
+
+    def test_reproducible_across_runs(self):
+        def prog(comm):
+            return comm.stream.uniform(size=4).tolist()
+
+        a = run_spmd(prog, 3, machine=IDEAL, seed=5).values
+        b = run_spmd(prog, 3, machine=IDEAL, seed=5).values
+        assert a == b
+
+    def test_seed_changes_streams(self):
+        def prog(comm):
+            return comm.stream.uniform(size=4).tolist()
+
+        a = run_spmd(prog, 2, machine=IDEAL, seed=1).values
+        b = run_spmd(prog, 2, machine=IDEAL, seed=2).values
+        assert a != b
+
+
+class TestFailureHandling:
+    def test_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            comm.barrier()  # would deadlock without abort
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            run_spmd(prog, 4, machine=IDEAL)
+
+    def test_blocked_peers_released_on_failure(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(source=0)  # never arrives
+
+        with pytest.raises(ValueError, match="boom"):
+            run_spmd(prog, 2, machine=IDEAL)
+
+
+class TestResultAccounting:
+    def test_makespan_is_max_clock(self):
+        def prog(comm):
+            comm.charge_compute(25e6 * (comm.rank + 1))
+            return None
+
+        res = run_spmd(prog, 3, machine=CM5)
+        assert res.elapsed_model_time == pytest.approx(3.0)
+
+    def test_comm_fraction_between_zero_and_one(self):
+        def prog(comm):
+            comm.charge_compute(1e6)
+            comm.allreduce(1.0)
+
+        res = run_spmd(prog, 4, machine=CM5)
+        assert 0.0 < res.comm_fraction() < 1.0
+
+    def test_pure_compute_has_zero_comm_fraction(self):
+        def prog(comm):
+            comm.charge_compute(1e6)
+
+        res = run_spmd(prog, 2, machine=CM5)
+        assert res.comm_fraction() == 0.0
+
+    def test_message_totals(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(16), 1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+
+        res = run_spmd(prog, 2, machine=IDEAL)
+        assert res.total_messages == 1
+        assert res.total_bytes == 128
+
+    def test_category_seconds(self):
+        def prog(comm):
+            comm.charge_compute(25e6)
+
+        res = run_spmd(prog, 2, machine=CM5)
+        assert res.category_seconds("compute") == pytest.approx(1.0)

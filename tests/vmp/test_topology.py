@@ -1,0 +1,216 @@
+"""Tests and metric properties for interconnect topologies."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmp.topology import (
+    Crossbar,
+    FatTree,
+    Hypercube,
+    Mesh2D,
+    Mesh3D,
+    Ring,
+    topology_for,
+)
+
+
+def as_graph(topo):
+    """Build the explicit adjacency graph from neighbors()."""
+    g = nx.Graph()
+    g.add_nodes_from(range(topo.size))
+    for r in range(topo.size):
+        for n in topo.neighbors(r):
+            g.add_edge(r, n)
+    return g
+
+
+class TestHypercube:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Hypercube(12)
+
+    def test_hops_is_hamming_distance(self):
+        h = Hypercube(16)
+        assert h.hops(0b0000, 0b1011) == 3
+        assert h.hops(5, 5) == 0
+
+    def test_neighbors_count_equals_dimension(self):
+        h = Hypercube(32)
+        assert len(h.neighbors(7)) == 5
+
+    def test_diameter_and_bisection(self):
+        h = Hypercube(64)
+        assert h.diameter == 6
+        assert h.bisection_width == 32
+
+    def test_hops_matches_graph_distance(self):
+        h = Hypercube(16)
+        g = as_graph(h)
+        for s in range(16):
+            lengths = nx.single_source_shortest_path_length(g, s)
+            for d in range(16):
+                assert h.hops(s, d) == lengths[d]
+
+
+class TestRing:
+    def test_wraparound_distance(self):
+        r = Ring(10)
+        assert r.hops(0, 9) == 1
+        assert r.hops(0, 5) == 5
+
+    def test_two_node_ring(self):
+        r = Ring(2)
+        assert r.neighbors(0) == [1]
+        assert r.hops(0, 1) == 1
+
+    def test_single_node(self):
+        r = Ring(1)
+        assert r.neighbors(0) == []
+        assert r.diameter == 0
+
+
+class TestMesh2D:
+    def test_square_for_factorization(self):
+        m = Mesh2D.square_for(12)
+        assert m.nx * m.ny == 12
+        assert m.nx <= m.ny
+
+    def test_mesh_vs_torus_distance(self):
+        mesh = Mesh2D(4, 4, torus=False)
+        torus = Mesh2D(4, 4, torus=True)
+        a, b = mesh.rank_of(0, 0), mesh.rank_of(3, 3)
+        assert mesh.hops(a, b) == 6
+        assert torus.hops(a, b) == 2
+
+    def test_neighbors_interior_and_edge(self):
+        mesh = Mesh2D(3, 3, torus=False)
+        center = mesh.rank_of(1, 1)
+        corner = mesh.rank_of(0, 0)
+        assert len(mesh.neighbors(center)) == 4
+        assert len(mesh.neighbors(corner)) == 2
+
+    def test_torus_neighbors_unique(self):
+        t = Mesh2D(2, 4, torus=True)
+        for r in range(t.size):
+            ns = t.neighbors(r)
+            assert len(ns) == len(set(ns))
+            assert r not in ns
+
+    def test_hops_matches_graph_distance_torus(self):
+        t = Mesh2D(4, 4, torus=True)
+        g = as_graph(t)
+        for s in range(0, 16, 3):
+            lengths = nx.single_source_shortest_path_length(g, s)
+            for d in range(16):
+                assert t.hops(s, d) == lengths[d]
+
+    def test_bisection(self):
+        assert Mesh2D(4, 8).bisection_width == 4
+        assert Mesh2D(4, 8, torus=True).bisection_width == 8
+
+
+class TestMesh3D:
+    def test_coords_roundtrip(self):
+        m = Mesh3D(3, 4, 5)
+        for r in (0, 17, 59):
+            x, y, z = m.coords(r)
+            assert (x * 4 + y) * 5 + z == r
+
+    def test_hops_manhattan(self):
+        m = Mesh3D(4, 4, 4)
+        assert m.hops(0, m.size - 1) == 9
+
+    def test_torus_wrap(self):
+        m = Mesh3D(4, 4, 4, torus=True)
+        assert m.hops(0, m.size - 1) == 3
+
+    def test_neighbor_count_interior(self):
+        m = Mesh3D(4, 4, 4, torus=True)
+        assert len(m.neighbors(21)) == 6
+
+
+class TestFatTree:
+    def test_sibling_distance(self):
+        f = FatTree(16, arity=4)
+        assert f.hops(0, 1) == 2  # same first-level switch
+        assert f.hops(0, 4) == 4  # one level up
+
+    def test_self_distance_zero(self):
+        assert FatTree(16).hops(3, 3) == 0
+
+    def test_full_bisection(self):
+        f = FatTree(64, arity=4)
+        assert f.bisection_width == 32
+
+    def test_diameter_logarithmic(self):
+        f = FatTree(256, arity=4)
+        assert f.diameter == 2 * f.height == 8
+
+
+class TestCrossbar:
+    def test_all_pairs_one_hop(self):
+        c = Crossbar(5)
+        assert c.hops(0, 4) == 1
+        assert c.hops(2, 2) == 0
+        assert len(c.neighbors(0)) == 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,size",
+        [("hypercube", 16), ("ring", 7), ("mesh2d", 12), ("torus2d", 16),
+         ("fattree", 32), ("crossbar", 9)],
+    )
+    def test_factory_builds(self, name, size):
+        topo = topology_for(name, size)
+        assert topo.size == size
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topology_for("moebius", 8)
+
+
+# -- metric properties over all topologies -----------------------------------
+
+topo_strategy = st.sampled_from(
+    [
+        Hypercube(16),
+        Ring(9),
+        Mesh2D(4, 4, torus=False),
+        Mesh2D(4, 4, torus=True),
+        Mesh3D(2, 3, 4),
+        FatTree(16, arity=4),
+        Crossbar(11),
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(topo_strategy, st.data())
+def test_hops_is_a_metric(topo, data):
+    """Symmetry, identity, triangle inequality, diameter bound."""
+    a = data.draw(st.integers(0, topo.size - 1))
+    b = data.draw(st.integers(0, topo.size - 1))
+    c = data.draw(st.integers(0, topo.size - 1))
+    assert topo.hops(a, b) == topo.hops(b, a)
+    assert (topo.hops(a, b) == 0) == (a == b)
+    assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+    assert topo.hops(a, b) <= topo.diameter
+
+
+@settings(max_examples=30, deadline=None)
+@given(topo_strategy, st.data())
+def test_neighbors_are_at_minimal_distance(topo, data):
+    # On link topologies neighbors are 1 hop away; on the fat-tree the
+    # metric counts switch traversals, so leaf "neighbors" sit at the
+    # minimal positive distance (2).  The invariant that holds for all:
+    # neighbors realize the minimum over all other ranks.
+    r = data.draw(st.integers(0, topo.size - 1))
+    neighbors = topo.neighbors(r)
+    if not neighbors:
+        return
+    minimal = min(topo.hops(r, d) for d in range(topo.size) if d != r)
+    for n in neighbors:
+        assert topo.hops(r, n) == minimal

@@ -1,0 +1,76 @@
+"""Tests for message tracing and timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.vmp.machines import CM5, IDEAL
+from repro.vmp.scheduler import run_spmd
+from repro.vmp.trace import render_timeline, summarize_traffic
+
+
+def ring_program(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.charge_compute(25e6)  # 1s on CM-5
+    return comm.sendrecv(np.zeros(128), right, left)
+
+
+class TestTracing:
+    def test_disabled_by_default(self):
+        res = run_spmd(ring_program, 3, machine=CM5)
+        assert res.trace is None
+        with pytest.raises(ValueError, match="trace=True"):
+            res.render_timeline()
+
+    def test_events_recorded(self):
+        res = run_spmd(ring_program, 3, machine=CM5, trace=True)
+        assert res.trace is not None
+        assert len(res.trace) == 3  # one send per rank
+        e = res.trace[0]
+        assert e.nbytes == 128 * 8
+        assert e.t_arrival > e.t_send
+
+    def test_collectives_traced_too(self):
+        def prog(comm):
+            comm.allreduce(1.0)
+
+        res = run_spmd(prog, 4, machine=CM5, trace=True)
+        # reduce tree + bcast tree = 2 * (P - 1) messages.
+        assert len(res.trace) == 6
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        res = run_spmd(ring_program, 4, machine=CM5, trace=True)
+        summary = summarize_traffic(res.trace, 4)
+        assert summary["n_messages"] == 4
+        assert summary["total_bytes"] == 4 * 1024
+        assert summary["busiest_pair"] is not None
+        assert sum(summary["pair_count"].values()) == 4
+
+    def test_empty(self):
+        summary = summarize_traffic([], 2)
+        assert summary["n_messages"] == 0
+        assert summary["busiest_pair"] is None
+
+
+class TestRenderTimeline:
+    def test_renders_rows_per_rank(self):
+        res = run_spmd(ring_program, 3, machine=CM5, trace=True)
+        text = res.render_timeline(width=40)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 ranks
+        assert all(f"rank {r:>3}" in lines[r + 1] for r in range(3))
+        # Messages mark some cells ~ and the compute phase leaves dots.
+        assert "~" in text
+
+    def test_zero_makespan(self):
+        assert "(empty timeline)" in render_timeline([], [{}], 0.0)
+
+    def test_width_respected(self):
+        res = run_spmd(ring_program, 2, machine=CM5, trace=True)
+        text = res.render_timeline(width=20)
+        row = text.splitlines()[1]
+        assert row.count("|") == 2
+        inner = row.split("|")[1]
+        assert len(inner) == 20
