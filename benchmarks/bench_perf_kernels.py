@@ -1,0 +1,142 @@
+"""Performance trajectory of the batched world-line kernels.
+
+Times the scalar reference sweep against the vectorized class-batched
+sweep for the 1-D chain and the 2-D square-lattice samplers on fixed
+geometries with fixed seeds, and records the trajectory twice:
+
+* ``benchmarks/output/perf_kernels.txt`` -- the human-readable table;
+* ``BENCH_perf.json`` at the repository root -- machine-readable, one
+  record per (sampler, geometry, mode) with sweeps/s and site-updates/s
+  (space--time sites swept per wall-clock second), so successive PRs
+  can diff kernel throughput.
+
+Shape criterion (the acceptance bar of the batching work): the
+vectorized 2-D sweep sustains >= 5x the scalar site-update rate on the
+16 x 16, T = 64 lattice.  Wall-clock numbers vary with the host; the
+*ratio* is what the JSON trajectory tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
+from repro.qmc.worldline import WorldlineChainQmc
+from repro.qmc.worldline2d import WorldlineSquareQmc
+from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_perf.json"
+
+BETA = 1.0
+#: (label, factory, scalar sweep attr, vectorized sweep attr, sweeps)
+CASES = [
+    (
+        "chain L=64 T=64",
+        lambda: WorldlineChainQmc(XXZChainModel(64), beta=BETA, n_slices=64, seed=11),
+        30,
+    ),
+    (
+        "square 8x8 T=32",
+        lambda: WorldlineSquareQmc(
+            XXZSquareModel(8, 8), beta=BETA, n_slices=32, seed=12
+        ),
+        20,
+    ),
+    (
+        "square 16x16 T=64",
+        lambda: WorldlineSquareQmc(
+            XXZSquareModel(16, 16), beta=BETA, n_slices=64, seed=13
+        ),
+        8,
+    ),
+]
+
+
+def _space_time_sites(sampler) -> int:
+    if isinstance(sampler, WorldlineChainQmc):
+        return sampler.L * sampler.n_slices
+    return sampler.n_sites * sampler.n_slices
+
+
+def _time_mode(factory, mode: str, n_sweeps: int) -> dict:
+    sampler = factory()
+    sweep = sampler.sweep_scalar if mode == "scalar" else sampler.sweep_vectorized
+    sweep()  # warm up gather tables / allocator outside the timed region
+    t0 = time.perf_counter()
+    for _ in range(n_sweeps):
+        sweep()
+    elapsed = time.perf_counter() - t0
+    sites = _space_time_sites(sampler)
+    return {
+        "mode": mode,
+        "n_sweeps": n_sweeps,
+        "seconds_per_sweep": elapsed / n_sweeps,
+        "sweeps_per_s": n_sweeps / elapsed,
+        "site_updates_per_s": sites * n_sweeps / elapsed,
+        "space_time_sites": sites,
+        "acceptance": sampler.acceptance_rate,
+    }
+
+
+def collect() -> list[dict]:
+    records = []
+    for label, factory, n_sweeps in CASES:
+        assert factory().can_vectorize, label
+        for mode in ("scalar", "vectorized"):
+            rec = _time_mode(factory, mode, n_sweeps)
+            rec["case"] = label
+            records.append(rec)
+    return records
+
+
+def render(records: list[dict]) -> Table:
+    table = Table(
+        "Batched-kernel performance trajectory (scalar vs vectorized sweeps)",
+        ["case", "mode", "ms/sweep", "site-updates/s", "speedup"],
+    )
+    by_case: dict[str, dict[str, dict]] = {}
+    for rec in records:
+        by_case.setdefault(rec["case"], {})[rec["mode"]] = rec
+    for case, modes in by_case.items():
+        base = modes["scalar"]["site_updates_per_s"]
+        for mode in ("scalar", "vectorized"):
+            rec = modes[mode]
+            table.add_row(
+                [
+                    case,
+                    mode,
+                    1e3 * rec["seconds_per_sweep"],
+                    rec["site_updates_per_s"],
+                    rec["site_updates_per_s"] / base,
+                ]
+            )
+    return table
+
+
+def test_perf_kernels(benchmark, record):
+    records = run_once(benchmark, collect)
+    table = render(records)
+    record("perf_kernels", table.render())
+
+    JSON_PATH.write_text(
+        json.dumps({"beta": BETA, "records": records}, indent=2) + "\n"
+    )
+
+    speedups = {}
+    by_case: dict[str, dict[str, dict]] = {}
+    for rec in records:
+        by_case.setdefault(rec["case"], {})[rec["mode"]] = rec
+    for case, modes in by_case.items():
+        speedups[case] = (
+            modes["vectorized"]["site_updates_per_s"]
+            / modes["scalar"]["site_updates_per_s"]
+        )
+        assert speedups[case] > 1.0, f"{case}: no speedup ({speedups[case]:.2f}x)"
+    assert speedups["square 16x16 T=64"] >= 5.0, (
+        f"16x16 vectorized sweep only "
+        f"{speedups['square 16x16 T=64']:.1f}x over scalar"
+    )

@@ -1,0 +1,228 @@
+"""Translation-symmetry-blocked exact diagonalization for XXZ lattices.
+
+The dense ED oracle in :mod:`repro.models.ed` stops near 14 sites: the
+4x4 square lattice -- the smallest geometry the batched 2-D world-line
+kernels accept (``lx % 4 == ly % 4 == 0``) -- has a 65536-dimensional
+Hilbert space and a 12870-dimensional half-filling sector, far beyond
+a single dense ``eigh`` on this class of hardware.  Exploiting the
+``lx * ly`` lattice translations block-diagonalizes every S^z sector
+into momentum sectors of at most ``dim / (lx * ly)`` states (~800 for
+4x4), which diagonalize in seconds and give *full-spectrum* thermal
+expectations: the exact reference the scalar/vectorized sampler
+agreement tests compare against.
+
+Construction (standard momentum-basis ED):
+
+* basis states are bit strings ``s`` (bit i = S^z_i + 1/2) grouped by
+  particle number;
+* each translation orbit is represented by its minimal element ``a``;
+  the normalized momentum state is ``|a(k)> = P_k |a> / sqrt(nu_a)``
+  with the projector ``P_k = (1/|G|) sum_g conj(lambda_g) T_g``,
+  ``lambda_g = exp(i k . t_g)``, and ``nu_a = <a|P_k|a> = |S_a|/|G|``
+  when ``k`` is compatible with the stabilizer ``S_a`` (else 0 and the
+  orbit drops out of the block);
+* matrix elements: for ``H|a> = sum_m h_m |s_m>`` the block element is
+  ``<b(k)|H|a(k)> = sum_m h_m conj(lambda_{g_m}) sqrt(nu_b / nu_a)``
+  where ``T_{g_m} s_m = b`` maps each image onto its representative.
+
+Thermal averages of translation-invariant observables that are diagonal
+in the product basis (the squared staggered magnetization) need only
+``sum_a |psi_a|^2 d(a)`` per eigenvector, because a diagonal operator
+cannot connect different orbits and is constant on each orbit.
+
+Two global symmetries halve the work twice: spin inversion maps the
+``n_up`` sector onto ``n - n_up`` with identical spectrum and staggered
+moments, and complex conjugation maps momentum ``k`` onto ``-k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.hamiltonians import XXZSquareModel
+
+__all__ = ["MomentumBlockED", "SymmetryThermal"]
+
+_NU_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SymmetryThermal:
+    """Thermal expectations from the momentum-blocked spectrum.
+
+    ``m_stag_sq`` is normalized exactly like the sampler observable
+    :meth:`~repro.qmc.worldline2d.WorldlineSquareQmc.staggered_magnetization_sq`
+    (squared staggered magnetization per site, i.e. ``<M_st^2> / N^2``).
+    """
+
+    beta: float
+    energy: float
+    m_stag_sq: float
+
+    def staggered_structure_factor(self, n_sites: int) -> float:
+        """``S(pi, pi) = N <m_st^2>`` -- comparable to the sampler's."""
+        return n_sites * self.m_stag_sq
+
+
+class MomentumBlockED:
+    """Full-spectrum thermodynamics of an :class:`XXZSquareModel`.
+
+    Builds every (S^z, momentum) block once (eigenvalues plus the
+    diagonal staggered moments of every eigenstate); ``thermal(beta)``
+    is then a cheap Boltzmann sum, so one instance serves many
+    temperatures.
+    """
+
+    MAX_SITES = 20
+
+    def __init__(self, model: XXZSquareModel):
+        if not model.periodic:
+            raise ValueError("momentum blocking needs periodic boundaries")
+        n = model.n_sites
+        if n > self.MAX_SITES:
+            raise ValueError(f"refusing 2^{n}-dimensional enumeration")
+        self.model = model
+        self.n_sites = n
+        lat = model.lattice
+        self.lx, self.ly = lat.lx, lat.ly
+        self._enumerate_orbits(lat)
+        self._build_blocks(lat)
+
+    # -- orbit machinery ---------------------------------------------------
+    def _enumerate_orbits(self, lat) -> None:
+        n, lx, ly = self.n_sites, self.lx, self.ly
+        states = np.arange(1 << n, dtype=np.int64)
+        bits = np.empty((n, states.size), dtype=np.int64)
+        for i in range(n):
+            bits[i] = (states >> i) & 1
+        self._n_up = bits.sum(axis=0)
+        # Squared staggered magnetization (diagonal, orbit-constant).
+        eps = np.array([1.0 if lat.sublattice(s) == 0 else -1.0 for s in range(n)])
+        self._mst = (eps[:, None] * (bits - 0.5)).sum(axis=0)
+        # Images of every state under every translation.
+        self._group = [(dx, dy) for dx in range(lx) for dy in range(ly)]
+        imgs = np.zeros((len(self._group), states.size), dtype=np.int64)
+        for gi, (dx, dy) in enumerate(self._group):
+            # site index is x * ly + y (row-major), matching lat.site.
+            perm = np.array(
+                [
+                    lat.site((s // ly + dx) % lx, (s % ly + dy) % ly)
+                    for s in range(n)
+                ],
+                dtype=np.int64,
+            )
+            img = np.zeros_like(states)
+            for i in range(n):
+                img |= bits[i] << perm[i]
+            imgs[gi] = img
+        self._rep = imgs.min(axis=0)
+        self._g_to_rep = imgs.argmin(axis=0)
+        self._stab = imgs == states[None, :]  # (|G|, 2^n), True on stabilizer
+
+    def _momenta(self):
+        """(kx, ky) integer momenta with their conjugation multiplicity."""
+        out = []
+        for kx in range(self.lx):
+            for ky in range(self.ly):
+                mkx, mky = (-kx) % self.lx, (-ky) % self.ly
+                if (mkx, mky) < (kx, ky):
+                    continue  # counted by its conjugate partner
+                mult = 1 if (mkx, mky) == (kx, ky) else 2
+                out.append((kx, ky, mult))
+        return out
+
+    def _build_blocks(self, lat) -> None:
+        n = self.n_sites
+        bonds = [(a, b) for a, b, _c in lat.bonds()]
+        jz, jxy = self.model.jz, self.model.jxy
+        rep, g_to_rep = self._rep, self._g_to_rep
+        states = np.arange(1 << n, dtype=np.int64)
+        is_rep = states == rep
+        #: per (sector eigenvalue list, per-eigenstate m_st^2, multiplicity)
+        self._evals: list[np.ndarray] = []
+        self._m2: list[np.ndarray] = []
+        self._mults: list[float] = []
+        checked_dim = 0
+        for n_up in range(n // 2 + 1):
+            sector_mult = 1.0 if 2 * n_up == n else 2.0  # spin inversion
+            reps = states[is_rep & (self._n_up == n_up)]
+            if reps.size == 0:
+                continue
+            lookup = np.full(1 << n, -1, dtype=np.int64)
+            lookup[reps] = np.arange(reps.size)
+            # k-independent connection lists.
+            diag = np.zeros(reps.size)
+            rows, cols, gs = [], [], []
+            for ai, a in enumerate(map(int, reps)):
+                d = 0.0
+                for u, v in bonds:
+                    bu, bv = (a >> u) & 1, (a >> v) & 1
+                    d += jz * (bu - 0.5) * (bv - 0.5)
+                    if bu != bv:
+                        s_m = a ^ ((1 << u) | (1 << v))
+                        b = rep[s_m]
+                        bi = lookup[b]
+                        if bi >= 0:
+                            rows.append(bi)
+                            cols.append(ai)
+                            gs.append(g_to_rep[s_m])
+                diag[ai] = d
+            rows = np.array(rows, dtype=np.int64)
+            cols = np.array(cols, dtype=np.int64)
+            gs = np.array(gs, dtype=np.int64)
+            stab = self._stab[:, reps]  # (|G|, n_reps)
+            t_vec = np.array(self._group, dtype=float)  # (|G|, 2)
+            m2_reps = self._mst[reps] ** 2
+            for kx, ky, k_mult in self._momenta():
+                phase_g = np.exp(
+                    1j * 2 * np.pi * (t_vec[:, 0] * kx / self.lx + t_vec[:, 1] * ky / self.ly)
+                )
+                nu = (np.conj(phase_g)[:, None] * stab).sum(axis=0).real / len(
+                    self._group
+                )
+                keep = nu > _NU_TOL
+                m = int(keep.sum())
+                checked_dim += int(round(sector_mult * k_mult * m))
+                if m == 0:
+                    continue
+                kidx = np.full(reps.size, -1, dtype=np.int64)
+                kidx[keep] = np.arange(m)
+                h = np.zeros((m, m), dtype=complex)
+                np.fill_diagonal(h, diag[keep])
+                r, c = kidx[rows], kidx[cols]
+                sel = (r >= 0) & (c >= 0)
+                amp = (
+                    (jxy / 2.0)
+                    * np.conj(phase_g)[gs[sel]]
+                    * np.sqrt(nu[rows[sel]] / nu[cols[sel]])
+                )
+                np.add.at(h, (r[sel], c[sel]), amp)
+                if not np.allclose(h, h.conj().T, atol=1e-10):
+                    raise AssertionError("momentum block is not Hermitian")
+                evals, evecs = np.linalg.eigh(h)
+                self._evals.append(evals)
+                self._m2.append((np.abs(evecs) ** 2 * m2_reps[keep, None]).sum(axis=0))
+                self._mults.append(sector_mult * k_mult)
+        if checked_dim != 1 << n:
+            raise AssertionError(
+                f"momentum blocks cover {checked_dim} states, expected {1 << n}"
+            )
+
+    # -- thermal sums ------------------------------------------------------
+    def thermal(self, beta: float) -> SymmetryThermal:
+        """Exact canonical expectations at inverse temperature ``beta``."""
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        e_min = min(float(ev[0]) for ev in self._evals)
+        z = e_sum = m2_sum = 0.0
+        for evals, m2, mult in zip(self._evals, self._m2, self._mults):
+            w = mult * np.exp(-beta * (evals - e_min))
+            z += float(w.sum())
+            e_sum += float((w * evals).sum())
+            m2_sum += float((w * m2).sum())
+        n2 = self.n_sites**2
+        return SymmetryThermal(
+            beta=beta, energy=e_sum / z, m_stag_sq=m2_sum / z / n2
+        )

@@ -38,7 +38,9 @@ import numpy as np
 from repro.lattice.decomposition import BlockDecomposition, StripDecomposition
 from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
 from repro.qmc.plaquette import PlaquetteTable
+from repro.models.hamiltonians import XXZSquareModel
 from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE, WorldlineSquareQmc
 from repro.util.rng import SeedSequenceFactory
 
 __all__ = [
@@ -46,6 +48,9 @@ __all__ = [
     "worldline_strip_program",
     "IsingBlockConfig",
     "ising_block_program",
+    "Worldline2DReplicaConfig",
+    "worldline2d_replica_program",
+    "worldline2d_replica_flops_per_sweep",
 ]
 
 # Tag bases for the two drivers (distinct from the collective range).
@@ -503,4 +508,89 @@ def ising_block_program(comm, cfg: IsingBlockConfig) -> dict:
         "block": state.spins.copy(),
         "piece": (state.piece.x_start, state.piece.x_stop,
                   state.piece.y_start, state.piece.y_stop),
+    }
+
+
+# ======================================================================
+# replica-parallel 2-D world-line driver
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class Worldline2DReplicaConfig:
+    """Run parameters of the replica-parallel 2-D world-line sampler.
+
+    Each rank runs an independent Markov chain of the full ``lx x ly``
+    lattice using the batched conflict-free kernels of
+    :class:`~repro.qmc.worldline2d.WorldlineSquareQmc`; measurements
+    are allreduce-averaged across replicas.  This is the strategy the
+    paper used when the lattice fits in one node's memory: perfect
+    compute scaling, one collective per measurement.
+    """
+
+    lx: int
+    ly: int
+    beta: float
+    n_slices: int
+    jz: float = 1.0
+    jxy: float = 1.0
+    n_sweeps: int = 50
+    n_thermalize: int = 0
+    measure_every: int = 1
+    mode: str = "auto"
+
+    def __post_init__(self):
+        XXZSquareModel(self.lx, self.ly, jz=self.jz, jxy=self.jxy)  # validates
+        if self.n_sweeps < 1:
+            raise ValueError("need at least one sweep")
+        if self.measure_every < 1:
+            raise ValueError("measure_every must be >= 1")
+        if self.mode not in ("auto", "scalar", "vectorized"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+
+
+def worldline2d_replica_flops_per_sweep(sampler) -> float:
+    """Modeled FLOPs one replica charges per full lattice sweep.
+
+    One segment proposal per (bond, activation interval) plus the
+    straight-column pass over every space--time site -- the same
+    accounting :func:`repro.vmp.performance.worldline2d_workload` uses,
+    so executed-driver timings and the analytic model stay comparable.
+    """
+    segment = sampler.n_bonds * sampler.n_trotter * FLOPS_PER_SEGMENT_MOVE
+    column = 2.0 * sampler.n_sites * sampler.n_slices
+    return segment + column
+
+
+def worldline2d_replica_program(comm, cfg: Worldline2DReplicaConfig) -> dict:
+    """SPMD rank program: independent-replica batched 2-D world lines.
+
+    Returns, on every rank, replica-averaged energy and squared
+    staggered magnetization series (identical across ranks thanks to
+    allreduce) plus this rank's final configuration and acceptance.
+    """
+    model = XXZSquareModel(cfg.lx, cfg.ly, jz=cfg.jz, jxy=cfg.jxy)
+    sampler = WorldlineSquareQmc(
+        model, cfg.beta, cfg.n_slices, stream=comm.stream
+    )
+    flops_per_sweep = worldline2d_replica_flops_per_sweep(sampler)
+    for _ in range(cfg.n_thermalize):
+        sampler.sweep(mode=cfg.mode)
+        comm.charge_compute(flops_per_sweep)
+    energies, m2s = [], []
+    for s in range(cfg.n_sweeps):
+        sampler.sweep(mode=cfg.mode)
+        comm.charge_compute(flops_per_sweep)
+        if s % cfg.measure_every == 0:
+            e = comm.allreduce(sampler.energy_estimate()) / comm.size
+            m2 = comm.allreduce(sampler.staggered_magnetization_sq()) / comm.size
+            energies.append(e)
+            m2s.append(m2)
+    return {
+        "energy": np.array(energies),
+        "m_stag_sq": np.array(m2s),
+        "spins": sampler.spins.copy(),
+        "acceptance": sampler.acceptance_rate,
+        "beta": cfg.beta,
+        "dtau": sampler.dtau,
     }

@@ -37,12 +37,54 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["PlaquetteTable", "encode_corners"]
+__all__ = [
+    "PlaquetteTable",
+    "encode_corners",
+    "corner_flat_indices",
+    "codes_from_flat",
+]
 
 
 def encode_corners(bl: int, br: int, tl: int, tr: int) -> int:
     """4-bit corner code (vectorized-compatible: works on arrays too)."""
     return bl + 2 * br + 4 * tl + 8 * tr
+
+
+def corner_flat_indices(
+    site_a: np.ndarray, site_b: np.ndarray, t: np.ndarray, n_slices: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flat spin indices ``site * T + slice`` of plaquette corners.
+
+    For plaquettes at bonds ``(site_a, site_b)`` and intervals ``t`` on a
+    C-contiguous ``(n_sites, n_slices)`` spin array, returns the four
+    gather index arrays ``(bl, br, tl, tr)`` into ``spins.reshape(-1)``.
+    All inputs broadcast; the result shape is the broadcast shape.  The
+    batched kernels precompute these tables once per geometry so the hot
+    path is pure gather + table lookup.
+    """
+    t1 = (t + 1) % n_slices
+    return (
+        site_a * n_slices + t,
+        site_b * n_slices + t,
+        site_a * n_slices + t1,
+        site_b * n_slices + t1,
+    )
+
+
+def codes_from_flat(
+    flat_spins: np.ndarray,
+    bl: np.ndarray,
+    br: np.ndarray,
+    tl: np.ndarray,
+    tr: np.ndarray,
+) -> np.ndarray:
+    """Corner codes gathered through precomputed flat index tables.
+
+    ``flat_spins`` is ``spins.reshape(-1)`` of the C-contiguous spin
+    array the index tables were built for.  Values stay in 0..15, so
+    int8 spin storage cannot overflow.
+    """
+    return flat_spins[bl] + 2 * flat_spins[br] + 4 * flat_spins[tl] + 8 * flat_spins[tr]
 
 
 # Corner codes of the six legal plaquette states.

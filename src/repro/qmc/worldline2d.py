@@ -34,7 +34,41 @@ Monte Carlo moves:
   world line is straight (changes S^z_total by one).
 
 The same period-accurate limitation as the chain applies: spatial
-winding is not sampled.
+winding is not sampled (see :meth:`WorldlineSquareQmc.winding_numbers`).
+
+Two sweep implementations are provided and cross-checked, mirroring the
+1-D sampler's design:
+
+* ``sweep(mode="scalar")`` -- the reference path: per-bond Python loops
+  over segment moves, scalar window and column flips.  Works on every
+  legal geometry.
+* ``sweep(mode="vectorized")`` -- batched conflict-free kernels.  The
+  (bond, activation-interval) proposals are partitioned *statically*
+  into independence classes
+
+      bond color (4)  x  spatial bond parity (2 x 2)  x  mod-8 interval (2)
+
+  such that no two moves of one class share a read plaquette and no
+  move writes spins another move reads: same-color bonds tile the
+  lattice into disjoint pairs, the 2x2 spatial parity (stride-4 along
+  the bond axis, stride-2 across it) separates read neighborhoods by
+  more than one lattice spacing, and the mod-8 interval classes keep
+  the six read slices ``t0 .. t0+5`` of concurrent moves disjoint.
+  Each class executes as ONE masked-Metropolis array kernel over
+  precomputed flat-index gather tables (see
+  :func:`repro.qmc.plaquette.corner_flat_indices`): gather all corner
+  codes, form old/new weight products by table lookup, accept with a
+  single vectorized uniform draw, scatter the accepted flips.  Straight
+  -line column flips batch the same way over the two sublattices.
+  Requires ``lx % 4 == 0`` and ``ly % 4 == 0`` (which also excludes the
+  doubled-bond extent-2 geometries); odd Trotter numbers fall back to
+  one-interval-at-a-time kernels that are still batched over bonds.
+
+Because moves within a class have disjoint read/write footprints,
+parallel acceptance equals sequential acceptance in any order -- both
+modes sample exactly the same distribution, which the statistical
+cross-check tests assert against each other and against exact
+references.
 """
 
 from __future__ import annotations
@@ -44,10 +78,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.models.hamiltonians import XXZSquareModel
-from repro.qmc.plaquette import PlaquetteTable
+from repro.qmc.plaquette import PlaquetteTable, codes_from_flat, corner_flat_indices
 from repro.util.rng import RankStream, SeedSequenceFactory
 
-__all__ = ["WorldlineSquareQmc", "Worldline2DMeasurement"]
+__all__ = [
+    "WorldlineSquareQmc",
+    "Worldline2DMeasurement",
+    "FLOPS_PER_SEGMENT_MOVE",
+]
+
+#: Modeled floating-point work of one segment-flip attempt: 8 affected
+#: plaquettes evaluated old and new (16 table lookups), two 8-term
+#: weight products, one ratio/compare, and gather index arithmetic.
+#: The parallel drivers and the vmp performance model charge this per
+#: attempted move, matching the arithmetic an optimized vector kernel
+#: of the paper's era would execute.
+FLOPS_PER_SEGMENT_MOVE = 48.0
 
 
 @dataclass
@@ -112,8 +158,12 @@ class WorldlineSquareQmc:
         sub = np.array(
             [self.lattice.sublattice(s) for s in range(self.n_sites)], dtype=np.int8
         )
-        self.spins = np.repeat(sub[:, None], self.n_slices, axis=1)
+        self.spins = np.ascontiguousarray(np.repeat(sub[:, None], self.n_slices, axis=1))
+        self._sublattice = sub
         self._stag_signs = np.where(sub == 0, 1.0, -1.0)
+        self._build_shaded_gather()
+        if self.can_vectorize:
+            self._build_class_tables()
         self.n_attempted = 0
         self.n_accepted = 0
 
@@ -173,6 +223,112 @@ class WorldlineSquareQmc:
         return out
 
     # ------------------------------------------------------------------
+    # precomputed gather tables (measurement + vectorized kernels)
+    # ------------------------------------------------------------------
+    def _build_shaded_gather(self) -> None:
+        """Flat-index gather table over ALL shaded plaquettes.
+
+        One ``(plaquette -> 4 flat spin indices)`` table replaces the
+        per-color per-bond Python loop of the measurement path: one
+        vectorized gather yields every shaded corner code.  Ordering is
+        (color, bond-within-color, activation interval), kept stable so
+        estimators are reproducible.
+        """
+        T = self.n_slices
+        aa, bb, tt, ax = [], [], [], []
+        for c in range(self.N_COLORS):
+            ts = np.arange(c, T, self.N_COLORS, dtype=np.intp)
+            bonds_c = np.nonzero(self.bond_colors == c)[0]
+            aa.append(np.repeat(self.bond_sites[bonds_c, 0], ts.size))
+            bb.append(np.repeat(self.bond_sites[bonds_c, 1], ts.size))
+            tt.append(np.tile(ts, bonds_c.size))
+            ax.append(np.full(bonds_c.size * ts.size, c < 2, dtype=bool))
+        a = np.concatenate(aa)
+        b = np.concatenate(bb)
+        t = np.concatenate(tt)
+        self._shaded_gather = corner_flat_indices(a, b, t, T)
+        #: True where the shaded plaquette sits on an x-bond (winding axis).
+        self._shaded_axis_x = np.concatenate(ax)
+
+    @property
+    def can_vectorize(self) -> bool:
+        """Batched kernels need the 2x2 spatial parity classes to tile:
+        both extents multiples of 4 (also excludes doubled-bond pairs)."""
+        return self.lattice.lx % 4 == 0 and self.lattice.ly % 4 == 0
+
+    def _build_class_tables(self) -> None:
+        """Static conflict-free class decomposition of all segment moves.
+
+        For every (color, 2x2 spatial parity) class, precompute the flat
+        gather indices of the 8 affected plaquettes of every (bond, t0)
+        proposal -- shape ``(B, M, 8)`` per corner -- plus the flip
+        windows ``(B, M, 4)``.  The sweep slices the M axis into the two
+        mod-8 interval classes (or single intervals for odd M) and runs
+        one array kernel per slice: the hot path does no index
+        arithmetic at all, only gathers, table lookups and scatters.
+        """
+        T, M = self.n_slices, self.n_trotter
+        lx, ly = self.lattice.lx, self.lattice.ly
+        coords = np.array([self.lattice.coords(s) for s in range(self.n_sites)])
+        offs = np.array([0, self.N_COLORS, 1, 1, 2, 2, 3, 3], dtype=np.intp)
+        self._seg_classes = []
+        for c in range(self.N_COLORS):
+            bonds_c = np.nonzero(self.bond_colors == c)[0]
+            x = coords[self.bond_sites[bonds_c, 0], 0]
+            y = coords[self.bond_sites[bonds_c, 0], 1]
+            if c < 2:  # x-bond: stride 4 along x, stride 2 along y
+                subkey = 2 * ((x // 2) % 2) + y % 2
+            else:  # y-bond: stride 2 along x, stride 4 along y
+                subkey = 2 * (x % 2) + (y // 2) % 2
+            t0s = np.arange(c, T, self.N_COLORS, dtype=np.intp)  # (M,)
+            for sub in range(4):
+                sel = bonds_c[subkey == sub]
+                i = self.bond_sites[sel, 0]
+                j = self.bond_sites[sel, 1]
+                B = sel.size
+                aff = np.empty((B, 8), dtype=np.intp)
+                aff[:, 0] = sel
+                aff[:, 1] = sel
+                for k, off in enumerate((1, 2, 3)):
+                    cc = (c + off) % self.N_COLORS
+                    aff[:, 2 + 2 * k] = self.bond_of[i, cc]
+                    aff[:, 3 + 2 * k] = self.bond_of[j, cc]
+                pa = self.bond_sites[aff, 0]  # (B, 8)
+                pb = self.bond_sites[aff, 1]
+                tau = (t0s[:, None] + offs[None, :]) % T  # (M, 8)
+                bl, br, tl, tr = corner_flat_indices(
+                    pa[:, None, :], pb[:, None, :], tau[None, :, :], T
+                )  # each (B, M, 8)
+                win = (
+                    t0s[None, :, None] + np.arange(1, self.N_COLORS + 1)
+                ) % T  # (1, M, 4)
+                self._seg_classes.append(
+                    {
+                        "bonds": sel,
+                        "t0s": t0s,
+                        "bl": bl, "br": br, "tl": tl, "tr": tr,
+                        "wi": i[:, None, None] * T + win,
+                        "wj": j[:, None, None] * T + win,
+                    }
+                )
+        # Straight-line column kernels: one class per sublattice (column
+        # flips read only the column's own active plaquettes, whose other
+        # corners live on the opposite sublattice).
+        ts = np.arange(T, dtype=np.intp)
+        self._col_classes = []
+        for parity in (0, 1):
+            sites = np.nonzero(self._sublattice == parity)[0]
+            bonds_col = self.bond_of[sites[:, None], ts[None, :] % self.N_COLORS]
+            ca = self.bond_sites[bonds_col, 0]  # (S, T)
+            cb = self.bond_sites[bonds_col, 1]
+            bl, br, tl, tr = corner_flat_indices(ca, cb, ts[None, :], T)
+            self._col_classes.append(
+                {"sites": sites, "bl": bl, "br": br, "tl": tl, "tr": tr}
+            )
+        w = self.table.weights
+        self._logw = np.where(w > 0, np.log(np.maximum(w, 1e-300)), -np.inf)
+
+    # ------------------------------------------------------------------
     # plaquette codes
     # ------------------------------------------------------------------
     def _codes(self, bond: np.ndarray | int, t: np.ndarray) -> np.ndarray:
@@ -189,13 +345,32 @@ class WorldlineSquareQmc:
         )
 
     def shaded_codes(self) -> np.ndarray:
-        """Codes of all shaded plaquettes (concatenated per color)."""
-        chunks = []
-        for c in range(self.N_COLORS):
-            ts = np.arange(c, self.n_slices, self.N_COLORS, dtype=np.intp)
-            for bond in np.nonzero(self.bond_colors == c)[0]:
-                chunks.append(self._codes(int(bond), ts))
-        return np.concatenate(chunks)
+        """Codes of all shaded plaquettes -- one precomputed-table gather."""
+        sf = self.spins.reshape(-1)
+        bl, br, tl, tr = self._shaded_gather
+        return codes_from_flat(sf, bl, br, tl, tr).astype(np.intp)
+
+    def winding_numbers(self) -> tuple[int, int]:
+        """Total spatial winding ``(W_x, W_y)`` of the world lines.
+
+        Each jump plaquette displaces one world line by one lattice
+        spacing along its bond axis (+1 for a->b, code 9; -1 for b->a,
+        code 6); periodicity in imaginary time forces the summed
+        displacement along each axis to be a multiple of the extent.
+        The local move set conserves the winding sector (segment flips
+        deflect a line out and back; column flips move no line sideways)
+        -- the documented period-accurate limitation, asserted by the
+        invariant tests.
+        """
+        codes = self.shaded_codes()
+        jumps = (codes == 9).astype(np.int64) - (codes == 6).astype(np.int64)
+        ax = self._shaded_axis_x
+        wx = int(jumps[ax].sum())
+        wy = int(jumps[~ax].sum())
+        lx, ly = self.lattice.lx, self.lattice.ly
+        if wx % lx or wy % ly:
+            raise AssertionError("fractional winding: broken world line")
+        return wx // lx, wy // ly
 
     def config_log_weight(self) -> float:
         w = self.table.weights[self.shaded_codes()]
@@ -204,11 +379,16 @@ class WorldlineSquareQmc:
         return float(np.sum(np.log(w)))
 
     def check_invariants(self) -> None:
+        """Assert every conserved property of the local move set: legal
+        shaded plaquettes, per-slice magnetization conservation, and
+        confinement to the starting (zero) winding sector."""
         if np.any(self.table.weights[self.shaded_codes()] <= 0):
             raise AssertionError("illegal shaded plaquette")
         mags = self.spins.sum(axis=0)
         if np.any(mags != mags[0]):
             raise AssertionError("slice magnetization not conserved")
+        if self.winding_numbers() != (0, 0):
+            raise AssertionError("left the zero-winding sector")
 
     # ------------------------------------------------------------------
     # estimators
@@ -289,16 +469,21 @@ class WorldlineSquareQmc:
             raise ValueError("window must have positive length")
         # Affected plaquettes: the bounding pair-bond plaquettes plus the
         # active plaquettes of both sites strictly inside the window.
+        # Dedup through a set (membership tests on the list were O(n^2)
+        # in the window length); insertion order keeps the weight
+        # product deterministic.
         affected: list[tuple[int, int]] = [
             (int(self.bond_of[i, c1]), t1),
             (int(self.bond_of[i, c2]), t2),
         ]
+        seen = set(affected)
         for step in range(1, length):
             tau = (t1 + step) % T
             color = tau % self.N_COLORS
             for s in (i, j):
                 pair = (int(self.bond_of[s, color]), tau)
-                if pair not in affected:
+                if pair not in seen:
+                    seen.add(pair)
                     affected.append(pair)
         w = self.table.weights
 
@@ -345,14 +530,107 @@ class WorldlineSquareQmc:
         self.n_accepted += 1
         return True
 
-    def sweep(self) -> None:
+    # ------------------------------------------------------------------
+    # batched conflict-free kernels
+    # ------------------------------------------------------------------
+    def _run_segment_kernel(self, cls: dict, sl: slice) -> None:
+        """One masked-Metropolis array kernel: every segment move of one
+        conflict-free class (``sl`` selects the mod-8 interval class on
+        the precomputed M axis).
+
+        Gather all corner codes through the flat-index tables, form the
+        old/new products of the 8 affected plaquette weights, accept
+        with one vectorized uniform draw, scatter back the rejected
+        flips.  All flipped spin indices within a call are distinct
+        (same-color bonds are site-disjoint; in-class intervals are >= 8
+        slices apart), so the in-place fancy-indexed XORs are exact.
+        """
+        bl, br = cls["bl"][:, sl], cls["br"][:, sl]
+        tl, tr = cls["tl"][:, sl], cls["tr"][:, sl]
+        wi, wj = cls["wi"][:, sl], cls["wj"][:, sl]
+        sf = self.spins.reshape(-1)
+        w = self.table.weights
+        old = w[codes_from_flat(sf, bl, br, tl, tr)].prod(axis=2)
+        sf[wi] ^= 1
+        sf[wj] ^= 1
+        new = w[codes_from_flat(sf, bl, br, tl, tr)].prod(axis=2)
+        u = self.stream.uniform(size=old.shape)
+        reject = ~(new > 0.0) | (u * old >= new)
+        sf[wi[reject]] ^= 1
+        sf[wj[reject]] ^= 1
+        self.n_attempted += old.size
+        self.n_accepted += int(old.size - reject.sum())
+
+    def _run_column_kernel(self, cls: dict) -> None:
+        """Batched straight-line flips across all legal sites of one
+        sublattice (log-space weights: T plaquettes per column)."""
+        sites = cls["sites"]
+        cols = self.spins[sites]
+        straight = np.nonzero(cols.min(axis=1) == cols.max(axis=1))[0]
+        if straight.size == 0:
+            return
+        bl, br = cls["bl"][straight], cls["br"][straight]
+        tl, tr = cls["tl"][straight], cls["tr"][straight]
+        flip = sites[straight]
+        sf = self.spins.reshape(-1)
+        logw = self._logw
+        old = logw[codes_from_flat(sf, bl, br, tl, tr)].sum(axis=1)
+        self.spins[flip] ^= 1
+        new = logw[codes_from_flat(sf, bl, br, tl, tr)].sum(axis=1)
+        log_ratio = new - old
+        u = self.stream.uniform(size=flip.size)
+        reject = ~np.isfinite(log_ratio) | (
+            np.log(np.maximum(u, 1e-300)) >= log_ratio
+        )
+        self.spins[flip[reject]] ^= 1
+        self.n_attempted += flip.size
+        self.n_accepted += int(flip.size - reject.sum())
+
+    def sweep_vectorized(self) -> None:
+        """Batched sweep: 4 colors x 4 spatial parities x 2 interval
+        classes of segment kernels, then the two sublattice column
+        kernels.  Proposal set identical to the scalar sweep."""
+        if not self.can_vectorize:
+            raise ValueError(
+                "vectorized sweep needs lx % 4 == 0 and ly % 4 == 0; got "
+                f"{self.lattice.lx}x{self.lattice.ly}"
+            )
+        even_m = self.n_trotter % 2 == 0
+        for cls in self._seg_classes:
+            if even_m:
+                self._run_segment_kernel(cls, slice(0, None, 2))
+                self._run_segment_kernel(cls, slice(1, None, 2))
+            else:
+                # Odd Trotter number: the two mod-8 classes do not tile;
+                # fall back to one interval at a time, still bond-batched.
+                for m in range(self.n_trotter):
+                    self._run_segment_kernel(cls, slice(m, m + 1))
+        for cls in self._col_classes:
+            self._run_column_kernel(cls)
+
+    def sweep(self, mode: str = "auto") -> None:
         """One full sweep: every (bond, activation) segment move once,
         then straight-line attempts on every site.
 
-        Activation intervals are batched into the two conflict-free
-        mod-8 classes when the Trotter number is even; odd M degrades
-        to one-at-a-time proposals (still correct, just unbatched).
+        ``mode="vectorized"`` runs the batched conflict-free kernels,
+        ``mode="scalar"`` the per-bond reference, ``"auto"`` picks the
+        kernels whenever the geometry allows.  Both modes propose the
+        same move set and sample the same distribution.
         """
+        if mode == "auto":
+            mode = "vectorized" if self.can_vectorize else "scalar"
+        if mode == "vectorized":
+            self.sweep_vectorized()
+        elif mode == "scalar":
+            self.sweep_scalar()
+        else:
+            raise ValueError(f"unknown sweep mode {mode!r}")
+
+    def sweep_scalar(self) -> None:
+        """Reference sweep: per-bond segment moves (time-batched into
+        the two conflict-free mod-8 classes when the Trotter number is
+        even), scalar window flips on doubled pairs, scalar column
+        flips on every site."""
         for bond in range(self.n_bonds):
             c = int(self.bond_colors[bond])
             t0_all = np.arange(c, self.n_slices, self.N_COLORS, dtype=np.intp)
@@ -384,15 +662,16 @@ class WorldlineSquareQmc:
         n_sweeps: int,
         n_thermalize: int = 0,
         measure_every: int = 1,
+        mode: str = "auto",
     ) -> Worldline2DMeasurement:
-        """Thermalize, sweep, measure."""
+        """Thermalize, sweep, measure (``mode`` as in :meth:`sweep`)."""
         if n_sweeps < 1:
             raise ValueError("need at least one measured sweep")
         for _ in range(n_thermalize):
-            self.sweep()
+            self.sweep(mode)
         energy, mags, mstag = [], [], []
         for s in range(n_sweeps):
-            self.sweep()
+            self.sweep(mode)
             if s % measure_every == 0:
                 energy.append(self.energy_estimate())
                 mags.append(self.magnetization())

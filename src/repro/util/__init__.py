@@ -10,8 +10,11 @@ This subpackage is dependency-free (NumPy only) and provides:
   real wall-clock time or *modeled* time charged by the virtual machine.
 * :mod:`repro.util.tables` -- plain-text table / data-series rendering
   used by the benchmark harness to print paper-style tables and figures.
+* :mod:`repro.util.correlation` -- FFT fast paths for the circular
+  correlation functions measured by the samplers.
 """
 
+from repro.util.correlation import mean_circular_correlation
 from repro.util.logspace import (
     log_add,
     log_diff,
@@ -26,6 +29,7 @@ from repro.util.tables import Series, Table, format_float, render_series
 from repro.util.timer import ModelClock, Timer, TimerRegistry
 
 __all__ = [
+    "mean_circular_correlation",
     "log_add",
     "log_diff",
     "log_mean",

@@ -36,6 +36,7 @@ from repro.vmp.topology import Topology
 __all__ = [
     "WorkloadShape",
     "PerformanceModel",
+    "worldline2d_workload",
     "speedup",
     "efficiency",
     "gustafson_scaled_speedup",
@@ -138,6 +139,39 @@ class WorkloadShape:
         import dataclasses
 
         return dataclasses.replace(self, lx=self.lx * p)
+
+
+def worldline2d_workload(
+    lx: int, ly: int, n_slices: int, sweeps: int, **overrides
+) -> WorkloadShape:
+    """Workload of the batched 2-D world-line sampler, replica strategy.
+
+    FLOP accounting matches what the executed driver
+    (:func:`repro.qmc.parallel.worldline2d_replica_program`) charges per
+    sweep: each space--time site sees half a segment proposal (one
+    proposal per bond and activation interval, ``2 N_sites`` bonds over
+    ``T/4`` intervals, eight plaquettes each) plus the straight-column
+    Metropolis pass, so per site-slice
+
+        flops = FLOPS_PER_SEGMENT_MOVE / 2 + 2.
+
+    Keyword overrides pass through to :class:`WorkloadShape` (e.g.
+    ``strategy="strip"`` to model a domain-decomposed variant, or
+    ``serial_fraction`` for the replica Amdahl term).
+    """
+    from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE
+
+    kwargs = dict(
+        lx=lx,
+        ly=ly,
+        lt=n_slices,
+        flops_per_site=FLOPS_PER_SEGMENT_MOVE / 2.0 + 2.0,
+        sweeps=sweeps,
+        strategy="replica",
+        allreduce_doubles=2,
+    )
+    kwargs.update(overrides)
+    return WorkloadShape(**kwargs)
 
 
 class PerformanceModel:

@@ -1,0 +1,70 @@
+"""Tests for the translation-symmetry-blocked exact diagonalization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.models.hamiltonians import XXZSquareModel
+from repro.models.operators import pauli_z, site_operator
+from repro.models.symmetry_ed import MomentumBlockED
+
+
+def dense_thermal(model, beta):
+    """Brute-force reference: full dense spectrum + staggered moment."""
+    h = model.build_sparse().toarray()
+    evals, evecs = np.linalg.eigh(h)
+    n = model.n_sites
+    lat = model.lattice
+    sz = pauli_z() / 2.0
+    mst = sp.csr_matrix((2**n, 2**n))
+    for i in range(n):
+        eps = 1.0 if lat.sublattice(i) == 0 else -1.0
+        mst = mst + eps * site_operator(sz, i, n)
+    m2_diag = np.einsum(
+        "ia,ij,ja->a", evecs.conj(), (mst @ mst).toarray(), evecs
+    ).real
+    w = np.exp(-beta * (evals - evals[0]))
+    z = w.sum()
+    return (w * evals).sum() / z, (w * m2_diag).sum() / z / n**2
+
+
+class TestAgainstDenseED:
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4), (4, 2)])
+    @pytest.mark.parametrize("beta", [0.7, 2.5])
+    def test_heisenberg_matches_dense(self, shape, beta):
+        model = XXZSquareModel(*shape, jz=1.0, jxy=1.0)
+        th = MomentumBlockED(model).thermal(beta)
+        e_ref, m2_ref = dense_thermal(model, beta)
+        assert th.energy == pytest.approx(e_ref, abs=1e-10)
+        assert th.m_stag_sq == pytest.approx(m2_ref, abs=1e-12)
+
+    def test_anisotropic_xxz_matches_dense(self):
+        model = XXZSquareModel(2, 4, jz=1.0, jxy=0.4)
+        th = MomentumBlockED(model).thermal(1.3)
+        e_ref, m2_ref = dense_thermal(model, 1.3)
+        assert th.energy == pytest.approx(e_ref, abs=1e-10)
+        assert th.m_stag_sq == pytest.approx(m2_ref, abs=1e-12)
+
+
+class TestStructure:
+    def test_blocks_cover_hilbert_space(self):
+        # The constructor self-checks sum(block dims) == 2^n; building
+        # without an AssertionError is the assertion.
+        MomentumBlockED(XXZSquareModel(2, 4))
+
+    def test_structure_factor_normalization(self):
+        th = MomentumBlockED(XXZSquareModel(2, 2)).thermal(1.0)
+        assert th.staggered_structure_factor(4) == pytest.approx(4 * th.m_stag_sq)
+
+    def test_energy_decreases_with_beta(self):
+        ed = MomentumBlockED(XXZSquareModel(2, 4))
+        assert ed.thermal(2.0).energy < ed.thermal(0.5).energy
+
+    def test_open_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="periodic"):
+            MomentumBlockED(XXZSquareModel(4, 4, periodic=False))
+
+    def test_nonpositive_beta_rejected(self):
+        ed = MomentumBlockED(XXZSquareModel(2, 2))
+        with pytest.raises(ValueError, match="beta"):
+            ed.thermal(0.0)

@@ -119,3 +119,80 @@ class TestStatisticalAgreement:
         b1 = BinningAnalysis.from_series(res1.values[0]["energy"])
         err = float(np.hypot(b4.error, b1.error))
         assert_within(b4.mean, b1.mean, err, n_sigma=5.0, label="P=4 vs P=1")
+
+
+# ======================================================================
+# replica-parallel 2-D driver (batched kernels)
+# ======================================================================
+
+from repro.models.hamiltonians import XXZSquareModel
+from repro.models.symmetry_ed import MomentumBlockED
+from repro.qmc.parallel import (
+    Worldline2DReplicaConfig,
+    worldline2d_replica_flops_per_sweep,
+    worldline2d_replica_program,
+)
+from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE, WorldlineSquareQmc
+
+
+REPLICA = Worldline2DReplicaConfig(
+    lx=4, ly=4, beta=0.5, n_slices=16, n_sweeps=120, n_thermalize=30
+)
+
+
+class TestWorldline2DReplicaConfig:
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            Worldline2DReplicaConfig(lx=3, ly=4, beta=1.0, n_slices=8)
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            Worldline2DReplicaConfig(lx=4, ly=4, beta=1.0, n_slices=8, mode="simd")
+
+
+class TestWorldline2DReplica:
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_series_identical_on_all_ranks(self, p):
+        res = run_spmd(worldline2d_replica_program, p, args=(REPLICA,))
+        vals = [o.value for o in res.outcomes]
+        for v in vals[1:]:
+            np.testing.assert_array_equal(v["energy"], vals[0]["energy"])
+            np.testing.assert_array_equal(v["m_stag_sq"], vals[0]["m_stag_sq"])
+        assert all(0.0 < v["acceptance"] < 1.0 for v in vals)
+
+    def test_replica_configurations_stay_legal(self):
+        res = run_spmd(worldline2d_replica_program, 2, args=(REPLICA,))
+        model = XXZSquareModel(REPLICA.lx, REPLICA.ly)
+        for o in res.outcomes:
+            q = WorldlineSquareQmc(model, REPLICA.beta, REPLICA.n_slices)
+            q.spins = o.value["spins"]
+            q.check_invariants()
+
+    def test_flops_charged_match_model(self):
+        res = run_spmd(worldline2d_replica_program, 2, args=(REPLICA,), machine=PARAGON)
+        sampler = WorldlineSquareQmc(
+            XXZSquareModel(REPLICA.lx, REPLICA.ly), REPLICA.beta, REPLICA.n_slices
+        )
+        per_sweep = worldline2d_replica_flops_per_sweep(sampler)
+        assert per_sweep == (
+            sampler.n_bonds * sampler.n_trotter * FLOPS_PER_SEGMENT_MOVE
+            + 2.0 * sampler.n_sites * sampler.n_slices
+        )
+        sweeps = REPLICA.n_sweeps + REPLICA.n_thermalize
+        expected = sweeps * per_sweep / PARAGON.flops
+        for o in res.outcomes:
+            assert o.breakdown["compute"] == pytest.approx(expected)
+
+    @pytest.mark.slow
+    def test_replica_average_matches_symmetry_ed(self):
+        cfg = Worldline2DReplicaConfig(
+            lx=4, ly=4, beta=0.5, n_slices=16, n_sweeps=1500, n_thermalize=200
+        )
+        res = run_spmd(worldline2d_replica_program, 4, args=(cfg,))
+        energy = res.outcomes[0].value["energy"]
+        ref = MomentumBlockED(XXZSquareModel(4, 4)).thermal(cfg.beta)
+        ba = BinningAnalysis.from_series(energy)
+        # Same zero-winding-sector + Trotter allowance as the serial
+        # agreement tests (see test_worldline2d_vectorized).
+        assert_within(ba.mean, ref.energy, ba.error, n_sigma=4.0, atol=0.3,
+                      label="replica-averaged energy vs ED")

@@ -134,3 +134,21 @@ class TestOrderParameter:
         c = q.spin_correlation()
         assert c[0] == pytest.approx(1.0)
         assert c[len(c) - 1] < c[1]
+
+
+class TestCorrelationFastPath:
+    @pytest.mark.parametrize("shape,axis", [((8,), 0), ((6, 4), 0), ((6, 4), 1)])
+    def test_fft_equals_loop(self, shape, axis):
+        q = TfimQmc(shape, j=1.0, gamma=1.5, beta=2.0, n_slices=8, seed=67)
+        for _ in range(30):
+            q.sweep()
+        np.testing.assert_allclose(
+            q.spin_correlation(axis=axis, method="fft"),
+            q.spin_correlation(axis=axis, method="loop"),
+            atol=1e-12,
+        )
+
+    def test_unknown_method_rejected(self):
+        q = TfimQmc((8,), j=1.0, gamma=1.0, beta=1.0, n_slices=8, seed=3)
+        with pytest.raises(ValueError, match="method"):
+            q.spin_correlation(method="rolls")

@@ -252,3 +252,51 @@ class TestImaginaryTimeCorrelation:
         taus = [0.0, 0.2, 0.4, 0.5]
         vals = [ed.imaginary_time_correlation_zz(0, t, beta) for t in taus]
         assert all(x >= y - 1e-12 for x, y in zip(vals, vals[1:]))
+
+
+class TestCorrelationFastPaths:
+    """The FFT measurement paths must reproduce the roll loops exactly."""
+
+    def _randomized(self, periodic):
+        q = make(n_sites=8, n_slices=16, periodic=periodic, seed=71)
+        for _ in range(40):
+            q.sweep()
+        return q
+
+    def test_szsz_fft_equals_loop_periodic(self):
+        q = self._randomized(periodic=True)
+        np.testing.assert_allclose(
+            q.szsz_correlation(method="fft"),
+            q.szsz_correlation(method="loop"),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            q.szsz_correlation(method="auto"),
+            q.szsz_correlation(method="loop"),
+            atol=1e-12,
+        )
+
+    def test_szsz_open_uses_loop(self):
+        q = self._randomized(periodic=False)
+        np.testing.assert_allclose(
+            q.szsz_correlation(method="auto"),
+            q.szsz_correlation(method="loop"),
+            atol=1e-12,
+        )
+        with pytest.raises(ValueError, match="periodic"):
+            q.szsz_correlation(method="fft")
+
+    @pytest.mark.parametrize("periodic", [True, False])
+    def test_time_correlation_fft_equals_loop(self, periodic):
+        # Imaginary time is periodic regardless of the spatial geometry.
+        q = self._randomized(periodic=periodic)
+        np.testing.assert_allclose(
+            q.szsz_time_correlation(method="fft"),
+            q.szsz_time_correlation(method="loop"),
+            atol=1e-12,
+        )
+
+    def test_unknown_method_rejected(self):
+        q = self._randomized(periodic=True)
+        with pytest.raises(ValueError, match="method"):
+            q.szsz_correlation(method="rolls")

@@ -136,3 +136,26 @@ class TestMachineComparisonShape:
         pm = PerformanceModel(CM5, w)
         eff = pm.efficiency(256)
         assert 0.5 < eff < 0.99
+
+
+class TestWorldline2DWorkload:
+    def test_flop_accounting_matches_executed_driver(self):
+        from repro.models.hamiltonians import XXZSquareModel
+        from repro.qmc.parallel import worldline2d_replica_flops_per_sweep
+        from repro.qmc.worldline2d import WorldlineSquareQmc
+        from repro.vmp.performance import worldline2d_workload
+
+        w = worldline2d_workload(8, 8, 32, sweeps=10)
+        sampler = WorldlineSquareQmc(XXZSquareModel(8, 8), 1.0, 32)
+        per_sweep = worldline2d_replica_flops_per_sweep(sampler)
+        assert w.total_flops == pytest.approx(10 * per_sweep)
+
+    def test_defaults_and_overrides(self):
+        from repro.vmp.performance import worldline2d_workload
+
+        w = worldline2d_workload(16, 16, 64, sweeps=100)
+        assert w.strategy == "replica"
+        assert w.lt == 64
+        assert worldline2d_workload(
+            16, 16, 64, sweeps=100, strategy="strip"
+        ).strategy == "strip"
