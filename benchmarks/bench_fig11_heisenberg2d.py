@@ -31,13 +31,15 @@ POINTS = [  # (beta, M, sweeps)
 ]
 
 
-def build() -> tuple[Table, float]:
+def build(smoke: bool = False) -> tuple[Table, float]:
+    scale = 20 if smoke else 1
     e0 = float(lanczos_ground_state(MODEL.build_sparse())[0])
     table = Table(
         "Figure 11 (as data): 4x4 Heisenberg AFM vs temperature",
         ["beta", "E QMC", "err", "S(pi,pi)", "E0 (Lanczos)"],
     )
     for k, (beta, m, sweeps) in enumerate(POINTS):
+        sweeps = max(sweeps // scale, 20)
         q = WorldlineSquareQmc(MODEL, beta, 4 * m, seed=90 + k)
         meas = q.run(n_sweeps=sweeps, n_thermalize=sweeps // 5)
         ba = BinningAnalysis.from_series(meas.energy)
@@ -47,20 +49,21 @@ def build() -> tuple[Table, float]:
     return table, e0
 
 
-def test_fig11_heisenberg_2d(benchmark, record):
-    table, e0 = run_once(benchmark, build)
+def test_fig11_heisenberg_2d(benchmark, record, smoke):
+    table, e0 = run_once(benchmark, lambda: build(smoke))
 
-    energies = table.column("E QMC")
-    s_afm = table.column("S(pi,pi)")
+    if not smoke:
+        energies = table.column("E QMC")
+        s_afm = table.column("S(pi,pi)")
 
-    # Energy falls monotonically with beta toward the ground state.
-    assert all(a > b for a, b in zip(energies, energies[1:]))
-    assert energies[-1] > e0 - 0.05  # variational-like bound (up to noise)
-    assert abs(energies[-1] - e0) < 0.08 * abs(e0), (
-        f"E(beta=4) = {energies[-1]:.3f} vs E0 = {e0:.3f}"
-    )
-    # Antiferromagnetic order builds up as T falls.
-    assert all(a < b for a, b in zip(s_afm, s_afm[1:]))
-    assert s_afm[-1] > 2 * s_afm[0]
+        # Energy falls monotonically with beta toward the ground state.
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+        assert energies[-1] > e0 - 0.05  # variational-like bound (up to noise)
+        assert abs(energies[-1] - e0) < 0.08 * abs(e0), (
+            f"E(beta=4) = {energies[-1]:.3f} vs E0 = {e0:.3f}"
+        )
+        # Antiferromagnetic order builds up as T falls.
+        assert all(a < b for a, b in zip(s_afm, s_afm[1:]))
+        assert s_afm[-1] > 2 * s_afm[0]
 
     record("fig11_heisenberg2d", table.render())

@@ -22,18 +22,19 @@ SIZES = (8, 16)
 N_SWEEPS = 4000
 
 
-def measure_curve(size: int, seed: int) -> BinderCurve:
+def measure_curve(size: int, seed: int, scale: int = 1) -> BinderCurve:
     u4 = []
     for k, temp in enumerate(TEMPS):
         beta = 1.0 / temp
         s = SwendsenWangIsing((size, size), (beta, beta), seed=seed + k)
-        obs = s.run(n_sweeps=N_SWEEPS, n_thermalize=300)
+        obs = s.run(n_sweeps=N_SWEEPS // scale, n_thermalize=300 // scale)
         u4.append(binder_cumulant(obs.magnetization))
     return BinderCurve(size, TEMPS, np.array(u4))
 
 
-def build() -> tuple[Table, float]:
-    curves = [measure_curve(size, seed=100 * size) for size in SIZES]
+def build(smoke: bool = False) -> tuple[Table, float]:
+    scale = 20 if smoke else 1
+    curves = [measure_curve(size, seed=100 * size, scale=scale) for size in SIZES]
     table = Table(
         "Figure 12 (as data): Binder cumulant U4(T, L), 2-D Ising (SW clusters)",
         ["T", "T/Tc"] + [f"L={s}" for s in SIZES],
@@ -44,19 +45,23 @@ def build() -> tuple[Table, float]:
     return table, t_cross
 
 
-def test_fig12_binder_crossing(benchmark, record):
-    table, t_cross = run_once(benchmark, build)
+def test_fig12_binder_crossing(benchmark, record, smoke):
+    table, t_cross = run_once(benchmark, lambda: build(smoke))
 
-    for size in SIZES:
-        u4 = table.column(f"L={size}")
-        # Monotone decreasing through the critical region (small noise slack).
-        assert all(a >= b - 0.03 for a, b in zip(u4, u4[1:])), f"L={size}"
-    # Larger lattice = steeper curve (bigger total drop over the window).
-    drop8 = table.column("L=8")[0] - table.column("L=8")[-1]
-    drop16 = table.column("L=16")[0] - table.column("L=16")[-1]
-    assert drop16 > drop8
+    if not smoke:
+        for size in SIZES:
+            u4 = table.column(f"L={size}")
+            # Monotone decreasing through the critical region (small
+            # noise slack).
+            assert all(a >= b - 0.03 for a, b in zip(u4, u4[1:])), f"L={size}"
+        # Larger lattice = steeper curve (bigger drop over the window).
+        drop8 = table.column("L=8")[0] - table.column("L=8")[-1]
+        drop16 = table.column("L=16")[0] - table.column("L=16")[-1]
+        assert drop16 > drop8
 
-    assert abs(t_cross - TC) < 0.02 * TC, f"crossing {t_cross:.3f} vs Tc {TC:.3f}"
+        assert abs(t_cross - TC) < 0.02 * TC, (
+            f"crossing {t_cross:.3f} vs Tc {TC:.3f}"
+        )
 
     record(
         "fig12_binder_crossing",

@@ -20,7 +20,8 @@ MODEL = XXZChainModel(n_sites=L, periodic=True)
 TEMPS = [2.0, 1.0, 0.7, 0.5]
 
 
-def build_table() -> Table:
+def build_table(smoke: bool = False) -> Table:
+    scale = 20 if smoke else 1
     ed = ExactDiagonalization(MODEL.build_sparse(), L)
     table = Table(
         f"Figure 4 (as data): uniform susceptibility, Heisenberg chain L={L}",
@@ -31,25 +32,27 @@ def build_table() -> Table:
         n_slices = max(8, 4 * int(np.ceil(2 * beta)))
         n_slices += n_slices % 4  # keep the vectorized path eligible
         q = WorldlineChainQmc(MODEL, beta, n_slices, seed=60 + k)
-        meas = q.run(n_sweeps=6000, n_thermalize=600)
+        meas = q.run(n_sweeps=6000 // scale, n_thermalize=600 // scale)
         chi = meas.susceptibility(L)
         chi_ed = ed.thermal(beta).susceptibility
         table.add_row([temp, chi, chi_ed, abs(chi - chi_ed) / chi_ed])
     return table
 
 
-def test_fig4_susceptibility(benchmark, record):
-    table = run_once(benchmark, build_table)
+def test_fig4_susceptibility(benchmark, record, smoke):
+    table = run_once(benchmark, lambda: build_table(smoke))
 
-    rel_devs = table.column("rel dev")
-    assert all(d < 0.20 for d in rel_devs), f"chi off ED: {rel_devs}"
+    if not smoke:
+        rel_devs = table.column("rel dev")
+        assert all(d < 0.20 for d in rel_devs), f"chi off ED: {rel_devs}"
 
-    chis = table.column("chi exact")
-    # ED itself shows the Bonner-Fisher rise toward the T ~ 0.6 maximum:
-    # the scanned window is on the rising side, so chi grows as T falls,
-    # and the QMC curve must reproduce that ordering.
-    qmc = table.column("chi QMC")
-    assert qmc[-1] > qmc[0], "chi must grow toward the maximum as T falls"
-    assert chis[-1] > chis[0]
+        chis = table.column("chi exact")
+        # ED itself shows the Bonner-Fisher rise toward the T ~ 0.6
+        # maximum: the scanned window is on the rising side, so chi
+        # grows as T falls, and the QMC curve must reproduce that
+        # ordering.
+        qmc = table.column("chi QMC")
+        assert qmc[-1] > qmc[0], "chi must grow toward the maximum as T falls"
+        assert chis[-1] > chis[0]
 
     record("fig4_susceptibility", table.render())

@@ -22,13 +22,14 @@ BETA = 1.0
 TROTTER_NUMBERS = [2, 3, 4, 8]
 
 
-def build() -> tuple[Table, float, float]:
+def build(smoke: bool = False) -> tuple[Table, float, float]:
+    scale = 20 if smoke else 1
     ed = ExactDiagonalization(MODEL.build_sparse(), 4)
     exact = ed.thermal(BETA).energy
 
     def run_at(m):
         q = WorldlineChainQmc(MODEL, BETA, 2 * m, seed=200 + m)
-        return q.run(n_sweeps=6000, n_thermalize=500).energy
+        return q.run(n_sweeps=6000 // scale, n_thermalize=500 // scale).energy
 
     v0, points = trotter_extrapolate(run_at, BETA, TROTTER_NUMBERS)
 
@@ -44,26 +45,27 @@ def build() -> tuple[Table, float, float]:
     return table, v0, exact
 
 
-def test_fig6_trotter_extrapolation(benchmark, record):
-    table, v0, exact = run_once(benchmark, build)
+def test_fig6_trotter_extrapolation(benchmark, record, smoke):
+    table, v0, exact = run_once(benchmark, lambda: build(smoke))
 
-    # Each Monte Carlo point sits on its own finite-dtau exact value.
-    for m, e_qmc, err, e_ref in zip(
-        table.column("M"), table.column("E QMC"), table.column("err"),
-        table.column("E Trotter-exact"),
-    ):
-        assert abs(e_qmc - e_ref) < 4.5 * err, f"M={m} off its Trotter target"
+    if not smoke:
+        # Each Monte Carlo point sits on its own finite-dtau exact value.
+        for m, e_qmc, err, e_ref in zip(
+            table.column("M"), table.column("E QMC"), table.column("err"),
+            table.column("E Trotter-exact"),
+        ):
+            assert abs(e_qmc - e_ref) < 4.5 * err, f"M={m} off its Trotter target"
 
-    # The exact Trotter curve itself converges quadratically to ED.
-    refs = np.array(table.column("E Trotter-exact"), dtype=float)
-    dtaus = np.array(table.column("dtau"), dtype=float)
-    devs = np.abs(refs - exact)
-    ratio = (devs[0] / devs[-1]) / (dtaus[0] ** 2 / dtaus[-1] ** 2)
-    assert 0.5 < ratio < 2.0, "dtau^2 scaling of the systematic error"
+        # The exact Trotter curve itself converges quadratically to ED.
+        refs = np.array(table.column("E Trotter-exact"), dtype=float)
+        dtaus = np.array(table.column("dtau"), dtype=float)
+        devs = np.abs(refs - exact)
+        ratio = (devs[0] / devs[-1]) / (dtaus[0] ** 2 / dtaus[-1] ** 2)
+        assert 0.5 < ratio < 2.0, "dtau^2 scaling of the systematic error"
 
-    # Extrapolated intercept agrees with true ED.
-    errs = [e for e in table.column("err")]
-    assert abs(v0 - exact) < 5 * max(errs) + 0.01
+        # Extrapolated intercept agrees with true ED.
+        errs = [e for e in table.column("err")]
+        assert abs(v0 - exact) < 5 * max(errs) + 0.01
 
     record(
         "fig6_trotter",

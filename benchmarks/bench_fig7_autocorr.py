@@ -30,10 +30,10 @@ N_SWEEPS = 8000
 T_NEAR = 2.3
 
 
-def local_taus(temperature: float, seed: int) -> tuple[float, float]:
+def local_taus(temperature: float, seed: int, scale: int = 1) -> tuple[float, float]:
     beta = 1.0 / temperature
     s = AnisotropicIsing((L, L), (beta, beta), seed=seed, hot_start=True)
-    obs = s.run(n_sweeps=N_SWEEPS, n_thermalize=1000)
+    obs = s.run(n_sweeps=N_SWEEPS // scale, n_thermalize=1000 // scale)
     energy = -(obs.bond_sums[:, 0] + obs.bond_sums[:, 1])
     return (
         integrated_autocorr_time(obs.magnetization),
@@ -41,48 +41,50 @@ def local_taus(temperature: float, seed: int) -> tuple[float, float]:
     )
 
 
-def tempered_tau_m(target_temperature: float) -> float:
+def tempered_tau_m(target_temperature: float, scale: int = 1) -> float:
     temps = np.array([target_temperature, 2.6, 3.0, 3.6])
     cfg = TemperingConfig(
         shape=(L, L),
         couplings_j=(1.0, 1.0),
         betas=tuple(1.0 / t for t in temps),
-        n_sweeps=N_SWEEPS,
-        n_thermalize=1000,
+        n_sweeps=N_SWEEPS // scale,
+        n_thermalize=1000 // scale,
         exchange_every=2,
     )
     res = run_spmd(tempering_program, 4, machine=IDEAL, seed=9, args=(cfg,))
     return integrated_autocorr_time(res.values[0]["magnetization"])
 
 
-def build() -> tuple[Table, float, float]:
+def build(smoke: bool = False) -> tuple[Table, float, float]:
+    scale = 20 if smoke else 1
     panel_a = Table(
         f"Figure 7a (as data): tau_int, local Metropolis, {L}x{L} Ising",
         ["T", "T/Tc", "tau_m", "tau_E"],
     )
     taus_m = {}
     for k, temp in enumerate((4.0, 3.0, 2.6, T_NEAR)):
-        tau_m, tau_e = local_taus(temp, seed=80 + k)
+        tau_m, tau_e = local_taus(temp, seed=80 + k, scale=scale)
         taus_m[temp] = tau_m
         panel_a.add_row([temp, temp / TC, tau_m, tau_e])
-    tau_pt = tempered_tau_m(T_NEAR)
+    tau_pt = tempered_tau_m(T_NEAR, scale=scale)
     return panel_a, taus_m[T_NEAR], tau_pt
 
 
-def test_fig7_autocorrelation(benchmark, record):
-    panel_a, tau_local, tau_pt = run_once(benchmark, build)
+def test_fig7_autocorrelation(benchmark, record, smoke):
+    panel_a, tau_local, tau_pt = run_once(benchmark, lambda: build(smoke))
 
-    taus_m = panel_a.column("tau_m")
-    taus_e = panel_a.column("tau_E")
-    # Critical slowing down of the order parameter.
-    assert taus_m[-1] > 4 * taus_m[0]
-    # Near Tc the magnetization tunneling time dwarfs the energy time.
-    assert taus_m[-1] > 3 * taus_e[-1]
+    if not smoke:
+        taus_m = panel_a.column("tau_m")
+        taus_e = panel_a.column("tau_E")
+        # Critical slowing down of the order parameter.
+        assert taus_m[-1] > 4 * taus_m[0]
+        # Near Tc the magnetization tunneling time dwarfs the energy time.
+        assert taus_m[-1] > 3 * taus_e[-1]
 
-    # Tempering collapses the tunneling time.
-    assert tau_pt < 0.5 * tau_local, (
-        f"tempering tau_m {tau_pt:.1f} vs local {tau_local:.1f}"
-    )
+        # Tempering collapses the tunneling time.
+        assert tau_pt < 0.5 * tau_local, (
+            f"tempering tau_m {tau_pt:.1f} vs local {tau_local:.1f}"
+        )
 
     record(
         "fig7_autocorr",

@@ -44,21 +44,31 @@ class SwendsenWangIsing(AnisotropicIsing):
         self._site_index = np.arange(self.n_sites).reshape(self.shape)
         # Per-axis activation probability of a satisfied bond.
         self._p_activate = 1.0 - np.exp(-2.0 * np.abs(self.couplings))
+        # The +1-neighbor index table per active axis is pure geometry:
+        # build it once instead of re-rolling every sweep.
+        self._rolled_index = [
+            np.roll(self._site_index, -1, axis=a)
+            if (self.couplings[a] != 0.0 and self.shape[a] > 1)
+            else None
+            for a in range(self.ndim)
+        ]
+        # Reusable all-ones edge weights for the activated-bond graph.
+        self._edge_ones = np.ones(self.ndim * self.n_sites, dtype=np.int8)
         self.last_n_clusters = self.n_sites
 
     def _activated_edges(self) -> tuple[np.ndarray, np.ndarray]:
         """Endpoint index arrays of all activated bonds this sweep."""
         rows, cols = [], []
         for a in range(self.ndim):
-            k = self.couplings[a]
-            if k == 0.0 or self.shape[a] == 1:
+            if self._rolled_index[a] is None:
                 continue
+            k = self.couplings[a]
             neighbor = np.roll(self.spins, -1, axis=a)
             satisfied = (k * self.spins * neighbor) > 0
             u = self.stream.uniform(size=self.shape)
             active = satisfied & (u < self._p_activate[a])
             rows.append(self._site_index[active])
-            cols.append(np.roll(self._site_index, -1, axis=a)[active])
+            cols.append(self._rolled_index[a][active])
         if not rows:
             return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
         return np.concatenate(rows), np.concatenate(cols)
@@ -68,7 +78,7 @@ class SwendsenWangIsing(AnisotropicIsing):
         rows, cols = self._activated_edges()
         n = self.n_sites
         graph = sp.coo_matrix(
-            (np.ones(rows.size, dtype=np.int8), (rows, cols)), shape=(n, n)
+            (self._edge_ones[: rows.size], (rows, cols)), shape=(n, n)
         )
         n_clusters, labels = connected_components(graph, directed=False)
         flip = self.stream.uniform(size=n_clusters) < 0.5

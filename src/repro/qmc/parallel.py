@@ -5,37 +5,53 @@ Two production drivers, each an ordinary rank program runnable under
 -- the API being mpi4py-shaped -- real MPI:
 
 * :func:`worldline_strip_program` -- the world-line XXZ chain split
-  into contiguous site strips.  Updates proceed class-by-class through
+  into contiguous site strips.  Updates proceed stage-by-stage through
   the eight independence classes of the corner moves (stride-4 grids in
-  both bond and interval index), with ghost-column refreshes before and
-  a boundary write-back after each class.  Because moves within a class
-  touch disjoint neighborhoods, the decomposed Markov chain samples
-  *exactly* the same distribution as the serial sampler.
+  both bond and interval index) and the two straight-line column
+  parities.  Each sweep draws one *shared* uniform block (every rank
+  derives the same numbers from ``sweep_seed``), sliced per stage, so
+  the trajectory is bit-identical across rank counts and across the
+  ``mode="scalar"`` / ``mode="vectorized"`` kernels.
 
 * :func:`ising_block_program` -- the anisotropic classical Ising model
   (and therefore the TFIM) split into 2-D spatial blocks over a process
-  grid, with four-plane halo exchanges per checkerboard color.  Given
-  the same per-site uniforms the parallel trajectory is **bit-identical**
-  to the serial one (same-color sites do not interact), which the
-  integration tests assert literally.
+  grid.  Given the same per-site uniforms the parallel trajectory is
+  **bit-identical** to the serial one (same-color sites do not
+  interact), which the integration tests assert literally.
+
+Halo protocol (both drivers): ghost copies of the boundary data are
+refreshed by ONE aggregated contiguous-buffer message per neighbor per
+exchange -- two packed spin columns for the strip, a parity-packed
+boundary plane for the Ising blocks -- instead of one message per
+boundary column/plane.  Under the alpha--beta cost model
+(``alpha + n * beta`` per message) aggregation cuts the latency term
+by the aggregation factor while leaving the bandwidth term unchanged;
+see :class:`repro.lattice.decomposition.HaloSpec` for the accounting.
 
 Ownership conventions (world-line strip, global column indices):
 
-* rank ``r`` owns columns ``[start, stop)``; block sizes are even.
-* corner move at bond ``i`` (flips columns ``i, i+1``) is executed by
-  the owner of column ``i``; the flip of ghost column ``stop`` is sent
-  to the right neighbor after the class.
-* straight-line move at column ``c`` is executed by its owner and
+* rank ``r`` owns columns ``[start, stop)`` plus two ghost columns on
+  each side; block sizes are even and ``>= 4``.
+* corner moves at the seam bonds ``start - 1`` and ``stop - 1`` are
+  executed redundantly by *both* adjacent ranks.  Shared stage uniforms
+  plus identical ghost neighborhoods make the two decisions identical,
+  which eliminates the boundary write-back message entirely.
+* straight-line move at column ``c`` is executed by its owner only and
   writes only ``c``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.lattice.decomposition import BlockDecomposition, StripDecomposition
+from repro.lattice.decomposition import (
+    BlockDecomposition,
+    StripDecomposition,
+    pack_plane,
+    unpack_plane,
+)
 from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
 from repro.qmc.plaquette import PlaquetteTable
 from repro.models.hamiltonians import XXZSquareModel
@@ -44,6 +60,8 @@ from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE, WorldlineSquareQmc
 from repro.util.rng import SeedSequenceFactory
 
 __all__ = [
+    "WL_STAGES",
+    "N_WL_STAGES",
     "WorldlineStripConfig",
     "worldline_strip_program",
     "IsingBlockConfig",
@@ -57,6 +75,17 @@ __all__ = [
 _TAG_WL = 4096
 _TAG_ISING = 8192
 
+#: Update stages of one world-line sweep: the eight independence
+#: classes of the corner moves -- (bond a, interval b) stride-4 grids
+#: with (a + b) odd, which are entirely unshaded plaquettes -- followed
+#: by the two straight-line column parities.  One shared uniform block
+#: is drawn per sweep and sliced per stage.
+WL_STAGES = tuple(
+    [("corner", a, b) for a in range(4) for b in range(4) if (a + b) % 2 == 1]
+    + [("column", p, None) for p in (0, 1)]
+)
+N_WL_STAGES = len(WL_STAGES)
+
 
 # ======================================================================
 # world-line strip driver
@@ -65,7 +94,13 @@ _TAG_ISING = 8192
 
 @dataclass(frozen=True)
 class WorldlineStripConfig:
-    """Run parameters of the strip-decomposed world-line chain."""
+    """Run parameters of the strip-decomposed world-line chain.
+
+    ``sweep_seed`` drives the shared per-stage uniforms that make the
+    trajectory independent of the rank count; ``mode`` selects the
+    batched NumPy kernels (default) or the per-move scalar reference,
+    which produce bit-identical trajectories.
+    """
 
     n_sites: int
     jz: float
@@ -75,6 +110,8 @@ class WorldlineStripConfig:
     n_sweeps: int
     n_thermalize: int = 0
     measure_every: int = 1
+    mode: str = "vectorized"
+    sweep_seed: int = 12345
 
     def __post_init__(self):
         if self.n_sites % 4:
@@ -85,14 +122,18 @@ class WorldlineStripConfig:
             raise ValueError("beta must be positive")
         if self.n_sweeps < 1:
             raise ValueError("need at least one sweep")
+        if self.mode not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
 
 
 class _StripState:
-    """Per-rank world-line state: owned columns plus three ghost columns.
+    """Per-rank world-line state: owned columns plus two ghosts per side.
 
-    Local layout along axis 0: ``[ghost(start-1), owned..., ghost(stop),
-    ghost(stop+1)]``; local index of global column ``g`` is
-    ``g - start + 1``.
+    Local layout along axis 0: ``[ghost(start-2), ghost(start-1),
+    owned..., ghost(stop), ghost(stop+1)]``; local index of global
+    column ``g`` is ``g - start + 2``.  Two-wide ghosts are exactly the
+    neighborhood a redundant seam corner move needs (it reads columns
+    ``seam - 1 .. seam + 2``).
     """
 
     def __init__(self, comm, cfg: WorldlineStripConfig):
@@ -103,6 +144,11 @@ class _StripState:
         self.n_trotter = cfg.n_slices // 2
         self.dtau = cfg.beta / self.n_trotter
         self.table = PlaquetteTable.build(cfg.jz, cfg.jxy, self.dtau)
+        self._logw = np.where(
+            self.table.weights > 0,
+            np.log(np.maximum(self.table.weights, 1e-300)),
+            -np.inf,
+        )
         decomp = StripDecomposition(self.L, comm.size, require_even=True)
         piece = decomp.piece(comm.rank)
         self.start, self.stop = piece.start, piece.stop
@@ -113,10 +159,110 @@ class _StripState:
                 "strip world-line driver needs >= 4 owned columns per rank"
             )
         # Neel start, straight world lines (legal everywhere).
-        g = np.arange(self.start - 1, self.stop + 2)
+        g = np.arange(self.start - 2, self.stop + 2)
         self.loc = np.repeat((g % 2).astype(np.int8)[:, None], self.T, axis=1)
         self._t_even = np.arange(0, self.T, 2, dtype=np.intp)
         self._t_odd = np.arange(1, self.T, 2, dtype=np.intp)
+        self.sweep_factory = SeedSequenceFactory(cfg.sweep_seed)
+        self.sweep_index = 0
+        self._n_exchanges = 0
+        # One shared uniform block per sweep, sliced per stage: corner
+        # classes consume an (L/4, T/4) lattice, column parities L/2.
+        sizes = [
+            (self.L // 4) * (self.T // 4) if kind == "corner" else self.L // 2
+            for kind, _, _ in WL_STAGES
+        ]
+        self._u_offsets = np.concatenate(([0], np.cumsum(sizes)))
+        self._u_total = int(self._u_offsets[-1])
+        self._build_stage_caches()
+
+    # -- static per-stage geometry ----------------------------------------
+
+    #: XOR masks turning a neighbor-plaquette code into its post-flip
+    #: value.  A corner move flips the four spins (J, t), (J, t1),
+    #: (J+1, t), (J+1, t1); in the code ``s00 + 2 s10 + 4 s01 + 8 s11``
+    #: of the neighbors -- rows ordered (J-1, t), (J+1, t), (J, tm1),
+    #: (J, t1) -- those spins occupy bits {1,3}, {0,2}, {2,3}, {0,1}.
+    _CORNER_XMASK = np.array([[10], [5], [12], [3]], dtype=np.int8)
+
+    def _build_stage_caches(self) -> None:
+        """Precompute the index tables of every stage (geometry is static).
+
+        Corner class (a, b): local bonds ``j`` in ``[1, n+1]`` (global
+        bonds ``start-1 .. stop-1``, the two ends being the redundant
+        seam bonds) with global bond index ``== a (mod 4)``, crossed
+        with intervals ``t == b (mod 4)``.  ``ui``/``ut`` index the
+        shared ``(L/4, T/4)`` stage-uniform lattice.
+
+        For the batched kernel the four spin gathers of the four
+        neighbor plaquettes are fused into flat-index tables of shape
+        ``(4, n_moves)`` into ``loc.reshape(-1)``; ``flip`` holds the
+        flat positions of the four spins a move toggles.
+        """
+        n, T, L = self.n_owned, self.T, self.L
+        self._corner_cache: dict[tuple[int, int], dict | None] = {}
+        for kind, a, b in WL_STAGES:
+            if kind != "corner":
+                continue
+            j0 = 1 + ((a - (self.start - 1)) % 4)
+            lj = np.arange(j0, n + 2, 4, dtype=np.intp)
+            tt = np.arange(b, T, 4, dtype=np.intp)
+            if lj.size == 0 or tt.size == 0:
+                self._corner_cache[(a, b)] = None
+                continue
+            J, Tt = np.meshgrid(lj, tt, indexing="ij")
+            J, Tt = J.ravel(), Tt.ravel()
+            gb = (self.start - 2 + J) % L
+            t1 = (Tt + 1) % T
+            tm1 = (Tt - 1) % T
+            # Neighbor plaquettes (lb, tt): same row order as the
+            # scalar reference's weight product.
+            lb = np.stack([J - 1, J + 1, J, J])
+            pt = np.stack([Tt, Tt, tm1, t1])
+            pt1 = (pt + 1) % T
+            self._corner_cache[(a, b)] = {
+                "j": J,
+                "t": Tt,
+                "t1": t1,
+                "tm1": tm1,
+                "ui": (gb - a) // 4,
+                "ut": (Tt - b) // 4,
+                "uflat": (gb - a) // 4 * (T // 4) + (Tt - b) // 4,
+                "i00": lb * T + pt,
+                "i10": (lb + 1) * T + pt,
+                "i01": lb * T + pt1,
+                "i11": (lb + 1) * T + pt1,
+                "flip": np.stack(
+                    [J * T + Tt, J * T + t1, (J + 1) * T + Tt, (J + 1) * T + t1]
+                ),
+            }
+        self._column_cache: dict[int, dict] = {}
+        for p in (0, 1):
+            first = self.start + ((p - self.start) % 2)
+            gc = np.arange(first, self.stop, 2, dtype=np.intp)
+            cache = {
+                "gc": gc,
+                "lc": gc - self.start + 2,
+                "uc": (gc - p) // 2,
+            }
+            if gc.size:
+                # Bond-columns gc-1 and gc, as (2, n_cols, T/2) flat
+                # spin indices; a column flip XORs the off=-1 codes
+                # with 10 (bits 1,3) and the off=0 codes with 5.
+                i00, i10, i01, i11 = [], [], [], []
+                for off in (-1, 0):
+                    lb = cache["lc"] + off
+                    ts = self._t_even if (p + off) % 2 == 0 else self._t_odd
+                    ts1 = (ts + 1) % T
+                    i00.append(lb[:, None] * T + ts[None, :])
+                    i10.append((lb[:, None] + 1) * T + ts[None, :])
+                    i01.append(lb[:, None] * T + ts1[None, :])
+                    i11.append((lb[:, None] + 1) * T + ts1[None, :])
+                cache.update(
+                    c00=np.stack(i00), c10=np.stack(i10),
+                    c01=np.stack(i01), c11=np.stack(i11),
+                )
+            self._column_cache[p] = cache
 
     # -- indexing helpers -------------------------------------------------
     def _codes(self, li: np.ndarray, t: np.ndarray) -> np.ndarray:
@@ -130,154 +276,224 @@ class _StripState:
             + 8 * s[li + 1, t1].astype(np.intp)
         )
 
-    # -- communication -----------------------------------------------------
-    def refresh_ghosts(self, tag: int) -> None:
-        """Pull fresh copies of columns start-1, stop, stop+1.
-
-        Each rank ships its last owned column rightward and its first
-        two owned columns leftward.  Single-rank runs wrap locally.
-        """
-        n = self.n_owned
-        if self.comm.size == 1:
-            self.loc[0] = self.loc[n]  # start-1 == stop-1 (mod L) wrap
-            self.loc[n + 1] = self.loc[1]
-            self.loc[n + 2] = self.loc[2]
-            return
-        comm = self.comm
-        comm.send(self.loc[n].copy(), self.right, tag=tag)
-        comm.send(self.loc[1:3].copy(), self.left, tag=tag + 1)
-        self.loc[0] = comm.recv(source=self.left, tag=tag)
-        ghosts = comm.recv(source=self.right, tag=tag + 1)
-        self.loc[n + 1] = ghosts[0]
-        self.loc[n + 2] = ghosts[1]
-
-    def writeback_right_ghost(self, a: int, tag: int) -> None:
-        """Push the updated ghost column ``stop`` to its owner.
-
-        Only class ``a`` moves at bond ``stop - 1`` write the ghost, so
-        the transfer happens exactly when ``(stop - 1) % 4 == a`` --
-        otherwise the ghost is a stale copy and adopting it would clobber
-        the owner's accepted class-``a`` moves at its own bond ``start``.
-        Sender and receiver agree on the condition because the
-        receiver's ``start - 1`` *is* the sender's ``stop - 1``.
-        """
-        n = self.n_owned
-        if self.comm.size == 1:
-            if (self.stop - 1) % 4 == a:
-                self.loc[1] = self.loc[n + 1]
-            return
-        if (self.stop - 1) % 4 == a:
-            self.comm.send(self.loc[n + 1].copy(), self.right, tag=tag)
-        if (self.start - 1) % self.L % 4 == a:
-            self.loc[1] = self.comm.recv(source=self.left, tag=tag)
-
-    # -- moves --------------------------------------------------------------
-    def corner_class(self, a: int, b: int) -> None:
-        """All corner moves of class (a, b) owned by this rank."""
-        # Global bonds i in [start, stop-1] with i % 4 == a.
-        first = self.start + ((a - self.start) % 4)
-        gi = np.arange(first, self.stop, 4, dtype=np.intp)
-        tt = np.arange(b, self.T, 4, dtype=np.intp)
-        if gi.size == 0 or tt.size == 0:
-            return
-        ggi, gtt = np.meshgrid(gi, tt, indexing="ij")
-        ggi, gtt = ggi.ravel(), gtt.ravel()
-        # Unshaded plaquettes only: (i + t) odd.
-        sel = (ggi + gtt) % 2 == 1
-        ggi, gtt = ggi[sel], gtt[sel]
-        if ggi.size == 0:
-            return
-        li = ggi - self.start + 1  # local bond index
-        t = gtt
-        w = self.table.weights
+    def _code1(self, j: int, t: int) -> int:
+        """Scalar corner code at one local bond/interval."""
+        s = self.loc
         t1 = (t + 1) % self.T
-        tm1, tp1 = (t - 1) % self.T, (t + 1) % self.T
-        old = (
-            w[self._codes(li - 1, t)]
-            * w[self._codes(li + 1, t)]
-            * w[self._codes(li, tm1)]
-            * w[self._codes(li, tp1)]
+        return (
+            int(s[j, t])
+            + 2 * int(s[j + 1, t])
+            + 4 * int(s[j, t1])
+            + 8 * int(s[j + 1, t1])
         )
-        self.loc[li, t] ^= 1
-        self.loc[li, t1] ^= 1
-        self.loc[li + 1, t] ^= 1
-        self.loc[li + 1, t1] ^= 1
-        new = (
-            w[self._codes(li - 1, t)]
-            * w[self._codes(li + 1, t)]
-            * w[self._codes(li, tm1)]
-            * w[self._codes(li, tp1)]
-        )
-        u = self.comm.stream.uniform(size=li.size)
-        reject = ~(new > 0.0) | (u * old >= new)
-        rl, rt, rt1 = li[reject], t[reject], t1[reject]
-        self.loc[rl, rt] ^= 1
-        self.loc[rl, rt1] ^= 1
-        self.loc[rl + 1, rt] ^= 1
-        self.loc[rl + 1, rt1] ^= 1
-        self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * li.size)
 
-    def column_parity(self, parity: int) -> None:
-        """Straight-line moves on owned columns of one (global) parity."""
-        first = self.start + ((parity - self.start) % 2)
-        gc = np.arange(first, self.stop, 2, dtype=np.intp)
-        if gc.size == 0:
+    # -- communication -----------------------------------------------------
+    def exchange_ghosts(self) -> None:
+        """Refresh all four ghost columns: ONE message per neighbor.
+
+        The two boundary columns a neighbor needs travel as a single
+        contiguous ``(2, T)`` int8 buffer -- the aggregated-halo
+        protocol (one alpha charge instead of two).  Single-rank runs
+        wrap locally.
+        """
+        n = self.n_owned
+        loc = self.loc
+        if self.comm.size == 1:
+            loc[0:2] = loc[n : n + 2]
+            loc[n + 2 : n + 4] = loc[2:4]
             return
-        lc = gc - self.start + 1
-        straight = self.loc[lc].min(axis=1) == self.loc[lc].max(axis=1)
-        gc, lc = gc[straight], lc[straight]
-        if gc.size == 0:
+        tag = _TAG_WL + (self._n_exchanges % 16) * 2
+        self._n_exchanges += 1
+        comm = self.comm
+        comm.send(np.ascontiguousarray(loc[n : n + 2]), self.right, tag=tag)
+        comm.send(np.ascontiguousarray(loc[2:4]), self.left, tag=tag + 1)
+        loc[0:2] = comm.recv(source=self.left, tag=tag)
+        loc[n + 2 : n + 4] = comm.recv(source=self.right, tag=tag + 1)
+
+    # -- shared randomness --------------------------------------------------
+    def _sweep_uniforms(self) -> np.ndarray:
+        """This sweep's uniforms; every rank draws the identical block.
+
+        One generator per sweep yields the ten stage lattices as slices
+        of a single draw (corner classes consume the compact
+        ``(L/4, T/4)`` class grid, column parities ``L/2`` values).
+        Both modes and all rank counts index the same numbers, the
+        source of bit-identity; amortizing the generator construction
+        over the sweep keeps the shared-randomness cost off the
+        vectorized kernels' critical path.
+        """
+        gen = self.sweep_factory.stream("wl-sweep", self.sweep_index).generator
+        return gen.random(self._u_total)
+
+    def _stage_slice(self, u_sweep: np.ndarray, stage_idx: int) -> np.ndarray:
+        u = u_sweep[self._u_offsets[stage_idx] : self._u_offsets[stage_idx + 1]]
+        if WL_STAGES[stage_idx][0] == "corner":
+            return u.reshape(self.L // 4, self.T // 4)
+        return u
+
+    # -- corner moves --------------------------------------------------------
+    def _corner_class_vectorized(self, a: int, b: int, u: np.ndarray) -> None:
+        """All class-(a, b) corner moves of this rank as one batched update.
+
+        One fused gather builds the ``(4, n_moves)`` neighbor-code
+        matrix; the post-flip codes are the same matrix XORed with the
+        per-row masks, so ``new`` needs no speculative spin flips.  The
+        weight products reduce along axis 0 in the same left-to-right
+        order as the scalar reference, keeping the accept decisions
+        bit-identical.
+        """
+        cache = self._corner_cache[(a, b)]
+        if cache is None:
             return
-        logw = np.where(
-            self.table.weights > 0,
-            np.log(np.maximum(self.table.weights, 1e-300)),
-            -np.inf,
+        w = self.table.weights
+        flat = self.loc.reshape(-1)
+        codes = (
+            flat[cache["i00"]]
+            + (flat[cache["i10"]] << 1)
+            + (flat[cache["i01"]] << 2)
+            + (flat[cache["i11"]] << 3)
         )
+        old = np.multiply.reduce(w[codes], axis=0)
+        new = np.multiply.reduce(w[codes ^ self._CORNER_XMASK], axis=0)
+        uu = u.reshape(-1)[cache["uflat"]]
+        accept = (new > 0.0) & (uu * old < new)
+        flat[cache["flip"][:, accept]] ^= 1
+        self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * cache["j"].size)
 
-        def col_log_weight() -> np.ndarray:
-            total = np.zeros(lc.size)
-            for off in (-1, 0):
-                lb = lc + off  # local bond index of bond (gc + off)
-                gb = gc + off
-                ts = self._t_even if (gb[0] % 2 == 0) else self._t_odd
-                bb = np.repeat(lb, ts.size)
-                tt = np.tile(ts, lb.size)
-                total += logw[self._codes(bb, tt)].reshape(lb.size, ts.size).sum(axis=1)
-            return total
+    def _corner_class_scalar(self, a: int, b: int, u: np.ndarray) -> None:
+        """Per-move reference loop; identical op order to the batched kernel."""
+        cache = self._corner_cache[(a, b)]
+        if cache is None:
+            return
+        w = self.table.weights
+        loc = self.loc
+        T = self.T
+        for j, tt, ai, at in zip(
+            cache["j"].tolist(),
+            cache["t"].tolist(),
+            cache["ui"].tolist(),
+            cache["ut"].tolist(),
+        ):
+            t1 = (tt + 1) % T
+            tm1 = (tt - 1) % T
+            old = (
+                w[self._code1(j - 1, tt)]
+                * w[self._code1(j + 1, tt)]
+                * w[self._code1(j, tm1)]
+                * w[self._code1(j, t1)]
+            )
+            loc[j, tt] ^= 1
+            loc[j, t1] ^= 1
+            loc[j + 1, tt] ^= 1
+            loc[j + 1, t1] ^= 1
+            new = (
+                w[self._code1(j - 1, tt)]
+                * w[self._code1(j + 1, tt)]
+                * w[self._code1(j, tm1)]
+                * w[self._code1(j, t1)]
+            )
+            if not (new > 0.0 and u[ai, at] * old < new):
+                loc[j, tt] ^= 1
+                loc[j, t1] ^= 1
+                loc[j + 1, tt] ^= 1
+                loc[j + 1, t1] ^= 1
+        self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * cache["j"].size)
 
-        old_lw = col_log_weight()
-        self.loc[lc] ^= 1
-        new_lw = col_log_weight()
-        u = self.comm.stream.uniform(size=lc.size)
+    # -- straight-line column moves -----------------------------------------
+    def _col_log_weight1(self, l: int, g: int) -> float:
+        """ln W of the two bond-columns adjacent to one local column."""
+        total = 0.0
+        for off in (-1, 0):
+            ts = self._t_even if ((g + off) % 2 == 0) else self._t_odd
+            lb = np.full(ts.size, l + off, dtype=np.intp)
+            total += float(self._logw[self._codes(lb, ts)].sum())
+        return total
+
+    def _column_parity_vectorized(self, parity: int, u: np.ndarray) -> None:
+        """Straight-line moves on owned columns of one (global) parity.
+
+        The cached ``(2, n_cols, T/2)`` bond-column code matrix yields
+        both log-weight sums at once: the post-flip codes are the
+        pre-flip codes XORed with 10 (bond gc-1, spins on bits 1 and 3)
+        and 5 (bond gc, bits 0 and 2), so no speculative column flips
+        are needed.  Per-column sums run in the same element order as
+        the scalar reference.
+        """
+        cache = self._column_cache[parity]
+        lc = cache["lc"]
+        if lc.size == 0:
+            return
+        cols = self.loc[lc]
+        straight = cols.min(axis=1) == cols.max(axis=1)
+        n_straight = int(np.count_nonzero(straight))
+        if n_straight == 0:
+            return
+        logw = self._logw
+        flat = self.loc.reshape(-1)
+        codes = (
+            flat[cache["c00"]]
+            + (flat[cache["c10"]] << 1)
+            + (flat[cache["c01"]] << 2)
+            + (flat[cache["c11"]] << 3)
+        )
+        old_lw = logw[codes[0]].sum(axis=1) + logw[codes[1]].sum(axis=1)
+        new_lw = logw[codes[0] ^ 10].sum(axis=1) + logw[codes[1] ^ 5].sum(axis=1)
+        uu = u[cache["uc"]]
         with np.errstate(invalid="ignore"):
             log_ratio = new_lw - old_lw
-        reject = ~np.isfinite(log_ratio) | (
-            np.log(np.maximum(u, 1e-300)) >= log_ratio
+        accept = (
+            straight
+            & np.isfinite(log_ratio)
+            & (np.log(np.maximum(uu, 1e-300)) < log_ratio)
         )
-        self.loc[lc[reject]] ^= 1
-        self.comm.charge_compute(2.0 * self.T * lc.size)
+        self.loc[lc[accept]] ^= 1
+        self.comm.charge_compute(2.0 * self.T * n_straight)
+
+    def _column_parity_scalar(self, parity: int, u: np.ndarray) -> None:
+        """Per-column reference loop; identical op order to the batched kernel."""
+        cache = self._column_cache[parity]
+        n_straight = 0
+        for g, l, uci in zip(
+            cache["gc"].tolist(), cache["lc"].tolist(), cache["uc"].tolist()
+        ):
+            col = self.loc[l]
+            if col.min() != col.max():
+                continue
+            n_straight += 1
+            old_lw = self._col_log_weight1(l, g)
+            self.loc[l] ^= 1
+            new_lw = self._col_log_weight1(l, g)
+            log_ratio = new_lw - old_lw  # -inf - -inf -> nan -> rejected
+            if not (
+                np.isfinite(log_ratio)
+                and np.log(np.maximum(u[uci], 1e-300)) < log_ratio
+            ):
+                self.loc[l] ^= 1
+        self.comm.charge_compute(2.0 * self.T * n_straight)
 
     def sweep(self) -> None:
-        """One full sweep: 8 corner classes + 2 column parities."""
-        tag = _TAG_WL
-        for a in range(4):
-            for b in range(4):
-                if (a + b) % 2 == 0:
-                    continue
-                self.refresh_ghosts(tag)
-                self.corner_class(a, b)
-                self.writeback_right_ghost(a, tag + 2)
-                tag += 3
-        for parity in (0, 1):
-            self.refresh_ghosts(tag)
-            self.column_parity(parity)
-            tag += 3
+        """One full sweep: 10 stages, one aggregated ghost exchange each."""
+        scalar = self.cfg.mode == "scalar"
+        u_sweep = self._sweep_uniforms()
+        for s_idx, (kind, x, y) in enumerate(WL_STAGES):
+            self.exchange_ghosts()
+            u = self._stage_slice(u_sweep, s_idx)
+            if kind == "corner":
+                if scalar:
+                    self._corner_class_scalar(x, y, u)
+                else:
+                    self._corner_class_vectorized(x, y, u)
+            elif scalar:
+                self._column_parity_scalar(x, u)
+            else:
+                self._column_parity_vectorized(x, u)
+        self.sweep_index += 1
 
     # -- measurement ---------------------------------------------------------
     def local_dlog_sum(self) -> float:
         """Sum of d ln W over shaded plaquettes at owned bonds."""
         gi = np.arange(self.start, self.stop, dtype=np.intp)
-        li = gi - self.start + 1
+        li = gi - self.start + 2
         total = 0.0
         for parity, ts in ((0, self._t_even), (1, self._t_odd)):
             sel = li[(gi % 2) == parity]
@@ -290,7 +506,7 @@ class _StripState:
 
     def local_magnetization(self) -> float:
         """Owned-column contribution to total S^z on slice 0."""
-        return float(self.loc[1 : self.n_owned + 1, 0].sum() - self.n_owned / 2.0)
+        return float(self.loc[2 : self.n_owned + 2, 0].sum() - self.n_owned / 2.0)
 
 
 def worldline_strip_program(comm, cfg: WorldlineStripConfig) -> dict:
@@ -307,12 +523,12 @@ def worldline_strip_program(comm, cfg: WorldlineStripConfig) -> dict:
     for s in range(cfg.n_sweeps):
         state.sweep()
         if s % cfg.measure_every == 0:
-            state.refresh_ghosts(_TAG_WL + 2000)
+            state.exchange_ghosts()
             dlog = comm.allreduce(state.local_dlog_sum())
             mag = comm.allreduce(state.local_magnetization())
             energies.append(-dlog / state.n_trotter)
             mags.append(mag)
-    owned = state.loc[1 : state.n_owned + 1].copy()
+    owned = state.loc[2 : state.n_owned + 2].copy()
     return {
         "energy": np.array(energies),
         "magnetization": np.array(mags),
@@ -321,6 +537,7 @@ def worldline_strip_program(comm, cfg: WorldlineStripConfig) -> dict:
         "stop": state.stop,
         "beta": cfg.beta,
         "dtau": state.dtau,
+        "mode": cfg.mode,
     }
 
 
@@ -337,7 +554,9 @@ class IsingBlockConfig:
     ``ly = 2, ky = 0`` axes as needed for lower-dimensional problems --
     or use the TFIM helpers in :mod:`repro.run` which fill these in.
     ``sweep_seed`` drives the shared per-sweep uniforms that make
-    parallel runs bit-identical to serial ones.
+    parallel runs bit-identical to serial ones; ``mode`` selects the
+    batched checkerboard kernel (default) or the per-site scalar
+    reference, which produce bit-identical trajectories.
     """
 
     lx: int
@@ -350,6 +569,7 @@ class IsingBlockConfig:
     n_thermalize: int = 0
     measure_every: int = 1
     sweep_seed: int = 12345
+    mode: str = "vectorized"
 
     def __post_init__(self):
         for name, k in (("lx", self.kx), ("ly", self.ky), ("lt", self.kt)):
@@ -361,10 +581,17 @@ class IsingBlockConfig:
                 raise ValueError(f"{name} must be even and >= 2 (or inert 1), got {v}")
         if self.n_sweeps < 1:
             raise ValueError("need at least one sweep")
+        if self.mode not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
 
 
 class _BlockState:
-    """Per-rank block of the (lx, ly, lt) classical lattice."""
+    """Per-rank block of the (lx, ly, lt) classical lattice.
+
+    The block lives inside a ghosted array with one ghost plane per
+    spatial side; ``spins`` is the interior view.  Ghost corners are
+    never read (no diagonal couplings).
+    """
 
     def __init__(self, comm, cfg: IsingBlockConfig):
         self.comm = comm
@@ -391,51 +618,93 @@ class _BlockState:
         self.bx, self.by = p.shape
         self.lt = cfg.lt
         self.couplings = np.array([cfg.kx, cfg.ky, cfg.kt])
-        # Cold start matching AnisotropicIsing's default.
-        self.spins = np.ones((self.bx, self.by, self.lt), dtype=np.int8)
+        # Cold start matching AnisotropicIsing's default; ghost planes
+        # are overwritten by the first exchange.
+        self._g = np.ones((self.bx + 2, self.by + 2, self.lt), dtype=np.int8)
+        self.spins = self._g[1:-1, 1:-1]
         # Global parity of each local site (for checkerboard colors).
         gx = np.arange(p.x_start, p.x_stop)
         gy = np.arange(p.y_start, p.y_stop)
         gt = np.arange(self.lt)
         parity = (gx[:, None, None] + gy[None, :, None] + gt[None, None, :]) % 2
         self.color_masks = [(parity == c) for c in (0, 1)]
+        # Plane-parity tables for color-packed halos: the parity of an
+        # x-boundary site is (gx + yt_par) % 2, of a y-boundary site
+        # (gy + xt_par) % 2.  Sender and receiver evaluate the same
+        # global coordinate, so pack/unpack masks agree.
+        self._yt_par = (gy[:, None] + gt[None, :]) % 2
+        self._xt_par = (gx[:, None] + gt[None, :]) % 2
         self.sweep_factory = SeedSequenceFactory(cfg.sweep_seed)
         self.sweep_index = 0
+        self._n_exchanges = 0
 
     # -- halo exchange ------------------------------------------------------
-    def _exchange_planes(self, tag: int) -> tuple[np.ndarray, ...]:
-        """Fetch the four ghost planes (west, east, south, north).
+    def _x_mask(self, gx_plane: int, color: int) -> np.ndarray:
+        """Sites of an x-boundary plane with global parity ``(color+1) % 2``."""
+        return self._yt_par == ((gx_plane + color + 1) % 2)
 
-        Falls back to local periodic wrap along axes the process grid
-        does not split.
+    def _y_mask(self, gy_plane: int, color: int) -> np.ndarray:
+        """Sites of a y-boundary plane with global parity ``(color+1) % 2``."""
+        return self._xt_par == ((gy_plane + color + 1) % 2)
+
+    def _exchange_ghosts(self, color: int | None = None) -> None:
+        """Aggregated ghost-plane refresh: one packed message per neighbor.
+
+        ``color`` selects the checkerboard color about to be updated;
+        only the opposite-parity boundary sites -- the ones that color
+        actually reads -- are packed, halving the wire bytes at the
+        same message count.  ``color=None`` ships full planes (the
+        measurement exchange).  Axes the process grid does not split
+        wrap locally for free.
         """
-        comm, p = self.comm, self.piece
-        if self.decomp.px > 1:
-            comm.send(self.spins[-1].copy(), p.east, tag=tag)
-            comm.send(self.spins[0].copy(), p.west, tag=tag + 1)
-            west = comm.recv(source=p.west, tag=tag)
-            east = comm.recv(source=p.east, tag=tag + 1)
-        else:
-            west, east = self.spins[-1].copy(), self.spins[0].copy()
-        if self.decomp.py > 1:
-            comm.send(self.spins[:, -1].copy(), p.north, tag=tag + 2)
-            comm.send(self.spins[:, 0].copy(), p.south, tag=tag + 3)
-            south = comm.recv(source=p.south, tag=tag + 2)
-            north = comm.recv(source=p.north, tag=tag + 3)
-        else:
-            south, north = self.spins[:, -1].copy(), self.spins[:, 0].copy()
-        return west, east, south, north
-
-    def local_field(self, tag: int) -> np.ndarray:
-        """``sum_a K_a (s_+a + s_-a)`` for every owned site, via halos."""
-        west, east, south, north = self._exchange_planes(tag)
-        kx, ky, kt = self.couplings
+        comm, p, g = self.comm, self.piece, self._g
         s = self.spins
-        up_x = np.concatenate([s[1:], east[None, :, :]], axis=0)
-        down_x = np.concatenate([west[None, :, :], s[:-1]], axis=0)
-        up_y = np.concatenate([s[:, 1:], north[:, None, :]], axis=1)
-        down_y = np.concatenate([south[:, None, :], s[:, :-1]], axis=1)
-        field = kx * (up_x + down_x) + ky * (up_y + down_y)
+        tag = _TAG_ISING + (self._n_exchanges % 8) * 4
+        self._n_exchanges += 1
+        if self.decomp.px > 1:
+            east_mask = None if color is None else self._x_mask(p.x_stop - 1, color)
+            west_mask = None if color is None else self._x_mask(p.x_start, color)
+            comm.send(pack_plane(s[-1], east_mask), p.east, tag=tag)
+            comm.send(pack_plane(s[0], west_mask), p.west, tag=tag + 1)
+            unpack_plane(
+                g[0, 1:-1],
+                comm.recv(source=p.west, tag=tag),
+                None if color is None else self._x_mask(p.x_start - 1, color),
+            )
+            unpack_plane(
+                g[-1, 1:-1],
+                comm.recv(source=p.east, tag=tag + 1),
+                None if color is None else self._x_mask(p.x_stop, color),
+            )
+        else:
+            g[0, 1:-1] = s[-1]
+            g[-1, 1:-1] = s[0]
+        if self.decomp.py > 1:
+            north_mask = None if color is None else self._y_mask(p.y_stop - 1, color)
+            south_mask = None if color is None else self._y_mask(p.y_start, color)
+            comm.send(pack_plane(s[:, -1], north_mask), p.north, tag=tag + 2)
+            comm.send(pack_plane(s[:, 0], south_mask), p.south, tag=tag + 3)
+            unpack_plane(
+                g[1:-1, 0],
+                comm.recv(source=p.south, tag=tag + 2),
+                None if color is None else self._y_mask(p.y_start - 1, color),
+            )
+            unpack_plane(
+                g[1:-1, -1],
+                comm.recv(source=p.north, tag=tag + 3),
+                None if color is None else self._y_mask(p.y_stop, color),
+            )
+        else:
+            g[1:-1, 0] = s[:, -1]
+            g[1:-1, -1] = s[:, 0]
+
+    def local_field(self) -> np.ndarray:
+        """``sum_a K_a (s_+a + s_-a)`` for every owned site, via the ghosts."""
+        g = self._g
+        s = self.spins
+        kx, ky, kt = self.couplings
+        field = kx * (g[2:, 1:-1] + g[:-2, 1:-1])
+        field = field + ky * (g[1:-1, 2:] + g[1:-1, :-2])
         field += kt * (np.roll(s, 1, axis=2) + np.roll(s, -1, axis=2))
         return field
 
@@ -454,28 +723,46 @@ class _BlockState:
         self.sweep_index += 1
         return full[p.x_start : p.x_stop, p.y_start : p.y_stop]
 
+    def _update_color_scalar(self, color: int, log_u: np.ndarray) -> None:
+        """Per-site reference loop; float op order matches the batched kernel."""
+        g = self._g
+        s = self.spins
+        kx, ky, kt = self.couplings
+        lt = self.lt
+        for x, y, t in zip(*(idx.tolist() for idx in np.nonzero(self.color_masks[color]))):
+            sp = s[x, y, t]
+            f = kx * (g[x + 2, y + 1, t] + g[x, y + 1, t])
+            f = f + ky * (g[x + 1, y + 2, t] + g[x + 1, y, t])
+            f += kt * (s[x, y, (t + 1) % lt] + s[x, y, (t - 1) % lt])
+            if log_u[x, y, t] < -2.0 * sp * f:
+                s[x, y, t] = -sp
+
     def sweep(self) -> None:
-        """Both checkerboard colors, one halo exchange per color."""
+        """Both checkerboard colors, one color-packed halo exchange each."""
         uniforms = self._sweep_uniforms()
         log_u = np.log(np.maximum(uniforms, 1e-300))
-        tag = _TAG_ISING + (self.sweep_index % 64) * 8
+        scalar = self.cfg.mode == "scalar"
+        s = self.spins
         for c, mask in enumerate(self.color_masks):
-            field = self.local_field(tag + 4 * c)
-            accept = mask & (log_u < -2.0 * self.spins * field)
-            self.spins = np.where(accept, -self.spins, self.spins)
+            self._exchange_ghosts(color=c)
+            if scalar:
+                self._update_color_scalar(c, log_u)
+            else:
+                field = self.local_field()
+                accept = mask & (log_u < -2.0 * s * field)
+                s[accept] = -s[accept]
         self.comm.charge_compute(
             FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
         )
 
     # -- measurement -----------------------------------------------------------
-    def local_bond_sums(self, tag: int) -> np.ndarray:
+    def local_bond_sums(self) -> np.ndarray:
         """(x, y, t) bond sums counting each owned-origin bond once."""
-        west, east, south, north = self._exchange_planes(tag)
+        self._exchange_ghosts(color=None)
+        g = self._g
         s = self.spins.astype(np.int64)
-        up_x = np.concatenate([s[1:], east[None, :, :].astype(np.int64)], axis=0)
-        up_y = np.concatenate([s[:, 1:], north[:, None, :].astype(np.int64)], axis=1)
-        bx = float(np.sum(s * up_x))
-        by = float(np.sum(s * up_y))
+        bx = float(np.sum(s * g[2:, 1:-1].astype(np.int64)))
+        by = float(np.sum(s * g[1:-1, 2:].astype(np.int64)))
         bt = float(np.sum(s * np.roll(s, -1, axis=2)))
         return np.array([bx, by, bt])
 
@@ -499,7 +786,7 @@ def ising_block_program(comm, cfg: IsingBlockConfig) -> dict:
         state.sweep()
         if s % cfg.measure_every == 0:
             m = comm.allreduce(state.local_spin_sum()) / n_sites
-            b = comm.allreduce(state.local_bond_sums(_TAG_ISING + 7000))
+            b = comm.allreduce(state.local_bond_sums())
             mags.append(m)
             bonds.append(b)
     return {
@@ -508,6 +795,7 @@ def ising_block_program(comm, cfg: IsingBlockConfig) -> dict:
         "block": state.spins.copy(),
         "piece": (state.piece.x_start, state.piece.x_stop,
                   state.piece.y_start, state.piece.y_stop),
+        "mode": cfg.mode,
     }
 
 

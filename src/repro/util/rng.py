@@ -82,6 +82,15 @@ class SeedSequenceFactory:
         "measurement": 3,
         "tempering": 4,
         "scratch": 5,
+        # Per-(sweep, stage) shared uniforms of the strip world-line
+        # driver: every rank derives the identical lattice, the source
+        # of rank-count-independent trajectories.
+        "wl-stage": 6,
+        # Per-sweep shared uniforms (one generator per sweep, sliced
+        # into the ten stage lattices): amortizes generator
+        # construction over a whole sweep while keeping the same
+        # every-rank-draws-identical-numbers guarantee.
+        "wl-sweep": 7,
     }
 
     def __init__(self, root_seed: int):

@@ -85,8 +85,10 @@ def payload_nbytes(obj: Any) -> int:
     """Wire size of a payload for the cost model.
 
     NumPy arrays count their raw buffer (the fast path of the era's
-    message layers); everything else is costed at its pickled size, as
-    mpi4py does for generic objects.
+    message layers) and containers recurse over their elements, so a
+    halo tuple of large arrays is costed at buffer size without ever
+    serializing the arrays.  Only opaque objects fall back to their
+    pickled size, as mpi4py does for generic objects.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
@@ -94,19 +96,32 @@ def payload_nbytes(obj: Any) -> int:
         return len(obj)
     if isinstance(obj, (bool, int, float, complex, np.generic)):
         return 8
-    if isinstance(obj, (tuple, list)) and all(
-        isinstance(x, (bool, int, float, complex, np.generic)) for x in obj
-    ):
-        return 8 * len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
     return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def _copy_payload(obj: Any) -> Any:
-    """Deep-copy a payload to emulate distributed address spaces."""
+    """Deep-copy a payload to emulate distributed address spaces.
+
+    ndarrays copy their buffer directly and containers recurse, so the
+    common halo payloads (arrays, tuples/dicts of arrays) never take
+    the pickle round-trip; only opaque objects do.
+    """
     if isinstance(obj, np.ndarray):
         return obj.copy()
     if isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
         return obj
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
     return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 

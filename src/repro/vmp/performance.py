@@ -37,6 +37,7 @@ __all__ = [
     "WorkloadShape",
     "PerformanceModel",
     "worldline2d_workload",
+    "worldline_strip_workload",
     "speedup",
     "efficiency",
     "gustafson_scaled_speedup",
@@ -95,7 +96,15 @@ class WorkloadShape:
         Override for the number of halo messages a rank sends per sweep
         (default ``None`` = the strategy's half-sweep-batched count:
         2 half-sweeps x neighbors).  Set it to model fine-grained
-        schedules such as the executed 8-class world-line driver.
+        schedules such as the executed 10-stage world-line driver.
+    halo_sites_per_message:
+        Override for the lattice sites packed into one halo message
+        (default ``None`` = one boundary column/plane).  Set it to
+        model aggregated-halo protocols that pack several boundary
+        columns -- e.g. the strip driver's two-column ghost buffer --
+        into a single message: the alpha (latency) charge stays
+        per-message while the beta (bandwidth) charge follows the
+        aggregated byte count.
     """
 
     lx: int
@@ -109,6 +118,7 @@ class WorkloadShape:
     allreduce_doubles: int = 8
     serial_fraction: float = 0.0
     halo_messages_per_sweep: int | None = None
+    halo_sites_per_message: float | None = None
 
     def __post_init__(self):
         if self.strategy not in ("strip", "block", "replica"):
@@ -168,6 +178,43 @@ def worldline2d_workload(
         flops_per_site=FLOPS_PER_SEGMENT_MOVE / 2.0 + 2.0,
         sweeps=sweeps,
         strategy="replica",
+        allreduce_doubles=2,
+    )
+    kwargs.update(overrides)
+    return WorkloadShape(**kwargs)
+
+
+def worldline_strip_workload(
+    n_sites: int, n_slices: int, sweeps: int, **overrides
+) -> WorkloadShape:
+    """Workload of the strip-decomposed world-line chain driver.
+
+    Mirrors what :func:`repro.qmc.parallel.worldline_strip_program`
+    executes and charges per sweep:
+
+    * compute -- one corner proposal per unshaded plaquette (half the
+      space--time sites) plus the straight-column pass, so per
+      site-slice ``flops = FLOPS_PER_CORNER_MOVE / 2 + 2``;
+    * halos -- ten stages (eight corner classes + two column
+      parities), each refreshing ghosts with ONE aggregated two-column
+      message per neighbor: ``halo_messages_per_sweep = 20`` and
+      ``halo_sites_per_message = 2 * n_slices``.  Under alpha--beta
+      this is the aggregation the executed driver implements; spins
+      ship as single bytes.
+    """
+    from repro.qmc.parallel import N_WL_STAGES
+    from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+
+    kwargs = dict(
+        lx=n_sites,
+        ly=1,
+        lt=n_slices,
+        flops_per_site=FLOPS_PER_CORNER_MOVE / 2.0 + 2.0,
+        sweeps=sweeps,
+        strategy="strip",
+        bytes_per_site=1,
+        halo_messages_per_sweep=2 * N_WL_STAGES,
+        halo_sites_per_message=2.0 * n_slices,
         allreduce_doubles=2,
     )
     kwargs.update(overrides)
@@ -249,6 +296,8 @@ class PerformanceModel:
             # Mean boundary-edge sites per message across the two axes.
             edges = ([by * w.lt] * 2 if px > 1 else []) + ([bx * w.lt] * 2 if py > 1 else [])
             halo_sites = sum(edges) / len(edges) if edges else 0
+        if w.halo_sites_per_message is not None:
+            halo_sites = w.halo_sites_per_message
         per_message = self.machine.message_time(
             int(halo_sites * w.bytes_per_site), hops
         )

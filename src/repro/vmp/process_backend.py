@@ -17,6 +17,8 @@ import multiprocessing as mp
 import queue as queue_mod
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.util.rng import SeedSequenceFactory
 from repro.util.timer import ModelClock
 from repro.vmp.comm import ANY_SOURCE, ANY_TAG, payload_nbytes
@@ -26,6 +28,44 @@ from repro.vmp.topology import Topology
 __all__ = ["MpCommunicator", "run_multiprocessing"]
 
 _JOIN_TIMEOUT_S = 120.0
+
+#: Wire marker of an ndarray encoded by :func:`_pack_payload`.
+_ND_MARKER = "__vmp_ndarray__"
+
+
+def _pack_payload(obj: Any) -> Any:
+    """Encode ndarrays as ``(marker, dtype, shape, buffer-bytes)``.
+
+    ``mp.Queue`` pickles whatever it is handed; shipping the raw
+    C-contiguous buffer instead of the array object skips the generic
+    object-graph pickle for the hot halo payloads.  Containers recurse
+    so tuples/dicts of arrays take the same fast path; non-numeric
+    dtypes (object, structured) fall back to the queue's own pickle.
+    """
+    if isinstance(obj, np.ndarray) and obj.dtype.kind in "biufc":
+        a = np.ascontiguousarray(obj)
+        return (_ND_MARKER, a.dtype.str, a.shape, a.tobytes())
+    if isinstance(obj, tuple):
+        return tuple(_pack_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [_pack_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _pack_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def _unpack_payload(obj: Any) -> Any:
+    """Inverse of :func:`_pack_payload`; arrays come back owned and writable."""
+    if isinstance(obj, tuple):
+        if len(obj) == 4 and obj[0] == _ND_MARKER:
+            _, dtype_str, shape, data = obj
+            return np.frombuffer(data, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+        return tuple(_unpack_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [_unpack_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _unpack_payload(v) for k, v in obj.items()}
+    return obj
 
 
 class MpCommunicator:
@@ -75,7 +115,7 @@ class MpCommunicator:
             + self.machine.hop_time * hops
             + self.machine.byte_time * nbytes
         )
-        self._inboxes[dest].put((self.rank, tag, arrival, obj))
+        self._inboxes[dest].put((self.rank, tag, arrival, _pack_payload(obj)))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         while True:
@@ -84,7 +124,7 @@ class MpCommunicator:
                     self._stash.pop(i)
                     self.clock.charge(self.machine.latency, "comm")
                     self.clock.advance_to(arrival, "comm_wait")
-                    return obj
+                    return _unpack_payload(obj)
             try:
                 item = self._inboxes[self.rank].get(timeout=_JOIN_TIMEOUT_S)
             except queue_mod.Empty:

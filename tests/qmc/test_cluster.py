@@ -120,3 +120,45 @@ class TestPhysicsAndEfficiency:
         # Mean size over *all* clusters (singletons included) grows ~2.5x
         # from deep disorder to criticality at L=16.
         assert sizes[betas[1]] > 2 * sizes[betas[0]]
+
+
+class TestCachedGeometryRegression:
+    """Pinned fixed-seed trajectories: the cached neighbor-index tables
+    and reused edge-weight workspace must not perturb the RNG order or
+    the decomposition."""
+
+    def test_3d_trajectory_pinned(self):
+        sw = SwendsenWangIsing((8, 8, 4), (0.35, 0.35, 0.6), seed=7,
+                               hot_start=True)
+        ncl, mags = [], []
+        for _ in range(10):
+            ncl.append(sw.cluster_sweep())
+            mags.append(int(sw.spins.sum()))
+        assert ncl == [65, 30, 25, 21, 14, 13, 10, 7, 5, 7]
+        assert mags == [-108, -126, -182, -230, -234, 248, -246, 254, 250,
+                        -250]
+        spin_hash = int(
+            np.dot(sw.spins.ravel().astype(np.int64) + 1,
+                   np.arange(sw.n_sites)) % 1000003
+        )
+        assert spin_hash == 746
+
+    def test_2d_mixed_trajectory_pinned(self):
+        sw = SwendsenWangIsing((16, 16), (0.44, 0.44), seed=11,
+                               mix_local=True, hot_start=True)
+        mags = []
+        for _ in range(6):
+            sw.sweep()
+            mags.append(int(sw.spins.sum()))
+        assert mags == [42, -168, -194, 190, -172, -226]
+        spin_hash = int(
+            np.dot(sw.spins.ravel().astype(np.int64) + 1,
+                   np.arange(sw.n_sites)) % 1000003
+        )
+        assert spin_hash == 3348
+
+    def test_inert_axis_has_no_cached_table(self):
+        sw = SwendsenWangIsing((8, 1, 4), (0.3, 0.0, 0.5), seed=2)
+        assert sw._rolled_index[1] is None
+        assert sw._rolled_index[0] is not None
+        sw.cluster_sweep()  # still runs with the axis skipped

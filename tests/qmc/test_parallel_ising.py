@@ -5,6 +5,8 @@ uniforms, the domain-decomposed trajectory must equal the serial one
 configuration-by-configuration, at every rank count.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -75,6 +77,42 @@ class TestBitIdentity:
             )
         np.testing.assert_allclose(series[1][0], series[4][0], atol=1e-12)
         np.testing.assert_allclose(series[1][1], series[4][1], atol=1e-9)
+
+
+class TestScalarMode:
+    """The per-site scalar reference kernel cross-checks the masked one."""
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            IsingBlockConfig(lx=4, ly=4, lt=4, kx=0.1, ky=0.1, kt=0.1,
+                             n_sweeps=1, mode="simd")
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_scalar_blocks_match_serial(self, p):
+        cfg = dataclasses.replace(CFG_2D, mode="scalar", n_sweeps=6,
+                                  n_thermalize=2)
+        res = run_spmd(ising_block_program, p, machine=IDEAL, seed=1,
+                       args=(cfg,))
+        parallel = gather_blocks(cfg, res.values)
+        serial = serial_reference(cfg, cfg.n_sweeps + cfg.n_thermalize)
+        np.testing.assert_array_equal(parallel, serial.spins)
+
+    def test_scalar_and_vectorized_series_identical(self):
+        series = {}
+        for mode in ("scalar", "vectorized"):
+            cfg = dataclasses.replace(CFG_2D, mode=mode, n_sweeps=6,
+                                      n_thermalize=2)
+            res = run_spmd(ising_block_program, 2, machine=IDEAL, seed=1,
+                           args=(cfg,))
+            series[mode] = res.values[0]
+            assert res.values[0]["mode"] == mode
+        np.testing.assert_array_equal(
+            series["scalar"]["magnetization"],
+            series["vectorized"]["magnetization"],
+        )
+        np.testing.assert_array_equal(
+            series["scalar"]["bond_sums"], series["vectorized"]["bond_sums"]
+        )
 
 
 class TestMeasurements:

@@ -1,10 +1,15 @@
 """Tests for the strip-decomposed world-line driver.
 
-Parallel world-line runs are statistically (not bitwise) equivalent to
-serial ones -- rank streams reorder the randomness -- so the checks are
-invariants (legality, magnetization conservation) plus statistical
-agreement with the matrix-product Trotter reference.
+Since the shared-uniform rewrite the strip driver is **bit-identical**
+across rank counts and across the scalar/vectorized kernel modes: every
+rank draws the same per-(sweep, stage) lattice of uniforms, so seam
+bonds are decided identically on both owners with no writeback.  The
+checks are exact trajectory equality plus the original invariants
+(legality, magnetization conservation) and statistical agreement with
+the matrix-product Trotter reference.
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -59,6 +64,48 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match=">= 4 owned columns"):
             run_spmd(worldline_strip_program, 4, machine=IDEAL, args=(SHORT,))
         # 8 columns over 4 ranks = 2 per rank: rejected above; 2 ranks OK.
+
+
+class TestModeAndRankIdentity:
+    """Scalar reference vs vectorized kernels, across rank counts."""
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            WorldlineStripConfig(n_sites=8, jz=1, jxy=1, beta=1, n_slices=8,
+                                 n_sweeps=1, mode="simd")
+
+    @pytest.mark.parametrize("p", [1, 2])
+    def test_scalar_and_vectorized_trajectories_identical(self, p):
+        spins, energies = {}, {}
+        for mode in ("scalar", "vectorized"):
+            cfg = dataclasses.replace(SHORT, n_sweeps=40, n_thermalize=10,
+                                      mode=mode)
+            res = run_spmd(worldline_strip_program, p, machine=IDEAL, seed=5,
+                           args=(cfg,))
+            spins[mode] = gather_spins(res.values)
+            energies[mode] = np.asarray(res.values[0]["energy"])
+            assert all(v["mode"] == mode for v in res.values)
+        np.testing.assert_array_equal(spins["scalar"], spins["vectorized"])
+        # Identical op order per stage => *exact* energy equality too.
+        np.testing.assert_array_equal(energies["scalar"], energies["vectorized"])
+
+    def test_trajectory_independent_of_rank_count(self):
+        cfg = dataclasses.replace(SHORT, n_sites=16, n_sweeps=40,
+                                  n_thermalize=10)
+        ref_spins = ref_energy = None
+        for p in (1, 2, 4):
+            res = run_spmd(worldline_strip_program, p, machine=IDEAL, seed=5,
+                           args=(cfg,))
+            spins = gather_spins(res.values)
+            energy = np.asarray(res.values[0]["energy"])
+            if ref_spins is None:
+                ref_spins, ref_energy = spins, energy
+            else:
+                np.testing.assert_array_equal(spins, ref_spins)
+                # Spins are exact; the energy allreduce sums per-rank
+                # partials whose float association depends on P, so the
+                # series agrees to the last ULP but not bit-for-bit.
+                np.testing.assert_allclose(energy, ref_energy, rtol=1e-12)
 
 
 @pytest.mark.parametrize("p", [1, 2])

@@ -27,6 +27,30 @@ class TestPayloadNbytes:
     def test_generic_objects_use_pickle_size(self):
         assert payload_nbytes({"a": 1}) > 0
 
+    def test_containers_of_arrays_sum_buffer_sizes(self):
+        # Aggregated-halo payloads: containers recurse to arr.nbytes
+        # instead of pickling array buffers just to measure them.
+        a = np.zeros((3, 4))          # 96 bytes
+        b = np.ones(5, dtype=np.int8)  # 5 bytes
+        assert payload_nbytes((a, b)) == 96 + 5
+        assert payload_nbytes([a, [b, 2.0]]) == 96 + 5 + 8
+        assert payload_nbytes({"halo": a, "tag": 3}) == 96 + len(b"halo") + len(b"tag") + 8
+
+    def test_nested_mixed_payload(self):
+        payload = ((np.zeros((2, 8), dtype=np.int8), 1), {"k": np.zeros(7)})
+        assert payload_nbytes(payload) == 16 + 8 + 1 + 56
+
+    def test_container_copy_is_deep_without_pickle(self):
+        from repro.vmp.comm import _copy_payload
+
+        arr = np.arange(6.0)
+        src = {"halo": (arr, [arr[:3]]), "n": 2}
+        dst = _copy_payload(src)
+        arr[:] = -1.0
+        np.testing.assert_array_equal(dst["halo"][0], np.arange(6.0))
+        np.testing.assert_array_equal(dst["halo"][1][0], np.arange(3.0))
+        assert isinstance(dst["halo"], tuple) and dst["n"] == 2
+
 
 def pingpong(comm):
     if comm.rank == 0:

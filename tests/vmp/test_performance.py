@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.lattice.decomposition import StripDecomposition
 from repro.vmp.machines import CM5, IDEAL, NCUBE2, PARAGON
 from repro.vmp.performance import (
     PerformanceModel,
@@ -159,3 +160,45 @@ class TestWorldline2DWorkload:
         assert worldline2d_workload(
             16, 16, 64, sweeps=100, strategy="strip"
         ).strategy == "strip"
+
+
+class TestWorldlineStripWorkload:
+    def test_mirrors_executed_stage_structure(self):
+        from repro.qmc.parallel import N_WL_STAGES
+        from repro.vmp.performance import worldline_strip_workload
+
+        w = worldline_strip_workload(64, 64, sweeps=100)
+        assert w.strategy == "strip"
+        assert w.bytes_per_site == 1  # int8 spins on the wire
+        assert w.halo_messages_per_sweep == 2 * N_WL_STAGES
+        assert w.halo_sites_per_message == 2.0 * 64  # two ghost columns
+
+    def test_matches_strip_decomposition_halo_spec(self):
+        from repro.vmp.performance import worldline_strip_workload
+
+        w = worldline_strip_workload(64, 64, sweeps=100)
+        spec = StripDecomposition(64, 4).halo_spec(n_slices=64)
+        assert w.halo_sites_per_message == spec.sites_per_message
+
+    def test_halo_aggregation_reduces_modeled_time(self):
+        # Same bytes in 2-column buffers vs column-at-a-time: fewer
+        # alphas => strictly smaller halo seconds per sweep.
+        from repro.qmc.parallel import N_WL_STAGES
+        from repro.vmp.performance import worldline_strip_workload
+
+        aggregated = worldline_strip_workload(64, 64, sweeps=100)
+        split = worldline_strip_workload(
+            64, 64, sweeps=100,
+            halo_messages_per_sweep=2 * N_WL_STAGES * 2,
+            halo_sites_per_message=64.0,
+        )
+        t_agg = PerformanceModel(PARAGON, aggregated).halo_seconds_per_sweep(4)
+        t_split = PerformanceModel(PARAGON, split).halo_seconds_per_sweep(4)
+        assert t_agg < t_split
+
+    def test_override_applies_to_halo_seconds(self):
+        base = workload(bytes_per_site=1)
+        more = workload(bytes_per_site=1, halo_sites_per_message=4096.0)
+        t_base = PerformanceModel(PARAGON, base).halo_seconds_per_sweep(4)
+        t_more = PerformanceModel(PARAGON, more).halo_seconds_per_sweep(4)
+        assert t_more > t_base

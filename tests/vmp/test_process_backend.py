@@ -36,6 +36,63 @@ def prog_barrier_then_rank(comm):
     return comm.rank
 
 
+def prog_large_halo(comm):
+    # Halo-sized ndarray through the queue fast path (1 MB int8).
+    if comm.rank == 0:
+        arr = np.arange(1_000_000, dtype=np.int8).reshape(1000, 1000)
+        comm.send(arr, 1, tag=3)
+        return float(comm.recv(source=1, tag=4))
+    got = comm.recv(source=0, tag=3)
+    ok = (
+        got.shape == (1000, 1000)
+        and got.dtype == np.int8
+        and got.flags.writeable
+        and got.flags.c_contiguous
+    )
+    got[0, 0] = 1  # must be mutable without touching the sender
+    comm.send(float(got.sum()) if ok else float("nan"), 0, tag=4)
+    return None
+
+
+def prog_noncontiguous(comm):
+    # Strided views must arrive with the right *values*.
+    if comm.rank == 0:
+        base = np.arange(64, dtype=np.float64).reshape(8, 8)
+        comm.send(base[::2, 1::3], 1, tag=5)
+        return None
+    got = comm.recv(source=0, tag=5)
+    return got.tolist()
+
+
+def prog_mixed_payload(comm):
+    # Containers of arrays take the same buffer fast path.
+    if comm.rank == 0:
+        payload = {
+            "planes": (np.ones((4, 6), dtype=np.int8), np.zeros(3)),
+            "tag": 7,
+        }
+        comm.send(payload, 1, tag=6)
+        return None
+    got = comm.recv(source=0, tag=6)
+    return (
+        got["planes"][0].sum() == 24
+        and got["planes"][0].dtype == np.int8
+        and np.all(got["planes"][1] == 0.0)
+        and got["tag"] == 7
+    )
+
+
+def prog_halo_ring(comm):
+    # Every rank posts its send before any recv: the eager/buffered
+    # protocol must be deadlock-free at P=8 with halo-sized payloads.
+    t_slices = 2048
+    buf = np.full((2, t_slices), comm.rank, dtype=np.int8)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    got = comm.sendrecv(buf, right, source=left, sendtag=11, recvtag=11)
+    return (int(got[0, 0]), got.shape, str(got.dtype))
+
+
 def prog_crash(comm):
     # Rank 0 finishes independently; rank 1 dies.  (Peers blocked on a
     # dead partner are only released by the 120 s receive timeout in
@@ -65,6 +122,30 @@ class TestProcessBackend:
         mp_values = run_multiprocessing(prog_gather_streams, 2, machine=IDEAL, seed=9)
         th_values = run_spmd(prog_gather_streams, 2, machine=IDEAL, seed=9).values
         assert mp_values[0] == th_values[0]
+
+    def test_large_ndarray_payload(self):
+        values = run_multiprocessing(prog_large_halo, 2, machine=IDEAL)
+        # arange int8 wraps mod 256: sum of 1e6 wrapped values + the mutation.
+        expected = float(
+            np.arange(1_000_000, dtype=np.int8).sum(dtype=np.int64) + 1
+        )
+        assert values[0] == expected
+
+    def test_noncontiguous_array_values_survive(self):
+        values = run_multiprocessing(prog_noncontiguous, 2, machine=IDEAL)
+        base = np.arange(64, dtype=np.float64).reshape(8, 8)
+        assert values[1] == base[::2, 1::3].tolist()
+
+    def test_mixed_container_payload(self):
+        values = run_multiprocessing(prog_mixed_payload, 2, machine=IDEAL)
+        assert values[1] is True
+
+    def test_sendrecv_ring_deadlock_free_at_p8(self):
+        values = run_multiprocessing(prog_halo_ring, 8, machine=IDEAL)
+        for rank, (src, shape, dtype) in enumerate(values):
+            assert src == (rank - 1) % 8
+            assert shape == (2, 2048)
+            assert dtype == "int8"
 
     def test_failure_propagates(self):
         with pytest.raises(RuntimeError, match="process died"):
