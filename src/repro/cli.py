@@ -52,6 +52,13 @@ def _add_mc_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="root random seed")
     p.add_argument("--output", type=str, default=None,
                    help="save result to PATH.json/.npz")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="save per-rank checkpoints every N sweeps "
+                        "(strip/block layouts)")
+    p.add_argument("--checkpoint-dir", type=str, default=None, metavar="DIR",
+                   help="directory for per-rank checkpoint bundles")
+    p.add_argument("--resume", action="store_true",
+                   help="resume bit-identically from --checkpoint-dir")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +121,9 @@ def _cmd_run_xxz(args) -> int:
         n_thermalize=args.thermalize,
         seed=args.seed,
         layout=layout,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     result = Simulation(cfg).run()
     print(result.summary())
@@ -136,6 +146,9 @@ def _cmd_run_xxz2d(args) -> int:
         n_thermalize=args.thermalize,
         seed=args.seed,
         layout=layout,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     result = Simulation(cfg).run()
     print(result.summary())
@@ -158,6 +171,9 @@ def _cmd_run_tfim(args) -> int:
         n_thermalize=args.thermalize,
         seed=args.seed,
         layout=layout,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     result = Simulation(cfg).run()
     print(result.summary())

@@ -43,6 +43,7 @@ Ownership conventions (world-line strip, global column indices):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -58,6 +59,9 @@ from repro.models.hamiltonians import XXZSquareModel
 from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
 from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE, WorldlineSquareQmc
 from repro.util.rng import SeedSequenceFactory
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.run.__init__
+    from repro.run.checkpoint import CheckpointConfig
 
 __all__ = [
     "WL_STAGES",
@@ -489,6 +493,71 @@ class _StripState:
                 self._column_parity_vectorized(x, u)
         self.sweep_index += 1
 
+    # -- checkpoint/restart --------------------------------------------------
+    def _checkpoint_expect(self) -> dict:
+        """Geometry/seed fingerprint a resume must match exactly."""
+        cfg = self.cfg
+        return {
+            "driver": "worldline_strip",
+            "n_ranks": self.comm.size,
+            "n_sites": self.L,
+            "n_slices": self.T,
+            "jz": cfg.jz,
+            "jxy": cfg.jxy,
+            "beta": cfg.beta,
+            "sweep_seed": cfg.sweep_seed,
+            "n_thermalize": cfg.n_thermalize,
+        }
+
+    def save_rank_state(self, directory, sweeps_done: int, energies, mags) -> None:
+        """Snapshot this rank's complete resumable state to its bundle.
+
+        Captures the ghosted local spins, the sweep and halo-exchange
+        counters, the rank's RNG stream, and the accumulated series --
+        everything a restarted rank needs to continue the trajectory
+        bit-identically (``mode`` is deliberately absent: scalar and
+        vectorized kernels share trajectories, so resumes may switch).
+        """
+        from repro.run.checkpoint import pack_rng_state, save_rank_checkpoint
+
+        meta = self._checkpoint_expect()
+        meta["sweeps_done"] = int(sweeps_done)
+        meta["sweep_index"] = int(self.sweep_index)
+        meta["n_exchanges"] = int(self._n_exchanges)
+        save_rank_checkpoint(
+            directory,
+            self.comm.rank,
+            meta,
+            {
+                "loc": self.loc,
+                "energy": np.asarray(energies, dtype=np.float64),
+                "magnetization": np.asarray(mags, dtype=np.float64),
+                "rng_state": pack_rng_state(self.comm.stream.generator),
+            },
+        )
+
+    def restore_rank_state(self, directory) -> tuple[int, list, list]:
+        """Restore this rank from its bundle; returns (sweeps_done, series...)."""
+        from repro.run.checkpoint import load_rank_checkpoint, restore_rng_state
+
+        meta, arrays = load_rank_checkpoint(
+            directory, self.comm.rank, expect=self._checkpoint_expect()
+        )
+        if arrays["loc"].shape != self.loc.shape:
+            raise ValueError(
+                f"checkpoint strip block {arrays['loc'].shape} != "
+                f"this rank's {self.loc.shape}"
+            )
+        self.loc[...] = arrays["loc"]
+        self.sweep_index = int(meta["sweep_index"])
+        self._n_exchanges = int(meta["n_exchanges"])
+        restore_rng_state(self.comm.stream.generator, arrays["rng_state"])
+        return (
+            int(meta["sweeps_done"]),
+            arrays["energy"].tolist(),
+            arrays["magnetization"].tolist(),
+        )
+
     # -- measurement ---------------------------------------------------------
     def local_dlog_sum(self) -> float:
         """Sum of d ln W over shaded plaquettes at owned bonds."""
@@ -509,18 +578,32 @@ class _StripState:
         return float(self.loc[2 : self.n_owned + 2, 0].sum() - self.n_owned / 2.0)
 
 
-def worldline_strip_program(comm, cfg: WorldlineStripConfig) -> dict:
+def worldline_strip_program(
+    comm, cfg: WorldlineStripConfig, checkpoint: "CheckpointConfig | None" = None
+) -> dict:
     """SPMD rank program: strip-decomposed world-line XXZ chain.
 
     Returns, on every rank, a dict with the energy and magnetization
     time series (identical across ranks thanks to allreduce) plus this
     rank's final owned spin block (for invariant checks).
+
+    ``checkpoint`` enables distributed checkpoint/restart: with
+    ``every > 0`` each rank snapshots its bundle after every
+    ``every``-th sweep; with ``resume=True`` each rank restores its
+    bundle first (skipping thermalization, already in the trajectory)
+    and continues **bit-identically** to the uninterrupted run.
     """
     state = _StripState(comm, cfg)
-    for _ in range(cfg.n_thermalize):
-        state.sweep()
     energies, mags = [], []
-    for s in range(cfg.n_sweeps):
+    first_sweep = 0
+    if checkpoint is not None and checkpoint.resume:
+        first_sweep, energies, mags = state.restore_rank_state(
+            checkpoint.directory
+        )
+    else:
+        for _ in range(cfg.n_thermalize):
+            state.sweep()
+    for s in range(first_sweep, cfg.n_sweeps):
         state.sweep()
         if s % cfg.measure_every == 0:
             state.exchange_ghosts()
@@ -528,6 +611,12 @@ def worldline_strip_program(comm, cfg: WorldlineStripConfig) -> dict:
             mag = comm.allreduce(state.local_magnetization())
             energies.append(-dlog / state.n_trotter)
             mags.append(mag)
+        if (
+            checkpoint is not None
+            and checkpoint.every
+            and (s + 1) % checkpoint.every == 0
+        ):
+            state.save_rank_state(checkpoint.directory, s + 1, energies, mags)
     owned = state.loc[2 : state.n_owned + 2].copy()
     return {
         "energy": np.array(energies),
@@ -755,6 +844,65 @@ class _BlockState:
             FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
         )
 
+    # -- checkpoint/restart --------------------------------------------------
+    def _checkpoint_expect(self) -> dict:
+        """Geometry/seed fingerprint a resume must match exactly."""
+        cfg = self.cfg
+        return {
+            "driver": "ising_block",
+            "n_ranks": self.comm.size,
+            "lx": cfg.lx,
+            "ly": cfg.ly,
+            "lt": cfg.lt,
+            "kx": cfg.kx,
+            "ky": cfg.ky,
+            "kt": cfg.kt,
+            "sweep_seed": cfg.sweep_seed,
+            "n_thermalize": cfg.n_thermalize,
+        }
+
+    def save_rank_state(self, directory, sweeps_done: int, mags, bonds) -> None:
+        """Snapshot this rank's ghosted block, counters, RNG, and series."""
+        from repro.run.checkpoint import pack_rng_state, save_rank_checkpoint
+
+        meta = self._checkpoint_expect()
+        meta["sweeps_done"] = int(sweeps_done)
+        meta["sweep_index"] = int(self.sweep_index)
+        meta["n_exchanges"] = int(self._n_exchanges)
+        save_rank_checkpoint(
+            directory,
+            self.comm.rank,
+            meta,
+            {
+                "g": self._g,
+                "magnetization": np.asarray(mags, dtype=np.float64),
+                "bond_sums": np.asarray(bonds, dtype=np.float64).reshape(-1, 3),
+                "rng_state": pack_rng_state(self.comm.stream.generator),
+            },
+        )
+
+    def restore_rank_state(self, directory) -> tuple[int, list, list]:
+        """Restore this rank from its bundle; returns (sweeps_done, series...)."""
+        from repro.run.checkpoint import load_rank_checkpoint, restore_rng_state
+
+        meta, arrays = load_rank_checkpoint(
+            directory, self.comm.rank, expect=self._checkpoint_expect()
+        )
+        if arrays["g"].shape != self._g.shape:
+            raise ValueError(
+                f"checkpoint block {arrays['g'].shape} != this rank's "
+                f"{self._g.shape}"
+            )
+        self._g[...] = arrays["g"]  # in place: self.spins stays a view
+        self.sweep_index = int(meta["sweep_index"])
+        self._n_exchanges = int(meta["n_exchanges"])
+        restore_rng_state(self.comm.stream.generator, arrays["rng_state"])
+        return (
+            int(meta["sweeps_done"]),
+            arrays["magnetization"].tolist(),
+            [row for row in arrays["bond_sums"]],
+        )
+
     # -- measurement -----------------------------------------------------------
     def local_bond_sums(self) -> np.ndarray:
         """(x, y, t) bond sums counting each owned-origin bond once."""
@@ -770,25 +918,38 @@ class _BlockState:
         return float(self.spins.sum())
 
 
-def ising_block_program(comm, cfg: IsingBlockConfig) -> dict:
+def ising_block_program(
+    comm, cfg: IsingBlockConfig, checkpoint: "CheckpointConfig | None" = None
+) -> dict:
     """SPMD rank program: block-decomposed anisotropic Ising sweeps.
 
     Returns on every rank the (identical) global time series of
     magnetization and per-axis bond sums, plus the rank's owned block
-    for bit-identity checks.
+    for bit-identity checks.  ``checkpoint`` enables per-rank
+    checkpoint/restart exactly as in :func:`worldline_strip_program`.
     """
     state = _BlockState(comm, cfg)
     n_sites = cfg.lx * cfg.ly * cfg.lt
-    for _ in range(cfg.n_thermalize):
-        state.sweep()
     mags, bonds = [], []
-    for s in range(cfg.n_sweeps):
+    first_sweep = 0
+    if checkpoint is not None and checkpoint.resume:
+        first_sweep, mags, bonds = state.restore_rank_state(checkpoint.directory)
+    else:
+        for _ in range(cfg.n_thermalize):
+            state.sweep()
+    for s in range(first_sweep, cfg.n_sweeps):
         state.sweep()
         if s % cfg.measure_every == 0:
             m = comm.allreduce(state.local_spin_sum()) / n_sites
             b = comm.allreduce(state.local_bond_sums())
             mags.append(m)
             bonds.append(b)
+        if (
+            checkpoint is not None
+            and checkpoint.every
+            and (s + 1) % checkpoint.every == 0
+        ):
+            state.save_rank_state(checkpoint.directory, s + 1, mags, bonds)
     return {
         "magnetization": np.array(mags),
         "bond_sums": np.array(bonds),

@@ -18,19 +18,44 @@ Works with any sampler exposing ``spins`` (ndarray), ``stream``
 (:class:`~repro.util.rng.RankStream`) and the ``n_attempted`` /
 ``n_accepted`` counters -- i.e. every sampler in :mod:`repro.qmc`.
 The TFIM wrapper delegates to its inner classical sampler.
+
+Distributed runs checkpoint *per rank*: each rank of the SPMD drivers
+in :mod:`repro.qmc.parallel` writes its own ``rank####.npz`` bundle
+(local spins including ghost layers, RNG stream state, sweep counter,
+accumulated measurement series) into a shared directory via
+:func:`save_rank_checkpoint`; a restarted run with the same rank count
+and seed resumes the trajectory **bit-identically**.  The paper's
+machines were space-shared with preemption -- per-rank bundles mean no
+rank ever holds another rank's state, exactly as on the real hardware
+where each node dumped its local memory image.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pickle
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointConfig",
+    "rank_checkpoint_path",
+    "save_rank_checkpoint",
+    "load_rank_checkpoint",
+    "pack_rng_state",
+    "restore_rng_state",
+]
 
 _FORMAT_VERSION = 1
+
+#: Format of the per-rank distributed bundles (independent of the
+#: single-sampler format above).
+_DIST_FORMAT_VERSION = 1
 
 
 def _resolve(sampler):
@@ -84,12 +109,167 @@ def load_checkpoint(sampler, path: str | Path) -> None:
                 f"checkpoint lattice {spins.shape} != sampler lattice "
                 f"{target.spins.shape}"
             )
-        target.spins = spins.astype(target.spins.dtype).copy()
         rng_state = pickle.loads(bytes(data["rng_state"]))
-        target.stream.generator.bit_generator.state = rng_state
+        bit_gen = target.stream.generator.bit_generator
+        saved_kind = (
+            rng_state.get("bit_generator") if isinstance(rng_state, dict) else None
+        )
+        if saved_kind != type(bit_gen).__name__:
+            raise ValueError(
+                f"checkpoint RNG state is for bit generator {saved_kind!r}, "
+                f"sampler stream uses {type(bit_gen).__name__!r}; restoring "
+                f"would not reproduce the trajectory"
+            )
+        if hasattr(target, "n_attempted"):
+            missing = [k for k in ("n_attempted", "n_accepted") if k not in meta]
+            if missing:
+                raise ValueError(
+                    f"checkpoint is missing sampler counters {missing}; "
+                    f"refusing a partial restore (resumed acceptance "
+                    f"statistics would be wrong)"
+                )
+        # All validation passed: mutate the sampler only now, so a bad
+        # checkpoint never leaves it half-restored.
+        target.spins = spins.astype(target.spins.dtype).copy()
+        bit_gen.state = rng_state
         if hasattr(target, "n_attempted"):
             target.n_attempted = meta["n_attempted"]
             target.n_accepted = meta["n_accepted"]
         # Derived caches that depend on the configuration.
         if hasattr(target, "walker"):
             raise ValueError("multicanonical walkers checkpoint via their sampler")
+
+
+# ======================================================================
+# distributed per-rank checkpointing
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint policy handed to the SPMD drivers.
+
+    ``every`` > 0 saves a per-rank bundle after every ``every``-th
+    measured sweep; ``resume=True`` restores each rank's bundle from
+    ``directory`` before sweeping (the bundles must exist and match the
+    run's geometry/rank count).  ``every=0`` with ``resume=True`` is
+    valid: finish a restored run without writing further checkpoints.
+    """
+
+    directory: str | Path
+    every: int = 0
+    resume: bool = False
+
+    def __post_init__(self):
+        if self.every < 0:
+            raise ValueError("checkpoint interval must be >= 0")
+        if self.every == 0 and not self.resume:
+            raise ValueError(
+                "CheckpointConfig with every=0 and resume=False does nothing"
+            )
+
+
+def rank_checkpoint_path(directory: str | Path, rank: int) -> Path:
+    """The bundle path of one rank: ``<directory>/rank0003.npz``."""
+    return Path(directory) / f"rank{rank:04d}.npz"
+
+
+def pack_rng_state(generator) -> np.ndarray:
+    """A generator's bit-generator state as a uint8 array (npz-storable).
+
+    The state dict carries the bit-generator class name, which
+    :func:`restore_rng_state` validates on the way back in.
+    """
+    return np.frombuffer(
+        pickle.dumps(generator.bit_generator.state), dtype=np.uint8
+    )
+
+
+def restore_rng_state(generator, packed: np.ndarray) -> None:
+    """Restore :func:`pack_rng_state` output, validating the generator kind."""
+    state = pickle.loads(bytes(packed))
+    saved_kind = state.get("bit_generator") if isinstance(state, dict) else None
+    actual = type(generator.bit_generator).__name__
+    if saved_kind != actual:
+        raise ValueError(
+            f"checkpoint RNG state is for bit generator {saved_kind!r}, "
+            f"stream uses {actual!r}"
+        )
+    generator.bit_generator.state = state
+
+
+def save_rank_checkpoint(
+    directory: str | Path,
+    rank: int,
+    meta: dict,
+    arrays: dict[str, np.ndarray],
+) -> Path:
+    """Atomically write one rank's bundle into ``directory``.
+
+    ``meta`` is JSON-encoded (ints/floats/strings only); ``arrays``
+    holds the rank's ndarray state (spins with ghost layers, series,
+    packed RNG state...).  The write goes through a same-directory temp
+    file and ``os.replace`` so a crash mid-save leaves either the old
+    bundle or the new one, never a torn file -- a rank can die *during*
+    its checkpoint and the run still restarts cleanly.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = rank_checkpoint_path(directory, rank)
+    full_meta = dict(meta)
+    full_meta["dist_version"] = _DIST_FORMAT_VERSION
+    full_meta["rank"] = int(rank)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                meta=np.frombuffer(json.dumps(full_meta).encode(), dtype=np.uint8),
+                **arrays,
+            )
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_rank_checkpoint(
+    directory: str | Path,
+    rank: int,
+    expect: dict | None = None,
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Load one rank's bundle; returns ``(meta, arrays)``.
+
+    Every key in ``expect`` must match the stored meta exactly --
+    drivers pass the run geometry (driver name, rank count, lattice
+    shape, sweep seed) so a resume against the wrong run, wrong ``P``,
+    or wrong seed fails loudly instead of producing a silently
+    different trajectory.
+    """
+    path = rank_checkpoint_path(directory, rank)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no checkpoint bundle for rank {rank} at {path}; cannot resume"
+        )
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        arrays = {k: data[k].copy() for k in data.files if k != "meta"}
+    if meta.get("dist_version") != _DIST_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported distributed checkpoint version "
+            f"{meta.get('dist_version')!r} in {path} "
+            f"(this build reads version {_DIST_FORMAT_VERSION})"
+        )
+    if meta.get("rank") != rank:
+        raise ValueError(
+            f"bundle {path} holds rank {meta.get('rank')} state, asked for "
+            f"rank {rank}"
+        )
+    for key, want in (expect or {}).items():
+        got = meta.get(key)
+        if got != want:
+            raise ValueError(
+                f"checkpoint mismatch in {path}: {key} is {got!r}, this run "
+                f"expects {want!r}"
+            )
+    return meta, arrays

@@ -32,6 +32,37 @@ class ParallelLayout:
             raise ValueError("serial runs use exactly one rank")
 
 
+def _validate_checkpoint_fields(cfg, supported_strategy: str | None) -> None:
+    """Shared validation of the checkpoint_every/checkpoint_dir/resume trio.
+
+    ``supported_strategy`` names the layout strategy whose driver
+    implements distributed checkpointing (``None``: no driver of this
+    config does).
+    """
+    wants = cfg.checkpoint_every > 0 or cfg.resume
+    if cfg.checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be >= 0")
+    if not wants:
+        if cfg.checkpoint_dir is not None:
+            raise ValueError(
+                "checkpoint_dir given but neither checkpoint_every nor "
+                "resume is set"
+            )
+        return
+    if supported_strategy is None:
+        raise ValueError(
+            f"{type(cfg).__name__} runs do not support distributed "
+            f"checkpointing (no domain-decomposed driver)"
+        )
+    if cfg.layout.strategy != supported_strategy:
+        raise ValueError(
+            f"distributed checkpointing needs the {supported_strategy!r} "
+            f"layout, got {cfg.layout.strategy!r}"
+        )
+    if cfg.checkpoint_dir is None:
+        raise ValueError("checkpointing/resume needs a checkpoint_dir")
+
+
 @dataclass(frozen=True)
 class XXZRunConfig:
     """World-line run of the spin-1/2 XXZ chain."""
@@ -47,6 +78,9 @@ class XXZRunConfig:
     measure_every: int = 1
     seed: int = 0
     layout: ParallelLayout = field(default_factory=ParallelLayout)
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self):
         if self.beta <= 0:
@@ -62,6 +96,7 @@ class XXZRunConfig:
                 raise ValueError("strip layout needs L % 4 == 0 and n_slices % 4 == 0")
             if not self.periodic:
                 raise ValueError("strip layout requires a periodic chain")
+        _validate_checkpoint_fields(self, supported_strategy="strip")
 
 
 @dataclass(frozen=True)
@@ -84,6 +119,9 @@ class XXZ2DRunConfig:
     measure_every: int = 1
     seed: int = 0
     layout: ParallelLayout = field(default_factory=ParallelLayout)
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self):
         if self.beta <= 0:
@@ -96,6 +134,7 @@ class XXZ2DRunConfig:
             raise ValueError(
                 "the 2-D world-line sampler supports serial and replica layouts"
             )
+        _validate_checkpoint_fields(self, supported_strategy=None)
 
 
 @dataclass(frozen=True)
@@ -112,6 +151,9 @@ class TfimRunConfig:
     measure_every: int = 1
     seed: int = 0
     layout: ParallelLayout = field(default_factory=ParallelLayout)
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self):
         if len(self.spatial_shape) not in (1, 2):
@@ -124,3 +166,4 @@ class TfimRunConfig:
             raise ValueError("n_slices must be even and >= 2")
         if self.layout.strategy == "strip":
             raise ValueError("TFIM uses 'block' (or serial/replica) layouts")
+        _validate_checkpoint_fields(self, supported_strategy="block")

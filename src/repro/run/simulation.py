@@ -43,6 +43,19 @@ from repro.vmp.scheduler import run_spmd
 __all__ = ["Simulation"]
 
 
+def _checkpoint_config(cfg):
+    """The run's CheckpointConfig, or None when checkpointing is off."""
+    from repro.run.checkpoint import CheckpointConfig
+
+    if cfg.checkpoint_every <= 0 and not cfg.resume:
+        return None
+    return CheckpointConfig(
+        directory=cfg.checkpoint_dir,
+        every=cfg.checkpoint_every,
+        resume=cfg.resume,
+    )
+
+
 def _estimate(name: str, series: np.ndarray) -> ObservableEstimate:
     """Binning-analysis point estimate of a time series."""
     series = np.asarray(series, dtype=float)
@@ -172,7 +185,7 @@ class Simulation:
                 layout.n_ranks,
                 machine=MACHINES[layout.machine],
                 seed=cfg.seed,
-                args=(wl_cfg,),
+                args=(wl_cfg, _checkpoint_config(cfg)),
             )
             energy = spmd.values[0]["energy"]
             mag = spmd.values[0]["magnetization"]
@@ -256,7 +269,7 @@ class Simulation:
                 layout.n_ranks,
                 machine=MACHINES[layout.machine],
                 seed=cfg.seed,
-                args=(block_cfg,),
+                args=(block_cfg, _checkpoint_config(cfg)),
             )
             out = spmd.values[0]
             bonds = out["bond_sums"]  # (n_meas, 3): x, y, t

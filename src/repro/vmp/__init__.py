@@ -24,6 +24,15 @@ time (performance) is the key substitution documented in DESIGN.md.
 """
 
 from repro.vmp.comm import AbortError, Communicator, ReduceOp
+from repro.vmp.faults import (
+    CrashFault,
+    FaultPlan,
+    InjectedRankCrash,
+    MessageDelayFault,
+    RankFailure,
+    RunReport,
+    StallFault,
+)
 from repro.vmp.machines import (
     CM5,
     DELTA,
@@ -57,6 +66,13 @@ __all__ = [
     "AbortError",
     "Communicator",
     "ReduceOp",
+    "CrashFault",
+    "MessageDelayFault",
+    "StallFault",
+    "FaultPlan",
+    "InjectedRankCrash",
+    "RankFailure",
+    "RunReport",
     "MachineModel",
     "MACHINES",
     "CM5",

@@ -30,6 +30,7 @@ from __future__ import annotations
 import enum
 import pickle
 import threading
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -37,6 +38,7 @@ import numpy as np
 
 from repro.util.rng import RankStream
 from repro.util.timer import ModelClock
+from repro.vmp.faults import RankFailure, RankFaultState
 from repro.vmp.machines import MachineModel
 from repro.vmp.topology import Topology
 
@@ -44,6 +46,7 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "AbortError",
+    "RankFailure",
     "ReduceOp",
     "Communicator",
     "Fabric",
@@ -166,7 +169,10 @@ class Request:
     def wait(self) -> Any:
         """Block until complete; returns the payload (None for sends)."""
         if not self._done:
-            msg = self._comm.fabric.collect(self._comm.rank, self._source, self._tag)
+            msg = self._comm.fabric.collect(
+                self._comm.rank, self._source, self._tag,
+                timeout=self._comm.recv_timeout,
+            )
             self._finish(msg)
         return self._payload
 
@@ -196,10 +202,21 @@ class CommStats:
         self.bytes_received += other.bytes_received
 
 
+@dataclass
+class _DeadRank:
+    """Registry entry of a failed rank (see :meth:`Fabric.mark_dead`)."""
+
+    rank: int
+    origin: int  # the originally failed rank (!= rank for cascades)
+    error: str
+    model_time: float = 0.0
+
+
 class Fabric:
     """Shared in-process message fabric connecting ``n`` ranks.
 
-    One instance per SPMD run; owns the mailboxes and the abort flag.
+    One instance per SPMD run; owns the mailboxes, the dead-rank
+    registry, and the legacy abort flag.
     """
 
     def __init__(
@@ -220,6 +237,9 @@ class Fabric:
         self._conditions = [threading.Condition(self._lock) for _ in range(n_ranks)]
         self._mailboxes: list[list[_Message]] = [[] for _ in range(n_ranks)]
         self.abort_exc: BaseException | None = None
+        #: rank -> _DeadRank for every rank whose program raised.  Blocked
+        #: receivers waiting on a dead source fail fast with RankFailure.
+        self.dead_ranks: dict[int, _DeadRank] = {}
         #: When tracing, every message is appended here as a MessageEvent.
         self.trace_events: list | None = [] if trace else None
         self._trace_lock = threading.Lock()
@@ -234,9 +254,46 @@ class Fabric:
             self._mailboxes[dst].append(msg)
             self._conditions[dst].notify_all()
 
-    def collect(self, dst: int, src: int, tag: int) -> _Message:
-        """Block until a message matching (src, tag) is available."""
+    def _check_dead(self, dst: int, src: int) -> None:
+        """Raise RankFailure if ``dst``'s wait on ``src`` can never complete.
+
+        Caller holds the lock.  A specific dead source fails immediately;
+        a wildcard source fails only once *every* peer is dead (a live
+        peer might still send).  The raised failure names the *original*
+        culprit so cascades report the root cause, not the messenger.
+        """
+        if src != ANY_SOURCE:
+            entry = self.dead_ranks.get(src)
+            if entry is not None:
+                raise RankFailure(
+                    failed_rank=entry.origin,
+                    detected_by=dst,
+                    via="dead-rank",
+                    detail=f"waiting on rank {src}: {entry.error}",
+                )
+        elif len(self.dead_ranks) >= self.n_ranks - 1 and self.n_ranks > 1:
+            entry = next(iter(self.dead_ranks.values()))
+            raise RankFailure(
+                failed_rank=entry.origin,
+                detected_by=dst,
+                via="dead-rank",
+                detail=f"all peers dead: {entry.error}",
+            )
+
+    def collect(
+        self, dst: int, src: int, tag: int, timeout: float | None = None
+    ) -> _Message:
+        """Block until a message matching (src, tag) is available.
+
+        ``timeout`` bounds the *wall-clock* wait; waiting uses
+        exponentially backed-off condition waits (1 ms doubling to
+        250 ms) so failures surface quickly without busy-spinning.
+        Expiry raises :class:`RankFailure` (via="timeout") carrying
+        mailbox diagnostics.
+        """
         cond = self._conditions[dst]
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        wait = 0.001
         with cond:
             while True:
                 if self.abort_exc is not None:
@@ -245,8 +302,27 @@ class Fabric:
                 for i, m in enumerate(box):
                     if (src in (ANY_SOURCE, m.src)) and (tag in (ANY_TAG, m.tag)):
                         return box.pop(i)
-                # Timeout so aborts are noticed even with no traffic.
-                cond.wait(timeout=0.25)
+                self._check_dead(dst, src)
+                if deadline is not None:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        pending = [(m.src, m.tag) for m in box]
+                        raise RankFailure(
+                            failed_rank=None if src == ANY_SOURCE else src,
+                            detected_by=dst,
+                            via="timeout",
+                            detail=(
+                                f"no message (source={src}, tag={tag}) within "
+                                f"{timeout}s; mailbox holds {len(pending)} "
+                                f"unmatched message(s) {pending[:8]}"
+                            ),
+                        )
+                    cond.wait(timeout=min(wait, remaining))
+                else:
+                    # Bounded waits so aborts/deaths are noticed even
+                    # with no traffic.
+                    cond.wait(timeout=wait)
+                wait = min(wait * 2, 0.25)
 
     def try_collect(self, dst: int, src: int, tag: int) -> _Message | None:
         """Nonblocking matching receive; None when nothing matches."""
@@ -257,12 +333,33 @@ class Fabric:
             for i, m in enumerate(box):
                 if (src in (ANY_SOURCE, m.src)) and (tag in (ANY_TAG, m.tag)):
                     return box.pop(i)
+            self._check_dead(dst, src)
             return None
 
     def abort(self, exc: BaseException) -> None:
         with self._lock:
             if self.abort_exc is None:
                 self.abort_exc = exc
+        self._notify_all()
+
+    def mark_dead(self, rank: int, exc: BaseException, model_time: float = 0.0) -> None:
+        """Register ``rank`` as dead and wake every blocked receiver.
+
+        A rank dying *because it detected another death* (its program
+        raised :class:`RankFailure`) propagates the original culprit, so
+        transitive detection still names the root failure.
+        """
+        origin = rank
+        if isinstance(exc, RankFailure) and exc.failed_rank is not None:
+            origin = exc.failed_rank
+        with self._lock:
+            if rank not in self.dead_ranks:
+                self.dead_ranks[rank] = _DeadRank(
+                    rank=rank, origin=origin, error=repr(exc), model_time=model_time
+                )
+        self._notify_all()
+
+    def _notify_all(self) -> None:
         for cond in self._conditions:
             with cond:
                 cond.notify_all()
@@ -287,6 +384,8 @@ class Communicator:
         fabric: Fabric,
         rank: int,
         stream: RankStream,
+        recv_timeout: float | None = None,
+        fault_state: RankFaultState | None = None,
     ):
         self.fabric = fabric
         self.rank = int(rank)
@@ -296,6 +395,11 @@ class Communicator:
         self.clock = ModelClock()
         self.stream = stream
         self.stats = CommStats()
+        #: Wall-clock bound on every blocking receive (None = wait forever,
+        #: relying on the dead-rank registry for failure detection).
+        self.recv_timeout = recv_timeout
+        #: Per-rank fault-injection state (None = no faults).
+        self.fault_state = fault_state
 
     # -- modeled compute -------------------------------------------------
     def charge_compute(self, flops: float) -> None:
@@ -311,6 +415,8 @@ class Communicator:
         """Blocking-buffered send (returns once the message is en route)."""
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
+        if self.fault_state is not None:
+            self.fault_state.on_op(self.clock)
         nbytes = payload_nbytes(obj)
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
@@ -323,6 +429,10 @@ class Communicator:
             + self.machine.hop_time * hops
             + self.machine.byte_time * nbytes
         )
+        drop = False
+        if self.fault_state is not None:
+            extra, drop = self.fault_state.outgoing(dest)
+            arrival += extra
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
         if self.fabric.trace_events is not None:
@@ -338,6 +448,8 @@ class Communicator:
                     t_arrival=arrival,
                 )
             )
+        if drop:
+            return  # injected loss: sender charged, message never delivered
         self.fabric.deposit(
             dest,
             _Message(
@@ -353,7 +465,9 @@ class Communicator:
         """Blocking receive; returns the payload object."""
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
-        msg = self.fabric.collect(self.rank, source, tag)
+        if self.fault_state is not None:
+            self.fault_state.on_op(self.clock)
+        msg = self.fabric.collect(self.rank, source, tag, timeout=self.recv_timeout)
         self.clock.charge(self.machine.latency, "comm")
         self.clock.advance_to(msg.arrival, "comm_wait")
         self.stats.messages_received += 1

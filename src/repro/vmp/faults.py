@@ -1,0 +1,348 @@
+"""Deterministic fault injection and failure reporting for the VMP runtime.
+
+Long world-line QMC runs on 1993-era space-shared MPPs lived with node
+failure and preemption as routine events; a runtime that cannot *inject*
+those events cannot test its recovery paths.  This module provides a
+seeded, fully deterministic fault plan that both execution backends (the
+thread scheduler in :mod:`repro.vmp.scheduler` and the multiprocessing
+backend in :mod:`repro.vmp.process_backend`) honor identically:
+
+* :class:`CrashFault` -- a rank raises :class:`InjectedRankCrash` when
+  its communication-op counter reaches ``at_step`` (each ``send`` or
+  ``recv`` entry advances the counter by one).
+* :class:`MessageDelayFault` -- the ``nth`` message on one ``src -> dst``
+  edge arrives late by ``seconds`` of *modeled* time, or -- with
+  ``drop=True`` -- never arrives at all (the receiver's configured
+  timeout then fires).
+* :class:`StallFault` -- a rank charges ``seconds`` of modeled time (and
+  optionally sleeps ``wall_seconds`` of real time, which is what trips
+  wall-clock receive timeouts in the multiprocessing backend) when its
+  op counter reaches ``at_step``.
+
+Failure *surfacing* is shared between backends too:
+
+* :class:`RankFailure` -- the structured error a surviving rank raises
+  when a peer is detected dead (poison pill, dead-rank registry, or
+  receive timeout).  It names the originally failed rank, the detecting
+  rank, and how the failure was noticed.
+* :class:`RunReport` -- per-run postmortem: which ranks failed, when
+  (modeled clock at death), which survivors aborted, which completed.
+  Attached as ``run_report`` to the exception a failed run raises and as
+  ``report`` to the result of a successful one.
+
+All plan objects are frozen dataclasses (hashable, picklable), so the
+same plan object drives threads and forked processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CrashFault",
+    "MessageDelayFault",
+    "StallFault",
+    "FaultPlan",
+    "RankFaultState",
+    "InjectedRankCrash",
+    "RankFailure",
+    "RankFailureRecord",
+    "RunReport",
+]
+
+
+# ======================================================================
+# exceptions
+# ======================================================================
+
+
+class InjectedRankCrash(RuntimeError):
+    """Raised *inside* a rank killed by a :class:`CrashFault`.
+
+    Attributes
+    ----------
+    rank:
+        The rank that died.
+    step:
+        The communication-op count at which it died.
+    model_time:
+        The rank's modeled clock at death.
+    """
+
+    def __init__(self, rank: int, step: int, model_time: float = 0.0):
+        super().__init__(
+            f"injected crash: rank {rank} died at comm step {step} "
+            f"(model t={model_time:.6g}s)"
+        )
+        self.rank = rank
+        self.step = step
+        self.model_time = model_time
+
+
+class RankFailure(RuntimeError):
+    """Raised in a *surviving* rank when a peer's death is detected.
+
+    Structured so tests and callers can name the culprit without parsing
+    the message:
+
+    Attributes
+    ----------
+    failed_rank:
+        The originally failed rank (``None`` when a timeout fired with a
+        wildcard source, where no culprit can be named).
+    detected_by:
+        The rank that noticed.
+    via:
+        How the failure surfaced: ``"dead-rank"`` (registry / poison
+        pill) or ``"timeout"`` (configured receive timeout expired).
+    detail:
+        Free-form diagnostics (stash/inbox contents on timeouts, the
+        original exception repr on propagated deaths).
+    """
+
+    def __init__(
+        self,
+        failed_rank: int | None,
+        detected_by: int,
+        via: str = "dead-rank",
+        detail: str = "",
+    ):
+        culprit = "unknown rank" if failed_rank is None else f"rank {failed_rank}"
+        msg = f"rank {detected_by} detected failure of {culprit} via {via}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.failed_rank = failed_rank
+        self.detected_by = detected_by
+        self.via = via
+        self.detail = detail
+
+
+# ======================================================================
+# fault plan
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill ``rank`` when its comm-op counter reaches ``at_step`` (1-based)."""
+
+    rank: int
+    at_step: int
+
+    def __post_init__(self):
+        if self.at_step < 1:
+            raise ValueError("at_step counts comm ops from 1")
+
+
+@dataclass(frozen=True)
+class MessageDelayFault:
+    """Delay (or drop) the ``nth`` message sent on the ``src -> dst`` edge.
+
+    ``seconds`` is *modeled* time added to the arrival stamp; ``nth`` is
+    0-based over the messages that edge actually carries.  ``drop=True``
+    discards the message after charging the sender normally -- the
+    receiver's timeout machinery is what notices.
+    """
+
+    src: int
+    dst: int
+    nth: int = 0
+    seconds: float = 0.0
+    drop: bool = False
+
+    def __post_init__(self):
+        if self.seconds < 0:
+            raise ValueError("delay must be non-negative")
+        if self.nth < 0:
+            raise ValueError("nth is a 0-based message index")
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """Stall ``rank`` at op ``at_step``: modeled seconds + optional real sleep."""
+
+    rank: int
+    at_step: int
+    seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.at_step < 1:
+            raise ValueError("at_step counts comm ops from 1")
+        if self.seconds < 0 or self.wall_seconds < 0:
+            raise ValueError("stall durations must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable set of faults applied to one SPMD run.
+
+    Construct explicitly from fault events, or derive a reproducible
+    random plan with :meth:`seeded`.  Backends obtain the per-rank view
+    with :meth:`for_rank`.
+    """
+
+    faults: tuple = ()
+
+    def __post_init__(self):
+        for f in self.faults:
+            if not isinstance(f, (CrashFault, MessageDelayFault, StallFault)):
+                raise TypeError(f"unknown fault type {type(f).__name__}")
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_ranks: int,
+        n_crashes: int = 1,
+        max_step: int = 32,
+    ) -> "FaultPlan":
+        """A deterministic random plan: ``n_crashes`` crashes at steps <= max_step.
+
+        The same ``(seed, n_ranks, n_crashes, max_step)`` always yields
+        the same plan on every platform (PCG64 under a SeedSequence).
+        """
+        if n_crashes > n_ranks:
+            raise ValueError("cannot crash more ranks than exist")
+        gen = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(entropy=seed, spawn_key=(97,)))
+        )
+        victims = gen.choice(n_ranks, size=n_crashes, replace=False)
+        steps = gen.integers(1, max_step + 1, size=n_crashes)
+        return cls(
+            tuple(
+                CrashFault(rank=int(r), at_step=int(s))
+                for r, s in zip(victims, steps)
+            )
+        )
+
+    def for_rank(self, rank: int) -> "RankFaultState":
+        """The mutable per-rank execution state of this plan."""
+        return RankFaultState(self, rank)
+
+    def crash_ranks(self) -> list[int]:
+        """Ranks this plan will kill (sorted, unique)."""
+        return sorted({f.rank for f in self.faults if isinstance(f, CrashFault)})
+
+
+class RankFaultState:
+    """One rank's live view of a :class:`FaultPlan`.
+
+    Both communicator implementations call :meth:`on_op` on entry to
+    every ``send``/``recv`` and :meth:`outgoing` once per send to learn
+    the injected delay/drop of that particular message.  Because both
+    backends count the same ops in the same order, a plan produces the
+    same failure trajectory on threads and on processes.
+    """
+
+    def __init__(self, plan: FaultPlan, rank: int):
+        self.rank = rank
+        self.step = 0
+        crash_steps = [
+            f.at_step for f in plan.faults
+            if isinstance(f, CrashFault) and f.rank == rank
+        ]
+        self._crash_at = min(crash_steps) if crash_steps else None
+        self._stalls = {
+            f.at_step: f
+            for f in plan.faults
+            if isinstance(f, StallFault) and f.rank == rank
+        }
+        self._delays: dict[int, list[MessageDelayFault]] = {}
+        for f in plan.faults:
+            if isinstance(f, MessageDelayFault) and f.src == rank:
+                self._delays.setdefault(f.dst, []).append(f)
+        self._sent: dict[int, int] = {}
+
+    def on_op(self, clock) -> None:
+        """Advance the op counter; apply any stall; raise any due crash."""
+        self.step += 1
+        stall = self._stalls.get(self.step)
+        if stall is not None:
+            if stall.seconds:
+                clock.charge(stall.seconds, "stall")
+            if stall.wall_seconds:
+                time.sleep(stall.wall_seconds)
+        if self._crash_at is not None and self.step >= self._crash_at:
+            raise InjectedRankCrash(self.rank, self.step, model_time=clock.now)
+
+    def outgoing(self, dst: int) -> tuple[float, bool]:
+        """(extra modeled delay, drop?) of the next message to ``dst``."""
+        k = self._sent.get(dst, 0)
+        self._sent[dst] = k + 1
+        for f in self._delays.get(dst, ()):
+            if f.nth == k:
+                return f.seconds, f.drop
+        return 0.0, False
+
+
+# ======================================================================
+# run report
+# ======================================================================
+
+
+@dataclass
+class RankFailureRecord:
+    """One rank's failure entry in a :class:`RunReport`."""
+
+    rank: int
+    error: str
+    model_time: float = 0.0
+    injected: bool = False
+
+
+@dataclass
+class AbortRecord:
+    """A surviving rank that aborted after detecting a peer failure."""
+
+    rank: int
+    failed_rank: int | None
+    via: str
+    model_time: float = 0.0
+
+
+@dataclass
+class RunReport:
+    """Postmortem of one SPMD run (both backends produce one).
+
+    ``failures`` are ranks whose *own* program raised (injected crashes,
+    hard process deaths, genuine bugs); ``aborted`` are survivors that
+    raised :class:`RankFailure` after detecting a peer's death;
+    ``completed`` ran to the end.
+    """
+
+    n_ranks: int
+    failures: list[RankFailureRecord] = field(default_factory=list)
+    aborted: list[AbortRecord] = field(default_factory=list)
+    completed: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.aborted
+
+    def failed_ranks(self) -> list[int]:
+        return sorted(r.rank for r in self.failures)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"all {self.n_ranks} ranks completed"
+        lines = [
+            f"{len(self.failures)} of {self.n_ranks} ranks failed, "
+            f"{len(self.aborted)} aborted, {len(self.completed)} completed"
+        ]
+        for f in self.failures:
+            kind = "injected" if f.injected else "error"
+            lines.append(
+                f"  rank {f.rank} died ({kind}) at model t={f.model_time:.6g}s: {f.error}"
+            )
+        for a in self.aborted:
+            culprit = "?" if a.failed_rank is None else a.failed_rank
+            lines.append(
+                f"  rank {a.rank} aborted via {a.via} "
+                f"(peer {culprit}) at model t={a.model_time:.6g}s"
+            )
+        return "\n".join(lines)

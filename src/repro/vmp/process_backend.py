@@ -7,6 +7,29 @@ nothing in the programming model depends on shared memory.  It supports
 the full collective set by reusing :mod:`repro.vmp.collectives`, which
 only needs ``send``/``recv``/``sendrecv``.
 
+Fault tolerance mirrors the thread backend:
+
+* every blocking receive has a configurable wall-clock timeout
+  (:class:`MpCommunicator` constructor parameter, default 120 s) with
+  exponential backoff polling; expiry raises a structured
+  :class:`~repro.vmp.faults.RankFailure` carrying stash/inbox
+  diagnostics instead of a bare ``TimeoutError``;
+* a failing worker broadcasts a *poison pill* to every peer inbox
+  before dying, so survivors blocked in ``recv`` fail fast with a
+  :class:`RankFailure` naming the dead rank rather than waiting out
+  their timeout;
+* the launcher monitors process liveness: a rank that dies without
+  reporting (e.g. SIGKILL mid-sweep) is detected from its exit code and
+  poison pills are injected on its behalf;
+* :func:`run_multiprocessing` returns an :class:`MpRunResult` whose
+  :class:`~repro.vmp.faults.RunReport` records who failed, when
+  (modeled clock at death), and who aborted -- and raises a
+  :class:`RankFailure` with that report attached when any rank failed.
+
+Deterministic fault injection (:class:`~repro.vmp.faults.FaultPlan`) is
+honored identically to the thread scheduler: the plan ships to each
+worker and drives the same per-op counters.
+
 Intended for small rank counts (P <= 8 on this container); programs
 must be picklable (defined at module top level).
 """
@@ -15,6 +38,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -22,15 +47,31 @@ import numpy as np
 from repro.util.rng import SeedSequenceFactory
 from repro.util.timer import ModelClock
 from repro.vmp.comm import ANY_SOURCE, ANY_TAG, payload_nbytes
+from repro.vmp.faults import (
+    AbortRecord,
+    FaultPlan,
+    InjectedRankCrash,
+    RankFailure,
+    RankFailureRecord,
+    RunReport,
+)
 from repro.vmp.machines import IDEAL, MachineModel
 from repro.vmp.topology import Topology
 
-__all__ = ["MpCommunicator", "run_multiprocessing"]
+__all__ = ["MpCommunicator", "MpRunResult", "run_multiprocessing"]
 
-_JOIN_TIMEOUT_S = 120.0
+#: Default wall-clock bound on a blocking receive (and on the whole run).
+_DEFAULT_TIMEOUT_S = 120.0
 
 #: Wire marker of an ndarray encoded by :func:`_pack_payload`.
 _ND_MARKER = "__vmp_ndarray__"
+
+#: First element of a poison-pill inbox item: ``(_POISON, origin_rank, reason)``.
+_POISON = "__vmp_poison__"
+
+#: Grace period between noticing a dead worker process and declaring it
+#: failed-without-result (its result may still be in the queue's pipe).
+_DEATH_GRACE_S = 1.0
 
 
 def _pack_payload(obj: Any) -> Any:
@@ -74,6 +115,10 @@ class MpCommunicator:
     Implements the same cost convention as the in-process fabric: the
     sender's clock time travels with each message so arrival stamps and
     ``comm_wait`` accounting behave identically across backends.
+
+    ``recv_timeout`` bounds every blocking receive in wall-clock
+    seconds; ``fault_state`` is this rank's view of an injected
+    :class:`~repro.vmp.faults.FaultPlan` (None = no faults).
     """
 
     def __init__(
@@ -84,12 +129,18 @@ class MpCommunicator:
         machine: MachineModel,
         topology: Topology,
         stream,
+        recv_timeout: float = _DEFAULT_TIMEOUT_S,
+        fault_state=None,
     ):
+        if recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive")
         self.rank = rank
         self.size = size
         self.machine = machine
         self.topology = topology
         self.stream = stream
+        self.recv_timeout = recv_timeout
+        self.fault_state = fault_state
         self._inboxes = inboxes
         self._stash: list[tuple[int, int, float, Any]] = []
         self.clock = ModelClock()
@@ -105,6 +156,8 @@ class MpCommunicator:
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
+        if self.fault_state is not None:
+            self.fault_state.on_op(self.clock)
         nbytes = payload_nbytes(obj)
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
@@ -115,9 +168,32 @@ class MpCommunicator:
             + self.machine.hop_time * hops
             + self.machine.byte_time * nbytes
         )
+        drop = False
+        if self.fault_state is not None:
+            extra, drop = self.fault_state.outgoing(dest)
+            arrival += extra
+        if drop:
+            return  # injected loss: sender charged, message never delivered
         self._inboxes[dest].put((self.rank, tag, arrival, _pack_payload(obj)))
 
+    def _timeout_diagnostics(self, source: int, tag: int) -> str:
+        """Stash/inbox state for the RankFailure a timed-out recv raises."""
+        stashed = [(src, t) for src, t, _, _ in self._stash]
+        try:
+            inbox_n = self._inboxes[self.rank].qsize()
+        except (NotImplementedError, OSError):  # qsize is platform-dependent
+            inbox_n = -1
+        return (
+            f"no message (source={source}, tag={tag}) within "
+            f"{self.recv_timeout}s; stash holds {len(stashed)} unmatched "
+            f"message(s) {stashed[:8]}, inbox qsize={inbox_n}"
+        )
+
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        if self.fault_state is not None:
+            self.fault_state.on_op(self.clock)
+        deadline = time.monotonic() + self.recv_timeout
+        wait = 0.005
         while True:
             for i, (src, t, arrival, obj) in enumerate(self._stash):
                 if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
@@ -125,13 +201,29 @@ class MpCommunicator:
                     self.clock.charge(self.machine.latency, "comm")
                     self.clock.advance_to(arrival, "comm_wait")
                     return _unpack_payload(obj)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RankFailure(
+                    failed_rank=None if source == ANY_SOURCE else source,
+                    detected_by=self.rank,
+                    via="timeout",
+                    detail=self._timeout_diagnostics(source, tag),
+                )
             try:
-                item = self._inboxes[self.rank].get(timeout=_JOIN_TIMEOUT_S)
+                # Exponential backoff (5 ms doubling to 250 ms) keeps
+                # failure detection prompt without busy-spinning.
+                item = self._inboxes[self.rank].get(timeout=min(wait, remaining))
             except queue_mod.Empty:
-                raise TimeoutError(
-                    f"rank {self.rank} waited {_JOIN_TIMEOUT_S}s for a message "
-                    f"(source={source}, tag={tag}); peer likely died"
-                ) from None
+                wait = min(wait * 2, 0.25)
+                continue
+            if item[0] == _POISON:
+                _, origin, reason = item
+                raise RankFailure(
+                    failed_rank=origin,
+                    detected_by=self.rank,
+                    via="poison-pill",
+                    detail=reason,
+                )
             self._stash.append(item)
 
     def sendrecv(self, obj, dest, source, sendtag=0, recvtag=0):
@@ -182,6 +274,30 @@ class MpCommunicator:
         return collectives.alltoall(self, values)
 
 
+@dataclass
+class MpRunResult:
+    """Outcome of a :func:`run_multiprocessing` run.
+
+    ``values`` and ``model_times`` are rank-ordered; ``report`` is the
+    run's :class:`~repro.vmp.faults.RunReport` (all-completed here --
+    failed runs raise instead of returning).
+    """
+
+    values: list[Any]
+    model_times: list[float]
+    report: RunReport
+
+
+def _poison_all(inboxes, skip: int, origin: int, reason: str) -> None:
+    """Deposit a poison pill naming ``origin`` in every inbox but ``skip``."""
+    for d, box in enumerate(inboxes):
+        if d != skip:
+            try:
+                box.put((_POISON, origin, reason))
+            except (OSError, ValueError):
+                pass  # inbox already torn down
+
+
 def _worker(
     program: Callable[..., Any],
     rank: int,
@@ -192,14 +308,34 @@ def _worker(
     seed: int,
     args: tuple,
     results: mp.Queue,
+    recv_timeout: float,
+    fault_plan: FaultPlan | None,
 ) -> None:
+    comm = None
     try:
         stream = SeedSequenceFactory(seed).rank_stream(rank)
-        comm = MpCommunicator(rank, size, inboxes, machine, topology, stream)
+        fault_state = fault_plan.for_rank(rank) if fault_plan is not None else None
+        comm = MpCommunicator(
+            rank, size, inboxes, machine, topology, stream,
+            recv_timeout=recv_timeout, fault_state=fault_state,
+        )
         value = program(comm, *args)
         results.put((rank, "ok", value, comm.clock.now))
+    except RankFailure as exc:
+        # Survivor that detected a peer death: report the abort and
+        # forward the culprit so ranks blocked on *us* also fail fast.
+        model_time = comm.clock.now if comm is not None else 0.0
+        _poison_all(inboxes, rank, exc.failed_rank if exc.failed_rank is not None
+                    else rank, str(exc))
+        results.put((rank, "detected", (exc.failed_rank, exc.via, str(exc)),
+                     model_time))
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
-        results.put((rank, "error", repr(exc), 0.0))
+        model_time = comm.clock.now if comm is not None else 0.0
+        _poison_all(inboxes, rank, rank, repr(exc))
+        results.put(
+            (rank, "error", (repr(exc), isinstance(exc, InjectedRankCrash)),
+             model_time)
+        )
 
 
 def run_multiprocessing(
@@ -209,12 +345,22 @@ def run_multiprocessing(
     topology: Topology | None = None,
     seed: int = 0,
     args: Sequence[Any] = (),
-) -> list[Any]:
+    recv_timeout: float = _DEFAULT_TIMEOUT_S,
+    join_timeout: float = _DEFAULT_TIMEOUT_S,
+    fault_plan: FaultPlan | None = None,
+) -> MpRunResult:
     """Run ``program(comm, *args)`` on ``n_ranks`` OS processes.
 
-    Returns the rank-ordered list of program return values.  Raises
-    :class:`RuntimeError` carrying the first failing rank's exception
-    repr if any process fails.
+    Returns an :class:`MpRunResult` with rank-ordered program values,
+    modeled per-rank clocks, and the run's
+    :class:`~repro.vmp.faults.RunReport`.  If any rank fails, raises a
+    :class:`~repro.vmp.faults.RankFailure` naming the first failed rank
+    with the full report attached as ``run_report``.
+
+    ``recv_timeout`` is handed to every rank's communicator (per-recv
+    wall-clock bound); ``join_timeout`` bounds the whole run from the
+    launcher's side.  ``fault_plan`` injects deterministic faults (see
+    :mod:`repro.vmp.faults`).
     """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
@@ -228,7 +374,8 @@ def run_multiprocessing(
     procs = [
         ctx.Process(
             target=_worker,
-            args=(program, r, n_ranks, inboxes, machine, topo, seed, tuple(args), results),
+            args=(program, r, n_ranks, inboxes, machine, topo, seed, tuple(args),
+                  results, recv_timeout, fault_plan),
             daemon=True,
         )
         for r in range(n_ranks)
@@ -237,23 +384,84 @@ def run_multiprocessing(
         p.start()
 
     outcomes: dict[int, Any] = {}
-    errors: list[tuple[int, str]] = []
-    for _ in range(n_ranks):
-        try:
-            rank, status, value, _model_time = results.get(timeout=_JOIN_TIMEOUT_S)
-        except queue_mod.Empty:
+    model_times: dict[int, float] = {}
+    report = RunReport(n_ranks=n_ranks)
+    pending = set(range(n_ranks))
+    dead_since: dict[int, float] = {}
+    start = time.monotonic()
+    while pending:
+        if time.monotonic() - start > join_timeout:
             for p in procs:
                 p.terminate()
-            raise TimeoutError("multiprocessing SPMD run did not complete") from None
+            raise TimeoutError(
+                f"multiprocessing SPMD run did not complete within "
+                f"{join_timeout}s; ranks {sorted(pending)} never reported"
+            )
+        try:
+            rank, status, value, model_time = results.get(timeout=0.05)
+        except queue_mod.Empty:
+            # Liveness sweep: a worker that died without reporting
+            # (SIGKILL, interpreter abort) is detected from its exit
+            # code; pills are injected on its behalf so survivors
+            # blocked on it fail fast instead of timing out.
+            now = time.monotonic()
+            for r in sorted(pending):
+                proc = procs[r]
+                if proc.exitcode is None:
+                    continue
+                died_at = dead_since.setdefault(r, now)
+                if now - died_at >= _DEATH_GRACE_S:
+                    pending.discard(r)
+                    reason = (
+                        f"process exited with code {proc.exitcode} "
+                        f"without reporting a result"
+                    )
+                    report.failures.append(
+                        RankFailureRecord(rank=r, error=reason, model_time=0.0)
+                    )
+                    _poison_all(inboxes, r, r, reason)
+            continue
+        pending.discard(rank)
+        model_times[rank] = model_time
         if status == "ok":
             outcomes[rank] = value
+        elif status == "detected":
+            failed_rank, via, detail = value
+            report.aborted.append(
+                AbortRecord(rank=rank, failed_rank=failed_rank, via=via,
+                            model_time=model_time)
+            )
         else:
-            errors.append((rank, value))
+            error_repr, injected = value
+            report.failures.append(
+                RankFailureRecord(rank=rank, error=error_repr,
+                                  model_time=model_time, injected=injected)
+            )
     for p in procs:
         p.join(timeout=5.0)
         if p.is_alive():
             p.terminate()
-    if errors:
-        rank, msg = errors[0]
-        raise RuntimeError(f"rank {rank} failed: {msg}")
-    return [outcomes[r] for r in range(n_ranks)]
+    report.completed = sorted(outcomes)
+
+    if report.failures or report.aborted:
+        if report.failures:
+            first = report.failures[0]
+            exc = RankFailure(
+                failed_rank=first.rank,
+                detected_by=-1,  # -1: detected by the launcher
+                via="worker-death",
+                detail=f"rank {first.rank} failed: {first.error}",
+            )
+        else:
+            a = report.aborted[0]
+            exc = RankFailure(
+                failed_rank=a.failed_rank, detected_by=a.rank, via=a.via,
+                detail="peer failure detected but no rank reported a crash",
+            )
+        exc.run_report = report
+        raise exc
+    return MpRunResult(
+        values=[outcomes[r] for r in range(n_ranks)],
+        model_times=[model_times[r] for r in range(n_ranks)],
+        report=report,
+    )

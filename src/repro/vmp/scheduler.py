@@ -10,9 +10,15 @@ not wall time -- is what the benchmarks report.  For real-process
 execution of the same program object see
 :mod:`repro.vmp.process_backend`.
 
-Failure handling: if any rank raises, the fabric is aborted, blocked
-peers wake with :class:`~repro.vmp.comm.AbortError`, and the original
-exception is re-raised in the caller with its rank attached.
+Failure handling: if any rank raises, the rank is registered in the
+fabric's dead-rank registry; blocked peers wake immediately with a
+structured :class:`~repro.vmp.faults.RankFailure` naming the culprit
+(fail-fast, instead of hanging until a timeout).  The caller receives
+the original exception with a :class:`~repro.vmp.faults.RunReport`
+attached as ``run_report``, recording which ranks failed, when (modeled
+clock at death), and which survivors aborted.  Deterministic fault
+injection -- crashes, message delays/drops, stalls -- is driven by a
+:class:`~repro.vmp.faults.FaultPlan` passed to :func:`run_spmd`.
 """
 
 from __future__ import annotations
@@ -23,6 +29,14 @@ from typing import Any, Callable, Sequence
 
 from repro.util.rng import SeedSequenceFactory
 from repro.vmp.comm import AbortError, Communicator, Fabric
+from repro.vmp.faults import (
+    AbortRecord,
+    FaultPlan,
+    InjectedRankCrash,
+    RankFailure,
+    RankFailureRecord,
+    RunReport,
+)
 from repro.vmp.machines import IDEAL, MachineModel
 from repro.vmp.topology import Topology
 
@@ -49,13 +63,15 @@ class SpmdResult:
     which is what "time to solution" means on a space-shared MPP.
     ``trace`` holds per-message events when the run was launched with
     ``trace=True`` (else None); render with
-    :func:`repro.vmp.trace.render_timeline`.
+    :func:`repro.vmp.trace.render_timeline`.  ``report`` is the run's
+    :class:`~repro.vmp.faults.RunReport` (all-completed on success).
     """
 
     outcomes: list[RankOutcome]
     machine: MachineModel
     topology: Topology
     trace: list | None = None
+    report: RunReport | None = None
 
     def render_timeline(self, width: int = 72) -> str:
         """Text Gantt view of traced messages (requires trace=True)."""
@@ -119,6 +135,8 @@ def run_spmd(
     seed: int = 0,
     args: Sequence[Any] = (),
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    recv_timeout: float | None = None,
 ) -> SpmdResult:
     """Run ``program(comm, *args)`` on ``n_ranks`` simulated processors.
 
@@ -137,6 +155,14 @@ def run_spmd(
     seed:
         Root seed; each rank receives an independent child stream at
         ``comm.stream``.
+    fault_plan:
+        Deterministic fault injection (crashes, delays, stalls); see
+        :mod:`repro.vmp.faults`.
+    recv_timeout:
+        Wall-clock bound on every blocking receive; expiry raises a
+        structured :class:`~repro.vmp.faults.RankFailure` in the
+        waiting rank.  ``None`` waits indefinitely (the dead-rank
+        registry still fails survivors fast on peer death).
     """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
@@ -150,16 +176,28 @@ def run_spmd(
     boxes = [_RankBox() for _ in range(n_ranks)]
 
     def runner(rank: int) -> None:
-        comm = Communicator(fabric, rank, factory.rank_stream(rank))
+        comm = Communicator(
+            fabric,
+            rank,
+            factory.rank_stream(rank),
+            recv_timeout=recv_timeout,
+            fault_state=fault_plan.for_rank(rank) if fault_plan is not None else None,
+        )
         boxes[rank].comm = comm
         try:
             boxes[rank].value = program(comm, *args)
             boxes[rank].done = True
         except AbortError:
             pass  # secondary failure; the primary exception is reported
+        except RankFailure as exc:
+            # This rank survived but detected a peer death; record the
+            # abort and propagate the *original* culprit to ranks still
+            # blocked on us.
+            boxes[rank].error = exc
+            fabric.mark_dead(rank, exc, model_time=comm.clock.now)
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             boxes[rank].error = exc
-            fabric.abort(exc)
+            fabric.mark_dead(rank, exc, model_time=comm.clock.now)
 
     if n_ranks == 1:
         runner(0)
@@ -173,9 +211,45 @@ def run_spmd(
         for t in threads:
             t.join()
 
-    for box in boxes:
-        if box.error is not None:
-            raise box.error
+    report = RunReport(n_ranks=n_ranks)
+    for r, box in enumerate(boxes):
+        model_time = box.comm.clock.now if box.comm is not None else 0.0
+        if box.done:
+            report.completed.append(r)
+        elif isinstance(box.error, RankFailure):
+            report.aborted.append(
+                AbortRecord(
+                    rank=r,
+                    failed_rank=box.error.failed_rank,
+                    via=box.error.via,
+                    model_time=model_time,
+                )
+            )
+        elif box.error is not None:
+            report.failures.append(
+                RankFailureRecord(
+                    rank=r,
+                    error=repr(box.error),
+                    model_time=model_time,
+                    injected=isinstance(box.error, InjectedRankCrash),
+                )
+            )
+        else:  # legacy AbortError path: released without a culprit
+            report.aborted.append(
+                AbortRecord(rank=r, failed_rank=None, via="abort",
+                            model_time=model_time)
+            )
+
+    # Primary exception: a rank's own failure outranks the RankFailure
+    # aborts it triggered in its peers.
+    primary = next(
+        (b.error for b in boxes
+         if b.error is not None and not isinstance(b.error, RankFailure)),
+        None,
+    ) or next((b.error for b in boxes if b.error is not None), None)
+    if primary is not None:
+        primary.run_report = report
+        raise primary
 
     outcomes = []
     for r, box in enumerate(boxes):
@@ -196,4 +270,5 @@ def run_spmd(
         machine=machine,
         topology=topo,
         trace=fabric.trace_events,
+        report=report,
     )

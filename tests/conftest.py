@@ -11,6 +11,25 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-fault",
+        action="store_true",
+        default=False,
+        help="skip tier1_fault tests (fault injection spawns real "
+        "processes and exercises wall-clock timeouts)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--no-fault"):
+        return
+    skip = pytest.mark.skip(reason="--no-fault given")
+    for item in items:
+        if "tier1_fault" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for test-local noise."""

@@ -3,7 +3,9 @@
 For random rank counts, roots, and payload shapes, every collective
 must reproduce the obvious sequential reference computation -- the
 algorithmic sophistication (trees, rings) must be observationally
-invisible.
+invisible.  Injected message delays (see :mod:`repro.vmp.faults`) must
+be equally invisible to the *values*: a late message changes modeled
+time, never the result.
 """
 
 import numpy as np
@@ -11,7 +13,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.vmp.comm import ReduceOp, payload_nbytes
-from repro.vmp.machines import IDEAL
+from repro.vmp.faults import FaultPlan, MessageDelayFault
+from repro.vmp.machines import IDEAL, PARAGON
+from repro.vmp.process_backend import run_multiprocessing
 from repro.vmp.scheduler import run_spmd
 
 ranks = st.integers(min_value=1, max_value=7)
@@ -87,6 +91,68 @@ def test_allgather_array_payloads(p, shape):
         assert len(v) == p
         for r, arr in enumerate(v):
             np.testing.assert_array_equal(arr, np.full(shape, float(r)))
+
+
+# Module-scope program: the modeled-time parity case also runs under
+# the multiprocessing backend, which must pickle it.
+def prog_allreduce_array(comm, shape, dtype_name):
+    arr = np.full(shape, comm.rank + 1, dtype=np.dtype(dtype_name))
+    return comm.allreduce(arr)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.integers(2, 6),
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    dtype_name=st.sampled_from(["int8", "int64", "float32", "float64"]),
+    src=st.integers(0, 5),
+    dst=st.integers(0, 5),
+    nth=st.integers(0, 3),
+    delay=st.floats(0.0, 2.0),
+)
+def test_allreduce_correct_under_injected_delay(
+    p, shape, dtype_name, src, dst, nth, delay
+):
+    """A delayed message changes timing, never collective results."""
+    src, dst = src % p, dst % p
+    if src == dst:
+        dst = (dst + 1) % p
+    plan = FaultPlan((MessageDelayFault(src=src, dst=dst, nth=nth, seconds=delay),))
+    res = run_spmd(
+        prog_allreduce_array, p, machine=IDEAL,
+        args=(shape, dtype_name), fault_plan=plan,
+    )
+    expected = np.full(shape, sum(range(1, p + 1)), dtype=np.dtype(dtype_name))
+    for v in res.values:
+        assert v.dtype == expected.dtype
+        np.testing.assert_array_equal(v, expected)
+    # Determinism: the same plan yields the same modeled makespan.
+    res2 = run_spmd(
+        prog_allreduce_array, p, machine=IDEAL,
+        args=(shape, dtype_name), fault_plan=plan,
+    )
+    assert res2.elapsed_model_time == res.elapsed_model_time
+
+
+@pytest.mark.tier1_fault
+def test_modeled_time_parity_thread_vs_mp_under_delay():
+    """Identical modeled-time accounting on both backends, faults included.
+
+    A nonzero cost model (Paragon) plus an injected mid-collective
+    delay: per-rank modeled clocks must agree to the bit between the
+    thread scheduler and real processes.
+    """
+    plan = FaultPlan((MessageDelayFault(src=0, dst=1, nth=1, seconds=0.125),))
+    args = ((3, 4), "float64")
+    th = run_spmd(
+        prog_allreduce_array, 4, machine=PARAGON, args=args, fault_plan=plan
+    )
+    mp_ = run_multiprocessing(
+        prog_allreduce_array, 4, machine=PARAGON, args=args, fault_plan=plan
+    )
+    assert mp_.model_times == [o.model_time for o in th.outcomes]
+    for a, b in zip(mp_.values, th.values):
+        np.testing.assert_array_equal(a, b)
 
 
 @settings(max_examples=30, deadline=None)

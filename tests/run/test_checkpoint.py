@@ -1,14 +1,32 @@
-"""Tests for exact-resume checkpointing."""
+"""Tests for exact-resume checkpointing, serial and distributed."""
+
+import json
+import pickle
 
 import numpy as np
 import pytest
 
 from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
 from repro.qmc.classical_ising import AnisotropicIsing
+from repro.qmc.parallel import (
+    IsingBlockConfig,
+    WorldlineStripConfig,
+    ising_block_program,
+    worldline_strip_program,
+)
 from repro.qmc.tfim import TfimQmc
 from repro.qmc.worldline import WorldlineChainQmc
 from repro.qmc.worldline2d import WorldlineSquareQmc
-from repro.run.checkpoint import load_checkpoint, save_checkpoint
+from repro.run.checkpoint import (
+    CheckpointConfig,
+    load_checkpoint,
+    load_rank_checkpoint,
+    rank_checkpoint_path,
+    save_checkpoint,
+    save_rank_checkpoint,
+)
+from repro.vmp.machines import IDEAL
+from repro.vmp.scheduler import run_spmd
 
 
 def assert_bitwise_resume(make_sampler, run, tmp_path, n_before=20, n_after=30):
@@ -91,3 +109,304 @@ class TestValidation:
         assert b.n_attempted == a.n_attempted
         assert b.n_accepted == a.n_accepted
         assert b.acceptance_rate == a.acceptance_rate
+
+
+# ======================================================================
+# distributed per-rank checkpoint/restart
+# ======================================================================
+
+
+def _strip_cfg(n_sweeps, mode):
+    return WorldlineStripConfig(
+        n_sites=16,
+        jz=1.0,
+        jxy=0.8,
+        beta=1.0,
+        n_slices=8,
+        n_sweeps=n_sweeps,
+        n_thermalize=2,
+        mode=mode,
+        sweep_seed=7,
+    )
+
+
+def _block_cfg(n_sweeps):
+    return IsingBlockConfig(
+        lx=4, ly=4, lt=4, kx=0.3, ky=0.2, kt=0.4,
+        n_sweeps=n_sweeps, n_thermalize=1, sweep_seed=11,
+    )
+
+
+def _bundle_arrays(directory, rank):
+    with np.load(rank_checkpoint_path(directory, rank)) as data:
+        return {k: data[k].copy() for k in data.files if k != "meta"}
+
+
+class TestStripDriverResume:
+    """Interrupted + resumed == uninterrupted, bit for bit.
+
+    The uninterrupted run writes its own final checkpoint, so the
+    comparison covers the complete rank state -- local spins with ghost
+    layers, RNG stream bytes, counters -- not just the observable
+    series.
+    """
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["scalar", "vectorized"])
+    def test_resume_is_bit_identical(self, tmp_path, p, mode):
+        full = _strip_cfg(n_sweeps=6, mode=mode)
+        ref_dir = tmp_path / "ref"
+        ref = run_spmd(
+            worldline_strip_program, p, IDEAL, seed=3,
+            args=(full, CheckpointConfig(ref_dir, every=3)),
+        ).values[0]
+
+        # Interrupted run: stops after 3 of 6 sweeps, checkpointing.
+        res_dir = tmp_path / "res"
+        run_spmd(
+            worldline_strip_program, p, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=3, mode=mode),
+                  CheckpointConfig(res_dir, every=3)),
+        )
+        resumed = run_spmd(
+            worldline_strip_program, p, IDEAL, seed=3,
+            args=(full, CheckpointConfig(res_dir, every=3, resume=True)),
+        ).values[0]
+
+        np.testing.assert_array_equal(resumed["energy"], ref["energy"])
+        np.testing.assert_array_equal(
+            resumed["magnetization"], ref["magnetization"]
+        )
+        np.testing.assert_array_equal(resumed["owned_spins"], ref["owned_spins"])
+        # Full rank state including RNG stream bytes and ghost layers.
+        for r in range(p):
+            a, b = _bundle_arrays(ref_dir, r), _bundle_arrays(res_dir, r)
+            assert sorted(a) == sorted(b)
+            for key in a:
+                np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+    def test_cross_mode_resume(self, tmp_path):
+        """Scalar checkpoints resume under vectorized kernels (and stay
+        bit-identical): the trajectory is mode-independent by design."""
+        ref = run_spmd(
+            worldline_strip_program, 2, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=6, mode="vectorized"),),
+        ).values[0]
+        d = tmp_path / "ck"
+        run_spmd(
+            worldline_strip_program, 2, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=3, mode="scalar"),
+                  CheckpointConfig(d, every=3)),
+        )
+        resumed = run_spmd(
+            worldline_strip_program, 2, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=6, mode="vectorized"),
+                  CheckpointConfig(d, resume=True)),
+        ).values[0]
+        np.testing.assert_array_equal(resumed["energy"], ref["energy"])
+        np.testing.assert_array_equal(
+            resumed["owned_spins"], ref["owned_spins"]
+        )
+
+    def test_checkpoint_interval_not_aligned_with_stop(self, tmp_path):
+        """A run killed between checkpoints resumes from the last one."""
+        ref = run_spmd(
+            worldline_strip_program, 2, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=7, mode="vectorized"),),
+        ).values[0]
+        d = tmp_path / "ck"
+        # Dies after sweep 5; last bundle is from sweep 4 (every=2).
+        run_spmd(
+            worldline_strip_program, 2, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=5, mode="vectorized"),
+                  CheckpointConfig(d, every=2)),
+        )
+        resumed = run_spmd(
+            worldline_strip_program, 2, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=7, mode="vectorized"),
+                  CheckpointConfig(d, resume=True)),
+        ).values[0]
+        np.testing.assert_array_equal(resumed["energy"], ref["energy"])
+        np.testing.assert_array_equal(
+            resumed["magnetization"], ref["magnetization"]
+        )
+
+
+class TestBlockDriverResume:
+    def test_resume_is_bit_identical(self, tmp_path):
+        full = _block_cfg(n_sweeps=6)
+        ref = run_spmd(
+            ising_block_program, 2, IDEAL, seed=5, args=(full,)
+        ).values[0]
+        d = tmp_path / "ck"
+        run_spmd(
+            ising_block_program, 2, IDEAL, seed=5,
+            args=(_block_cfg(n_sweeps=2), CheckpointConfig(d, every=2)),
+        )
+        resumed = run_spmd(
+            ising_block_program, 2, IDEAL, seed=5,
+            args=(full, CheckpointConfig(d, resume=True)),
+        ).values[0]
+        np.testing.assert_array_equal(
+            resumed["magnetization"], ref["magnetization"]
+        )
+        np.testing.assert_array_equal(resumed["bond_sums"], ref["bond_sums"])
+        np.testing.assert_array_equal(resumed["block"], ref["block"])
+
+
+class TestDistributedValidation:
+    def _write_checkpoint(self, directory, p=2):
+        run_spmd(
+            worldline_strip_program, p, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=3, mode="vectorized"),
+                  CheckpointConfig(directory, every=3)),
+        )
+
+    def _rewrite_bundle(self, path, meta_edit=None, array_edit=None):
+        """Round-trip a bundle through an edit (corruption injector)."""
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            arrays = {k: data[k].copy() for k in data.files if k != "meta"}
+        if meta_edit:
+            meta_edit(meta)
+        if array_edit:
+            array_edit(arrays)
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            **arrays,
+        )
+
+    def _resume(self, directory, p=2):
+        return run_spmd(
+            worldline_strip_program, p, IDEAL, seed=3,
+            args=(_strip_cfg(n_sweeps=6, mode="vectorized"),
+                  CheckpointConfig(directory, resume=True)),
+        )
+
+    def test_missing_bundle_is_a_clear_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="rank 0"):
+            self._resume(tmp_path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        self._write_checkpoint(tmp_path)
+        for r in range(2):
+            self._rewrite_bundle(
+                rank_checkpoint_path(tmp_path, r),
+                meta_edit=lambda m: m.update(dist_version=99),
+            )
+        with pytest.raises(ValueError, match="version"):
+            self._resume(tmp_path)
+
+    def test_rank_count_mismatch_rejected(self, tmp_path):
+        self._write_checkpoint(tmp_path, p=2)
+        with pytest.raises(ValueError, match="n_ranks"):
+            self._resume(tmp_path, p=4)
+
+    def test_seed_mismatch_rejected(self, tmp_path):
+        self._write_checkpoint(tmp_path)
+        for r in range(2):
+            self._rewrite_bundle(
+                rank_checkpoint_path(tmp_path, r),
+                meta_edit=lambda m: m.update(sweep_seed=999),
+            )
+        with pytest.raises(ValueError, match="sweep_seed"):
+            self._resume(tmp_path)
+
+    def test_wrong_bit_generator_rejected(self, tmp_path):
+        self._write_checkpoint(tmp_path)
+        alien = np.random.Generator(np.random.MT19937(5)).bit_generator.state
+        packed = np.frombuffer(pickle.dumps(alien), dtype=np.uint8)
+        for r in range(2):
+            self._rewrite_bundle(
+                rank_checkpoint_path(tmp_path, r),
+                array_edit=lambda a: a.update(rng_state=packed),
+            )
+        with pytest.raises(ValueError, match="MT19937"):
+            self._resume(tmp_path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        self._write_checkpoint(tmp_path)
+        for r in range(2):
+            self._rewrite_bundle(
+                rank_checkpoint_path(tmp_path, r),
+                array_edit=lambda a: a.update(loc=a["loc"][:, ::2].copy()),
+            )
+        with pytest.raises(ValueError, match="strip block"):
+            self._resume(tmp_path)
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointConfig(tmp_path, every=-1)
+        with pytest.raises(ValueError, match="does nothing"):
+            CheckpointConfig(tmp_path, every=0, resume=False)
+
+    def test_bundle_rank_field_checked(self, tmp_path):
+        save_rank_checkpoint(tmp_path, 0, {"driver": "x"}, {"a": np.arange(3)})
+        import shutil
+
+        shutil.copy(
+            rank_checkpoint_path(tmp_path, 0), rank_checkpoint_path(tmp_path, 1)
+        )
+        with pytest.raises(ValueError, match="holds rank 0"):
+            load_rank_checkpoint(tmp_path, 1)
+
+
+class TestSerialValidationBugfix:
+    """Regression: load_checkpoint must fail loudly, not restore halfway."""
+
+    def _rewrite(self, path, meta_edit=None, rng_state=None):
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            spins = data["spins"].copy()
+            rng = data["rng_state"].copy()
+        if meta_edit:
+            meta_edit(meta)
+        if rng_state is not None:
+            rng = np.frombuffer(pickle.dumps(rng_state), dtype=np.uint8)
+        np.savez_compressed(
+            path,
+            spins=spins,
+            rng_state=rng,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+
+    def test_missing_counters_rejected_not_skipped(self, tmp_path):
+        a = AnisotropicIsing((4, 4), (0.3, 0.3), seed=2, hot_start=True)
+        for _ in range(5):
+            a.sweep()
+        path = tmp_path / "s.npz"
+        save_checkpoint(a, path)
+        self._rewrite(
+            path,
+            meta_edit=lambda m: (m.pop("n_attempted"), m.pop("n_accepted")),
+        )
+        b = AnisotropicIsing((4, 4), (0.3, 0.3), seed=99)
+        with pytest.raises(ValueError, match="counters"):
+            load_checkpoint(b, path)
+
+    def test_wrong_bit_generator_rejected(self, tmp_path):
+        a = AnisotropicIsing((4, 4), (0.3, 0.3), seed=2)
+        path = tmp_path / "s.npz"
+        save_checkpoint(a, path)
+        alien = np.random.Generator(np.random.MT19937(5)).bit_generator.state
+        self._rewrite(path, rng_state=alien)
+        b = AnisotropicIsing((4, 4), (0.3, 0.3), seed=99)
+        with pytest.raises(ValueError, match="MT19937"):
+            load_checkpoint(b, path)
+
+    def test_failed_load_leaves_sampler_untouched(self, tmp_path):
+        a = AnisotropicIsing((4, 4), (0.3, 0.3), seed=2, hot_start=True)
+        for _ in range(5):
+            a.sweep()
+        path = tmp_path / "s.npz"
+        save_checkpoint(a, path)
+        alien = np.random.Generator(np.random.MT19937(5)).bit_generator.state
+        self._rewrite(path, rng_state=alien)
+        b = AnisotropicIsing((4, 4), (0.3, 0.3), seed=99, hot_start=True)
+        spins_before = b.spins.copy()
+        state_before = b.stream.generator.bit_generator.state
+        with pytest.raises(ValueError):
+            load_checkpoint(b, path)
+        np.testing.assert_array_equal(b.spins, spins_before)
+        assert b.stream.generator.bit_generator.state == state_before

@@ -94,9 +94,9 @@ def prog_halo_ring(comm):
 
 
 def prog_crash(comm):
-    # Rank 0 finishes independently; rank 1 dies.  (Peers blocked on a
-    # dead partner are only released by the 120 s receive timeout in
-    # this backend, so the crash test avoids communication.)
+    # Rank 0 finishes independently; rank 1 dies.  Peers blocked on a
+    # dead partner are released by its poison pill (see test_faults.py
+    # for the communicating-crash cases).
     if comm.rank == 1:
         raise RuntimeError("process died")
     return comm.rank
@@ -104,27 +104,29 @@ def prog_crash(comm):
 
 class TestProcessBackend:
     def test_allreduce(self):
-        values = run_multiprocessing(prog_allreduce, 3, machine=IDEAL)
-        assert values == [6.0, 6.0, 6.0]
+        result = run_multiprocessing(prog_allreduce, 3, machine=IDEAL)
+        assert result.values == [6.0, 6.0, 6.0]
+        assert result.report.ok
+        assert result.report.completed == [0, 1, 2]
 
     def test_pointwise_exchange(self):
-        values = run_multiprocessing(prog_pingpong, 2, machine=IDEAL)
+        values = run_multiprocessing(prog_pingpong, 2, machine=IDEAL).values
         assert values[0] == [0.0, 3.0, 6.0, 9.0]
 
     def test_barrier(self):
-        assert run_multiprocessing(prog_barrier_then_rank, 4, machine=IDEAL) == [
+        assert run_multiprocessing(prog_barrier_then_rank, 4, machine=IDEAL).values == [
             0, 1, 2, 3
         ]
 
     def test_rank_streams_match_thread_backend(self):
         # Same seed => identical random draws under both backends: the
         # stream derivation is backend-independent by construction.
-        mp_values = run_multiprocessing(prog_gather_streams, 2, machine=IDEAL, seed=9)
+        mp_values = run_multiprocessing(prog_gather_streams, 2, machine=IDEAL, seed=9).values
         th_values = run_spmd(prog_gather_streams, 2, machine=IDEAL, seed=9).values
         assert mp_values[0] == th_values[0]
 
     def test_large_ndarray_payload(self):
-        values = run_multiprocessing(prog_large_halo, 2, machine=IDEAL)
+        values = run_multiprocessing(prog_large_halo, 2, machine=IDEAL).values
         # arange int8 wraps mod 256: sum of 1e6 wrapped values + the mutation.
         expected = float(
             np.arange(1_000_000, dtype=np.int8).sum(dtype=np.int64) + 1
@@ -132,16 +134,16 @@ class TestProcessBackend:
         assert values[0] == expected
 
     def test_noncontiguous_array_values_survive(self):
-        values = run_multiprocessing(prog_noncontiguous, 2, machine=IDEAL)
+        values = run_multiprocessing(prog_noncontiguous, 2, machine=IDEAL).values
         base = np.arange(64, dtype=np.float64).reshape(8, 8)
         assert values[1] == base[::2, 1::3].tolist()
 
     def test_mixed_container_payload(self):
-        values = run_multiprocessing(prog_mixed_payload, 2, machine=IDEAL)
+        values = run_multiprocessing(prog_mixed_payload, 2, machine=IDEAL).values
         assert values[1] is True
 
     def test_sendrecv_ring_deadlock_free_at_p8(self):
-        values = run_multiprocessing(prog_halo_ring, 8, machine=IDEAL)
+        values = run_multiprocessing(prog_halo_ring, 8, machine=IDEAL).values
         for rank, (src, shape, dtype) in enumerate(values):
             assert src == (rank - 1) % 8
             assert shape == (2, 2048)
