@@ -59,6 +59,15 @@ def _add_mc_args(p: argparse.ArgumentParser) -> None:
                    help="directory for per-rank checkpoint bundles")
     p.add_argument("--resume", action="store_true",
                    help="resume bit-identically from --checkpoint-dir")
+    p.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                   help="write per-rank metrics as JSONL (plus a manifest.json "
+                        "next to it)")
+    p.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                   help="write a Chrome trace_event JSON of the run's phase "
+                        "spans (strip/block layouts; open in Perfetto)")
+    p.add_argument("--obs-interval", type=int, default=0, metavar="N",
+                   help="snapshot metrics every N sweeps into --metrics-out "
+                        "(0: summaries only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +133,9 @@ def _cmd_run_xxz(args) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        obs_interval=args.obs_interval,
     )
     result = Simulation(cfg).run()
     print(result.summary())
@@ -149,6 +161,9 @@ def _cmd_run_xxz2d(args) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        obs_interval=args.obs_interval,
     )
     result = Simulation(cfg).run()
     print(result.summary())
@@ -174,6 +189,9 @@ def _cmd_run_tfim(args) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        obs_interval=args.obs_interval,
     )
     result = Simulation(cfg).run()
     print(result.summary())

@@ -1,0 +1,60 @@
+"""Unified observability: metrics, phase spans, trace export, manifests.
+
+See DESIGN.md "Observability" for the naming scheme and clock-domain
+rules.  The short version: everything here is off by default (drivers
+record against the free :data:`~repro.obs.metrics.NOOP` recorder),
+modeled-time quantities are bit-reproducible, and wall-clock values are
+always suffixed ``wall_seconds``.
+"""
+
+from repro.obs.chrome_trace import (
+    CATEGORY_ALIASES,
+    chrome_trace_doc,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    config_hash,
+    environment_info,
+    git_revision,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    ACCEPTANCE_EDGES,
+    MESSAGE_BYTES_EDGES,
+    NOOP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetrics,
+    RankMetrics,
+)
+from repro.obs.sinks import read_metrics_jsonl, write_metrics_jsonl
+from repro.obs.spans import Span, SpanCollector
+
+__all__ = [
+    "ACCEPTANCE_EDGES",
+    "MESSAGE_BYTES_EDGES",
+    "CATEGORY_ALIASES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetrics",
+    "NOOP",
+    "RankMetrics",
+    "Span",
+    "SpanCollector",
+    "build_manifest",
+    "chrome_trace_doc",
+    "chrome_trace_events",
+    "config_hash",
+    "environment_info",
+    "git_revision",
+    "read_metrics_jsonl",
+    "write_chrome_trace",
+    "write_manifest",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,149 @@
+"""Chrome ``trace_event`` JSON export of an SPMD run's timeline.
+
+Converts per-rank phase spans (:mod:`repro.obs.spans`) and traced
+point-to-point messages (:class:`repro.vmp.trace.MessageEvent`) into
+the Trace Event Format understood by ``chrome://tracing`` and Perfetto
+(https://ui.perfetto.dev): one process ("vmp"), one thread per rank,
+complete ("X") events for phases, and flow ("s"/"f") event pairs
+drawing message arrows from sender to receiver.
+
+Timestamps are **modeled** microseconds -- the export of a run is
+byte-identical across reruns of the same seed.  Category mapping: the
+clock categories ``compute`` and ``comm`` pass through; ``comm_wait``
+is exported as ``idle`` (the rank is stalled waiting for data -- what
+an MPP timeline calls idle time); anything else (``stall``,
+measurement I/O) keeps its own name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "CATEGORY_ALIASES",
+    "chrome_trace_events",
+    "chrome_trace_doc",
+    "write_chrome_trace",
+]
+
+#: Clock-category -> exported span name (unlisted categories pass through).
+CATEGORY_ALIASES = {"comm_wait": "idle"}
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def _round_us(t_seconds: float) -> float:
+    """Modeled seconds -> microseconds, rounded to 1e-3 us.
+
+    Rounding makes the JSON stable against last-bit float noise without
+    losing resolution any viewer can display.
+    """
+    return round(t_seconds * _US, 3)
+
+
+def chrome_trace_events(
+    spans: Iterable[Span],
+    messages: Sequence | None = None,
+    ranks: Sequence[int] | None = None,
+) -> list[dict]:
+    """The flat ``traceEvents`` list: metadata + phase + message events.
+
+    ``spans`` come from the ranks' :class:`~repro.obs.spans.SpanCollector`
+    objects; ``messages`` (optional) are
+    :class:`~repro.vmp.trace.MessageEvent` records to draw as flow
+    arrows; ``ranks`` optionally forces thread-name metadata for ranks
+    that recorded nothing.
+    """
+    spans = list(spans)
+    known_ranks = sorted(
+        set(s.rank for s in spans) | set(int(r) for r in (ranks or ()))
+    )
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "vmp"},
+        }
+    ]
+    for r in known_ranks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": r,
+                "args": {"name": f"rank {r}"},
+            }
+        )
+    for s in spans:
+        name = CATEGORY_ALIASES.get(s.category, s.category)
+        events.append(
+            {
+                "name": name,
+                "cat": name,
+                "ph": "X",
+                "pid": 0,
+                "tid": s.rank,
+                "ts": _round_us(s.t_start),
+                "dur": _round_us(s.duration),
+            }
+        )
+    # Messages arrive in thread-scheduling order; sort by modeled send
+    # time (and endpoints for cross-sender ties) so the export really is
+    # byte-identical across reruns.
+    messages = sorted(
+        messages or (), key=lambda m: (m.t_send, m.src, m.dst, m.tag)
+    )
+    for i, m in enumerate(messages):
+        common = {"cat": "msg", "name": f"msg tag={m.tag}", "id": i, "pid": 0}
+        events.append(
+            {**common, "ph": "s", "tid": m.src, "ts": _round_us(m.t_send),
+             "args": {"nbytes": m.nbytes, "dst": m.dst}}
+        )
+        events.append(
+            {**common, "ph": "f", "bp": "e", "tid": m.dst,
+             "ts": _round_us(m.t_arrival), "args": {"nbytes": m.nbytes,
+                                                    "src": m.src}}
+        )
+    return events
+
+
+def chrome_trace_doc(
+    spans: Iterable[Span],
+    messages: Sequence | None = None,
+    ranks: Sequence[int] | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """The complete JSON-object form of the trace (what the file holds)."""
+    doc = {
+        "traceEvents": chrome_trace_events(spans, messages, ranks),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = metadata
+    return doc
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span],
+    messages: Sequence | None = None,
+    ranks: Sequence[int] | None = None,
+    metadata: dict | None = None,
+) -> Path:
+    """Write the trace JSON to ``path`` (parents created); returns the path.
+
+    Load it in ``chrome://tracing`` or drop it onto
+    https://ui.perfetto.dev to browse the per-rank timeline.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = chrome_trace_doc(spans, messages, ranks, metadata)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,41 @@
+"""Metrics sinks: JSONL time series on disk.
+
+One JSON object per line, in arrival order.  Rows are the snapshots a
+run's :class:`~repro.obs.metrics.MetricsRegistry` accumulated (periodic
+per-rank rows labeled with sweep index and modeled time) followed by
+one ``{"kind": "summary"}`` row per rank holding the final cumulative
+values.  JSONL keeps the sink append-friendly and greppable; the
+structured end-of-run view lives in ``manifest.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["write_metrics_jsonl", "read_metrics_jsonl"]
+
+
+def write_metrics_jsonl(path: str | Path, registry) -> Path:
+    """Write a registry's snapshots + per-rank summary rows to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for row in registry.snapshots():
+            fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+        for rank, values in registry.summary().items():
+            row = {"kind": "summary", "rank": rank, **values}
+            fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def read_metrics_jsonl(path: str | Path) -> list[dict]:
+    """Parse a metrics JSONL file back into its row dicts."""
+    rows: list[dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

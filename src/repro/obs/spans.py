@@ -1,0 +1,72 @@
+"""Phase spans derived from the modeled clocks.
+
+The text Gantt view in :mod:`repro.vmp.trace` shows only message
+in-flight windows; production timeline tools (Perfetto,
+``chrome://tracing``) want *phase spans*: contiguous intervals of
+modeled time labeled compute / comm / idle per rank.  Rather than
+instrumenting every call site, spans are derived at the source of
+truth: every :meth:`~repro.util.timer.ModelClock.charge` (and every
+``advance_to`` wait) is an interval ``[now - seconds, now]`` with a
+category, so a :class:`SpanCollector` installed as the clock's
+observer sees the complete, gap-free phase history of a rank.
+
+Adjacent charges of the same category coalesce into one span (a sweep
+charges compute hundreds of times back to back), keeping event counts
+proportional to phase *transitions*, not to charges.  All span times
+are modeled seconds -- deterministic, identical across reruns -- never
+wall-clock readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span", "SpanCollector"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous phase interval of one rank (modeled seconds)."""
+
+    rank: int
+    category: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class SpanCollector:
+    """Clock observer that coalesces charges into phase spans.
+
+    Install with ``clock.observer = collector``; the clock calls
+    ``collector(category, start, end)`` on every charge/wait.  The
+    mutable tail is kept as a plain list to make the per-charge cost
+    one comparison and (usually) one float store.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = int(rank)
+        # Each entry: [category, t_start, t_end] (mutable tail).
+        self._raw: list[list] = []
+
+    def __call__(self, category: str, start: float, end: float) -> None:
+        if end <= start:
+            return  # zero-length charges carry no timeline information
+        raw = self._raw
+        if raw:
+            last = raw[-1]
+            if last[0] == category and last[2] == start:
+                last[2] = end
+                return
+        raw.append([category, start, end])
+
+    def spans(self) -> list[Span]:
+        """The coalesced spans recorded so far (frozen copies)."""
+        return [Span(self.rank, c, s, e) for c, s, e in self._raw]
+
+    @property
+    def n_spans(self) -> int:
+        return len(self._raw)

@@ -43,6 +43,7 @@ Ownership conventions (world-line strip, global column indices):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -57,6 +58,7 @@ from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
 from repro.qmc.plaquette import PlaquetteTable
 from repro.models.hamiltonians import XXZSquareModel
 from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.obs.metrics import ACCEPTANCE_EDGES
 from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE, WorldlineSquareQmc
 from repro.util.rng import SeedSequenceFactory
 
@@ -78,6 +80,25 @@ __all__ = [
 # Tag bases for the two drivers (distinct from the collective range).
 _TAG_WL = 4096
 _TAG_ISING = 8192
+
+
+def _bind_sweep_metrics(state, metrics) -> None:
+    """Pre-bind the shared per-sweep metric handles onto a driver state.
+
+    Both decomposed drivers record the same sweep-level telemetry;
+    pre-binding keeps the enabled hot path at one bool test plus float
+    adds, and the disabled path at a single bool test.
+    """
+    state._obs = bool(metrics.enabled)
+    if state._obs:
+        state._m_sweeps = metrics.counter("sweep.count")
+        state._m_attempted = metrics.counter("sweep.attempted")
+        state._m_accepted = metrics.counter("sweep.accepted")
+        state._m_model = metrics.counter("sweep.model_seconds")
+        state._m_wall = metrics.counter("sweep.wall_seconds")
+        state._m_acc_hist = metrics.histogram(
+            "sweep.acceptance", ACCEPTANCE_EDGES
+        )
 
 #: Update stages of one world-line sweep: the eight independence
 #: classes of the corner moves -- (bond a, interval b) stride-4 grids
@@ -170,6 +191,12 @@ class _StripState:
         self.sweep_factory = SeedSequenceFactory(cfg.sweep_seed)
         self.sweep_index = 0
         self._n_exchanges = 0
+        #: Cumulative Metropolis accounting across the rank's lifetime
+        #: (always maintained -- the CLI summary prints acceptance
+        #: without telemetry flags).
+        self.n_attempted = 0
+        self.n_accepted = 0
+        _bind_sweep_metrics(self, comm.metrics)
         # One shared uniform block per sweep, sliced per stage: corner
         # classes consume an (L/4, T/4) lattice, column parities L/2.
         sizes = [
@@ -362,6 +389,8 @@ class _StripState:
         uu = u.reshape(-1)[cache["uflat"]]
         accept = (new > 0.0) & (uu * old < new)
         flat[cache["flip"][:, accept]] ^= 1
+        self.n_attempted += cache["j"].size
+        self.n_accepted += int(np.count_nonzero(accept))
         self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * cache["j"].size)
 
     def _corner_class_scalar(self, a: int, b: int, u: np.ndarray) -> None:
@@ -372,6 +401,7 @@ class _StripState:
         w = self.table.weights
         loc = self.loc
         T = self.T
+        n_acc = 0
         for j, tt, ai, at in zip(
             cache["j"].tolist(),
             cache["t"].tolist(),
@@ -396,11 +426,15 @@ class _StripState:
                 * w[self._code1(j, tm1)]
                 * w[self._code1(j, t1)]
             )
-            if not (new > 0.0 and u[ai, at] * old < new):
+            if new > 0.0 and u[ai, at] * old < new:
+                n_acc += 1
+            else:
                 loc[j, tt] ^= 1
                 loc[j, t1] ^= 1
                 loc[j + 1, tt] ^= 1
                 loc[j + 1, t1] ^= 1
+        self.n_attempted += cache["j"].size
+        self.n_accepted += n_acc
         self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * cache["j"].size)
 
     # -- straight-line column moves -----------------------------------------
@@ -451,12 +485,15 @@ class _StripState:
             & (np.log(np.maximum(uu, 1e-300)) < log_ratio)
         )
         self.loc[lc[accept]] ^= 1
+        self.n_attempted += n_straight
+        self.n_accepted += int(np.count_nonzero(accept))
         self.comm.charge_compute(2.0 * self.T * n_straight)
 
     def _column_parity_scalar(self, parity: int, u: np.ndarray) -> None:
         """Per-column reference loop; identical op order to the batched kernel."""
         cache = self._column_cache[parity]
         n_straight = 0
+        n_acc = 0
         for g, l, uci in zip(
             cache["gc"].tolist(), cache["lc"].tolist(), cache["uc"].tolist()
         ):
@@ -468,15 +505,24 @@ class _StripState:
             self.loc[l] ^= 1
             new_lw = self._col_log_weight1(l, g)
             log_ratio = new_lw - old_lw  # -inf - -inf -> nan -> rejected
-            if not (
+            if (
                 np.isfinite(log_ratio)
                 and np.log(np.maximum(u[uci], 1e-300)) < log_ratio
             ):
+                n_acc += 1
+            else:
                 self.loc[l] ^= 1
+        self.n_attempted += n_straight
+        self.n_accepted += n_acc
         self.comm.charge_compute(2.0 * self.T * n_straight)
 
     def sweep(self) -> None:
         """One full sweep: 10 stages, one aggregated ghost exchange each."""
+        obs = self._obs
+        if obs:
+            t0_wall = perf_counter()
+            t0_model = self.comm.clock.now
+            att0, acc0 = self.n_attempted, self.n_accepted
         scalar = self.cfg.mode == "scalar"
         u_sweep = self._sweep_uniforms()
         for s_idx, (kind, x, y) in enumerate(WL_STAGES):
@@ -492,6 +538,16 @@ class _StripState:
             else:
                 self._column_parity_vectorized(x, u)
         self.sweep_index += 1
+        if obs:
+            att = self.n_attempted - att0
+            acc = self.n_accepted - acc0
+            self._m_sweeps.inc()
+            self._m_attempted.inc(att)
+            self._m_accepted.inc(acc)
+            self._m_model.inc(self.comm.clock.now - t0_model)
+            self._m_wall.inc(perf_counter() - t0_wall)
+            if att:
+                self._m_acc_hist.observe(acc / att)
 
     # -- checkpoint/restart --------------------------------------------------
     def _checkpoint_expect(self) -> dict:
@@ -534,6 +590,7 @@ class _StripState:
                 "magnetization": np.asarray(mags, dtype=np.float64),
                 "rng_state": pack_rng_state(self.comm.stream.generator),
             },
+            metrics=self.comm.metrics,
         )
 
     def restore_rank_state(self, directory) -> tuple[int, list, list]:
@@ -541,7 +598,8 @@ class _StripState:
         from repro.run.checkpoint import load_rank_checkpoint, restore_rng_state
 
         meta, arrays = load_rank_checkpoint(
-            directory, self.comm.rank, expect=self._checkpoint_expect()
+            directory, self.comm.rank, expect=self._checkpoint_expect(),
+            metrics=self.comm.metrics,
         )
         if arrays["loc"].shape != self.loc.shape:
             raise ValueError(
@@ -594,6 +652,8 @@ def worldline_strip_program(
     and continues **bit-identically** to the uninterrupted run.
     """
     state = _StripState(comm, cfg)
+    metrics = comm.metrics
+    interval = metrics.interval if metrics.enabled else 0
     energies, mags = [], []
     first_sweep = 0
     if checkpoint is not None and checkpoint.resume:
@@ -617,6 +677,9 @@ def worldline_strip_program(
             and (s + 1) % checkpoint.every == 0
         ):
             state.save_rank_state(checkpoint.directory, s + 1, energies, mags)
+        if interval and (s + 1) % interval == 0:
+            comm.sync_metrics()
+            metrics.snapshot(sweep=s + 1, t_model=comm.clock.now)
     owned = state.loc[2 : state.n_owned + 2].copy()
     return {
         "energy": np.array(energies),
@@ -627,6 +690,8 @@ def worldline_strip_program(
         "beta": cfg.beta,
         "dtau": state.dtau,
         "mode": cfg.mode,
+        "n_attempted": state.n_attempted,
+        "n_accepted": state.n_accepted,
     }
 
 
@@ -726,6 +791,12 @@ class _BlockState:
         self.sweep_factory = SeedSequenceFactory(cfg.sweep_seed)
         self.sweep_index = 0
         self._n_exchanges = 0
+        #: Cumulative Metropolis accounting (always maintained; see
+        #: :class:`_StripState`).
+        self.n_attempted = 0
+        self.n_accepted = 0
+        self._n_color_sites = [int(m.sum()) for m in self.color_masks]
+        _bind_sweep_metrics(self, comm.metrics)
 
     # -- halo exchange ------------------------------------------------------
     def _x_mask(self, gx_plane: int, color: int) -> np.ndarray:
@@ -812,12 +883,16 @@ class _BlockState:
         self.sweep_index += 1
         return full[p.x_start : p.x_stop, p.y_start : p.y_stop]
 
-    def _update_color_scalar(self, color: int, log_u: np.ndarray) -> None:
-        """Per-site reference loop; float op order matches the batched kernel."""
+    def _update_color_scalar(self, color: int, log_u: np.ndarray) -> int:
+        """Per-site reference loop; float op order matches the batched kernel.
+
+        Returns the number of accepted flips.
+        """
         g = self._g
         s = self.spins
         kx, ky, kt = self.couplings
         lt = self.lt
+        n_acc = 0
         for x, y, t in zip(*(idx.tolist() for idx in np.nonzero(self.color_masks[color]))):
             sp = s[x, y, t]
             f = kx * (g[x + 2, y + 1, t] + g[x, y + 1, t])
@@ -825,24 +900,43 @@ class _BlockState:
             f += kt * (s[x, y, (t + 1) % lt] + s[x, y, (t - 1) % lt])
             if log_u[x, y, t] < -2.0 * sp * f:
                 s[x, y, t] = -sp
+                n_acc += 1
+        return n_acc
 
     def sweep(self) -> None:
         """Both checkerboard colors, one color-packed halo exchange each."""
+        obs = self._obs
+        if obs:
+            t0_wall = perf_counter()
+            t0_model = self.comm.clock.now
         uniforms = self._sweep_uniforms()
         log_u = np.log(np.maximum(uniforms, 1e-300))
         scalar = self.cfg.mode == "scalar"
         s = self.spins
+        n_acc = 0
         for c, mask in enumerate(self.color_masks):
             self._exchange_ghosts(color=c)
             if scalar:
-                self._update_color_scalar(c, log_u)
+                n_acc += self._update_color_scalar(c, log_u)
             else:
                 field = self.local_field()
                 accept = mask & (log_u < -2.0 * s * field)
+                n_acc += int(np.count_nonzero(accept))
                 s[accept] = -s[accept]
+        att = self._n_color_sites[0] + self._n_color_sites[1]
+        self.n_attempted += att
+        self.n_accepted += n_acc
         self.comm.charge_compute(
             FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
         )
+        if obs:
+            self._m_sweeps.inc()
+            self._m_attempted.inc(att)
+            self._m_accepted.inc(n_acc)
+            self._m_model.inc(self.comm.clock.now - t0_model)
+            self._m_wall.inc(perf_counter() - t0_wall)
+            if att:
+                self._m_acc_hist.observe(n_acc / att)
 
     # -- checkpoint/restart --------------------------------------------------
     def _checkpoint_expect(self) -> dict:
@@ -879,6 +973,7 @@ class _BlockState:
                 "bond_sums": np.asarray(bonds, dtype=np.float64).reshape(-1, 3),
                 "rng_state": pack_rng_state(self.comm.stream.generator),
             },
+            metrics=self.comm.metrics,
         )
 
     def restore_rank_state(self, directory) -> tuple[int, list, list]:
@@ -886,7 +981,8 @@ class _BlockState:
         from repro.run.checkpoint import load_rank_checkpoint, restore_rng_state
 
         meta, arrays = load_rank_checkpoint(
-            directory, self.comm.rank, expect=self._checkpoint_expect()
+            directory, self.comm.rank, expect=self._checkpoint_expect(),
+            metrics=self.comm.metrics,
         )
         if arrays["g"].shape != self._g.shape:
             raise ValueError(
@@ -929,6 +1025,8 @@ def ising_block_program(
     checkpoint/restart exactly as in :func:`worldline_strip_program`.
     """
     state = _BlockState(comm, cfg)
+    metrics = comm.metrics
+    interval = metrics.interval if metrics.enabled else 0
     n_sites = cfg.lx * cfg.ly * cfg.lt
     mags, bonds = [], []
     first_sweep = 0
@@ -950,6 +1048,9 @@ def ising_block_program(
             and (s + 1) % checkpoint.every == 0
         ):
             state.save_rank_state(checkpoint.directory, s + 1, mags, bonds)
+        if interval and (s + 1) % interval == 0:
+            comm.sync_metrics()
+            metrics.snapshot(sweep=s + 1, t_model=comm.clock.now)
     return {
         "magnetization": np.array(mags),
         "bond_sums": np.array(bonds),
@@ -957,6 +1058,8 @@ def ising_block_program(
         "piece": (state.piece.x_start, state.piece.x_stop,
                   state.piece.y_start, state.piece.y_stop),
         "mode": cfg.mode,
+        "n_attempted": state.n_attempted,
+        "n_accepted": state.n_accepted,
     }
 
 
@@ -1019,8 +1122,11 @@ def worldline2d_replica_program(comm, cfg: Worldline2DReplicaConfig) -> dict:
     allreduce) plus this rank's final configuration and acceptance.
     """
     model = XXZSquareModel(cfg.lx, cfg.ly, jz=cfg.jz, jxy=cfg.jxy)
+    metrics = comm.metrics
+    interval = metrics.interval if metrics.enabled else 0
     sampler = WorldlineSquareQmc(
-        model, cfg.beta, cfg.n_slices, stream=comm.stream
+        model, cfg.beta, cfg.n_slices, stream=comm.stream,
+        metrics=metrics if metrics.enabled else None,
     )
     flops_per_sweep = worldline2d_replica_flops_per_sweep(sampler)
     for _ in range(cfg.n_thermalize):
@@ -1035,6 +1141,9 @@ def worldline2d_replica_program(comm, cfg: Worldline2DReplicaConfig) -> dict:
             m2 = comm.allreduce(sampler.staggered_magnetization_sq()) / comm.size
             energies.append(e)
             m2s.append(m2)
+        if interval and (s + 1) % interval == 0:
+            comm.sync_metrics()
+            metrics.snapshot(sweep=s + 1, t_model=comm.clock.now)
     return {
         "energy": np.array(energies),
         "m_stag_sq": np.array(m2s),
@@ -1042,4 +1151,6 @@ def worldline2d_replica_program(comm, cfg: Worldline2DReplicaConfig) -> dict:
         "acceptance": sampler.acceptance_rate,
         "beta": cfg.beta,
         "dtau": sampler.dtau,
+        "n_attempted": sampler.n_attempted,
+        "n_accepted": sampler.n_accepted,
     }

@@ -74,10 +74,12 @@ references.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.models.hamiltonians import XXZSquareModel
+from repro.obs.metrics import ACCEPTANCE_EDGES
 from repro.qmc.plaquette import PlaquetteTable, codes_from_flat, corner_flat_indices
 from repro.util.rng import RankStream, SeedSequenceFactory
 
@@ -131,6 +133,7 @@ class WorldlineSquareQmc:
         n_slices: int,
         seed: int | None = 0,
         stream: RankStream | None = None,
+        metrics=None,
     ):
         if not model.periodic:
             raise ValueError("the 2-D world-line sampler uses periodic lattices")
@@ -166,6 +169,18 @@ class WorldlineSquareQmc:
             self._build_class_tables()
         self.n_attempted = 0
         self.n_accepted = 0
+        # Optional telemetry (repro.obs): a RankMetrics scope, or None.
+        # There is no modeled clock here, so only move counts and wall
+        # time are recorded; per-sweep recording happens in sweep().
+        self._obs = metrics is not None and metrics.enabled
+        if self._obs:
+            self._m_sweeps = metrics.counter("sweep.count")
+            self._m_attempted = metrics.counter("sweep.attempted")
+            self._m_accepted = metrics.counter("sweep.accepted")
+            self._m_wall = metrics.counter("sweep.wall_seconds")
+            self._m_acc_hist = metrics.histogram(
+                "sweep.acceptance", ACCEPTANCE_EDGES
+            )
 
     # ------------------------------------------------------------------
     # geometry tables
@@ -619,12 +634,25 @@ class WorldlineSquareQmc:
         """
         if mode == "auto":
             mode = "vectorized" if self.can_vectorize else "scalar"
+        obs = self._obs
+        if obs:
+            t0_wall = perf_counter()
+            att0, acc0 = self.n_attempted, self.n_accepted
         if mode == "vectorized":
             self.sweep_vectorized()
         elif mode == "scalar":
             self.sweep_scalar()
         else:
             raise ValueError(f"unknown sweep mode {mode!r}")
+        if obs:
+            att = self.n_attempted - att0
+            acc = self.n_accepted - acc0
+            self._m_sweeps.inc()
+            self._m_attempted.inc(att)
+            self._m_accepted.inc(acc)
+            self._m_wall.inc(perf_counter() - t0_wall)
+            if att:
+                self._m_acc_hist.observe(acc / att)
 
     def sweep_scalar(self) -> None:
         """Reference sweep: per-bond segment moves (time-batched into

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -203,6 +204,7 @@ def save_rank_checkpoint(
     rank: int,
     meta: dict,
     arrays: dict[str, np.ndarray],
+    metrics=None,
 ) -> Path:
     """Atomically write one rank's bundle into ``directory``.
 
@@ -212,7 +214,13 @@ def save_rank_checkpoint(
     file and ``os.replace`` so a crash mid-save leaves either the old
     bundle or the new one, never a torn file -- a rank can die *during*
     its checkpoint and the run still restarts cleanly.
+
+    ``metrics`` (a rank scope from :mod:`repro.obs.metrics`, or None)
+    records snapshot count, on-disk bytes, and wall duration.
     """
+    obs = metrics is not None and metrics.enabled
+    if obs:
+        t0 = time.perf_counter()
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = rank_checkpoint_path(directory, rank)
@@ -230,6 +238,10 @@ def save_rank_checkpoint(
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+    if obs:
+        metrics.count("checkpoint.count")
+        metrics.count("checkpoint.bytes", path.stat().st_size)
+        metrics.count("checkpoint.wall_seconds", time.perf_counter() - t0)
     return path
 
 
@@ -237,6 +249,7 @@ def load_rank_checkpoint(
     directory: str | Path,
     rank: int,
     expect: dict | None = None,
+    metrics=None,
 ) -> tuple[dict, dict[str, np.ndarray]]:
     """Load one rank's bundle; returns ``(meta, arrays)``.
 
@@ -244,8 +257,12 @@ def load_rank_checkpoint(
     drivers pass the run geometry (driver name, rank count, lattice
     shape, sweep seed) so a resume against the wrong run, wrong ``P``,
     or wrong seed fails loudly instead of producing a silently
-    different trajectory.
+    different trajectory.  ``metrics`` records restore count/bytes/wall
+    duration when given.
     """
+    obs = metrics is not None and metrics.enabled
+    if obs:
+        t0 = time.perf_counter()
     path = rank_checkpoint_path(directory, rank)
     if not path.exists():
         raise FileNotFoundError(
@@ -272,4 +289,10 @@ def load_rank_checkpoint(
                 f"checkpoint mismatch in {path}: {key} is {got!r}, this run "
                 f"expects {want!r}"
             )
+    if obs:
+        metrics.count("checkpoint.restore_count")
+        metrics.count("checkpoint.restore_bytes", path.stat().st_size)
+        metrics.count(
+            "checkpoint.restore_wall_seconds", time.perf_counter() - t0
+        )
     return meta, arrays

@@ -63,6 +63,25 @@ def _validate_checkpoint_fields(cfg, supported_strategy: str | None) -> None:
         raise ValueError("checkpointing/resume needs a checkpoint_dir")
 
 
+def _validate_obs_fields(cfg, span_strategies: tuple[str, ...]) -> None:
+    """Shared validation of the metrics_out/trace_out/obs_interval trio.
+
+    ``span_strategies`` names the layout strategies whose drivers run
+    under the SPMD scheduler and therefore can export phase-span
+    traces; metrics/manifests work for every layout.
+    """
+    if cfg.obs_interval < 0:
+        raise ValueError("obs_interval must be >= 0")
+    if cfg.obs_interval > 0 and cfg.metrics_out is None:
+        raise ValueError("obs_interval > 0 needs a metrics_out path")
+    if cfg.trace_out is not None and cfg.layout.strategy not in span_strategies:
+        supported = "/".join(span_strategies) or "(none)"
+        raise ValueError(
+            f"trace export needs an SPMD layout ({supported}), got "
+            f"{cfg.layout.strategy!r}"
+        )
+
+
 @dataclass(frozen=True)
 class XXZRunConfig:
     """World-line run of the spin-1/2 XXZ chain."""
@@ -81,6 +100,9 @@ class XXZRunConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
     resume: bool = False
+    metrics_out: str | None = None
+    trace_out: str | None = None
+    obs_interval: int = 0
 
     def __post_init__(self):
         if self.beta <= 0:
@@ -97,6 +119,7 @@ class XXZRunConfig:
             if not self.periodic:
                 raise ValueError("strip layout requires a periodic chain")
         _validate_checkpoint_fields(self, supported_strategy="strip")
+        _validate_obs_fields(self, span_strategies=("strip",))
 
 
 @dataclass(frozen=True)
@@ -122,6 +145,9 @@ class XXZ2DRunConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
     resume: bool = False
+    metrics_out: str | None = None
+    trace_out: str | None = None
+    obs_interval: int = 0
 
     def __post_init__(self):
         if self.beta <= 0:
@@ -135,6 +161,7 @@ class XXZ2DRunConfig:
                 "the 2-D world-line sampler supports serial and replica layouts"
             )
         _validate_checkpoint_fields(self, supported_strategy=None)
+        _validate_obs_fields(self, span_strategies=())
 
 
 @dataclass(frozen=True)
@@ -154,6 +181,9 @@ class TfimRunConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
     resume: bool = False
+    metrics_out: str | None = None
+    trace_out: str | None = None
+    obs_interval: int = 0
 
     def __post_init__(self):
         if len(self.spatial_shape) not in (1, 2):
@@ -167,3 +197,4 @@ class TfimRunConfig:
         if self.layout.strategy == "strip":
             raise ValueError("TFIM uses 'block' (or serial/replica) layouts")
         _validate_checkpoint_fields(self, supported_strategy="block")
+        _validate_obs_fields(self, span_strategies=("block",))

@@ -50,6 +50,13 @@ class RunResult:
     series: dict[str, np.ndarray] = field(default_factory=dict)
     model_time: float = 0.0  # virtual-machine makespan [s]
     comm_fraction: float = 0.0
+    #: Always-available end-of-run accounting (acceptance, sweeps/s,
+    #: halo bytes, rank-completion report) -- JSON-serializable dict,
+    #: empty when a path records nothing.
+    runtime: dict = field(default_factory=dict)
+    #: Per-rank metric summaries from the run's MetricsRegistry
+    #: (populated only with --metrics-out/--trace-out).
+    rank_summaries: dict = field(default_factory=dict)
 
     def estimate(self, name: str) -> ObservableEstimate:
         try:
@@ -71,6 +78,32 @@ class RunResult:
                 f"  model_time = {self.model_time:.4g} s"
                 f" (comm fraction {self.comm_fraction:.1%})"
             )
+        rt = self.runtime
+        if rt.get("n_attempted"):
+            lines.append(
+                f"  acceptance = {rt['n_accepted'] / rt['n_attempted']:.1%}"
+                f" ({int(rt['n_accepted'])}/{int(rt['n_attempted'])} moves)"
+            )
+        if rt.get("sweeps_per_second"):
+            lines.append(
+                f"  throughput = {rt['sweeps_per_second']:.3g} sweeps/s"
+                f" ({rt.get('wall_seconds', 0.0):.3g} s wall)"
+            )
+        if rt.get("halo_bytes") is not None:
+            lines.append(
+                f"  halo traffic = {rt['halo_bytes'] / 1e6:.3g} MB"
+                f" in {int(rt.get('halo_messages', 0))} messages"
+            )
+        if rt.get("report"):
+            rep = rt["report"]
+            lines.append(
+                f"  ranks: {rep.get('n_completed', 0)}/{rep.get('n_ranks', 0)}"
+                f" completed, {rep.get('n_failed', 0)} failed,"
+                f" {rep.get('n_aborted', 0)} aborted"
+            )
+        for path_key in ("metrics_out", "trace_out", "manifest"):
+            if rt.get(path_key):
+                lines.append(f"  {path_key} -> {rt[path_key]}")
         return "\n".join(lines)
 
 
@@ -82,6 +115,8 @@ def save_result(result: RunResult, path: str | Path) -> None:
         "parameters": result.parameters,
         "model_time": result.model_time,
         "comm_fraction": result.comm_fraction,
+        "runtime": result.runtime,
+        "rank_summaries": result.rank_summaries,
         "estimates": {k: asdict(v) for k, v in result.estimates.items()},
         "series_keys": sorted(result.series),
     }
@@ -108,4 +143,6 @@ def load_result(path: str | Path) -> RunResult:
         series=series,
         model_time=doc.get("model_time", 0.0),
         comm_fraction=doc.get("comm_fraction", 0.0),
+        runtime=doc.get("runtime", {}),
+        rank_summaries=doc.get("rank_summaries", {}),
     )

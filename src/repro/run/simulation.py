@@ -17,6 +17,9 @@ modeled makespan and communication fraction.
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import numpy as np
 
 from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
@@ -56,6 +59,60 @@ def _checkpoint_config(cfg):
     )
 
 
+def _obs_registry(cfg):
+    """The run's MetricsRegistry, or None when telemetry is off."""
+    if cfg.metrics_out is None and cfg.trace_out is None:
+        return None
+    from repro.obs import MetricsRegistry
+
+    return MetricsRegistry(interval=cfg.obs_interval)
+
+
+def _report_summary(report) -> dict:
+    """Compact JSON view of a RunReport for runtime/CLI output."""
+    if report is None:
+        return {}
+    return {
+        "n_ranks": report.n_ranks,
+        "n_completed": len(report.completed),
+        "n_failed": len(report.failures),
+        "n_aborted": len(report.aborted),
+    }
+
+
+def _emit_observability(kind, cfg, params, registry, spmd=None, runtime=None):
+    """Write the requested metrics JSONL / Chrome trace / manifest files.
+
+    Returns ``{key: path}`` of everything written (also merged into
+    ``runtime`` so the CLI summary can point at the files).
+    """
+    from repro.obs import build_manifest, write_manifest, write_metrics_jsonl
+
+    outputs: dict[str, str] = {}
+    if cfg.metrics_out is not None and registry is not None:
+        outputs["metrics_out"] = str(write_metrics_jsonl(cfg.metrics_out, registry))
+    if cfg.trace_out is not None and spmd is not None and spmd.spans is not None:
+        outputs["trace_out"] = str(
+            spmd.write_chrome_trace(cfg.trace_out, metadata={"kind": kind, **params})
+        )
+    anchor = cfg.metrics_out or cfg.trace_out
+    if anchor is not None:
+        manifest = build_manifest(
+            kind,
+            params,
+            seed=cfg.seed,
+            registry=registry,
+            report=spmd.report if spmd is not None else None,
+            extra={"outputs": dict(outputs), "runtime": dict(runtime or {})},
+        )
+        outputs["manifest"] = str(
+            write_manifest(Path(anchor).parent / "manifest.json", manifest)
+        )
+    if runtime is not None:
+        runtime.update(outputs)
+    return outputs
+
+
 def _estimate(name: str, series: np.ndarray) -> ObservableEstimate:
     """Binning-analysis point estimate of a time series."""
     series = np.asarray(series, dtype=float)
@@ -88,6 +145,20 @@ class Simulation:
             return self._run_xxz2d()
         return self._run_tfim()
 
+    @staticmethod
+    def _finish_runtime(result, registry, n_sweeps_run, t0_wall) -> None:
+        """Record the always-on throughput numbers and metric summaries."""
+        wall = time.perf_counter() - t0_wall
+        result.runtime.update(
+            wall_seconds=wall,
+            n_sweeps=n_sweeps_run,
+            sweeps_per_second=n_sweeps_run / wall if wall > 0 else 0.0,
+        )
+        if registry is not None:
+            result.rank_summaries = {
+                str(r): v for r, v in registry.summary().items()
+            }
+
     # ------------------------------------------------------------------
     def _run_xxz2d(self) -> RunResult:
         cfg: XXZ2DRunConfig = self.config
@@ -104,20 +175,30 @@ class Simulation:
             "n_ranks": layout.n_ranks,
         }
         result = RunResult(kind="xxz2d", parameters=params)
+        registry = _obs_registry(cfg)
+        t0_wall = time.perf_counter()
         model = XXZSquareModel(lx=cfg.lx, ly=cfg.ly, jz=cfg.jz, jxy=cfg.jxy)
         n_chains = layout.n_ranks if layout.strategy == "replica" else 1
         energy_all, mag_all, mstag_all = [], [], []
+        n_att = n_acc = 0
         for chain_idx in range(n_chains):
             sampler = WorldlineSquareQmc(
-                model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx
+                model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx,
+                metrics=registry.scope(chain_idx) if registry is not None else None,
             )
             meas = sampler.run(cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every)
             energy_all.append(meas.energy)
             mag_all.append(meas.magnetization)
             mstag_all.append(meas.m_stag_sq)
+            n_att += sampler.n_attempted
+            n_acc += sampler.n_accepted
         energy = np.concatenate(energy_all)
         mag = np.concatenate(mag_all)
         mstag = np.concatenate(mstag_all)
+        result.runtime.update(n_attempted=n_att, n_accepted=n_acc)
+        n_sweeps_run = n_chains * (cfg.n_sweeps + cfg.n_thermalize)
+        self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
+        _emit_observability("xxz2d", cfg, params, registry, runtime=result.runtime)
 
         result.estimates["energy"] = _estimate("energy", energy)
         result.estimates["energy_per_site"] = _estimate(
@@ -151,6 +232,9 @@ class Simulation:
             "machine": layout.machine,
         }
         result = RunResult(kind="xxz", parameters=params)
+        registry = _obs_registry(cfg)
+        t0_wall = time.perf_counter()
+        spmd = None
 
         if layout.strategy in ("serial", "replica"):
             n_chains = layout.n_ranks if layout.strategy == "replica" else 1
@@ -158,6 +242,7 @@ class Simulation:
                 n_sites=cfg.n_sites, jz=cfg.jz, jxy=cfg.jxy, periodic=cfg.periodic
             )
             all_energy, all_mag = [], []
+            n_att = n_acc = 0
             for chain_idx in range(n_chains):
                 sampler = WorldlineChainQmc(
                     model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx
@@ -167,8 +252,12 @@ class Simulation:
                 )
                 all_energy.append(meas.energy)
                 all_mag.append(meas.magnetization)
+                n_att += getattr(sampler, "n_attempted", 0)
+                n_acc += getattr(sampler, "n_accepted", 0)
             energy = np.concatenate(all_energy)
             mag = np.concatenate(all_mag)
+            n_sweeps_run = n_chains * (cfg.n_sweeps + cfg.n_thermalize)
+            result.runtime.update(n_attempted=n_att, n_accepted=n_acc)
         else:  # strip
             wl_cfg = WorldlineStripConfig(
                 n_sites=cfg.n_sites,
@@ -186,11 +275,27 @@ class Simulation:
                 machine=MACHINES[layout.machine],
                 seed=cfg.seed,
                 args=(wl_cfg, _checkpoint_config(cfg)),
+                metrics=registry,
+                spans=cfg.trace_out is not None,
+                trace=cfg.trace_out is not None,
             )
             energy = spmd.values[0]["energy"]
             mag = spmd.values[0]["magnetization"]
             result.model_time = spmd.elapsed_model_time
             result.comm_fraction = spmd.comm_fraction()
+            n_sweeps_run = cfg.n_sweeps + cfg.n_thermalize
+            result.runtime.update(
+                n_attempted=sum(v["n_attempted"] for v in spmd.values),
+                n_accepted=sum(v["n_accepted"] for v in spmd.values),
+                halo_bytes=spmd.total_bytes,
+                halo_messages=spmd.total_messages,
+                report=_report_summary(spmd.report),
+            )
+
+        self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
+        _emit_observability(
+            "xxz", cfg, params, registry, spmd=spmd, runtime=result.runtime
+        )
 
         result.estimates["energy"] = _estimate("energy", energy)
         result.estimates["energy_per_site"] = _estimate(
@@ -221,10 +326,14 @@ class Simulation:
             "machine": layout.machine,
         }
         result = RunResult(kind="tfim", parameters=params)
+        registry = _obs_registry(cfg)
+        t0_wall = time.perf_counter()
+        spmd = None
 
         if layout.strategy in ("serial", "replica"):
             n_chains = layout.n_ranks if layout.strategy == "replica" else 1
             e_all, sx_all, m_all = [], [], []
+            n_att = n_acc = 0
             for chain_idx in range(n_chains):
                 sampler = TfimQmc(
                     cfg.spatial_shape,
@@ -238,9 +347,14 @@ class Simulation:
                 e_all.append(meas.energy)
                 sx_all.append(meas.sigma_x)
                 m_all.append(meas.abs_magnetization)
+                inner = getattr(sampler, "classical", sampler)
+                n_att += getattr(inner, "n_attempted", 0)
+                n_acc += getattr(inner, "n_accepted", 0)
             energy = np.concatenate(e_all)
             sigma_x = np.concatenate(sx_all)
             abs_mag = np.concatenate(m_all)
+            n_sweeps_run = n_chains * (cfg.n_sweeps + cfg.n_thermalize)
+            result.runtime.update(n_attempted=n_att, n_accepted=n_acc)
         else:  # block layout over the virtual machine
             dtau = cfg.beta / cfg.n_slices
             import math
@@ -270,6 +384,9 @@ class Simulation:
                 machine=MACHINES[layout.machine],
                 seed=cfg.seed,
                 args=(block_cfg, _checkpoint_config(cfg)),
+                metrics=registry,
+                spans=cfg.trace_out is not None,
+                trace=cfg.trace_out is not None,
             )
             out = spmd.values[0]
             bonds = out["bond_sums"]  # (n_meas, 3): x, y, t
@@ -296,6 +413,19 @@ class Simulation:
             abs_mag = np.abs(out["magnetization"])
             result.model_time = spmd.elapsed_model_time
             result.comm_fraction = spmd.comm_fraction()
+            n_sweeps_run = cfg.n_sweeps + cfg.n_thermalize
+            result.runtime.update(
+                n_attempted=sum(v["n_attempted"] for v in spmd.values),
+                n_accepted=sum(v["n_accepted"] for v in spmd.values),
+                halo_bytes=spmd.total_bytes,
+                halo_messages=spmd.total_messages,
+                report=_report_summary(spmd.report),
+            )
+
+        self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
+        _emit_observability(
+            "tfim", cfg, params, registry, spmd=spmd, runtime=result.runtime
+        )
 
         result.estimates["energy"] = _estimate("energy", energy)
         result.estimates["energy_per_site"] = _estimate(

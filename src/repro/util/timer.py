@@ -34,6 +34,12 @@ class ModelClock:
     blocking receive moves a rank's clock forward to the event time.
     """
 
+    #: Optional ``(category, t_start, t_end)`` callback fired on every
+    #: charge/wait -- the hook span-based tracing hangs off (see
+    #: :class:`repro.obs.spans.SpanCollector`).  Class attribute so the
+    #: common unobserved case costs one falsy attribute test.
+    observer = None
+
     def __init__(self) -> None:
         self._now = 0.0
         self._by_category: dict[str, float] = {}
@@ -47,8 +53,11 @@ class ModelClock:
         """Advance the clock by ``seconds``, attributed to ``category``."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
-        self._now += seconds
+        start = self._now
+        self._now = start + seconds
         self._by_category[category] = self._by_category.get(category, 0.0) + seconds
+        if self.observer is not None:
+            self.observer(category, start, self._now)
 
     def advance_to(self, t: float, category: str = "wait") -> None:
         """Move the clock to absolute time ``t`` if that is in the future.
@@ -57,10 +66,13 @@ class ModelClock:
         past instant is a no-op (the rank was simply already late).
         """
         if t > self._now:
+            start = self._now
             self._by_category[category] = self._by_category.get(category, 0.0) + (
-                t - self._now
+                t - start
             )
             self._now = t
+            if self.observer is not None:
+                self.observer(category, start, t)
 
     def breakdown(self) -> dict[str, float]:
         """Seconds spent per category (copy)."""

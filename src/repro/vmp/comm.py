@@ -36,6 +36,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import MESSAGE_BYTES_EDGES, NOOP
 from repro.util.rng import RankStream
 from repro.util.timer import ModelClock
 from repro.vmp.faults import RankFailure, RankFaultState
@@ -386,6 +387,7 @@ class Communicator:
         stream: RankStream,
         recv_timeout: float | None = None,
         fault_state: RankFaultState | None = None,
+        metrics=NOOP,
     ):
         self.fabric = fabric
         self.rank = int(rank)
@@ -400,6 +402,36 @@ class Communicator:
         self.recv_timeout = recv_timeout
         #: Per-rank fault-injection state (None = no faults).
         self.fault_state = fault_state
+        #: Rank-scoped metrics recorder (the free NOOP unless the run
+        #: enables telemetry).  CommStats already counts messages and
+        #: bytes on every op, so the comm.* counters are *synced* from
+        #: it lazily (:meth:`sync_metrics`, called at snapshot cadence
+        #: and at end of run) rather than bumped per message -- the only
+        #: per-message cost when enabled is the wire-size histogram.
+        self.metrics = metrics
+        self._obs = bool(metrics.enabled)
+        if self._obs:
+            self._m_msg_hist = metrics.histogram(
+                "comm.message_bytes", MESSAGE_BYTES_EDGES
+            )
+
+    def sync_metrics(self) -> None:
+        """Fold CommStats and the clock's wait total into the registry.
+
+        ``comm.wait_seconds`` is the modeled time this rank spent
+        blocked past the latency charge -- exactly the clock's
+        ``comm_wait`` category, so no per-message accounting is needed.
+        """
+        if not self._obs:
+            return
+        m, s = self.metrics, self.stats
+        m.counter("comm.messages_sent").value = float(s.messages_sent)
+        m.counter("comm.bytes_sent").value = float(s.bytes_sent)
+        m.counter("comm.messages_received").value = float(s.messages_received)
+        m.counter("comm.bytes_received").value = float(s.bytes_received)
+        m.counter("comm.wait_seconds").value = self.clock.breakdown().get(
+            "comm_wait", 0.0
+        )
 
     # -- modeled compute -------------------------------------------------
     def charge_compute(self, flops: float) -> None:
@@ -435,6 +467,8 @@ class Communicator:
             arrival += extra
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
+        if self._obs:
+            self._m_msg_hist.observe(nbytes)
         if self.fabric.trace_events is not None:
             from repro.vmp.trace import MessageEvent
 

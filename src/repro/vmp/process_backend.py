@@ -44,6 +44,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import NOOP
 from repro.util.rng import SeedSequenceFactory
 from repro.util.timer import ModelClock
 from repro.vmp.comm import ANY_SOURCE, ANY_TAG, payload_nbytes
@@ -144,6 +145,12 @@ class MpCommunicator:
         self._inboxes = inboxes
         self._stash: list[tuple[int, int, float, Any]] = []
         self.clock = ModelClock()
+        # Telemetry recorders cannot cross process boundaries; driver
+        # code can still reference comm.metrics uniformly.
+        self.metrics = NOOP
+
+    def sync_metrics(self) -> None:
+        """No-op counterpart of Communicator.sync_metrics (metrics is NOOP)."""
 
     # -- modeled compute ---------------------------------------------------
     def charge_compute(self, flops: float) -> None:

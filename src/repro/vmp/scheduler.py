@@ -27,6 +27,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.obs.metrics import NOOP, MetricsRegistry
+from repro.obs.spans import SpanCollector
 from repro.util.rng import SeedSequenceFactory
 from repro.vmp.comm import AbortError, Communicator, Fabric
 from repro.vmp.faults import (
@@ -72,6 +74,37 @@ class SpmdResult:
     topology: Topology
     trace: list | None = None
     report: RunReport | None = None
+    #: The run's MetricsRegistry when telemetry was enabled (else None).
+    metrics: MetricsRegistry | None = None
+    #: Per-rank phase spans when launched with ``spans=True`` (else None).
+    spans: list | None = None
+
+    def chrome_trace(self, metadata: dict | None = None) -> dict:
+        """Chrome ``trace_event`` document of the run (requires spans=True)."""
+        from repro.obs.chrome_trace import chrome_trace_doc
+
+        if self.spans is None:
+            raise ValueError("run has no phase spans; pass spans=True to run_spmd")
+        return chrome_trace_doc(
+            self.spans,
+            messages=self.trace,
+            ranks=[o.rank for o in self.outcomes],
+            metadata=metadata,
+        )
+
+    def write_chrome_trace(self, path, metadata: dict | None = None):
+        """Write the Chrome trace JSON to ``path`` (see chrome_trace)."""
+        from repro.obs.chrome_trace import write_chrome_trace
+
+        if self.spans is None:
+            raise ValueError("run has no phase spans; pass spans=True to run_spmd")
+        return write_chrome_trace(
+            path,
+            self.spans,
+            messages=self.trace,
+            ranks=[o.rank for o in self.outcomes],
+            metadata=metadata,
+        )
 
     def render_timeline(self, width: int = 72) -> str:
         """Text Gantt view of traced messages (requires trace=True)."""
@@ -137,6 +170,8 @@ def run_spmd(
     trace: bool = False,
     fault_plan: FaultPlan | None = None,
     recv_timeout: float | None = None,
+    metrics: MetricsRegistry | None = None,
+    spans: bool = False,
 ) -> SpmdResult:
     """Run ``program(comm, *args)`` on ``n_ranks`` simulated processors.
 
@@ -163,6 +198,15 @@ def run_spmd(
         structured :class:`~repro.vmp.faults.RankFailure` in the
         waiting rank.  ``None`` waits indefinitely (the dead-rank
         registry still fails survivors fast on peer death).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to record into;
+        each rank gets its own scope.  ``None`` (default) records
+        nothing -- ranks run against the free NOOP recorder.
+    spans:
+        When True, attach a :class:`~repro.obs.spans.SpanCollector` to
+        every rank's modeled clock; the result's ``spans`` field then
+        holds the per-rank compute/comm/idle phase history, exportable
+        via ``SpmdResult.chrome_trace()``.
     """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
@@ -174,6 +218,7 @@ def run_spmd(
     fabric = Fabric(n_ranks, machine, topo, trace=trace)
     factory = SeedSequenceFactory(seed)
     boxes = [_RankBox() for _ in range(n_ranks)]
+    collectors = [SpanCollector(r) for r in range(n_ranks)] if spans else None
 
     def runner(rank: int) -> None:
         comm = Communicator(
@@ -182,7 +227,10 @@ def run_spmd(
             factory.rank_stream(rank),
             recv_timeout=recv_timeout,
             fault_state=fault_plan.for_rank(rank) if fault_plan is not None else None,
+            metrics=metrics.scope(rank) if metrics is not None else NOOP,
         )
+        if collectors is not None:
+            comm.clock.observer = collectors[rank]
         boxes[rank].comm = comm
         try:
             boxes[rank].value = program(comm, *args)
@@ -255,12 +303,22 @@ def run_spmd(
     for r, box in enumerate(boxes):
         comm = box.comm
         assert comm is not None
+        breakdown = comm.clock.breakdown()
+        if metrics is not None:
+            # Scheduler-level phase accounting: how the rank's modeled
+            # makespan splits into compute / comm overhead / idle wait.
+            comm.sync_metrics()
+            scope = comm.metrics
+            scope.set_gauge("phase.compute_seconds", breakdown.get("compute", 0.0))
+            scope.set_gauge("phase.comm_seconds", breakdown.get("comm", 0.0))
+            scope.set_gauge("phase.idle_seconds", breakdown.get("comm_wait", 0.0))
+            scope.set_gauge("phase.model_seconds", comm.clock.now)
         outcomes.append(
             RankOutcome(
                 rank=r,
                 value=box.value,
                 model_time=comm.clock.now,
-                breakdown=comm.clock.breakdown(),
+                breakdown=breakdown,
                 messages_sent=comm.stats.messages_sent,
                 bytes_sent=comm.stats.bytes_sent,
             )
@@ -271,4 +329,10 @@ def run_spmd(
         topology=topo,
         trace=fabric.trace_events,
         report=report,
+        metrics=metrics,
+        spans=(
+            [s for c in collectors for s in c.spans()]
+            if collectors is not None
+            else None
+        ),
     )

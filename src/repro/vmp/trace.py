@@ -32,19 +32,66 @@ class MessageEvent:
     t_arrival: float  # modeled arrival time at the destination
 
 
-def summarize_traffic(events: list[MessageEvent], n_ranks: int) -> dict:
-    """Aggregate counts/bytes per (src, dst) pair and totals."""
+def _interval_union(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of (start, end) intervals."""
+    total = 0.0
+    end = float("-inf")
+    for a, b in sorted(intervals):
+        if b <= end:
+            continue
+        total += b - max(a, end)
+        end = b
+    return total
+
+
+def summarize_traffic(
+    events: list[MessageEvent],
+    n_ranks: int,
+    breakdowns: list[dict[str, float]] | None = None,
+) -> dict:
+    """Aggregate counts/bytes per (src, dst) pair, per tag, and totals.
+
+    ``comm_fraction`` is a per-rank list.  With ``breakdowns`` (the
+    per-rank clock category splits from ``outcome.breakdown``) it is
+    the exact modeled ``(comm + comm_wait) / total``; without them it
+    falls back to the rank's in-flight message window union over the
+    traced makespan -- an estimate, but one derivable from the event
+    stream alone.
+    """
     pair_bytes: dict[tuple[int, int], int] = {}
     pair_count: dict[tuple[int, int], int] = {}
+    tag_bytes: dict[int, int] = {}
+    tag_count: dict[int, int] = {}
+    windows: list[list[tuple[float, float]]] = [[] for _ in range(n_ranks)]
     for e in events:
         key = (e.src, e.dst)
         pair_bytes[key] = pair_bytes.get(key, 0) + e.nbytes
         pair_count[key] = pair_count.get(key, 0) + 1
+        tag_bytes[e.tag] = tag_bytes.get(e.tag, 0) + e.nbytes
+        tag_count[e.tag] = tag_count.get(e.tag, 0) + 1
+        for rank in (e.src, e.dst):
+            if 0 <= rank < n_ranks:
+                windows[rank].append((e.t_send, e.t_arrival))
+    if breakdowns is not None:
+        comm_fraction = []
+        for b in breakdowns:
+            total = sum(b.values())
+            comm = b.get("comm", 0.0) + b.get("comm_wait", 0.0)
+            comm_fraction.append(comm / total if total > 0 else 0.0)
+    else:
+        makespan = max((e.t_arrival for e in events), default=0.0)
+        comm_fraction = [
+            _interval_union(w) / makespan if makespan > 0 else 0.0
+            for w in windows
+        ]
     return {
         "n_messages": len(events),
         "total_bytes": sum(e.nbytes for e in events),
         "pair_bytes": pair_bytes,
         "pair_count": pair_count,
+        "tag_bytes": tag_bytes,
+        "tag_count": tag_count,
+        "comm_fraction": comm_fraction,
         "busiest_pair": max(pair_bytes, key=pair_bytes.get) if pair_bytes else None,
     }
 
@@ -65,10 +112,17 @@ def render_timeline(
         Per-rank clock category breakdowns (``outcome.breakdown``) --
         used for the legend totals.
     makespan:
-        Total modeled time spanned by the row (seconds).
+        Total modeled time spanned by the row (seconds).  Events past
+        the makespan extend the rendered span instead of piling up in
+        the last cell, so long runs stay readable at any ``width``.
     width:
-        Characters per row.
+        Characters per row (>= 8).
     """
+    if width < 8:
+        raise ValueError(f"timeline width must be >= 8 characters, got {width}")
+    # Late arrivals (e.g. a message still in flight when its sender
+    # finished) extend the rendered span rather than clip.
+    makespan = max([makespan] + [e.t_arrival for e in events])
     if makespan <= 0:
         return "(empty timeline)"
     n_ranks = len(breakdowns)

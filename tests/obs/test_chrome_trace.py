@@ -1,0 +1,178 @@
+"""Tests for span collection and Chrome trace_event export."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.chrome_trace import (
+    chrome_trace_doc,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.spans import Span, SpanCollector
+from repro.qmc.parallel import WorldlineStripConfig, worldline_strip_program
+from repro.vmp.machines import PARAGON
+from repro.vmp.scheduler import run_spmd
+from repro.vmp.trace import MessageEvent
+
+GOLDEN = Path(__file__).parent / "data" / "golden_trace.json"
+
+#: A fixed two-rank timeline: the golden-file fixture.
+FIXED_SPANS = [
+    Span(0, "compute", 0.0, 1.5e-3),
+    Span(0, "comm", 1.5e-3, 1.6e-3),
+    Span(0, "comm_wait", 1.6e-3, 2.0e-3),
+    Span(1, "compute", 0.0, 2.0e-3),
+]
+FIXED_MESSAGES = [
+    MessageEvent(src=1, dst=0, tag=7, nbytes=256, t_send=1.9e-3,
+                 t_arrival=1.95e-3),
+]
+
+
+class TestSpanCollector:
+    def test_coalesces_adjacent_same_category(self):
+        c = SpanCollector(0)
+        c("compute", 0.0, 1.0)
+        c("compute", 1.0, 2.5)  # adjacent, same category: extends
+        c("comm", 2.5, 3.0)
+        spans = c.spans()
+        assert [(s.category, s.t_start, s.t_end) for s in spans] == [
+            ("compute", 0.0, 2.5),
+            ("comm", 2.5, 3.0),
+        ]
+
+    def test_skips_empty_intervals(self):
+        c = SpanCollector(2)
+        c("comm", 1.0, 1.0)
+        assert c.n_spans == 0
+
+
+class TestEventSchema:
+    def test_trace_event_schema(self):
+        events = chrome_trace_events(FIXED_SPANS, FIXED_MESSAGES, ranks=[0, 1])
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "s", "f"}
+        for e in events:
+            assert e["pid"] == 0
+            assert isinstance(e["tid"], int)
+        for e in events:
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] > 0
+                assert e["name"] == e["cat"]
+        # comm_wait is exported under the viewer-friendly name "idle".
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert names == {"compute", "comm", "idle"}
+        # Flow pair shares an id, starts at the sender, finishes at the dst.
+        start = next(e for e in events if e["ph"] == "s")
+        finish = next(e for e in events if e["ph"] == "f")
+        assert start["id"] == finish["id"]
+        assert start["tid"] == 1 and finish["tid"] == 0
+
+    def test_doc_round_trips_json(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "sub" / "trace.json", FIXED_SPANS, FIXED_MESSAGES,
+            metadata={"kind": "test"},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"] == {"kind": "test"}
+        assert doc == chrome_trace_doc(
+            FIXED_SPANS, FIXED_MESSAGES, metadata={"kind": "test"}
+        )
+
+    def test_golden_file(self, tmp_path):
+        """The export of a fixed timeline is byte-stable.
+
+        Regenerate after an intentional format change with:
+        ``python -c "from tests.obs.test_chrome_trace import regenerate_golden;
+        regenerate_golden()"``
+        """
+        path = write_chrome_trace(
+            tmp_path / "trace.json", FIXED_SPANS, FIXED_MESSAGES,
+            ranks=[0, 1], metadata={"kind": "golden"},
+        )
+        assert path.read_text() == GOLDEN.read_text()
+
+
+def regenerate_golden() -> None:
+    write_chrome_trace(
+        GOLDEN, FIXED_SPANS, FIXED_MESSAGES, ranks=[0, 1],
+        metadata={"kind": "golden"},
+    )
+
+
+class TestStripDriverTrace:
+    """The ISSUE acceptance criterion: a P=4 strip run exports a valid
+    Chrome trace with compute/comm/idle spans for every rank."""
+
+    @pytest.fixture(scope="class")
+    def spmd(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        cfg = WorldlineStripConfig(
+            n_sites=16, jz=1.0, jxy=1.0, beta=1.0, n_slices=16,
+            n_sweeps=4, n_thermalize=2, measure_every=1,
+        )
+        return run_spmd(
+            worldline_strip_program, 4, machine=PARAGON, seed=3,
+            args=(cfg,), metrics=MetricsRegistry(), spans=True, trace=True,
+        )
+
+    def test_every_rank_has_all_three_phases(self, spmd):
+        doc = spmd.chrome_trace()
+        by_rank = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                by_rank.setdefault(e["tid"], set()).add(e["name"])
+        assert sorted(by_rank) == [0, 1, 2, 3]
+        for rank, cats in by_rank.items():
+            assert {"compute", "comm", "idle"} <= cats, (rank, cats)
+
+    def test_spans_tile_the_rank_timeline(self, spmd):
+        for rank in range(4):
+            spans = sorted(
+                (s for s in spmd.spans if s.rank == rank),
+                key=lambda s: s.t_start,
+            )
+            assert spans[0].t_start == 0.0
+            for a, b in zip(spans, spans[1:]):
+                assert a.t_end == pytest.approx(b.t_start)
+            assert spans[-1].t_end == pytest.approx(
+                spmd.outcomes[rank].model_time
+            )
+
+    def test_file_loads_back(self, spmd, tmp_path):
+        path = spmd.write_chrome_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        flow_ids = [e["id"] for e in doc["traceEvents"] if e["ph"] == "s"]
+        assert len(flow_ids) == len(spmd.trace)
+
+    def test_export_is_deterministic(self, spmd):
+        from repro.obs.metrics import MetricsRegistry
+
+        cfg = WorldlineStripConfig(
+            n_sites=16, jz=1.0, jxy=1.0, beta=1.0, n_slices=16,
+            n_sweeps=4, n_thermalize=2, measure_every=1,
+        )
+        again = run_spmd(
+            worldline_strip_program, 4, machine=PARAGON, seed=3,
+            args=(cfg,), metrics=MetricsRegistry(), spans=True, trace=True,
+        )
+        assert json.dumps(again.chrome_trace()) == json.dumps(
+            spmd.chrome_trace()
+        )
+
+    def test_spans_require_opt_in(self):
+        cfg = WorldlineStripConfig(
+            n_sites=16, jz=1.0, jxy=1.0, beta=1.0, n_slices=16,
+            n_sweeps=2, n_thermalize=1, measure_every=1,
+        )
+        res = run_spmd(
+            worldline_strip_program, 2, machine=PARAGON, seed=3, args=(cfg,)
+        )
+        assert res.spans is None
+        with pytest.raises(ValueError, match="spans=True"):
+            res.chrome_trace()

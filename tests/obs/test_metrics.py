@@ -1,0 +1,144 @@
+"""Tests for the per-rank metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    ACCEPTANCE_EDGES,
+    NOOP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.to_value() == 3.5
+
+    def test_direct_value_bumps_match_inc(self):
+        # Hot paths write c.value += n directly; same observable effect.
+        c = Counter("x")
+        c.value += 4
+        assert c.to_value() == 4.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("q")
+        g.set(3)
+        g.set(1.5)
+        assert g.to_value() == 1.5
+
+
+class TestHistogram:
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+        with pytest.raises(ValueError):
+            Histogram("h", (3.0, 1.0))
+
+    def test_bucket_assignment_upper_inclusive(self):
+        h = Histogram("h", (1.0, 2.0))
+        for v in (0.5, 1.0):  # both land in bucket 0: v <= 1.0
+            h.observe(v)
+        h.observe(1.5)  # bucket 1: 1.0 < v <= 2.0
+        h.observe(9.0)  # overflow bucket
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(12.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_to_value_round_trips_edges(self):
+        h = Histogram("h", ACCEPTANCE_EDGES)
+        h.observe(0.25)
+        doc = h.to_value()
+        assert doc["edges"] == list(ACCEPTANCE_EDGES)
+        assert sum(doc["counts"]) == 1
+
+
+class TestRankIsolation:
+    def test_scopes_do_not_share_metrics(self):
+        reg = MetricsRegistry()
+        a, b = reg.scope(0), reg.scope(1)
+        a.count("sweep.count", 5)
+        b.count("sweep.count", 2)
+        summary = reg.summary()
+        assert summary[0]["sweep.count"] == 5
+        assert summary[1]["sweep.count"] == 2
+
+    def test_same_rank_scopes_share_metrics(self):
+        reg = MetricsRegistry()
+        reg.scope(3).count("n", 1)
+        reg.scope(3).count("n", 1)
+        assert reg.summary()[3]["n"] == 2
+
+    def test_concurrent_ranks_record_independently(self):
+        reg = MetricsRegistry()
+
+        def work(rank):
+            scope = reg.scope(rank)
+            c = scope.counter("ops")
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work, args=(r,)) for r in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(reg.summary()[r]["ops"] == 1000 for r in range(4))
+
+    def test_type_mismatch_rejected(self):
+        scope = MetricsRegistry().scope(0)
+        scope.counter("x")
+        with pytest.raises(TypeError, match="not a Gauge"):
+            scope.gauge("x")
+
+
+class TestSnapshots:
+    def test_snapshot_rows_carry_rank_and_labels(self):
+        reg = MetricsRegistry(interval=5)
+        scope = reg.scope(1)
+        assert scope.interval == 5
+        scope.count("sweep.count", 10)
+        scope.snapshot(sweep=10, t_model=1.25)
+        (row,) = reg.snapshots()
+        assert row["rank"] == 1
+        assert row["sweep"] == 10
+        assert row["t_model"] == 1.25
+        assert row["sweep.count"] == 10
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(interval=-1)
+
+
+class TestNoop:
+    def test_noop_is_the_disabled_identity(self):
+        assert NOOP.enabled is False
+        assert isinstance(NOOP, NoopMetrics)
+        # Identity is the documented "is telemetry off?" test.
+        assert NOOP is NOOP
+
+    def test_noop_recorders_are_inert_and_shared(self):
+        c = NOOP.counter("anything")
+        g = NOOP.gauge("other")
+        h = NOOP.histogram("h", (1.0,))
+        assert c is g is h  # one shared inert metric object
+        c.inc(100)
+        g.set(5)
+        h.observe(2.0)
+        assert c.to_value() == 0.0
+        NOOP.count("x")
+        NOOP.set_gauge("y", 1)
+        NOOP.observe("z", 0.5)
+        NOOP.snapshot(sweep=1)

@@ -48,10 +48,42 @@ class TestSummarize:
         assert summary["busiest_pair"] is not None
         assert sum(summary["pair_count"].values()) == 4
 
+    def test_per_tag_totals(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.sendrecv(np.zeros(16), right, left, sendtag=3, recvtag=3)
+            comm.sendrecv(np.zeros(64), right, left, sendtag=7, recvtag=7)
+
+        res = run_spmd(prog, 3, machine=CM5, trace=True)
+        summary = summarize_traffic(res.trace, 3)
+        assert summary["tag_count"] == {3: 3, 7: 3}
+        assert summary["tag_bytes"] == {3: 3 * 16 * 8, 7: 3 * 64 * 8}
+
+    def test_comm_fraction_from_breakdowns(self):
+        res = run_spmd(ring_program, 4, machine=CM5, trace=True)
+        breakdowns = [o.breakdown for o in res.outcomes]
+        summary = summarize_traffic(res.trace, 4, breakdowns=breakdowns)
+        fractions = summary["comm_fraction"]
+        assert len(fractions) == 4
+        for frac, b in zip(fractions, breakdowns):
+            total = sum(b.values())
+            expected = (b.get("comm", 0.0) + b.get("comm_wait", 0.0)) / total
+            assert frac == expected
+            assert 0.0 < frac < 1.0
+
+    def test_comm_fraction_estimated_without_breakdowns(self):
+        res = run_spmd(ring_program, 4, machine=CM5, trace=True)
+        fractions = summarize_traffic(res.trace, 4)["comm_fraction"]
+        assert len(fractions) == 4
+        assert all(0.0 < f <= 1.0 for f in fractions)
+
     def test_empty(self):
         summary = summarize_traffic([], 2)
         assert summary["n_messages"] == 0
         assert summary["busiest_pair"] is None
+        assert summary["tag_bytes"] == {}
+        assert summary["comm_fraction"] == [0.0, 0.0]
 
 
 class TestRenderTimeline:
@@ -74,3 +106,24 @@ class TestRenderTimeline:
         assert row.count("|") == 2
         inner = row.split("|")[1]
         assert len(inner) == 20
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError, match="width"):
+            render_timeline([], [{}], 1.0, width=4)
+
+    def test_late_arrivals_extend_span_instead_of_clipping(self):
+        from repro.vmp.trace import MessageEvent
+
+        # One message arrives well past the nominal makespan; the row
+        # must stretch to cover it rather than pile ~ into the last cell.
+        events = [
+            MessageEvent(src=0, dst=1, tag=0, nbytes=8, t_send=0.1,
+                         t_arrival=4.0),
+        ]
+        text = render_timeline(events, [{}, {}], makespan=1.0, width=40)
+        assert "4 s across 40 cells" in text
+        row0 = text.splitlines()[1].split("|")[1]
+        # The send starts at t=0.1 of a 4s span: cell 1 of 40, so the
+        # in-flight marker must not be squashed into the final cell.
+        assert row0[1] == "~"
+        assert row0[0] == "."
