@@ -12,8 +12,6 @@ structure factor S(pi,pi) *grows* as T falls -- the antiferromagnetic
 correlation buildup that motivated these simulations.
 """
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.models.ed import lanczos_ground_state
 from repro.models.hamiltonians import XXZSquareModel

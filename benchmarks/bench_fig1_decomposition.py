@@ -45,8 +45,6 @@ def build_series() -> dict[str, Series]:
 
 def bandwidth_bound_crossover() -> tuple[float, float]:
     """Block vs strip efficiency at P=64 with thick (8-byte, 64-slice) halos."""
-    import dataclasses
-
     thick = dict(COMMON, bytes_per_site=8, lt=64)
     e = {}
     for strategy in ("strip", "block"):

@@ -45,6 +45,7 @@ from repro.vmp.scheduler import run_spmd
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_perf.json"
+SMOKE_JSON_PATH = REPO_ROOT / "benchmarks" / "output" / "smoke" / "BENCH_perf_smoke.json"
 
 P = 4
 # Large enough that one run takes ~1.5 s: on this time-shared
@@ -142,24 +143,26 @@ def render(records: list[dict]) -> Table:
     return table
 
 
-def _persist(records: list[dict]) -> None:
+def _persist(records: list[dict], smoke: bool) -> None:
+    json_path = SMOKE_JSON_PATH if smoke else JSON_PATH
+    json_path.parent.mkdir(parents=True, exist_ok=True)
     doc = {}
-    if JSON_PATH.exists():
-        doc = json.loads(JSON_PATH.read_text())
+    if json_path.exists():
+        doc = json.loads(json_path.read_text())
     doc["observability_overhead"] = {
         "metadata": run_metadata(),
         "overhead_bar": OVERHEAD_BAR,
         "records": records,
     }
-    JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    json_path.write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def test_obs_overhead(benchmark, record, smoke):
     records = run_once(benchmark, lambda: collect(smoke))
     record("obs_overhead", render(records).render())
+    _persist(records, smoke)
     if smoke:
         return
-    _persist(records)
     by_variant = {rec["variant"]: rec for rec in records}
     overhead = by_variant["metrics"]["overhead_vs_disabled"]
     assert overhead < OVERHEAD_BAR, (

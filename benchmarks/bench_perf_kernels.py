@@ -45,6 +45,10 @@ from repro.vmp.scheduler import run_spmd
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_perf.json"
+#: Smoke runs persist the same schema here (never mixed with the
+#: committed full-tier trajectory); tools/check_bench.py diffs its
+#: ratio metrics against benchmarks/BENCH_smoke_baseline.json.
+SMOKE_JSON_PATH = REPO_ROOT / "benchmarks" / "output" / "smoke" / "BENCH_perf_smoke.json"
 
 BETA = 1.0
 #: (label, factory, sweeps)
@@ -250,19 +254,20 @@ def test_perf_kernels(benchmark, record, smoke):
     ptable = render_parallel(parallel_records, serial_vec_rate)
     record("perf_kernels", table.render() + "\n\n" + ptable.render())
 
-    if not smoke:
-        JSON_PATH.write_text(
-            json.dumps(
-                {
-                    "beta": BETA,
-                    "metadata": run_metadata(),
-                    "records": records,
-                    "parallel_records": parallel_records,
-                },
-                indent=2,
-            )
-            + "\n"
+    json_path = SMOKE_JSON_PATH if smoke else JSON_PATH
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(
+        json.dumps(
+            {
+                "beta": BETA,
+                "metadata": run_metadata(),
+                "records": records,
+                "parallel_records": parallel_records,
+            },
+            indent=2,
         )
+        + "\n"
+    )
 
     speedups = {}
     by_case: dict[str, dict[str, dict]] = {}

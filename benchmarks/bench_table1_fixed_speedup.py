@@ -8,8 +8,6 @@ model.  Shape criteria: monotone speedup, near-linear at small P,
 efficiency decaying monotonically, >= 25% at P = 256.
 """
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.qmc.parallel import WorldlineStripConfig, worldline_strip_program
 from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE

@@ -13,11 +13,9 @@ by >= 5x; machine update rates grow by >= 100x from 1 to 256 nodes.
 
 import time
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.models.hamiltonians import XXZChainModel
-from repro.qmc.classical_ising import AnisotropicIsing, FLOPS_PER_SPIN_UPDATE
+from repro.qmc.classical_ising import AnisotropicIsing
 from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE, WorldlineChainQmc
 from repro.util.tables import Table
 from repro.vmp import CM5, NCUBE2, PARAGON

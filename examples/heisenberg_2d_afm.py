@@ -10,8 +10,6 @@ grows -- antiferromagnetic order building up.
 Run:  python examples/heisenberg_2d_afm.py   (~2-3 minutes)
 """
 
-import numpy as np
-
 from repro.models.ed import lanczos_ground_state
 from repro.models.hamiltonians import XXZSquareModel
 from repro.qmc.worldline2d import WorldlineSquareQmc

@@ -10,8 +10,6 @@ application section is built around.
 Run:  python examples/heisenberg_thermodynamics.py
 """
 
-import numpy as np
-
 from repro.models.ed import ExactDiagonalization
 from repro.models.hamiltonians import XXZChainModel
 from repro.qmc.trotter import trotter_extrapolate

@@ -42,6 +42,11 @@ def _add_layout_args(p: argparse.ArgumentParser, strategies: list[str]) -> None:
     p.add_argument("--ranks", type=int, default=1, help="virtual processors")
     p.add_argument("--machine", choices=sorted(MACHINES), default="Ideal",
                    help="machine cost model")
+    p.add_argument("--backend", choices=["thread", "mp", "mpi"],
+                   default="thread",
+                   help="execution backend for strip/block layouts; 'mpi' "
+                        "expects the command to run under "
+                        "'mpiexec -n RANKS python -m repro ...'")
 
 
 def _add_mc_args(p: argparse.ArgumentParser) -> None:
@@ -117,8 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finish_run(result, args) -> int:
+    """Print/save a run result; a no-op off rank 0 under an MPI launch.
+
+    Under ``mpiexec`` every rank runs the whole command and computes an
+    identical result (the mpi backend allgathers rank values), so only
+    world rank 0 talks to the terminal and the filesystem.
+    """
+    from repro.vmp.mpi_backend import world_rank_hint
+
+    if world_rank_hint() != 0:
+        return 0
+    print(result.summary())
+    if args.output:
+        save_result(result, args.output)
+        print(f"saved to {args.output}.json")
+    return 0
+
+
 def _cmd_run_xxz(args) -> int:
-    layout = ParallelLayout(args.strategy, args.ranks, args.machine)
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine, args.backend)
     cfg = XXZRunConfig(
         n_sites=args.sites,
         beta=args.beta,
@@ -138,15 +161,11 @@ def _cmd_run_xxz(args) -> int:
         obs_interval=args.obs_interval,
     )
     result = Simulation(cfg).run()
-    print(result.summary())
-    if args.output:
-        save_result(result, args.output)
-        print(f"saved to {args.output}.json")
-    return 0
+    return _finish_run(result, args)
 
 
 def _cmd_run_xxz2d(args) -> int:
-    layout = ParallelLayout(args.strategy, args.ranks, args.machine)
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine, args.backend)
     cfg = XXZ2DRunConfig(
         lx=args.lx,
         ly=args.ly,
@@ -166,16 +185,12 @@ def _cmd_run_xxz2d(args) -> int:
         obs_interval=args.obs_interval,
     )
     result = Simulation(cfg).run()
-    print(result.summary())
-    if args.output:
-        save_result(result, args.output)
-        print(f"saved to {args.output}.json")
-    return 0
+    return _finish_run(result, args)
 
 
 def _cmd_run_tfim(args) -> int:
     shape = tuple(int(x) for x in args.shape.lower().split("x"))
-    layout = ParallelLayout(args.strategy, args.ranks, args.machine)
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine, args.backend)
     cfg = TfimRunConfig(
         spatial_shape=shape,
         beta=args.beta,
@@ -194,11 +209,7 @@ def _cmd_run_tfim(args) -> int:
         obs_interval=args.obs_interval,
     )
     result = Simulation(cfg).run()
-    print(result.summary())
-    if args.output:
-        save_result(result, args.output)
-        print(f"saved to {args.output}.json")
-    return 0
+    return _finish_run(result, args)
 
 
 def _cmd_machines(_args) -> int:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable
 
 __all__ = ["write_metrics_jsonl", "read_metrics_jsonl"]
 

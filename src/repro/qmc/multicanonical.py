@@ -31,7 +31,7 @@ import numpy as np
 from repro.qmc.classical_ising import AnisotropicIsing
 from repro.stats.histogram import EnergyHistogram
 from repro.util.logspace import logsumexp
-from repro.util.rng import RankStream, SeedSequenceFactory
+from repro.util.rng import RankStream
 
 __all__ = ["WangLandauSampler", "MulticanonicalSampler", "WangLandauResult"]
 

@@ -17,11 +17,18 @@ class ParallelLayout:
         Logical processors.
     machine:
         Machine-model name from :data:`repro.vmp.MACHINES`.
+    backend:
+        Execution backend for the SPMD strategies (``strip``/``block``):
+        ``thread`` (default; cooperative in-process scheduler), ``mp``
+        (real OS processes), or ``mpi`` (real message passing via
+        mpi4py; run the CLI under ``mpiexec -n <n_ranks>``).  All three
+        produce bit-identical trajectories at the same seed.
     """
 
     strategy: str = "serial"
     n_ranks: int = 1
     machine: str = "Ideal"
+    backend: str = "thread"
 
     def __post_init__(self):
         if self.strategy not in ("serial", "strip", "block", "replica"):
@@ -30,6 +37,13 @@ class ParallelLayout:
             raise ValueError("n_ranks must be >= 1")
         if self.strategy == "serial" and self.n_ranks != 1:
             raise ValueError("serial runs use exactly one rank")
+        if self.backend not in ("thread", "mp", "mpi"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend != "thread" and self.strategy not in ("strip", "block"):
+            raise ValueError(
+                f"backend {self.backend!r} applies to the SPMD strategies "
+                f"(strip/block); {self.strategy!r} runs in-process"
+            )
 
 
 def _validate_checkpoint_fields(cfg, supported_strategy: str | None) -> None:
@@ -79,6 +93,12 @@ def _validate_obs_fields(cfg, span_strategies: tuple[str, ...]) -> None:
         raise ValueError(
             f"trace export needs an SPMD layout ({supported}), got "
             f"{cfg.layout.strategy!r}"
+        )
+    if cfg.trace_out is not None and cfg.layout.backend != "thread":
+        raise ValueError(
+            "trace export records per-event timelines inside the thread "
+            "scheduler; it is not available for the mp/mpi backends "
+            "(metrics_out and manifests work on every backend)"
         )
 
 

@@ -84,10 +84,15 @@ def _emit_observability(kind, cfg, params, registry, spmd=None, runtime=None):
     """Write the requested metrics JSONL / Chrome trace / manifest files.
 
     Returns ``{key: path}`` of everything written (also merged into
-    ``runtime`` so the CLI summary can point at the files).
+    ``runtime`` so the CLI summary can point at the files).  Under an
+    MPI launch every rank computes the same result; only world rank 0
+    writes files, so mpiexec runs do not race on the output paths.
     """
     from repro.obs import build_manifest, write_manifest, write_metrics_jsonl
+    from repro.vmp.mpi_backend import world_rank_hint
 
+    if world_rank_hint() != 0:
+        return {}
     outputs: dict[str, str] = {}
     if cfg.metrics_out is not None and registry is not None:
         outputs["metrics_out"] = str(write_metrics_jsonl(cfg.metrics_out, registry))
@@ -230,6 +235,7 @@ class Simulation:
             "strategy": layout.strategy,
             "n_ranks": layout.n_ranks,
             "machine": layout.machine,
+            "backend": layout.backend,
         }
         result = RunResult(kind="xxz", parameters=params)
         registry = _obs_registry(cfg)
@@ -278,6 +284,7 @@ class Simulation:
                 metrics=registry,
                 spans=cfg.trace_out is not None,
                 trace=cfg.trace_out is not None,
+                backend=layout.backend,
             )
             energy = spmd.values[0]["energy"]
             mag = spmd.values[0]["magnetization"]
@@ -324,6 +331,7 @@ class Simulation:
             "strategy": layout.strategy,
             "n_ranks": layout.n_ranks,
             "machine": layout.machine,
+            "backend": layout.backend,
         }
         result = RunResult(kind="tfim", parameters=params)
         registry = _obs_registry(cfg)
@@ -387,6 +395,7 @@ class Simulation:
                 metrics=registry,
                 spans=cfg.trace_out is not None,
                 trace=cfg.trace_out is not None,
+                backend=layout.backend,
             )
             out = spmd.values[0]
             bonds = out["bond_sums"]  # (n_meas, 3): x, y, t

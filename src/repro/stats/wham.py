@@ -22,7 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.stats.histogram import EnergyHistogram
-from repro.util.logspace import NEG_INF, logsumexp
+from repro.util.logspace import logsumexp
 
 __all__ = ["WhamResult", "multi_histogram_reweight"]
 

@@ -16,6 +16,9 @@ on.  It provides:
   callable per rank on threads, with deterministic message matching.
 * :mod:`repro.vmp.process_backend` -- the same program API executed on
   real OS processes via :mod:`multiprocessing` (small rank counts).
+* :mod:`repro.vmp.mpi_backend` -- the same program API executed under a
+  real MPI launcher via mpi4py (``mpiexec -n P python -m repro ...``);
+  degrades gracefully when mpi4py is absent.
 * :mod:`repro.vmp.performance` -- closed-form performance model used
   for large-P scaling sweeps, cross-validated against the simulator.
 
@@ -41,6 +44,15 @@ from repro.vmp.machines import (
     NCUBE2,
     PARAGON,
     MachineModel,
+)
+from repro.vmp.mpi_backend import (
+    MpiCommunicator,
+    MpiUnavailableError,
+    in_mpi_world,
+    mpi_available,
+    mpiexec_available,
+    run_mpi_world,
+    run_mpiexec,
 )
 from repro.vmp.performance import (
     PerformanceModel,
@@ -87,6 +99,13 @@ __all__ = [
     "gustafson_scaled_speedup",
     "SpmdResult",
     "run_spmd",
+    "MpiCommunicator",
+    "MpiUnavailableError",
+    "in_mpi_world",
+    "mpi_available",
+    "mpiexec_available",
+    "run_mpi_world",
+    "run_mpiexec",
     "MessageEvent",
     "render_timeline",
     "summarize_traffic",

@@ -31,7 +31,7 @@ import enum
 import pickle
 import threading
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -141,14 +141,28 @@ class _Message:
 class Request:
     """Handle of a nonblocking operation (mpi4py ``isend``/``irecv`` style).
 
-    ``wait()`` blocks until completion and returns the received payload
-    (``None`` for sends); ``test()`` polls without blocking.  The cost
-    convention mirrors the eager blocking path: the initiating call
-    charges only software overhead; transfer/wait time is charged when
-    the receive completes.
+    The semantics are the *contract* every backend honors identically
+    (thread fabric, multiprocessing queues, real MPI -- asserted by
+    ``tests/vmp/test_nonblocking.py`` across all three):
+
+    * a **send** request is complete the moment ``isend`` returns --
+      every backend buffers the payload eagerly (mailbox deposit, queue
+      put, or an internal send buffer), so ``test()`` is True and
+      ``wait()`` returns ``None`` without blocking;
+    * a **recv** request completes when a matching message is consumed:
+      ``test()`` polls without blocking (consuming a ready message),
+      ``wait()`` blocks until the match arrives and returns the
+      payload.  Either way the receive is charged exactly like the
+      blocking path: latency plus any ``comm_wait`` to the arrival
+      stamp, counted once, on whichever call completed the request.
+
+    The mechanics are delegated to the owning communicator through the
+    private collect hooks (``_try_collect`` / ``_collect`` /
+    ``_complete_recv``), which is what lets the three transports share
+    this single implementation.
     """
 
-    def __init__(self, comm: "Communicator", kind: str, source: int = ANY_SOURCE,
+    def __init__(self, comm, kind: str, source: int = ANY_SOURCE,
                  tag: int = ANY_TAG):
         self._comm = comm
         self._kind = kind  # "send" | "recv"
@@ -161,30 +175,20 @@ class Request:
         """Nonblocking completion check; a ready receive is consumed."""
         if self._done:
             return True
-        msg = self._comm.fabric.try_collect(self._comm.rank, self._source, self._tag)
+        msg = self._comm._try_collect(self._source, self._tag)
         if msg is None:
             return False
-        self._finish(msg)
+        self._payload = self._comm._complete_recv(msg)
+        self._done = True
         return True
 
     def wait(self) -> Any:
         """Block until complete; returns the payload (None for sends)."""
         if not self._done:
-            msg = self._comm.fabric.collect(
-                self._comm.rank, self._source, self._tag,
-                timeout=self._comm.recv_timeout,
-            )
-            self._finish(msg)
+            msg = self._comm._collect(self._source, self._tag)
+            self._payload = self._comm._complete_recv(msg)
+            self._done = True
         return self._payload
-
-    def _finish(self, msg: _Message) -> None:
-        comm = self._comm
-        comm.clock.charge(comm.machine.latency, "comm")
-        comm.clock.advance_to(msg.arrival, "comm_wait")
-        comm.stats.messages_received += 1
-        comm.stats.bytes_received += msg.nbytes
-        self._payload = msg.payload
-        self._done = True
 
 
 @dataclass
@@ -495,18 +499,30 @@ class Communicator:
             ),
         )
 
+    # -- collect hooks shared with :class:`Request` ------------------------
+    def _try_collect(self, source: int, tag: int) -> _Message | None:
+        """Nonblocking matching receive from the fabric (None: no match)."""
+        return self.fabric.try_collect(self.rank, source, tag)
+
+    def _collect(self, source: int, tag: int) -> _Message:
+        """Blocking matching receive from the fabric."""
+        return self.fabric.collect(self.rank, source, tag, timeout=self.recv_timeout)
+
+    def _complete_recv(self, msg: _Message) -> Any:
+        """Charge and count one completed receive; returns the payload."""
+        self.clock.charge(self.machine.latency, "comm")
+        self.clock.advance_to(msg.arrival, "comm_wait")
+        self.stats.messages_received += 1
+        self.stats.bytes_received += msg.nbytes
+        return msg.payload
+
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload object."""
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
         if self.fault_state is not None:
             self.fault_state.on_op(self.clock)
-        msg = self.fabric.collect(self.rank, source, tag, timeout=self.recv_timeout)
-        self.clock.charge(self.machine.latency, "comm")
-        self.clock.advance_to(msg.arrival, "comm_wait")
-        self.stats.messages_received += 1
-        self.stats.bytes_received += msg.nbytes
-        return msg.payload
+        return self._complete_recv(self._collect(source, tag))
 
     def sendrecv(
         self,
@@ -521,8 +537,13 @@ class Communicator:
         return self.recv(source=source, tag=recvtag)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        """Nonblocking send.  The fabric buffers eagerly, so the request
-        is complete on return; the handle exists for mpi4py parity."""
+        """Nonblocking send; the returned request is already complete.
+
+        All three backends buffer sends eagerly (the payload is copied
+        before ``isend`` returns), so ``test()`` is True and ``wait()``
+        returns ``None`` immediately -- the documented contract of
+        :class:`Request`, identical on thread, mp and mpi transports.
+        """
         self.send(obj, dest, tag=tag)
         return Request(self, "send")
 

@@ -1,0 +1,606 @@
+"""Real MPI execution of SPMD rank programs via mpi4py.
+
+Third execution backend, after the cooperative thread scheduler
+(:mod:`repro.vmp.scheduler`) and the multiprocessing backend
+(:mod:`repro.vmp.process_backend`): the *unchanged* rank programs --
+the strip/block world-line drivers, :func:`~repro.qmc.tempering.
+tempering_program`, every collective -- run under a real MPI launcher,
+
+    mpiexec -n 4 python -m repro run-xxz --sites 64 --beta 1.0 \\
+        --strategy strip --ranks 4 --backend mpi
+
+which is exactly how the 1993 genre paper's codes executed.  The
+module adapts the repository's :class:`~repro.vmp.comm.Communicator`
+surface (``send``/``recv``/``sendrecv``/``isend``/``irecv``, logical
+tags, ``CommStats``, modeled clock, collectives via
+:mod:`repro.vmp.collectives`) onto ``MPI.COMM_WORLD``:
+
+* **Transport.**  Every point-to-point message travels as one mpi4py
+  lowercase (pickle) message carrying ``(src, logical_tag, arrival,
+  payload)`` under a single wire-level MPI tag.  Folding the logical
+  tag in-band -- matched from a rank-local stash exactly like the
+  multiprocessing backend -- keeps the repository's unbounded tag space
+  (collectives use tags above ``1 << 20``) independent of the MPI
+  implementation's ``MPI_TAG_UB``.  Per-pair ordering is preserved (MPI
+  guarantees it on one communicator/tag), so message matching is
+  deterministic wherever it is deterministic on the other backends.
+* **Buffered sends.**  ``send`` issues ``MPI.Comm.isend`` and parks the
+  request on a pending list that is reaped opportunistically and
+  drained at finalize, so sends never rendezvous-block and the
+  :class:`~repro.vmp.comm.Request` contract (send handles complete on
+  return) holds identically to the thread and mp backends.
+* **Modeled time.**  Each rank carries the same
+  :class:`~repro.util.timer.ModelClock` charged by the alpha--beta
+  machine model; the sender's modeled arrival stamp travels with each
+  message, so ``comm``/``comm_wait`` accounting -- and therefore
+  trajectories *and* modeled makespans -- are identical across all
+  three backends.  Wall-clock throughput comes from the real hardware.
+* **Failure handling.**  A rank whose program raises prints the
+  traceback and calls ``MPI.COMM_WORLD.Abort`` (the standard MPI
+  idiom); the launcher surfaces a structured
+  :class:`~repro.vmp.faults.RankFailure` from the exit status.
+  Deterministic *fault injection* (FaultPlan) is a thread/mp-only
+  feature: an injected crash under real MPI would abort the whole job
+  rather than exercise recovery paths, so the backend dispatcher
+  rejects fault plans up front.
+
+When mpi4py is not installed everything here degrades gracefully:
+:func:`mpi_available` is False, the backends raise
+:class:`MpiUnavailableError` with an actionable message, and the test
+suite skips its MPI legs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.obs.metrics import NOOP
+from repro.util.rng import SeedSequenceFactory
+from repro.util.timer import ModelClock
+from repro.vmp.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommStats,
+    Request,
+    _copy_payload,
+    payload_nbytes,
+)
+from repro.vmp.faults import RankFailure, RunReport
+from repro.vmp.machines import IDEAL, MachineModel
+from repro.vmp.topology import Topology
+
+__all__ = [
+    "MpiUnavailableError",
+    "MpiCommunicator",
+    "MpiRunResult",
+    "mpi_available",
+    "mpiexec_available",
+    "world_size_hint",
+    "world_rank_hint",
+    "in_mpi_world",
+    "run_mpi_world",
+    "run_mpiexec",
+]
+
+#: The single wire-level MPI tag; logical tags travel in-band (see the
+#: module docstring for why).
+_WIRE_TAG = 7
+
+#: Default wall-clock bound on the whole mpiexec subprocess.
+_DEFAULT_LAUNCH_TIMEOUT_S = 600.0
+
+
+class MpiUnavailableError(RuntimeError):
+    """Raised when the mpi backend is requested but mpi4py/mpiexec is absent."""
+
+
+def mpi_available() -> bool:
+    """True when :mod:`mpi4py` is importable (without initializing MPI)."""
+    try:
+        import importlib.util
+
+        return importlib.util.find_spec("mpi4py") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def mpiexec_available() -> bool:
+    """True when an ``mpiexec`` launcher is on PATH."""
+    return shutil.which("mpiexec") is not None
+
+
+def world_size_hint() -> int:
+    """Rank count of the surrounding MPI launch, from the launcher's env.
+
+    Reads the environment instead of importing mpi4py so that asking
+    "am I under mpiexec?" never initializes MPI in a plain process.
+    Returns 1 outside any launcher.
+    """
+    for var in ("OMPI_COMM_WORLD_SIZE", "PMI_SIZE", "SLURM_NTASKS"):
+        value = os.environ.get(var)
+        if value:
+            try:
+                return max(1, int(value))
+            except ValueError:
+                continue
+    return 1
+
+
+def world_rank_hint() -> int:
+    """This process's rank in the surrounding MPI launch (0 outside one).
+
+    The CLI uses this to restrict printing and file output to rank 0
+    without importing mpi4py on non-MPI runs.
+    """
+    for var in ("OMPI_COMM_WORLD_RANK", "PMI_RANK", "SLURM_PROCID"):
+        value = os.environ.get(var)
+        if value:
+            try:
+                return max(0, int(value))
+            except ValueError:
+                continue
+    return 0
+
+
+def in_mpi_world() -> bool:
+    """True when this process was started by an MPI launcher."""
+    return world_size_hint() > 1
+
+
+def _require_mpi():
+    """Import and return :mod:`mpi4py.MPI`, or raise MpiUnavailableError."""
+    try:
+        from mpi4py import MPI
+    except ImportError as exc:
+        raise MpiUnavailableError(
+            "the mpi backend needs mpi4py (pip install mpi4py) and an MPI "
+            "runtime (e.g. OpenMPI); use backend='thread' or 'mp' otherwise"
+        ) from exc
+    return MPI
+
+
+class MpiCommunicator:
+    """One rank's endpoint over a real mpi4py communicator.
+
+    Same public surface as :class:`~repro.vmp.comm.Communicator` and
+    :class:`~repro.vmp.process_backend.MpCommunicator`: point-to-point
+    ops with logical tags, the full collective set (reused from
+    :mod:`repro.vmp.collectives`), a modeled clock, per-rank
+    :class:`~repro.vmp.comm.CommStats`, and the rank's seeded random
+    stream.  ``recv_timeout`` bounds blocking receives in wall-clock
+    seconds (None: wait forever, like the thread backend's default).
+    """
+
+    def __init__(
+        self,
+        mpi_comm,
+        machine: MachineModel,
+        topology: Topology,
+        stream,
+        recv_timeout: float | None = None,
+        metrics=NOOP,
+    ):
+        self._MPI = _require_mpi()
+        self._mpi = mpi_comm
+        self.rank = int(mpi_comm.Get_rank())
+        self.size = int(mpi_comm.Get_size())
+        self.machine = machine
+        self.topology = topology
+        self.stream = stream
+        self.recv_timeout = recv_timeout
+        self.clock = ModelClock()
+        self.stats = CommStats()
+        #: Fault injection is thread/mp-only (see module docstring);
+        #: the attribute exists so shared driver code can test it.
+        self.fault_state = None
+        #: Per-rank recorders cannot be aggregated across MPI processes
+        #: mid-run; the launcher folds CommStats and the clock breakdown
+        #: into the run registry afterwards (run_spmd backend dispatch).
+        self.metrics = metrics
+        #: Unmatched in-band messages: (src, logical_tag, arrival, payload).
+        self._stash: list[tuple[int, int, float, Any]] = []
+        #: Outstanding MPI isend requests (reaped opportunistically).
+        self._pending_sends: list = []
+
+    def sync_metrics(self) -> None:
+        """No-op counterpart of Communicator.sync_metrics (metrics is NOOP)."""
+
+    # -- modeled compute ---------------------------------------------------
+    def charge_compute(self, flops: float) -> None:
+        self.clock.charge(self.machine.compute_time(flops), "compute")
+
+    def charge_seconds(self, seconds: float, category: str = "compute") -> None:
+        self.clock.charge(seconds, category)
+
+    # -- point-to-point ----------------------------------------------------
+    def _reap_sends(self) -> None:
+        """Drop completed isend requests without blocking."""
+        if self._pending_sends:
+            self._pending_sends = [
+                req for req in self._pending_sends if not req.Test()
+            ]
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send: returns once the message is en route."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        nbytes = payload_nbytes(obj)
+        hops = self.topology.hops(self.rank, dest)
+        start = self.clock.now
+        self.clock.charge(
+            self.machine.latency + self.machine.byte_time * nbytes, "comm"
+        )
+        arrival = (
+            start
+            + self.machine.latency
+            + self.machine.hop_time * hops
+            + self.machine.byte_time * nbytes
+        )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        wire = (self.rank, tag, arrival, obj)
+        if dest == self.rank:
+            # Self-delivery never touches MPI; copy to preserve the
+            # disjoint-address-space semantics of the other backends.
+            self._stash.append((self.rank, tag, arrival, _copy_payload(obj)))
+            return
+        self._pending_sends.append(
+            self._mpi.isend(wire, dest=dest, tag=_WIRE_TAG)
+        )
+        self._reap_sends()
+
+    def _stash_match(self, source: int, tag: int):
+        """Pop and return the first stashed match, or None."""
+        for i, (src, t, _arrival, _obj) in enumerate(self._stash):
+            if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
+                return self._stash.pop(i)
+        return None
+
+    def _drain_inbox(self) -> bool:
+        """Move every already-arrived wire message into the stash."""
+        got_any = False
+        while self._mpi.iprobe(source=self._MPI.ANY_SOURCE, tag=_WIRE_TAG):
+            self._stash.append(
+                self._mpi.recv(source=self._MPI.ANY_SOURCE, tag=_WIRE_TAG)
+            )
+            got_any = True
+        return got_any
+
+    # -- collect hooks shared with :class:`repro.vmp.comm.Request` ---------
+    def _try_collect(self, source: int, tag: int):
+        """Nonblocking matching receive (None: no match available)."""
+        match = self._stash_match(source, tag)
+        if match is not None:
+            return match
+        self._reap_sends()
+        self._drain_inbox()
+        return self._stash_match(source, tag)
+
+    def _collect(self, source: int, tag: int):
+        """Blocking matching receive honoring ``recv_timeout``."""
+        deadline = (
+            None
+            if self.recv_timeout is None
+            else time.monotonic() + self.recv_timeout
+        )
+        wait = 0.0005
+        while True:
+            match = self._stash_match(source, tag)
+            if match is not None:
+                return match
+            self._reap_sends()
+            if deadline is None:
+                # Nothing stashed matches: block on the wire.  Any
+                # message unblocks us; non-matching ones are stashed
+                # and the loop re-scans.
+                self._stash.append(
+                    self._mpi.recv(source=self._MPI.ANY_SOURCE, tag=_WIRE_TAG)
+                )
+                continue
+            if self._drain_inbox():
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                stashed = [(s, t) for s, t, _, _ in self._stash]
+                raise RankFailure(
+                    failed_rank=None if source == ANY_SOURCE else source,
+                    detected_by=self.rank,
+                    via="timeout",
+                    detail=(
+                        f"no message (source={source}, tag={tag}) within "
+                        f"{self.recv_timeout}s; stash holds {len(stashed)} "
+                        f"unmatched message(s) {stashed[:8]}"
+                    ),
+                )
+            # Exponential backoff (0.5 ms doubling to 50 ms): prompt
+            # matching without busy-spinning the MPI progress engine.
+            time.sleep(min(wait, remaining))
+            wait = min(wait * 2, 0.05)
+
+    def _complete_recv(self, msg) -> Any:
+        """Charge and count one completed receive; returns the payload."""
+        _src, _tag, arrival, payload = msg
+        self.clock.charge(self.machine.latency, "comm")
+        self.clock.advance_to(arrival, "comm_wait")
+        self.stats.messages_received += 1
+        self.stats.bytes_received += payload_nbytes(payload)
+        return payload
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload object."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        return self._complete_recv(self._collect(source, tag))
+
+    def sendrecv(self, obj, dest, source, sendtag=0, recvtag=0):
+        """Combined exchange; sends never block, so no deadlock."""
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; complete on return (isend buffers eagerly)."""
+        self.send(obj, dest, tag=tag)
+        return Request(self, "send")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive with the shared :class:`Request` semantics."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        return Request(self, "recv", source=source, tag=tag)
+
+    def finalize(self) -> None:
+        """Complete every outstanding send (call after the program returns)."""
+        if self._pending_sends:
+            self._MPI.Request.Waitall(self._pending_sends)
+            self._pending_sends = []
+
+    # -- collectives: identical algorithms as the other backends -----------
+    def barrier(self) -> None:
+        from repro.vmp import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj, root: int = 0):
+        from repro.vmp import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def reduce(self, value, op=None, root: int = 0):
+        from repro.vmp import collectives
+        from repro.vmp.comm import ReduceOp
+
+        return collectives.reduce(self, value, op or ReduceOp.SUM, root)
+
+    def allreduce(self, value, op=None):
+        from repro.vmp import collectives
+        from repro.vmp.comm import ReduceOp
+
+        return collectives.allreduce(self, value, op or ReduceOp.SUM)
+
+    def gather(self, value, root: int = 0):
+        from repro.vmp import collectives
+
+        return collectives.gather(self, value, root)
+
+    def allgather(self, value):
+        from repro.vmp import collectives
+
+        return collectives.allgather(self, value)
+
+    def scatter(self, values, root: int = 0):
+        from repro.vmp import collectives
+
+        return collectives.scatter(self, values, root)
+
+    def alltoall(self, values):
+        from repro.vmp import collectives
+
+        return collectives.alltoall(self, values)
+
+    def __repr__(self) -> str:
+        return (
+            f"MpiCommunicator(rank={self.rank}, size={self.size}, "
+            f"machine={self.machine.name})"
+        )
+
+
+@dataclass
+class MpiRunResult:
+    """Outcome of an MPI-backed SPMD run (rank-ordered, like MpRunResult)."""
+
+    values: list[Any]
+    model_times: list[float]
+    breakdowns: list[dict]
+    stats: list[CommStats]
+    report: RunReport
+
+
+def run_mpi_world(
+    program: Callable[..., Any],
+    n_ranks: int | None = None,
+    machine: MachineModel = IDEAL,
+    topology: Topology | None = None,
+    seed: int = 0,
+    args: Sequence[Any] = (),
+    recv_timeout: float | None = None,
+) -> MpiRunResult:
+    """Run ``program(comm, *args)`` on every rank of ``MPI.COMM_WORLD``.
+
+    Must be called collectively from a process already launched by
+    ``mpiexec`` (every rank executes it, ordinary SPMD style).  Returns
+    the same :class:`MpiRunResult` -- with *all* ranks' values,
+    modeled clocks, breakdowns and comm stats -- on every rank, so the
+    calling code (the Simulation facade, the CLI) runs identically
+    everywhere and only output needs a rank-0 guard.
+
+    ``n_ranks`` asserts the expected world size; a mismatch means the
+    user forgot ``-n`` or asked for a different ``--ranks``.
+    """
+    MPI = _require_mpi()
+    world = MPI.COMM_WORLD
+    size = world.Get_size()
+    if n_ranks is not None and n_ranks != size:
+        raise ValueError(
+            f"MPI world has {size} rank(s) but the run asked for "
+            f"{n_ranks}; launch with: mpiexec -n {n_ranks} python ..."
+        )
+    if size > machine.max_nodes:
+        raise ValueError(
+            f"{machine.name} supports at most {machine.max_nodes} nodes, "
+            f"asked for {size}"
+        )
+    topo = topology if topology is not None else machine.topology(size)
+    if topo.size != size:
+        raise ValueError(f"topology size {topo.size} != world size {size}")
+    stream = SeedSequenceFactory(seed).rank_stream(world.Get_rank())
+    comm = MpiCommunicator(
+        world, machine, topo, stream, recv_timeout=recv_timeout
+    )
+    try:
+        value = program(comm, *args)
+        comm.finalize()
+    except BaseException:
+        # The standard MPI idiom: a failed rank takes the job down.
+        # Graceful per-rank failure reporting (poison pills, dead-rank
+        # registry) is a thread/mp feature; see DESIGN.md.
+        traceback.print_exc()
+        sys.stderr.flush()
+        world.Abort(13)
+        raise  # unreachable; keeps static analysis honest
+    outcomes = world.allgather(
+        (value, comm.clock.now, comm.clock.breakdown(), comm.stats)
+    )
+    report = RunReport(n_ranks=size)
+    report.completed = list(range(size))
+    return MpiRunResult(
+        values=[o[0] for o in outcomes],
+        model_times=[o[1] for o in outcomes],
+        breakdowns=[o[2] for o in outcomes],
+        stats=[o[3] for o in outcomes],
+        report=report,
+    )
+
+
+def _mpiexec_cmd(
+    mpiexec: str, n_ranks: int, worker_args: list[str], oversubscribe: bool
+) -> list[str]:
+    cmd = [mpiexec, "-n", str(n_ranks)]
+    if oversubscribe:
+        cmd.append("--oversubscribe")
+    return cmd + [sys.executable, "-m", "repro.vmp.mpi_worker", *worker_args]
+
+
+def run_mpiexec(
+    program: Callable[..., Any],
+    n_ranks: int,
+    machine: MachineModel = IDEAL,
+    topology: Topology | None = None,
+    seed: int = 0,
+    args: Sequence[Any] = (),
+    recv_timeout: float | None = None,
+    launch_timeout: float = _DEFAULT_LAUNCH_TIMEOUT_S,
+    mpiexec: str = "mpiexec",
+) -> MpiRunResult:
+    """Launch ``mpiexec -n P python -m repro.vmp.mpi_worker`` and collect.
+
+    For callers *not* already under an MPI launcher (pytest, the
+    cross-backend agreement suite): the run request -- program object,
+    machine model, topology, seed, args -- is pickled to a scratch
+    file, ``mpiexec`` starts ``n_ranks`` fresh interpreters running
+    :mod:`repro.vmp.mpi_worker`, rank 0 writes the gathered
+    :class:`MpiRunResult` back, and this process loads and returns it.
+    ``program`` must be picklable (defined at module top level), the
+    same constraint the multiprocessing backend imposes.
+
+    Raises :class:`MpiUnavailableError` when mpi4py or ``mpiexec`` is
+    missing, and :class:`~repro.vmp.faults.RankFailure` (via
+    ``"mpiexec"``) when the job exits nonzero.
+    """
+    if not mpi_available():
+        raise MpiUnavailableError(
+            "mpi4py is not installed; the mpi backend cannot run "
+            "(pip install mpi4py, plus an MPI runtime such as OpenMPI)"
+        )
+    if shutil.which(mpiexec) is None:
+        raise MpiUnavailableError(
+            f"no {mpiexec!r} launcher on PATH; install an MPI runtime "
+            f"(e.g. OpenMPI) or run under an existing MPI world"
+        )
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    payload = {
+        "program": program,
+        "machine": machine,
+        "topology": topology,
+        "seed": seed,
+        "args": tuple(args),
+        "recv_timeout": recv_timeout,
+    }
+    env = dict(os.environ)
+    # The workers must import repro from the same tree as this process.
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    with tempfile.TemporaryDirectory(prefix="vmp-mpi-") as tmp:
+        payload_path = Path(tmp) / "payload.pkl"
+        result_path = Path(tmp) / "result.pkl"
+        payload_path.write_bytes(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        worker_args = [str(payload_path), str(result_path)]
+        proc = subprocess.run(
+            _mpiexec_cmd(mpiexec, n_ranks, worker_args, oversubscribe=False),
+            capture_output=True,
+            text=True,
+            timeout=launch_timeout,
+            env=env,
+        )
+        if proc.returncode != 0 and "not enough slots" in (
+            proc.stderr + proc.stdout
+        ):
+            # OpenMPI refuses P > cores by default; retry oversubscribed
+            # (QMC ranks are compute-light at test sizes).
+            proc = subprocess.run(
+                _mpiexec_cmd(mpiexec, n_ranks, worker_args, oversubscribe=True),
+                capture_output=True,
+                text=True,
+                timeout=launch_timeout,
+                env=env,
+            )
+        if proc.returncode != 0:
+            tail = "\n".join(
+                (proc.stderr or proc.stdout or "").strip().splitlines()[-12:]
+            )
+            raise RankFailure(
+                failed_rank=None,
+                detected_by=-1,
+                via="mpiexec",
+                detail=(
+                    f"mpiexec exited with status {proc.returncode}; "
+                    f"output tail:\n{tail}"
+                ),
+            )
+        if not result_path.exists():
+            raise RankFailure(
+                failed_rank=None,
+                detected_by=-1,
+                via="mpiexec",
+                detail="mpiexec exited cleanly but rank 0 wrote no result",
+            )
+        result: MpiRunResult = pickle.loads(result_path.read_bytes())
+    return result

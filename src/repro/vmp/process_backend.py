@@ -47,7 +47,7 @@ import numpy as np
 from repro.obs.metrics import NOOP
 from repro.util.rng import SeedSequenceFactory
 from repro.util.timer import ModelClock
-from repro.vmp.comm import ANY_SOURCE, ANY_TAG, payload_nbytes
+from repro.vmp.comm import ANY_SOURCE, ANY_TAG, CommStats, Request, payload_nbytes
 from repro.vmp.faults import (
     AbortRecord,
     FaultPlan,
@@ -145,8 +145,11 @@ class MpCommunicator:
         self._inboxes = inboxes
         self._stash: list[tuple[int, int, float, Any]] = []
         self.clock = ModelClock()
+        self.stats = CommStats()
         # Telemetry recorders cannot cross process boundaries; driver
-        # code can still reference comm.metrics uniformly.
+        # code can still reference comm.metrics uniformly.  The launcher
+        # folds CommStats and the clock breakdown into the run's
+        # registry after the fact (see run_spmd backend dispatch).
         self.metrics = NOOP
 
     def sync_metrics(self) -> None:
@@ -179,6 +182,8 @@ class MpCommunicator:
         if self.fault_state is not None:
             extra, drop = self.fault_state.outgoing(dest)
             arrival += extra
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
         if drop:
             return  # injected loss: sender charged, message never delivered
         self._inboxes[dest].put((self.rank, tag, arrival, _pack_payload(obj)))
@@ -196,18 +201,45 @@ class MpCommunicator:
             f"message(s) {stashed[:8]}, inbox qsize={inbox_n}"
         )
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
-        if self.fault_state is not None:
-            self.fault_state.on_op(self.clock)
+    def _raise_poison(self, item) -> None:
+        _, origin, reason = item
+        raise RankFailure(
+            failed_rank=origin,
+            detected_by=self.rank,
+            via="poison-pill",
+            detail=reason,
+        )
+
+    def _stash_match(self, source: int, tag: int):
+        """Pop and return the first stashed match, or None."""
+        for i, (src, t, _arrival, _obj) in enumerate(self._stash):
+            if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
+                return self._stash.pop(i)
+        return None
+
+    # -- collect hooks shared with :class:`repro.vmp.comm.Request` ---------
+    def _try_collect(self, source: int, tag: int):
+        """Nonblocking matching receive (drains the inbox; None: no match)."""
+        match = self._stash_match(source, tag)
+        if match is not None:
+            return match
+        while True:
+            try:
+                item = self._inboxes[self.rank].get_nowait()
+            except queue_mod.Empty:
+                return self._stash_match(source, tag)
+            if item[0] == _POISON:
+                self._raise_poison(item)
+            self._stash.append(item)
+
+    def _collect(self, source: int, tag: int):
+        """Blocking matching receive with the configured wall-clock bound."""
         deadline = time.monotonic() + self.recv_timeout
         wait = 0.005
         while True:
-            for i, (src, t, arrival, obj) in enumerate(self._stash):
-                if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
-                    self._stash.pop(i)
-                    self.clock.charge(self.machine.latency, "comm")
-                    self.clock.advance_to(arrival, "comm_wait")
-                    return _unpack_payload(obj)
+            match = self._stash_match(source, tag)
+            if match is not None:
+                return match
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise RankFailure(
@@ -224,18 +256,38 @@ class MpCommunicator:
                 wait = min(wait * 2, 0.25)
                 continue
             if item[0] == _POISON:
-                _, origin, reason = item
-                raise RankFailure(
-                    failed_rank=origin,
-                    detected_by=self.rank,
-                    via="poison-pill",
-                    detail=reason,
-                )
+                self._raise_poison(item)
             self._stash.append(item)
+
+    def _complete_recv(self, msg) -> Any:
+        """Charge and count one completed receive; returns the payload."""
+        _src, _t, arrival, obj = msg
+        payload = _unpack_payload(obj)
+        self.clock.charge(self.machine.latency, "comm")
+        self.clock.advance_to(arrival, "comm_wait")
+        self.stats.messages_received += 1
+        self.stats.bytes_received += payload_nbytes(payload)
+        return payload
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        if self.fault_state is not None:
+            self.fault_state.on_op(self.clock)
+        return self._complete_recv(self._collect(source, tag))
 
     def sendrecv(self, obj, dest, source, sendtag=0, recvtag=0):
         self.send(obj, dest, tag=sendtag)
         return self.recv(source=source, tag=recvtag)
+
+    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; complete on return (queue put buffers eagerly)."""
+        self.send(obj, dest, tag=tag)
+        return Request(self, "send")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive with the shared :class:`Request` semantics."""
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        return Request(self, "recv", source=source, tag=tag)
 
     # -- collectives: identical algorithms as the thread backend -------------
     def barrier(self) -> None:
@@ -285,14 +337,21 @@ class MpCommunicator:
 class MpRunResult:
     """Outcome of a :func:`run_multiprocessing` run.
 
-    ``values`` and ``model_times`` are rank-ordered; ``report`` is the
-    run's :class:`~repro.vmp.faults.RunReport` (all-completed here --
-    failed runs raise instead of returning).
+    ``values``, ``model_times``, ``breakdowns`` and ``stats`` are
+    rank-ordered; ``report`` is the run's
+    :class:`~repro.vmp.faults.RunReport` (all-completed here -- failed
+    runs raise instead of returning).  ``breakdowns`` holds each rank's
+    modeled-clock category split and ``stats`` its
+    :class:`~repro.vmp.comm.CommStats`, which is what lets the backend
+    dispatcher present mp runs as ordinary
+    :class:`~repro.vmp.scheduler.SpmdResult` objects.
     """
 
     values: list[Any]
     model_times: list[float]
     report: RunReport
+    breakdowns: list[dict] = None
+    stats: list[CommStats] = None
 
 
 def _poison_all(inboxes, skip: int, origin: int, reason: str) -> None:
@@ -327,7 +386,8 @@ def _worker(
             recv_timeout=recv_timeout, fault_state=fault_state,
         )
         value = program(comm, *args)
-        results.put((rank, "ok", value, comm.clock.now))
+        results.put((rank, "ok", value, comm.clock.now,
+                     comm.clock.breakdown(), comm.stats))
     except RankFailure as exc:
         # Survivor that detected a peer death: report the abort and
         # forward the culprit so ranks blocked on *us* also fail fast.
@@ -335,13 +395,13 @@ def _worker(
         _poison_all(inboxes, rank, exc.failed_rank if exc.failed_rank is not None
                     else rank, str(exc))
         results.put((rank, "detected", (exc.failed_rank, exc.via, str(exc)),
-                     model_time))
+                     model_time, {}, None))
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         model_time = comm.clock.now if comm is not None else 0.0
         _poison_all(inboxes, rank, rank, repr(exc))
         results.put(
             (rank, "error", (repr(exc), isinstance(exc, InjectedRankCrash)),
-             model_time)
+             model_time, {}, None)
         )
 
 
@@ -392,6 +452,8 @@ def run_multiprocessing(
 
     outcomes: dict[int, Any] = {}
     model_times: dict[int, float] = {}
+    breakdowns: dict[int, dict] = {}
+    stats: dict[int, CommStats] = {}
     report = RunReport(n_ranks=n_ranks)
     pending = set(range(n_ranks))
     dead_since: dict[int, float] = {}
@@ -405,7 +467,9 @@ def run_multiprocessing(
                 f"{join_timeout}s; ranks {sorted(pending)} never reported"
             )
         try:
-            rank, status, value, model_time = results.get(timeout=0.05)
+            rank, status, value, model_time, breakdown, rank_stats = results.get(
+                timeout=0.05
+            )
         except queue_mod.Empty:
             # Liveness sweep: a worker that died without reporting
             # (SIGKILL, interpreter abort) is detected from its exit
@@ -430,8 +494,10 @@ def run_multiprocessing(
             continue
         pending.discard(rank)
         model_times[rank] = model_time
+        breakdowns[rank] = breakdown or {}
         if status == "ok":
             outcomes[rank] = value
+            stats[rank] = rank_stats if rank_stats is not None else CommStats()
         elif status == "detected":
             failed_rank, via, detail = value
             report.aborted.append(
@@ -471,4 +537,6 @@ def run_multiprocessing(
         values=[outcomes[r] for r in range(n_ranks)],
         model_times=[model_times[r] for r in range(n_ranks)],
         report=report,
+        breakdowns=[breakdowns[r] for r in range(n_ranks)],
+        stats=[stats[r] for r in range(n_ranks)],
     )

@@ -6,9 +6,12 @@ the same shape as an mpi4py ``main(comm)``.  :func:`run_spmd` launches
 one OS thread per rank over a shared in-process fabric.  Threads (not
 processes) are the right default here: payloads move by deep copy, the
 GIL serializes the NumPy-light control flow anyway, and modeled time --
-not wall time -- is what the benchmarks report.  For real-process
-execution of the same program object see
-:mod:`repro.vmp.process_backend`.
+not wall time -- is what the benchmarks report.  The ``backend``
+parameter routes the *same program object* to real OS processes
+(``"mp"``, :mod:`repro.vmp.process_backend`) or real message passing
+under an MPI launcher (``"mpi"``, :mod:`repro.vmp.mpi_backend`), all
+three returning a uniform :class:`SpmdResult` with bit-identical
+trajectories.
 
 Failure handling: if any rank raises, the rank is registered in the
 fabric's dead-rank registry; blocked peers wake immediately with a
@@ -42,7 +45,7 @@ from repro.vmp.faults import (
 from repro.vmp.machines import IDEAL, MachineModel
 from repro.vmp.topology import Topology
 
-__all__ = ["SpmdResult", "run_spmd"]
+__all__ = ["BACKENDS", "SpmdResult", "run_spmd"]
 
 
 @dataclass
@@ -160,6 +163,118 @@ class _RankBox:
     done: bool = field(default=False)
 
 
+#: Execution backends selectable via ``run_spmd(backend=...)``.
+BACKENDS = ("thread", "mp", "mpi")
+
+
+def _fold_backend_metrics(metrics, outcomes) -> None:
+    """Fold per-rank comm stats and phase breakdowns into a registry.
+
+    The mp and mpi backends run ranks in separate processes, so the
+    live in-run recorders cannot be shared; what *can* be reported
+    faithfully after the fact is exactly what the thread backend's
+    ``sync_metrics`` + scheduler phase gauges record: comm counters and
+    the modeled-clock phase split.  Sweep-level counters (attempted /
+    accepted / wall time) stay thread-backend-only; DESIGN.md carries
+    the support matrix.
+    """
+    for o in outcomes:
+        scope = metrics.scope(o.rank)
+        scope.counter("comm.messages_sent").value = float(o.messages_sent)
+        scope.counter("comm.bytes_sent").value = float(o.bytes_sent)
+        scope.counter("comm.wait_seconds").value = o.breakdown.get(
+            "comm_wait", 0.0
+        )
+        scope.set_gauge("phase.compute_seconds", o.breakdown.get("compute", 0.0))
+        scope.set_gauge("phase.comm_seconds", o.breakdown.get("comm", 0.0))
+        scope.set_gauge("phase.idle_seconds", o.breakdown.get("comm_wait", 0.0))
+        scope.set_gauge("phase.model_seconds", o.model_time)
+
+
+def _result_from_backend(
+    backend_result, machine: MachineModel, topo: Topology, metrics
+) -> SpmdResult:
+    """Present an Mp/MpiRunResult as a uniform :class:`SpmdResult`."""
+    stats = backend_result.stats or [None] * len(backend_result.values)
+    breakdowns = backend_result.breakdowns or [{}] * len(backend_result.values)
+    outcomes = [
+        RankOutcome(
+            rank=r,
+            value=value,
+            model_time=backend_result.model_times[r],
+            breakdown=breakdowns[r] or {},
+            messages_sent=stats[r].messages_sent if stats[r] else 0,
+            bytes_sent=stats[r].bytes_sent if stats[r] else 0,
+        )
+        for r, value in enumerate(backend_result.values)
+    ]
+    if metrics is not None:
+        _fold_backend_metrics(metrics, outcomes)
+    return SpmdResult(
+        outcomes=outcomes,
+        machine=machine,
+        topology=topo,
+        trace=None,
+        report=backend_result.report,
+        metrics=metrics,
+        spans=None,
+    )
+
+
+def _run_spmd_dispatch(
+    backend: str,
+    program: Callable[..., Any],
+    n_ranks: int,
+    machine: MachineModel,
+    topo: Topology,
+    seed: int,
+    args: Sequence[Any],
+    trace: bool,
+    fault_plan: FaultPlan | None,
+    recv_timeout: float | None,
+    metrics: MetricsRegistry | None,
+    spans: bool,
+) -> SpmdResult:
+    """Route a run to the mp or mpi backend, normalizing the result."""
+    if trace or spans:
+        raise ValueError(
+            f"message tracing and phase spans need the in-process clock "
+            f"observers of the thread backend; backend={backend!r} cannot "
+            f"export them (see the DESIGN.md support matrix)"
+        )
+    if backend == "mp":
+        from repro.vmp import process_backend
+
+        mp_kwargs = {}
+        if recv_timeout is not None:
+            mp_kwargs["recv_timeout"] = recv_timeout
+        res = process_backend.run_multiprocessing(
+            program, n_ranks, machine=machine, topology=topo, seed=seed,
+            args=args, fault_plan=fault_plan, **mp_kwargs,
+        )
+        return _result_from_backend(res, machine, topo, metrics)
+    # mpi
+    if fault_plan is not None:
+        raise ValueError(
+            "fault injection is a thread/mp-only feature: an injected "
+            "crash under real MPI aborts the whole job instead of "
+            "exercising recovery (see DESIGN.md)"
+        )
+    from repro.vmp import mpi_backend
+
+    if mpi_backend.in_mpi_world():
+        res = mpi_backend.run_mpi_world(
+            program, n_ranks=n_ranks, machine=machine, topology=topo,
+            seed=seed, args=args, recv_timeout=recv_timeout,
+        )
+    else:
+        res = mpi_backend.run_mpiexec(
+            program, n_ranks, machine=machine, topology=topo, seed=seed,
+            args=args, recv_timeout=recv_timeout,
+        )
+    return _result_from_backend(res, machine, topo, metrics)
+
+
 def run_spmd(
     program: Callable[..., Any],
     n_ranks: int,
@@ -172,6 +287,7 @@ def run_spmd(
     recv_timeout: float | None = None,
     metrics: MetricsRegistry | None = None,
     spans: bool = False,
+    backend: str = "thread",
 ) -> SpmdResult:
     """Run ``program(comm, *args)`` on ``n_ranks`` simulated processors.
 
@@ -192,7 +308,7 @@ def run_spmd(
         ``comm.stream``.
     fault_plan:
         Deterministic fault injection (crashes, delays, stalls); see
-        :mod:`repro.vmp.faults`.
+        :mod:`repro.vmp.faults`.  Thread and mp backends only.
     recv_timeout:
         Wall-clock bound on every blocking receive; expiry raises a
         structured :class:`~repro.vmp.faults.RankFailure` in the
@@ -201,13 +317,25 @@ def run_spmd(
     metrics:
         A :class:`~repro.obs.metrics.MetricsRegistry` to record into;
         each rank gets its own scope.  ``None`` (default) records
-        nothing -- ranks run against the free NOOP recorder.
+        nothing.  On the mp/mpi backends the registry receives the
+        end-of-run comm counters and phase gauges (recorders cannot
+        cross process boundaries mid-run).
     spans:
         When True, attach a :class:`~repro.obs.spans.SpanCollector` to
         every rank's modeled clock; the result's ``spans`` field then
         holds the per-rank compute/comm/idle phase history, exportable
-        via ``SpmdResult.chrome_trace()``.
+        via ``SpmdResult.chrome_trace()``.  Thread backend only.
+    backend:
+        Execution backend: ``"thread"`` (default; cooperative threads
+        over the in-process fabric), ``"mp"`` (real OS processes via
+        :mod:`repro.vmp.process_backend`), or ``"mpi"`` (real message
+        passing via :mod:`repro.vmp.mpi_backend`; runs in the current
+        MPI world under ``mpiexec``, else launches one).  All three
+        run the identical program object and produce bit-identical
+        trajectories.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
     if n_ranks < 1:
         raise ValueError("need at least one rank")
     if n_ranks > machine.max_nodes:
@@ -215,6 +343,11 @@ def run_spmd(
             f"{machine.name} supports at most {machine.max_nodes} nodes, asked for {n_ranks}"
         )
     topo = topology if topology is not None else machine.topology(n_ranks)
+    if backend != "thread":
+        return _run_spmd_dispatch(
+            backend, program, n_ranks, machine, topo, seed, args, trace,
+            fault_plan, recv_timeout, metrics, spans,
+        )
     fabric = Fabric(n_ranks, machine, topo, trace=trace)
     factory = SeedSequenceFactory(seed)
     boxes = [_RankBox() for _ in range(n_ranks)]

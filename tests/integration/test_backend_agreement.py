@@ -1,0 +1,99 @@
+"""Cross-backend agreement: thread vs mp vs mpi, bit for bit.
+
+The whole point of the backend abstraction is that the *same* rank
+program produces the *same* trajectory -- observables, acceptance
+counts, modeled makespan -- whether the ranks are cooperative threads,
+OS processes, or real MPI processes under mpiexec.  This suite pins
+that guarantee at P in {1, 2, 4} for both sweep kernels (scalar and
+vectorized) of the strip world-line driver, plus the block Ising
+driver.  The mpi leg skips where mpi4py/mpiexec are absent; CI's MPI
+job runs it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qmc.parallel import (
+    IsingBlockConfig,
+    WorldlineStripConfig,
+    ising_block_program,
+    worldline_strip_program,
+)
+from repro.vmp.machines import PARAGON
+from repro.vmp.mpi_backend import mpi_available, mpiexec_available
+from repro.vmp.scheduler import run_spmd
+
+HAVE_REAL_MPI = mpi_available() and mpiexec_available()
+
+BACKENDS_UNDER_TEST = ["mp"] + (["mpi"] if HAVE_REAL_MPI else [])
+
+
+def _strip_cfg(mode: str) -> WorldlineStripConfig:
+    return WorldlineStripConfig(
+        n_sites=16, jz=1.0, jxy=0.8, beta=0.9, n_slices=8,
+        n_sweeps=24, n_thermalize=6, mode=mode,
+    )
+
+
+def _block_cfg() -> IsingBlockConfig:
+    return IsingBlockConfig(
+        lx=8, ly=8, lt=8, kx=0.25, ky=0.25, kt=0.4,
+        n_sweeps=20, n_thermalize=5,
+    )
+
+
+def _run_strip(backend: str, n_ranks: int, mode: str):
+    return run_spmd(
+        worldline_strip_program, n_ranks, machine=PARAGON, seed=42,
+        args=(_strip_cfg(mode), None), backend=backend,
+    )
+
+
+def _assert_identical(ref, got) -> None:
+    """Full trajectory + accounting equality between two SpmdResults."""
+    for r_ref, r_got in zip(ref.values, got.values):
+        np.testing.assert_array_equal(r_ref["energy"], r_got["energy"])
+        np.testing.assert_array_equal(
+            r_ref["magnetization"], r_got["magnetization"]
+        )
+        assert r_ref["n_attempted"] == r_got["n_attempted"]
+        assert r_ref["n_accepted"] == r_got["n_accepted"]
+    assert got.elapsed_model_time == ref.elapsed_model_time
+    assert got.total_messages == ref.total_messages
+    assert got.total_bytes == ref.total_bytes
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("mode", ["scalar", "vectorized"])
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+class TestStripAgreement:
+    def test_bit_identical_to_thread(self, backend, mode, n_ranks):
+        ref = _run_strip("thread", n_ranks, mode)
+        got = _run_strip(backend, n_ranks, mode)
+        _assert_identical(ref, got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+def test_block_driver_agrees(backend):
+    def run(b):
+        return run_spmd(
+            ising_block_program, 4, machine=PARAGON, seed=7,
+            args=(_block_cfg(), None), backend=b,
+        )
+
+    ref, got = run("thread"), run(backend)
+    for r_ref, r_got in zip(ref.values, got.values):
+        np.testing.assert_array_equal(r_ref["bond_sums"], r_got["bond_sums"])
+        np.testing.assert_array_equal(
+            r_ref["magnetization"], r_got["magnetization"]
+        )
+    assert got.elapsed_model_time == ref.elapsed_model_time
+
+
+@pytest.mark.parametrize("backend", ["thread"] + BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("mode", ["scalar", "vectorized"])
+def test_rerun_is_deterministic(backend, mode):
+    # Same seed, same backend, run twice: byte-for-byte repeatable.
+    a = _run_strip(backend, 2, mode)
+    b = _run_strip(backend, 2, mode)
+    _assert_identical(a, b)

@@ -8,9 +8,6 @@ must agree within a structural factor (the model idealizes message
 schedules, the driver also ships measurement halos).
 """
 
-import math
-
-import numpy as np
 import pytest
 
 from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE

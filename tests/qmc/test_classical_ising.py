@@ -5,12 +5,8 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.models.ising_exact import (
-    onsager_critical_temperature,
-    onsager_energy_per_site,
-)
+from repro.models.ising_exact import onsager_energy_per_site
 from repro.qmc.classical_ising import AnisotropicIsing
-from repro.util.rng import SeedSequenceFactory
 
 
 class TestConstruction:

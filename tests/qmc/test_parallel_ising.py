@@ -10,7 +10,6 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.lattice.decomposition import BlockDecomposition
 from repro.qmc.classical_ising import AnisotropicIsing
 from repro.qmc.parallel import IsingBlockConfig, ising_block_program
 from repro.util.rng import SeedSequenceFactory

@@ -1,6 +1,5 @@
 """Tests for the structured profiling helper."""
 
-import time
 
 import pytest
 

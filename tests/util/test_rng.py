@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.rng import RankStream, SeedSequenceFactory, spawn_streams
+from repro.util.rng import SeedSequenceFactory, spawn_streams
 
 
 class TestSeedSequenceFactory:

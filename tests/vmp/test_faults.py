@@ -17,7 +17,6 @@ where process spawning is restricted (see tests/vmp/README.md).
 import os
 import time
 
-import numpy as np
 import pytest
 
 from repro.qmc.parallel import WorldlineStripConfig, worldline_strip_program

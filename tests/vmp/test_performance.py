@@ -1,7 +1,5 @@
 """Tests for the closed-form performance model."""
 
-import math
-
 import pytest
 
 from repro.lattice.decomposition import StripDecomposition

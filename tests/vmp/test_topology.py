@@ -1,7 +1,6 @@
 """Tests and metric properties for interconnect topologies."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.vmp.machines import CM5, IDEAL
+from repro.vmp.machines import CM5
 from repro.vmp.scheduler import run_spmd
 from repro.vmp.trace import render_timeline, summarize_traffic
 

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over the smoke benchmark trajectory.
+
+CI's smoke-benchmark job runs ``pytest benchmarks/ --smoke``, which
+persists ``benchmarks/output/smoke/BENCH_perf_smoke.json`` (same schema
+as the committed full-tier ``BENCH_perf.json``).  This script diffs the
+fresh record against the committed baseline
+``benchmarks/BENCH_smoke_baseline.json`` and fails (exit 1) on a
+regression beyond the tolerance.
+
+Only *ratio* metrics are gated -- absolute wall-clock throughput is a
+property of the runner, but the ratios travel:
+
+* per-case vectorized/scalar site-update speedup (``records``);
+* strip-driver vectorized/scalar speedup on the thread backend at each
+  P the two documents share (``parallel_records``);
+* telemetry overhead of the ``metrics`` variant
+  (``observability_overhead``; lower is better, compared with an
+  absolute slack since its baseline sits near zero).
+
+A speedup metric regresses when it drops more than ``--tolerance``
+(default 0.20, i.e. 20%) below the baseline; the overhead metric
+regresses when it exceeds baseline + slack.  Waiver knob for known
+noisy runners or intentional trade-offs: pass ``--waive "reason"`` (or
+set ``CHECK_BENCH_WAIVE=reason``); the comparison still prints, but
+the exit status is forced to 0 and the reason is echoed for the CI
+log.  Refresh the baseline itself with ``--update-baseline`` after an
+intentional perf change, and commit the new file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FRESH_DEFAULT = REPO_ROOT / "benchmarks" / "output" / "smoke" / "BENCH_perf_smoke.json"
+BASELINE_DEFAULT = REPO_ROOT / "benchmarks" / "BENCH_smoke_baseline.json"
+
+#: Absolute slack (in overhead fraction) granted to the telemetry
+#: overhead metric on top of the relative tolerance: its baseline is a
+#: few percent at most, so a purely relative bound would gate on noise.
+OVERHEAD_SLACK = 0.05
+
+
+def _speedups(doc: dict) -> dict[str, float]:
+    """All gated higher-is-better ratio metrics of one record document."""
+    out: dict[str, float] = {}
+    by_case: dict[str, dict[str, float]] = {}
+    for rec in doc.get("records", []):
+        by_case.setdefault(rec["case"], {})[rec["mode"]] = rec["site_updates_per_s"]
+    for case, modes in sorted(by_case.items()):
+        if "scalar" in modes and "vectorized" in modes:
+            out[f"vectorized-speedup[{case}]"] = modes["vectorized"] / modes["scalar"]
+    strip: dict[int, dict[str, float]] = {}
+    for rec in doc.get("parallel_records", []):
+        if rec.get("backend") == "thread":
+            strip.setdefault(rec["p"], {})[rec["mode"]] = rec["site_updates_per_s"]
+    for p, modes in sorted(strip.items()):
+        if "scalar" in modes and "vectorized" in modes:
+            out[f"strip-speedup[P={p}]"] = modes["vectorized"] / modes["scalar"]
+    return out
+
+
+def _overhead(doc: dict) -> float | None:
+    """The metrics-variant telemetry overhead, or None when absent."""
+    section = doc.get("observability_overhead") or {}
+    for rec in section.get("records", []):
+        if rec.get("variant") == "metrics":
+            return float(rec["overhead_vs_disabled"])
+    return None
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return one failure message per regressed metric (empty: pass)."""
+    failures: list[str] = []
+    fresh_speed, base_speed = _speedups(fresh), _speedups(baseline)
+    for name in sorted(base_speed):
+        if name not in fresh_speed:
+            failures.append(f"{name}: missing from the fresh record")
+            continue
+        got, want = fresh_speed[name], base_speed[name]
+        floor = want * (1.0 - tolerance)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(f"  {name:45s} baseline {want:8.2f}  fresh {got:8.2f}  "
+              f"floor {floor:8.2f}  {status}")
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.2f} is {1 - got / want:.0%} below the "
+                f"baseline {want:.2f} (tolerance {tolerance:.0%})"
+            )
+    got_ovh, want_ovh = _overhead(fresh), _overhead(baseline)
+    if want_ovh is None:
+        print("  (no observability_overhead section in the baseline; skipped)")
+    elif got_ovh is None:
+        failures.append("telemetry overhead: missing from the fresh record")
+    else:
+        ceil = want_ovh + OVERHEAD_SLACK + tolerance * abs(want_ovh)
+        status = "ok" if got_ovh <= ceil else "REGRESSED"
+        print(f"  {'telemetry-overhead[metrics]':45s} baseline {want_ovh:8.3f}  "
+              f"fresh {got_ovh:8.3f}  ceiling {ceil:8.3f}  {status}")
+        if got_ovh > ceil:
+            failures.append(
+                f"telemetry overhead: {got_ovh:.3f} exceeds baseline "
+                f"{want_ovh:.3f} + slack (ceiling {ceil:.3f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, default=FRESH_DEFAULT,
+                        help="fresh smoke record (from pytest benchmarks --smoke)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_DEFAULT,
+                        help="committed baseline record")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop of speedup metrics "
+                             "(default 0.20)")
+    parser.add_argument("--waive", metavar="REASON", default=None,
+                        help="report but do not fail (also: CHECK_BENCH_WAIVE "
+                             "env var)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy the fresh record over the baseline instead "
+                             "of comparing (commit the result)")
+    args = parser.parse_args(argv)
+
+    if not args.fresh.exists():
+        print(f"error: no fresh record at {args.fresh}; run "
+              f"'pytest benchmarks/bench_perf_kernels.py "
+              f"benchmarks/bench_obs_overhead.py --smoke' first",
+              file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated from {args.fresh}")
+        return 0
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; generate one with "
+              f"--update-baseline and commit it", file=sys.stderr)
+        return 2
+
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    print(f"comparing {args.fresh.name} against {args.baseline.name} "
+          f"(tolerance {args.tolerance:.0%}):")
+    failures = compare(fresh, baseline, args.tolerance)
+
+    waiver = args.waive or os.environ.get("CHECK_BENCH_WAIVE")
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        if waiver:
+            print(f"\nWAIVED ({waiver}); exiting 0 despite regressions")
+            return 0
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
