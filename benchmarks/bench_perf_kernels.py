@@ -34,7 +34,12 @@ from pathlib import Path
 
 from benchmarks.conftest import run_metadata, run_once
 from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
-from repro.qmc.parallel import WorldlineStripConfig, worldline_strip_program
+from repro.qmc.parallel import (
+    IsingBlockConfig,
+    WorldlineStripConfig,
+    ising_block_program,
+    worldline_strip_program,
+)
 from repro.qmc.worldline import WorldlineChainQmc
 from repro.qmc.worldline2d import WorldlineSquareQmc
 from repro.util.tables import Table
@@ -78,6 +83,10 @@ CASES = [
 STRIP_L, STRIP_T = 64, 64
 STRIP_CASE = f"strip chain L={STRIP_L} T={STRIP_T}"
 
+#: Geometry of the overlap A/B block records.
+BLOCK_L, BLOCK_T = 32, 8
+BLOCK_CASE = f"block ising {BLOCK_L}x{BLOCK_L} T={BLOCK_T}"
+
 
 def _space_time_sites(sampler) -> int:
     if isinstance(sampler, WorldlineChainQmc):
@@ -105,20 +114,25 @@ def _time_mode(factory, mode: str, n_sweeps: int) -> dict:
     }
 
 
-def _strip_config(mode: str, n_sweeps: int) -> WorldlineStripConfig:
+def _strip_config(
+    mode: str, n_sweeps: int, overlap: bool = False
+) -> WorldlineStripConfig:
     return WorldlineStripConfig(
         n_sites=STRIP_L, jz=1.0, jxy=1.0, beta=BETA, n_slices=STRIP_T,
         n_sweeps=n_sweeps, n_thermalize=2, measure_every=10, mode=mode,
+        overlap=overlap,
     )
 
 
-def _time_strip(p: int, mode: str, n_sweeps: int, backend: str) -> dict:
+def _time_strip(
+    p: int, mode: str, n_sweeps: int, backend: str, overlap: bool = False
+) -> dict:
     """Time the SPMD strip driver end to end (halo exchange included).
 
     Runs on the PARAGON machine model so the same run yields both the
     wall-clock throughput and the modeled communication fraction.
     """
-    cfg = _strip_config(mode, n_sweeps)
+    cfg = _strip_config(mode, n_sweeps, overlap)
     sweeps_total = cfg.n_sweeps + cfg.n_thermalize
     t0 = time.perf_counter()
     if backend == "thread":
@@ -136,6 +150,7 @@ def _time_strip(p: int, mode: str, n_sweeps: int, backend: str) -> dict:
         "mode": mode,
         "backend": backend,
         "p": p,
+        "overlap": overlap,
         "n_sweeps": sweeps_total,
         "seconds_per_sweep": elapsed / sweeps_total,
         "sweeps_per_s": sweeps_total / elapsed,
@@ -143,6 +158,56 @@ def _time_strip(p: int, mode: str, n_sweeps: int, backend: str) -> dict:
         "space_time_sites": sites,
         "comm_fraction_modeled": comm_fraction,
     }
+
+
+def _time_block(p: int, n_sweeps: int, overlap: bool) -> dict:
+    """Time the SPMD block Ising driver (thread backend, vectorized)."""
+    cfg = IsingBlockConfig(
+        lx=BLOCK_L, ly=BLOCK_L, lt=BLOCK_T, kx=0.3, ky=0.3, kt=0.4,
+        n_sweeps=n_sweeps, n_thermalize=2, measure_every=10,
+        overlap=overlap,
+    )
+    sweeps_total = cfg.n_sweeps + cfg.n_thermalize
+    t0 = time.perf_counter()
+    res = run_spmd(ising_block_program, p, machine=PARAGON, seed=11,
+                   args=(cfg,))
+    elapsed = time.perf_counter() - t0
+    sites = BLOCK_L * BLOCK_L * BLOCK_T
+    return {
+        "case": BLOCK_CASE,
+        "mode": "vectorized",
+        "backend": "thread",
+        "p": p,
+        "overlap": overlap,
+        "n_sweeps": sweeps_total,
+        "seconds_per_sweep": elapsed / sweeps_total,
+        "sweeps_per_s": sweeps_total / elapsed,
+        "site_updates_per_s": sites * sweeps_total / elapsed,
+        "space_time_sites": sites,
+        "comm_fraction_modeled": res.comm_fraction(),
+    }
+
+
+def collect_overlap(smoke: bool = False) -> list[dict]:
+    """Overlap A/B records: lockstep vs pipelined halos, same run setup.
+
+    Strip and block drivers at P in {2, 4} on the thread backend
+    (vectorized kernels); each record carries the modeled comm fraction
+    so ``BENCH_perf.json`` tracks how much halo time the five-stage
+    pipeline hides on the Paragon cost model.
+    """
+    records = []
+    ps = (2,) if smoke else (2, 4)
+    strip_sweeps = 4 if smoke else 20
+    block_sweeps = 2 if smoke else 10
+    for p in ps:
+        for overlap in (False, True):
+            records.append(
+                _time_strip(p, "vectorized", strip_sweeps, backend="thread",
+                            overlap=overlap)
+            )
+            records.append(_time_block(p, block_sweeps, overlap))
+    return records
 
 
 def collect(smoke: bool = False) -> list[dict]:
@@ -235,6 +300,24 @@ def render_parallel(records: list[dict], serial_rate: float) -> Table:
     return table
 
 
+def render_overlap(records: list[dict]) -> Table:
+    table = Table(
+        "Halo-overlap A/B (lockstep vs five-stage pipeline, Paragon model)",
+        ["case", "P", "overlap", "ms/sweep", "comm frac (model)"],
+    )
+    for rec in records:
+        table.add_row(
+            [
+                rec["case"],
+                rec["p"],
+                "on" if rec["overlap"] else "off",
+                1e3 * rec["seconds_per_sweep"],
+                rec["comm_fraction_modeled"],
+            ]
+        )
+    return table
+
+
 def _mode_rate(records: list[dict], backend: str, p: int, mode: str) -> float:
     for rec in records:
         if rec["backend"] == backend and rec["p"] == p and rec["mode"] == mode:
@@ -242,9 +325,19 @@ def _mode_rate(records: list[dict], backend: str, p: int, mode: str) -> float:
     raise KeyError((backend, p, mode))
 
 
+def _overlap_fraction(records: list[dict], case: str, p: int,
+                      overlap: bool) -> float:
+    for rec in records:
+        if (rec["case"] == case and rec["p"] == p
+                and rec["overlap"] is overlap):
+            return rec["comm_fraction_modeled"]
+    raise KeyError((case, p, overlap))
+
+
 def test_perf_kernels(benchmark, record, smoke):
     records = run_once(benchmark, lambda: collect(smoke))
     parallel_records = collect_parallel(smoke)
+    overlap_records = collect_overlap(smoke)
     serial_vec_rate = next(
         r["site_updates_per_s"]
         for r in records
@@ -252,7 +345,11 @@ def test_perf_kernels(benchmark, record, smoke):
     )
     table = render(records)
     ptable = render_parallel(parallel_records, serial_vec_rate)
-    record("perf_kernels", table.render() + "\n\n" + ptable.render())
+    otable = render_overlap(overlap_records)
+    record(
+        "perf_kernels",
+        table.render() + "\n\n" + ptable.render() + "\n\n" + otable.render(),
+    )
 
     json_path = SMOKE_JSON_PATH if smoke else JSON_PATH
     json_path.parent.mkdir(parents=True, exist_ok=True)
@@ -263,11 +360,24 @@ def test_perf_kernels(benchmark, record, smoke):
                 "metadata": run_metadata(),
                 "records": records,
                 "parallel_records": parallel_records,
+                "overlap_records": overlap_records,
             },
             indent=2,
         )
         + "\n"
     )
+
+    # Overlap sanity at every tier: the pipeline must never *raise* the
+    # modeled comm fraction of the identical run.
+    for rec in overlap_records:
+        if rec["overlap"]:
+            off = _overlap_fraction(
+                overlap_records, rec["case"], rec["p"], False
+            )
+            assert rec["comm_fraction_modeled"] <= off + 1e-9, (
+                f"{rec['case']} P={rec['p']}: overlap raised comm fraction "
+                f"{off:.3f} -> {rec['comm_fraction_modeled']:.3f}"
+            )
 
     speedups = {}
     by_case: dict[str, dict[str, dict]] = {}
@@ -295,4 +405,13 @@ def test_perf_kernels(benchmark, record, smoke):
     )
     assert strip_ratio >= 10.0, (
         f"strip P=4 vectorized only {strip_ratio:.1f}x over scalar"
+    )
+    # Acceptance bar of the overlap pipeline: the vectorized strip
+    # driver at P=4 drops its modeled comm fraction to <= 0.45 when
+    # halo exchanges overlap interior updates.
+    frac_on = _overlap_fraction(overlap_records, STRIP_CASE, 4, True)
+    frac_off = _overlap_fraction(overlap_records, STRIP_CASE, 4, False)
+    assert frac_on <= 0.45, (
+        f"strip P=4 overlapped comm fraction {frac_on:.3f} > 0.45 "
+        f"(lockstep {frac_off:.3f})"
     )

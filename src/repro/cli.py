@@ -47,6 +47,10 @@ def _add_layout_args(p: argparse.ArgumentParser, strategies: list[str]) -> None:
                    help="execution backend for strip/block layouts; 'mpi' "
                         "expects the command to run under "
                         "'mpiexec -n RANKS python -m repro ...'")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlap halo exchanges with interior updates in "
+                        "the strip/block sweep drivers (bit-identical "
+                        "trajectories, shorter modeled makespan)")
 
 
 def _add_mc_args(p: argparse.ArgumentParser) -> None:
@@ -141,7 +145,8 @@ def _finish_run(result, args) -> int:
 
 
 def _cmd_run_xxz(args) -> int:
-    layout = ParallelLayout(args.strategy, args.ranks, args.machine, args.backend)
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine,
+                            args.backend, overlap=args.overlap)
     cfg = XXZRunConfig(
         n_sites=args.sites,
         beta=args.beta,
@@ -165,7 +170,8 @@ def _cmd_run_xxz(args) -> int:
 
 
 def _cmd_run_xxz2d(args) -> int:
-    layout = ParallelLayout(args.strategy, args.ranks, args.machine, args.backend)
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine,
+                            args.backend, overlap=args.overlap)
     cfg = XXZ2DRunConfig(
         lx=args.lx,
         ly=args.ly,
@@ -190,7 +196,8 @@ def _cmd_run_xxz2d(args) -> int:
 
 def _cmd_run_tfim(args) -> int:
     shape = tuple(int(x) for x in args.shape.lower().split("x"))
-    layout = ParallelLayout(args.strategy, args.ranks, args.machine, args.backend)
+    layout = ParallelLayout(args.strategy, args.ranks, args.machine,
+                            args.backend, overlap=args.overlap)
     cfg = TfimRunConfig(
         spatial_shape=shape,
         beta=args.beta,

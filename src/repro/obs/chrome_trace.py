@@ -11,8 +11,11 @@ Timestamps are **modeled** microseconds -- the export of a run is
 byte-identical across reruns of the same seed.  Category mapping: the
 clock categories ``compute`` and ``comm`` pass through; ``comm_wait``
 is exported as ``idle`` (the rank is stalled waiting for data -- what
-an MPP timeline calls idle time); anything else (``stall``,
-measurement I/O) keeps its own name.
+an MPP timeline calls idle time); anything else keeps its own name.
+In particular the overlap pipeline's ``interior`` / ``boundary`` /
+``halo_wait`` spans stay visible under their own names, so a Perfetto
+view of an overlapped run shows interior compute bracketed by the halo
+post and the (usually tiny) residual wait.
 """
 
 from __future__ import annotations

@@ -38,10 +38,24 @@ Ownership conventions (world-line strip, global column indices):
   which eliminates the boundary write-back message entirely.
 * straight-line move at column ``c`` is executed by its owner only and
   writes only ``c``.
+
+Overlap pipeline (``overlap=True`` on either driver config): each
+independence class runs as **pack -> post isend/irecv -> update
+interior -> wait -> update boundary** instead of the lockstep exchange
+-> full update.  Interior sites touch no ghost data, so they update
+while the halo messages are in flight (offloaded-post cost convention,
+see :mod:`repro.vmp.comm`); boundary sites update after the wait.
+Within one class no move reads data another move writes (stride-4 /
+checkerboard separation exceeds the stencil reach) and the shared
+uniforms are indexed by *global* coordinates, so the interior-then-
+boundary order produces bit-identical trajectories -- the same spins
+flip, in a different wall order, charged to the new ``interior`` /
+``boundary`` / ``halo_wait`` clock categories.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import TYPE_CHECKING
@@ -124,7 +138,12 @@ class WorldlineStripConfig:
     ``sweep_seed`` drives the shared per-stage uniforms that make the
     trajectory independent of the rank count; ``mode`` selects the
     batched NumPy kernels (default) or the per-move scalar reference,
-    which produce bit-identical trajectories.
+    which produce bit-identical trajectories.  ``overlap`` switches
+    each stage to the five-stage pipeline (pack -> post isend/irecv ->
+    update interior -> wait -> update boundary), hiding halo latency
+    behind interior moves; trajectories stay bit-identical to the
+    lockstep path (the knob is deliberately absent from the checkpoint
+    fingerprint, so resumes may toggle it).
     """
 
     n_sites: int
@@ -137,6 +156,7 @@ class WorldlineStripConfig:
     measure_every: int = 1
     mode: str = "vectorized"
     sweep_seed: int = 12345
+    overlap: bool = False
 
     def __post_init__(self):
         if self.n_sites % 4:
@@ -175,6 +195,7 @@ class _StripState:
             -np.inf,
         )
         decomp = StripDecomposition(self.L, comm.size, require_even=True)
+        self.decomp = decomp
         piece = decomp.piece(comm.rank)
         self.start, self.stop = piece.start, piece.stop
         self.n_owned = piece.n_owned
@@ -206,6 +227,11 @@ class _StripState:
         self._u_offsets = np.concatenate(([0], np.cumsum(sizes)))
         self._u_total = int(self._u_offsets[-1])
         self._build_stage_caches()
+        #: Overlap pipeline engages only with real neighbors (P > 1) and
+        #: a non-degenerate interior in every independence class.
+        self.overlap_active = False
+        if cfg.overlap and comm.size > 1:
+            self._build_overlap_caches()
 
     # -- static per-stage geometry ----------------------------------------
 
@@ -295,6 +321,84 @@ class _StripState:
                 )
             self._column_cache[p] = cache
 
+    @staticmethod
+    def _subset_cache(cache: dict, sel: np.ndarray) -> dict | None:
+        """The sub-table of a stage cache selected by a boolean mask.
+
+        1-D entries subset along their only axis; the fused gather
+        tables subset along their move axis (axis 1).  ``None`` when
+        the selection is empty, matching the empty-class convention.
+        """
+        if not np.any(sel):
+            return None
+        out = {}
+        for k, v in cache.items():
+            if isinstance(v, np.ndarray) and v.ndim > 1:
+                out[k] = v[:, sel]
+            else:
+                out[k] = v[sel] if isinstance(v, np.ndarray) else v
+        return out
+
+    def _build_overlap_caches(self) -> None:
+        """Split every stage cache into interior/boundary sub-tables.
+
+        A corner move at local bond ``J`` reads rows ``J-1 .. J+2``, so
+        it is interior iff ``3 <= J <= n-1`` (owned rows are
+        ``2 .. n+1``); a column move at local column ``lc`` reads
+        ``lc-1 .. lc+1``, interior iff ``3 <= lc <= n``.  Degenerate
+        geometries (a populated class with no interior moves -- thin
+        strips) disable the overlap with a warning and fall back to the
+        lockstep path.
+        """
+        n = self.n_owned
+        self._corner_split: dict[tuple[int, int], tuple[dict | None, dict | None]] = {}
+        self._column_split: dict[int, tuple[dict | None, dict | None]] = {}
+        rank = self.comm.rank
+        for kind, a, b in WL_STAGES:
+            if kind == "corner":
+                cache = self._corner_cache[(a, b)]
+                if cache is None:
+                    self._corner_split[(a, b)] = (None, None)
+                    continue
+                part = self.decomp.overlap_partition(
+                    ("wl-corner", rank, a, b), cache["j"], 3, n - 1
+                )
+                if part.all_boundary:
+                    warnings.warn(
+                        f"strip overlap disabled: corner class ({a}, {b}) has "
+                        f"no interior moves on rank {rank} ({n} owned "
+                        f"columns); falling back to the lockstep exchange",
+                        stacklevel=3,
+                    )
+                    self.overlap_active = False
+                    return
+                self._corner_split[(a, b)] = (
+                    self._subset_cache(cache, part.interior),
+                    self._subset_cache(cache, part.boundary),
+                )
+            else:
+                cache = self._column_cache[a]
+                if cache["lc"].size == 0:
+                    self._column_split[a] = (None, None)
+                    continue
+                part = self.decomp.overlap_partition(
+                    ("wl-col", rank, a), cache["lc"], 3, n
+                )
+                if part.all_boundary:
+                    warnings.warn(
+                        f"strip overlap disabled: column parity {a} has no "
+                        f"interior columns on rank {rank} ({n} owned "
+                        f"columns); falling back to the lockstep exchange",
+                        stacklevel=3,
+                    )
+                    self.overlap_active = False
+                    return
+                self._column_split[a] = (
+                    self._subset_cache(cache, part.interior),
+                    self._subset_cache(cache, part.boundary),
+                )
+        self.overlap_active = True
+
     # -- indexing helpers -------------------------------------------------
     def _codes(self, li: np.ndarray, t: np.ndarray) -> np.ndarray:
         """Corner codes of plaquettes at *local* bond index li, interval t."""
@@ -341,6 +445,51 @@ class _StripState:
         loc[0:2] = comm.recv(source=self.left, tag=tag)
         loc[n + 2 : n + 4] = comm.recv(source=self.right, tag=tag + 1)
 
+    def _exchange_begin(self) -> tuple | None:
+        """Overlap stage 1-2: pack boundary columns, post offloaded sends/recvs.
+
+        Same payloads, destinations, and tag schedule as
+        :meth:`exchange_ghosts`; the packing copy
+        (``ascontiguousarray``) happens here, before any interior
+        update, so the in-flight data is the pre-stage state exactly as
+        in the lockstep path.  Single-rank runs wrap locally and return
+        ``None``.
+        """
+        n = self.n_owned
+        loc = self.loc
+        if self.comm.size == 1:
+            loc[0:2] = loc[n : n + 2]
+            loc[n + 2 : n + 4] = loc[2:4]
+            return None
+        tag = _TAG_WL + (self._n_exchanges % 16) * 2
+        self._n_exchanges += 1
+        comm = self.comm
+        comm.isend(
+            np.ascontiguousarray(loc[n : n + 2]), self.right, tag=tag,
+            offload=True,
+        )
+        comm.isend(
+            np.ascontiguousarray(loc[2:4]), self.left, tag=tag + 1,
+            offload=True,
+        )
+        r_left = comm.irecv(source=self.left, tag=tag, offload=True)
+        r_right = comm.irecv(source=self.right, tag=tag + 1, offload=True)
+        return (r_left, r_right)
+
+    def _exchange_complete(self, reqs: tuple | None) -> None:
+        """Overlap stage 4: wait for the halo and unpack the ghost columns.
+
+        Waits in the same left-then-right order the lockstep path
+        receives in, so the modeled clock advances through identical
+        arrival stamps.
+        """
+        if reqs is None:
+            return
+        r_left, r_right = reqs
+        n = self.n_owned
+        self.loc[0:2] = r_left.wait()
+        self.loc[n + 2 : n + 4] = r_right.wait()
+
     # -- shared randomness --------------------------------------------------
     def _sweep_uniforms(self) -> np.ndarray:
         """This sweep's uniforms; every rank draws the identical block.
@@ -363,17 +512,19 @@ class _StripState:
         return u
 
     # -- corner moves --------------------------------------------------------
-    def _corner_class_vectorized(self, a: int, b: int, u: np.ndarray) -> None:
-        """All class-(a, b) corner moves of this rank as one batched update.
+    def _corner_class_vectorized(
+        self, cache: dict | None, u: np.ndarray, category: str = "compute"
+    ) -> None:
+        """One corner class (or an interior/boundary sub-table) batched.
 
         One fused gather builds the ``(4, n_moves)`` neighbor-code
         matrix; the post-flip codes are the same matrix XORed with the
         per-row masks, so ``new`` needs no speculative spin flips.  The
         weight products reduce along axis 0 in the same left-to-right
         order as the scalar reference, keeping the accept decisions
-        bit-identical.
+        bit-identical.  ``category`` attributes the compute charge
+        (``interior``/``boundary`` under the overlap pipeline).
         """
-        cache = self._corner_cache[(a, b)]
         if cache is None:
             return
         w = self.table.weights
@@ -391,11 +542,17 @@ class _StripState:
         flat[cache["flip"][:, accept]] ^= 1
         self.n_attempted += cache["j"].size
         self.n_accepted += int(np.count_nonzero(accept))
-        self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * cache["j"].size)
+        self.comm.charge_seconds(
+            self.comm.machine.compute_time(
+                FLOPS_PER_CORNER_MOVE * cache["j"].size
+            ),
+            category,
+        )
 
-    def _corner_class_scalar(self, a: int, b: int, u: np.ndarray) -> None:
+    def _corner_class_scalar(
+        self, cache: dict | None, u: np.ndarray, category: str = "compute"
+    ) -> None:
         """Per-move reference loop; identical op order to the batched kernel."""
-        cache = self._corner_cache[(a, b)]
         if cache is None:
             return
         w = self.table.weights
@@ -435,7 +592,12 @@ class _StripState:
                 loc[j + 1, t1] ^= 1
         self.n_attempted += cache["j"].size
         self.n_accepted += n_acc
-        self.comm.charge_compute(FLOPS_PER_CORNER_MOVE * cache["j"].size)
+        self.comm.charge_seconds(
+            self.comm.machine.compute_time(
+                FLOPS_PER_CORNER_MOVE * cache["j"].size
+            ),
+            category,
+        )
 
     # -- straight-line column moves -----------------------------------------
     def _col_log_weight1(self, l: int, g: int) -> float:
@@ -447,8 +609,10 @@ class _StripState:
             total += float(self._logw[self._codes(lb, ts)].sum())
         return total
 
-    def _column_parity_vectorized(self, parity: int, u: np.ndarray) -> None:
-        """Straight-line moves on owned columns of one (global) parity.
+    def _column_parity_vectorized(
+        self, cache: dict | None, u: np.ndarray, category: str = "compute"
+    ) -> None:
+        """Straight-line moves of one parity (or an overlap sub-table).
 
         The cached ``(2, n_cols, T/2)`` bond-column code matrix yields
         both log-weight sums at once: the post-flip codes are the
@@ -457,7 +621,8 @@ class _StripState:
         are needed.  Per-column sums run in the same element order as
         the scalar reference.
         """
-        cache = self._column_cache[parity]
+        if cache is None:
+            return
         lc = cache["lc"]
         if lc.size == 0:
             return
@@ -487,11 +652,16 @@ class _StripState:
         self.loc[lc[accept]] ^= 1
         self.n_attempted += n_straight
         self.n_accepted += int(np.count_nonzero(accept))
-        self.comm.charge_compute(2.0 * self.T * n_straight)
+        self.comm.charge_seconds(
+            self.comm.machine.compute_time(2.0 * self.T * n_straight), category
+        )
 
-    def _column_parity_scalar(self, parity: int, u: np.ndarray) -> None:
+    def _column_parity_scalar(
+        self, cache: dict | None, u: np.ndarray, category: str = "compute"
+    ) -> None:
         """Per-column reference loop; identical op order to the batched kernel."""
-        cache = self._column_cache[parity]
+        if cache is None:
+            return
         n_straight = 0
         n_acc = 0
         for g, l, uci in zip(
@@ -514,29 +684,58 @@ class _StripState:
                 self.loc[l] ^= 1
         self.n_attempted += n_straight
         self.n_accepted += n_acc
-        self.comm.charge_compute(2.0 * self.T * n_straight)
+        self.comm.charge_seconds(
+            self.comm.machine.compute_time(2.0 * self.T * n_straight), category
+        )
+
+    def _stage_kernel(self, kind: str, cache: dict | None, u: np.ndarray,
+                      category: str = "compute") -> None:
+        """Dispatch one stage's (sub-)table to the configured kernel."""
+        if kind == "corner":
+            if self.cfg.mode == "scalar":
+                self._corner_class_scalar(cache, u, category)
+            else:
+                self._corner_class_vectorized(cache, u, category)
+        elif self.cfg.mode == "scalar":
+            self._column_parity_scalar(cache, u, category)
+        else:
+            self._column_parity_vectorized(cache, u, category)
 
     def sweep(self) -> None:
-        """One full sweep: 10 stages, one aggregated ghost exchange each."""
+        """One full sweep: 10 stages, one aggregated ghost exchange each.
+
+        With the overlap pipeline active, each stage instead posts its
+        exchange, updates the interior sub-table while the halo is in
+        flight, waits, and finishes with the boundary sub-table.
+        """
         obs = self._obs
         if obs:
             t0_wall = perf_counter()
             t0_model = self.comm.clock.now
             att0, acc0 = self.n_attempted, self.n_accepted
-        scalar = self.cfg.mode == "scalar"
         u_sweep = self._sweep_uniforms()
-        for s_idx, (kind, x, y) in enumerate(WL_STAGES):
-            self.exchange_ghosts()
-            u = self._stage_slice(u_sweep, s_idx)
-            if kind == "corner":
-                if scalar:
-                    self._corner_class_scalar(x, y, u)
-                else:
-                    self._corner_class_vectorized(x, y, u)
-            elif scalar:
-                self._column_parity_scalar(x, u)
-            else:
-                self._column_parity_vectorized(x, u)
+        if self.overlap_active:
+            for s_idx, (kind, x, y) in enumerate(WL_STAGES):
+                reqs = self._exchange_begin()
+                u = self._stage_slice(u_sweep, s_idx)
+                split = (
+                    self._corner_split[(x, y)]
+                    if kind == "corner"
+                    else self._column_split[x]
+                )
+                self._stage_kernel(kind, split[0], u, "interior")
+                self._exchange_complete(reqs)
+                self._stage_kernel(kind, split[1], u, "boundary")
+        else:
+            for s_idx, (kind, x, y) in enumerate(WL_STAGES):
+                self.exchange_ghosts()
+                u = self._stage_slice(u_sweep, s_idx)
+                cache = (
+                    self._corner_cache[(x, y)]
+                    if kind == "corner"
+                    else self._column_cache[x]
+                )
+                self._stage_kernel(kind, cache, u)
         self.sweep_index += 1
         if obs:
             att = self.n_attempted - att0
@@ -710,7 +909,11 @@ class IsingBlockConfig:
     ``sweep_seed`` drives the shared per-sweep uniforms that make
     parallel runs bit-identical to serial ones; ``mode`` selects the
     batched checkerboard kernel (default) or the per-site scalar
-    reference, which produce bit-identical trajectories.
+    reference, which produce bit-identical trajectories.  ``overlap``
+    turns on the five-stage halo-overlap pipeline (post offloaded
+    sends/recvs, update interior sites, wait, update boundary sites);
+    trajectories stay bit-identical to the lockstep path because the
+    3-D checkerboard never lets same-color sites neighbor each other.
     """
 
     lx: int
@@ -724,6 +927,7 @@ class IsingBlockConfig:
     measure_every: int = 1
     sweep_seed: int = 12345
     mode: str = "vectorized"
+    overlap: bool = False
 
     def __post_init__(self):
         for name, k in (("lx", self.kx), ("ly", self.ky), ("lt", self.kt)):
@@ -796,6 +1000,26 @@ class _BlockState:
         self.n_attempted = 0
         self.n_accepted = 0
         self._n_color_sites = [int(m.sum()) for m in self.color_masks]
+        #: Overlap pipeline state: per-color interior/boundary masks and
+        #: interior site counts (compute-charge split weights).
+        self.overlap_active = False
+        if cfg.overlap and comm.size > 1:
+            part = decomp.overlap_partition(comm.rank)
+            if part.all_boundary:
+                warnings.warn(
+                    f"rank {comm.rank}: block {self.bx}x{self.by} is too"
+                    " thin for halo overlap (every site is"
+                    " ghost-adjacent); falling back to the lockstep"
+                    " exchange",
+                    stacklevel=2,
+                )
+            else:
+                int3 = part.interior[:, :, None]
+                bnd3 = part.boundary[:, :, None]
+                self._int_masks = [m & int3 for m in self.color_masks]
+                self._bnd_masks = [m & bnd3 for m in self.color_masks]
+                self._n_int = [int(m.sum()) for m in self._int_masks]
+                self.overlap_active = True
         _bind_sweep_metrics(self, comm.metrics)
 
     # -- halo exchange ------------------------------------------------------
@@ -858,6 +1082,68 @@ class _BlockState:
             g[1:-1, 0] = s[:, -1]
             g[1:-1, -1] = s[:, 0]
 
+    def _exchange_begin(self, color: int) -> list:
+        """Overlap stages 1-2: pack boundary planes, post offloaded messages.
+
+        Same color-packed payloads, neighbors, and tag schedule as
+        :meth:`_exchange_ghosts`; axes the process grid does not split
+        wrap locally here, before any interior flip, so the shipped (and
+        wrapped) data is the pre-color state exactly as in the lockstep
+        path.  Returns ``(request, ghost_view, unpack_mask)`` triples in
+        the lockstep receive order (west, east, south, north).
+        """
+        comm, p, g = self.comm, self.piece, self._g
+        s = self.spins
+        tag = _TAG_ISING + (self._n_exchanges % 8) * 4
+        self._n_exchanges += 1
+        pending: list = []
+        if self.decomp.px > 1:
+            east_mask = self._x_mask(p.x_stop - 1, color)
+            west_mask = self._x_mask(p.x_start, color)
+            comm.isend(pack_plane(s[-1], east_mask), p.east, tag=tag,
+                       offload=True)
+            comm.isend(pack_plane(s[0], west_mask), p.west, tag=tag + 1,
+                       offload=True)
+            pending.append((
+                comm.irecv(source=p.west, tag=tag, offload=True),
+                g[0, 1:-1],
+                self._x_mask(p.x_start - 1, color),
+            ))
+            pending.append((
+                comm.irecv(source=p.east, tag=tag + 1, offload=True),
+                g[-1, 1:-1],
+                self._x_mask(p.x_stop, color),
+            ))
+        else:
+            g[0, 1:-1] = s[-1]
+            g[-1, 1:-1] = s[0]
+        if self.decomp.py > 1:
+            north_mask = self._y_mask(p.y_stop - 1, color)
+            south_mask = self._y_mask(p.y_start, color)
+            comm.isend(pack_plane(s[:, -1], north_mask), p.north,
+                       tag=tag + 2, offload=True)
+            comm.isend(pack_plane(s[:, 0], south_mask), p.south,
+                       tag=tag + 3, offload=True)
+            pending.append((
+                comm.irecv(source=p.south, tag=tag + 2, offload=True),
+                g[1:-1, 0],
+                self._y_mask(p.y_start - 1, color),
+            ))
+            pending.append((
+                comm.irecv(source=p.north, tag=tag + 3, offload=True),
+                g[1:-1, -1],
+                self._y_mask(p.y_stop, color),
+            ))
+        else:
+            g[1:-1, 0] = s[:, -1]
+            g[1:-1, -1] = s[:, 0]
+        return pending
+
+    def _exchange_complete(self, pending: list) -> None:
+        """Overlap stage 4: wait for each halo message, unpack its plane."""
+        for req, ghost_view, mask in pending:
+            unpack_plane(ghost_view, req.wait(), mask)
+
     def local_field(self) -> np.ndarray:
         """``sum_a K_a (s_+a + s_-a)`` for every owned site, via the ghosts."""
         g = self._g
@@ -883,17 +1169,20 @@ class _BlockState:
         self.sweep_index += 1
         return full[p.x_start : p.x_stop, p.y_start : p.y_stop]
 
-    def _update_color_scalar(self, color: int, log_u: np.ndarray) -> int:
+    def _update_color_scalar(self, mask: np.ndarray, log_u: np.ndarray) -> int:
         """Per-site reference loop; float op order matches the batched kernel.
 
-        Returns the number of accepted flips.
+        ``mask`` selects the sites to visit (a full color, or its
+        interior/boundary half under the overlap pipeline -- same-color
+        sites never neighbor each other, so any visit order yields the
+        identical trajectory).  Returns the number of accepted flips.
         """
         g = self._g
         s = self.spins
         kx, ky, kt = self.couplings
         lt = self.lt
         n_acc = 0
-        for x, y, t in zip(*(idx.tolist() for idx in np.nonzero(self.color_masks[color]))):
+        for x, y, t in zip(*(idx.tolist() for idx in np.nonzero(mask))):
             sp = s[x, y, t]
             f = kx * (g[x + 2, y + 1, t] + g[x, y + 1, t])
             f = f + ky * (g[x + 1, y + 2, t] + g[x + 1, y, t])
@@ -903,8 +1192,25 @@ class _BlockState:
                 n_acc += 1
         return n_acc
 
+    def _accept_vectorized(self, mask: np.ndarray, log_u: np.ndarray) -> int:
+        """Batched Metropolis over ``mask``; returns accepted-flip count."""
+        s = self.spins
+        field = self.local_field()
+        accept = mask & (log_u < -2.0 * s * field)
+        s[accept] = -s[accept]
+        return int(np.count_nonzero(accept))
+
     def sweep(self) -> None:
-        """Both checkerboard colors, one color-packed halo exchange each."""
+        """Both checkerboard colors, one color-packed halo exchange each.
+
+        With the overlap pipeline active each color instead posts its
+        exchange, updates interior sites while the halo is in flight
+        (interior reads no ghosts, so stale planes are harmless), waits,
+        and finishes with the ghost-adjacent boundary sites.  The field
+        recompute after the wait sees no changed neighbors of boundary
+        sites -- same-color sites are never adjacent -- so the accept
+        decisions match the lockstep path bit for bit.
+        """
         obs = self._obs
         if obs:
             t0_wall = perf_counter()
@@ -912,23 +1218,46 @@ class _BlockState:
         uniforms = self._sweep_uniforms()
         log_u = np.log(np.maximum(uniforms, 1e-300))
         scalar = self.cfg.mode == "scalar"
-        s = self.spins
         n_acc = 0
-        for c, mask in enumerate(self.color_masks):
-            self._exchange_ghosts(color=c)
-            if scalar:
-                n_acc += self._update_color_scalar(c, log_u)
-            else:
-                field = self.local_field()
-                accept = mask & (log_u < -2.0 * s * field)
-                n_acc += int(np.count_nonzero(accept))
-                s[accept] = -s[accept]
+        if self.overlap_active:
+            flops_per_color = FLOPS_PER_SPIN_UPDATE * self.spins.size
+            machine = self.comm.machine
+            for c in range(2):
+                pending = self._exchange_begin(color=c)
+                if scalar:
+                    n_acc += self._update_color_scalar(
+                        self._int_masks[c], log_u
+                    )
+                else:
+                    n_acc += self._accept_vectorized(self._int_masks[c], log_u)
+                frac = self._n_int[c] / self._n_color_sites[c]
+                self.comm.charge_seconds(
+                    machine.compute_time(flops_per_color * frac), "interior"
+                )
+                self._exchange_complete(pending)
+                if scalar:
+                    n_acc += self._update_color_scalar(
+                        self._bnd_masks[c], log_u
+                    )
+                else:
+                    n_acc += self._accept_vectorized(self._bnd_masks[c], log_u)
+                self.comm.charge_seconds(
+                    machine.compute_time(flops_per_color * (1.0 - frac)),
+                    "boundary",
+                )
+        else:
+            for c, mask in enumerate(self.color_masks):
+                self._exchange_ghosts(color=c)
+                if scalar:
+                    n_acc += self._update_color_scalar(mask, log_u)
+                else:
+                    n_acc += self._accept_vectorized(mask, log_u)
+            self.comm.charge_compute(
+                FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
+            )
         att = self._n_color_sites[0] + self._n_color_sites[1]
         self.n_attempted += att
         self.n_accepted += n_acc
-        self.comm.charge_compute(
-            FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
-        )
         if obs:
             self._m_sweeps.inc()
             self._m_attempted.inc(att)

@@ -23,12 +23,18 @@ class ParallelLayout:
         (real OS processes), or ``mpi`` (real message passing via
         mpi4py; run the CLI under ``mpiexec -n <n_ranks>``).  All three
         produce bit-identical trajectories at the same seed.
+    overlap:
+        Run the SPMD sweep drivers with the five-stage halo-overlap
+        pipeline (pack -> post -> update interior -> wait -> update
+        boundary).  Trajectories stay bit-identical to the lockstep
+        path; only the modeled timeline changes.
     """
 
     strategy: str = "serial"
     n_ranks: int = 1
     machine: str = "Ideal"
     backend: str = "thread"
+    overlap: bool = False
 
     def __post_init__(self):
         if self.strategy not in ("serial", "strip", "block", "replica"):
@@ -43,6 +49,11 @@ class ParallelLayout:
             raise ValueError(
                 f"backend {self.backend!r} applies to the SPMD strategies "
                 f"(strip/block); {self.strategy!r} runs in-process"
+            )
+        if self.overlap and self.strategy not in ("strip", "block"):
+            raise ValueError(
+                "halo overlap applies to the SPMD strategies (strip/block); "
+                f"{self.strategy!r} has no halo to overlap"
             )
 
 

@@ -274,6 +274,7 @@ class Simulation:
                 n_sweeps=cfg.n_sweeps,
                 n_thermalize=cfg.n_thermalize,
                 measure_every=cfg.measure_every,
+                overlap=layout.overlap,
             )
             spmd = run_spmd(
                 worldline_strip_program,
@@ -385,6 +386,7 @@ class Simulation:
                 n_thermalize=cfg.n_thermalize,
                 measure_every=cfg.measure_every,
                 sweep_seed=cfg.seed,
+                overlap=layout.overlap,
             )
             spmd = run_spmd(
                 ising_block_program,

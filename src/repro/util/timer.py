@@ -22,7 +22,31 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["ModelClock", "Timer", "TimerRegistry"]
+__all__ = [
+    "ModelClock",
+    "Timer",
+    "TimerRegistry",
+    "COMPUTE_CATEGORIES",
+    "COMM_CATEGORIES",
+    "WAIT_CATEGORIES",
+]
+
+#: Clock categories that count as useful computation.  The overlap
+#: pipeline splits a sweep's kernel charges into ``interior`` (updates
+#: with no ghost dependence, running while halos are in flight) and
+#: ``boundary`` (ghost-adjacent updates after the wait); plain drivers
+#: charge everything to ``compute``.
+COMPUTE_CATEGORIES: tuple[str, ...] = ("compute", "interior", "boundary")
+
+#: Categories of CPU time spent *inside* communication calls (software
+#: overhead charged by the cost model, not wire time).
+COMM_CATEGORIES: tuple[str, ...] = ("comm",)
+
+#: Categories of idle time blocked on a message that has not arrived.
+#: ``halo_wait`` is the overlap pipeline's residual wait after interior
+#: computation; ``comm_wait`` is the blocking-receive wait of the
+#: non-overlapped path.
+WAIT_CATEGORIES: tuple[str, ...] = ("comm_wait", "halo_wait")
 
 
 class ModelClock:

@@ -18,6 +18,17 @@ Cost convention (documented once, used everywhere):
   advances its clock to the arrival stamp if that lies in the future
   (category ``comm_wait``).  Receives posted after arrival wait for
   nothing, exactly like an eager-protocol MPI.
+* **Offloaded** nonblocking operations (``isend``/``irecv`` with
+  ``offload=True``) model a dedicated message coprocessor (the
+  Paragon's second i860, the CM-5 NI): the CPU pays only the small
+  LogP post overhead ``o`` (category ``comm``) at post time, the wire
+  transfer proceeds off-CPU with the *same* arrival stamp as above,
+  and completing an offloaded receive charges no alpha -- it only
+  waits to the arrival stamp (category ``halo_wait``) if the message
+  has not landed yet.  This is the cost convention the overlap
+  pipeline in :mod:`repro.qmc.parallel` relies on; payload movement
+  and matching are identical to the non-offloaded path, so
+  trajectories are bit-identical either way.
 
 Collectives are built from point-to-point messages with the standard
 algorithms (binomial trees, recursive doubling, ring), so their modeled
@@ -38,7 +49,7 @@ import numpy as np
 
 from repro.obs.metrics import MESSAGE_BYTES_EDGES, NOOP
 from repro.util.rng import RankStream
-from repro.util.timer import ModelClock
+from repro.util.timer import WAIT_CATEGORIES, ModelClock
 from repro.vmp.faults import RankFailure, RankFaultState
 from repro.vmp.machines import MachineModel
 from repro.vmp.topology import Topology
@@ -155,6 +166,10 @@ class Request:
       payload.  Either way the receive is charged exactly like the
       blocking path: latency plus any ``comm_wait`` to the arrival
       stamp, counted once, on whichever call completed the request.
+    * an **offloaded** recv request (posted via ``irecv(...,
+      offload=True)``) was already charged the post overhead at post
+      time; completion charges no further alpha, only the residual
+      ``halo_wait`` to the arrival stamp.
 
     The mechanics are delegated to the owning communicator through the
     private collect hooks (``_try_collect`` / ``_collect`` /
@@ -163,11 +178,12 @@ class Request:
     """
 
     def __init__(self, comm, kind: str, source: int = ANY_SOURCE,
-                 tag: int = ANY_TAG):
+                 tag: int = ANY_TAG, offload: bool = False):
         self._comm = comm
         self._kind = kind  # "send" | "recv"
         self._source = source
         self._tag = tag
+        self._offload = offload
         self._done = kind == "send"  # buffered sends complete immediately
         self._payload: Any = None
 
@@ -178,7 +194,7 @@ class Request:
         msg = self._comm._try_collect(self._source, self._tag)
         if msg is None:
             return False
-        self._payload = self._comm._complete_recv(msg)
+        self._payload = self._comm._complete_recv(msg, offload=self._offload)
         self._done = True
         return True
 
@@ -186,7 +202,7 @@ class Request:
         """Block until complete; returns the payload (None for sends)."""
         if not self._done:
             msg = self._comm._collect(self._source, self._tag)
-            self._payload = self._comm._complete_recv(msg)
+            self._payload = self._comm._complete_recv(msg, offload=self._offload)
             self._done = True
         return self._payload
 
@@ -423,8 +439,9 @@ class Communicator:
         """Fold CommStats and the clock's wait total into the registry.
 
         ``comm.wait_seconds`` is the modeled time this rank spent
-        blocked past the latency charge -- exactly the clock's
-        ``comm_wait`` category, so no per-message accounting is needed.
+        blocked past the latency charge -- the clock's wait categories
+        (``comm_wait`` plus the overlap pipeline's ``halo_wait``), so
+        no per-message accounting is needed.
         """
         if not self._obs:
             return
@@ -433,8 +450,9 @@ class Communicator:
         m.counter("comm.bytes_sent").value = float(s.bytes_sent)
         m.counter("comm.messages_received").value = float(s.messages_received)
         m.counter("comm.bytes_received").value = float(s.bytes_received)
-        m.counter("comm.wait_seconds").value = self.clock.breakdown().get(
-            "comm_wait", 0.0
+        b = self.clock.breakdown()
+        m.counter("comm.wait_seconds").value = sum(
+            b.get(c, 0.0) for c in WAIT_CATEGORIES
         )
 
     # -- modeled compute -------------------------------------------------
@@ -447,8 +465,14 @@ class Communicator:
         self.clock.charge(seconds, category)
 
     # -- point-to-point ----------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking-buffered send (returns once the message is en route)."""
+    def send(self, obj: Any, dest: int, tag: int = 0, offload: bool = False) -> None:
+        """Blocking-buffered send (returns once the message is en route).
+
+        With ``offload=True`` the CPU is charged only the machine's
+        post overhead; the wire transfer is carried by the message
+        coprocessor and the arrival stamp is unchanged (see the module
+        cost convention).
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         if self.fault_state is not None:
@@ -456,9 +480,12 @@ class Communicator:
         nbytes = payload_nbytes(obj)
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
-        self.clock.charge(
-            self.machine.latency + self.machine.byte_time * nbytes, "comm"
-        )
+        if offload:
+            self.clock.charge(self.machine.post_overhead, "comm")
+        else:
+            self.clock.charge(
+                self.machine.latency + self.machine.byte_time * nbytes, "comm"
+            )
         arrival = (
             start
             + self.machine.latency
@@ -508,10 +535,18 @@ class Communicator:
         """Blocking matching receive from the fabric."""
         return self.fabric.collect(self.rank, source, tag, timeout=self.recv_timeout)
 
-    def _complete_recv(self, msg: _Message) -> Any:
-        """Charge and count one completed receive; returns the payload."""
-        self.clock.charge(self.machine.latency, "comm")
-        self.clock.advance_to(msg.arrival, "comm_wait")
+    def _complete_recv(self, msg: _Message, offload: bool = False) -> Any:
+        """Charge and count one completed receive; returns the payload.
+
+        Offloaded receives were charged their post overhead at post
+        time, so completion only absorbs the residual wait to the
+        arrival stamp (``halo_wait``).
+        """
+        if offload:
+            self.clock.advance_to(msg.arrival, "halo_wait")
+        else:
+            self.clock.charge(self.machine.latency, "comm")
+            self.clock.advance_to(msg.arrival, "comm_wait")
         self.stats.messages_received += 1
         self.stats.bytes_received += msg.nbytes
         return msg.payload
@@ -536,22 +571,31 @@ class Communicator:
         self.send(obj, dest, tag=sendtag)
         return self.recv(source=source, tag=recvtag)
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+    def isend(self, obj: Any, dest: int, tag: int = 0,
+              offload: bool = False) -> Request:
         """Nonblocking send; the returned request is already complete.
 
         All three backends buffer sends eagerly (the payload is copied
         before ``isend`` returns), so ``test()`` is True and ``wait()``
         returns ``None`` immediately -- the documented contract of
         :class:`Request`, identical on thread, mp and mpi transports.
+        With ``offload=True`` only the post overhead is charged.
         """
-        self.send(obj, dest, tag=tag)
+        self.send(obj, dest, tag=tag, offload=offload)
         return Request(self, "send")
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        """Nonblocking receive: returns a :class:`Request` to wait/test on."""
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              offload: bool = False) -> Request:
+        """Nonblocking receive: returns a :class:`Request` to wait/test on.
+
+        With ``offload=True`` the post overhead is charged now and
+        completion later waits under ``halo_wait`` with no alpha.
+        """
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
-        return Request(self, "recv", source=source, tag=tag)
+        if offload:
+            self.clock.charge(self.machine.post_overhead, "comm")
+        return Request(self, "recv", source=source, tag=tag, offload=offload)
 
     # -- collectives (implemented in repro.vmp.collectives) ----------------
     def barrier(self) -> None:

@@ -8,6 +8,8 @@ model needs:
 * ``latency`` -- per-message software overhead alpha (seconds),
 * ``byte_time`` -- inverse bandwidth beta (seconds per byte),
 * ``hop_time`` -- additional per-hop wire/switch latency,
+* ``post_overhead`` -- CPU cost of *posting* a nonblocking operation
+  to the machine's message coprocessor (the LogP ``o`` parameter),
 * ``topology`` -- the interconnect family the machine shipped with.
 
 The absolute numbers are calibrated to published figures of the era
@@ -52,6 +54,12 @@ class MachineModel:
     topology_name: str
     #: Maximum configuration size sold (used to clamp sweeps).
     max_nodes: int = 4096
+    #: CPU seconds to post one nonblocking send/recv to the message
+    #: coprocessor (LogP overhead ``o``).  Much smaller than ``latency``
+    #: on machines whose nodes carried a dedicated comm processor (the
+    #: Paragon's second i860, the CM-5's NI); the wire transfer itself
+    #: then proceeds off-CPU and can be overlapped with computation.
+    post_overhead: float = 0.0
 
     def topology(self, size: int) -> Topology:
         """Instantiate this machine's interconnect for ``size`` nodes."""
@@ -92,6 +100,7 @@ CM5 = MachineModel(
     hop_time=0.5e-6,
     topology_name="fattree",
     max_nodes=1024,
+    post_overhead=22e-6,
 )
 
 #: Intel Paragon XP/S (i860 XP nodes on a 2-D mesh).  ~10 sustained
@@ -104,6 +113,7 @@ PARAGON = MachineModel(
     hop_time=0.1e-6,
     topology_name="mesh2d",
     max_nodes=2048,
+    post_overhead=12e-6,
 )
 
 #: Intel Touchstone Delta (the Paragon's 1991 prototype; slower network).
@@ -115,6 +125,7 @@ DELTA = MachineModel(
     hop_time=0.2e-6,
     topology_name="mesh2d",
     max_nodes=512,
+    post_overhead=18e-6,
 )
 
 #: nCUBE-2: slow custom CISC nodes on a dense hypercube.
@@ -126,6 +137,7 @@ NCUBE2 = MachineModel(
     hop_time=0.4e-6,
     topology_name="hypercube",
     max_nodes=8192,
+    post_overhead=35e-6,
 )
 
 #: Zero-communication-cost reference machine (exposes Amdahl limits only).

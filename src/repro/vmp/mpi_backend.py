@@ -230,16 +230,25 @@ class MpiCommunicator:
                 req for req in self._pending_sends if not req.Test()
             ]
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered send: returns once the message is en route."""
+    def send(self, obj: Any, dest: int, tag: int = 0, offload: bool = False) -> None:
+        """Buffered send: returns once the message is en route.
+
+        ``offload=True`` uses the coprocessor cost convention shared
+        with the other backends: only the post overhead is charged, the
+        arrival stamp is unchanged.  On this backend the isend really
+        is eager, so the overlap is physical as well as modeled.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         nbytes = payload_nbytes(obj)
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
-        self.clock.charge(
-            self.machine.latency + self.machine.byte_time * nbytes, "comm"
-        )
+        if offload:
+            self.clock.charge(self.machine.post_overhead, "comm")
+        else:
+            self.clock.charge(
+                self.machine.latency + self.machine.byte_time * nbytes, "comm"
+            )
         arrival = (
             start
             + self.machine.latency
@@ -327,11 +336,14 @@ class MpiCommunicator:
             time.sleep(min(wait, remaining))
             wait = min(wait * 2, 0.05)
 
-    def _complete_recv(self, msg) -> Any:
+    def _complete_recv(self, msg, offload: bool = False) -> Any:
         """Charge and count one completed receive; returns the payload."""
         _src, _tag, arrival, payload = msg
-        self.clock.charge(self.machine.latency, "comm")
-        self.clock.advance_to(arrival, "comm_wait")
+        if offload:
+            self.clock.advance_to(arrival, "halo_wait")
+        else:
+            self.clock.charge(self.machine.latency, "comm")
+            self.clock.advance_to(arrival, "comm_wait")
         self.stats.messages_received += 1
         self.stats.bytes_received += payload_nbytes(payload)
         return payload
@@ -347,16 +359,19 @@ class MpiCommunicator:
         self.send(obj, dest, tag=sendtag)
         return self.recv(source=source, tag=recvtag)
 
-    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+    def isend(self, obj, dest: int, tag: int = 0, offload: bool = False) -> Request:
         """Nonblocking send; complete on return (isend buffers eagerly)."""
-        self.send(obj, dest, tag=tag)
+        self.send(obj, dest, tag=tag, offload=offload)
         return Request(self, "send")
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              offload: bool = False) -> Request:
         """Nonblocking receive with the shared :class:`Request` semantics."""
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
-        return Request(self, "recv", source=source, tag=tag)
+        if offload:
+            self.clock.charge(self.machine.post_overhead, "comm")
+        return Request(self, "recv", source=source, tag=tag, offload=offload)
 
     def finalize(self) -> None:
         """Complete every outstanding send (call after the program returns)."""

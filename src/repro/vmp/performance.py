@@ -105,6 +105,12 @@ class WorkloadShape:
         into a single message: the alpha (latency) charge stays
         per-message while the beta (bandwidth) charge follows the
         aggregated byte count.
+    overlap:
+        Model the five-stage overlap pipeline (pack -> post -> update
+        interior -> wait -> update boundary): each halo message charges
+        only the machine's ``post_overhead`` (twice: isend + irecv) on
+        the critical path, and the wire delay counts only through the
+        residual left after the interior compute of that exchange.
     """
 
     lx: int
@@ -119,6 +125,7 @@ class WorkloadShape:
     serial_fraction: float = 0.0
     halo_messages_per_sweep: int | None = None
     halo_sites_per_message: float | None = None
+    overlap: bool = False
 
     def __post_init__(self):
         if self.strategy not in ("strip", "block", "replica"):
@@ -201,6 +208,9 @@ def worldline_strip_workload(
       ``halo_sites_per_message = 2 * n_slices``.  Under alpha--beta
       this is the aggregation the executed driver implements; spins
       ship as single bytes.
+
+    Pass ``overlap=True`` to model the five-stage pipeline variant the
+    driver runs under ``WorldlineStripConfig(overlap=True)``.
     """
     from repro.qmc.parallel import N_WL_STAGES
     from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
@@ -275,11 +285,39 @@ class PerformanceModel:
             owned_sites = math.ceil(w.lx / px) * math.ceil(w.ly / py) * w.lt
         return self.machine.compute_time(owned_sites * w.flops_per_site)
 
+    def interior_fraction(self, p: int) -> float:
+        """Fraction of a rank's sweep compute overlappable with its halo.
+
+        Mirrors the executed drivers' partition tables: a strip rank of
+        ``n`` owned columns has four ghost-adjacent move rows per
+        independence class, a block rank loses its first/last plane
+        along every axis the process grid splits.  Zero when the
+        subdomain is too thin to have an interior (the drivers fall
+        back to lockstep there) or when nothing is decomposed.
+        """
+        w = self.workload
+        if p == 1 or w.strategy == "replica":
+            return 0.0
+        if w.strategy == "strip":
+            owned = math.ceil(w.lx / p)
+            return max(0.0, (owned - 4.0) / owned)
+        px, py = self._process_grid(p)
+        bx = math.ceil(w.lx / px)
+        by = math.ceil(w.ly / py)
+        ix = bx - 2 if px > 1 else bx
+        iy = by - 2 if py > 1 else by
+        if ix <= 0 or iy <= 0:
+            return 0.0
+        return (ix * iy) / float(bx * by)
+
     def halo_seconds_per_sweep(self, p: int) -> float:
         """Modeled halo-exchange seconds per sweep on one rank.
 
         Two checkerboard half-sweeps per sweep; each half-sweep sends
-        and receives the full boundary.
+        and receives the full boundary.  With ``workload.overlap`` the
+        critical path instead carries ``2 * post_overhead`` per message
+        plus, per exchange, whatever wire delay the exchange's interior
+        compute fails to hide.
         """
         w = self.workload
         if p == 1 or w.strategy == "replica":
@@ -302,9 +340,22 @@ class PerformanceModel:
             int(halo_sites * w.bytes_per_site), hops
         )
         if w.halo_messages_per_sweep is not None:
-            return w.halo_messages_per_sweep * per_message
-        half_sweeps = 2
-        return half_sweeps * neighbor_messages * per_message
+            n_messages = w.halo_messages_per_sweep
+        else:
+            n_messages = 2 * neighbor_messages  # two half-sweeps
+        if not w.overlap or neighbor_messages == 0:
+            return n_messages * per_message
+        f_int = self.interior_fraction(p)
+        if f_int <= 0.0:
+            # Degenerate subdomain: the drivers warn and run lockstep.
+            return n_messages * per_message
+        n_exchanges = max(1.0, n_messages / neighbor_messages)
+        interior_per_exchange = (
+            f_int * self.compute_seconds_per_sweep(p) / n_exchanges
+        )
+        posts = 2.0 * self.machine.post_overhead  # isend + irecv
+        residual = max(0.0, per_message - interior_per_exchange)
+        return n_messages * posts + n_exchanges * residual
 
     def collective_seconds_per_sweep(self, p: int) -> float:
         """Allreduce cost amortized per sweep."""

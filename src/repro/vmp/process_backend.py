@@ -39,6 +39,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue as queue_mod
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -143,7 +144,13 @@ class MpCommunicator:
         self.recv_timeout = recv_timeout
         self.fault_state = fault_state
         self._inboxes = inboxes
-        self._stash: list[tuple[int, int, float, Any]] = []
+        #: Unmatched messages keyed per ``(source, tag)`` as FIFO deques
+        #: of ``(seq, item)``; the monotone ``seq`` keeps wildcard
+        #: matches (ANY_SOURCE / ANY_TAG) globally FIFO.  Keyed access
+        #: makes the hot specific-match path O(1) instead of a linear
+        #: re-scan of the whole stash on every poll.
+        self._stash: dict[tuple[int, int], deque] = {}
+        self._stash_seq = 0
         self.clock = ModelClock()
         self.stats = CommStats()
         # Telemetry recorders cannot cross process boundaries; driver
@@ -163,7 +170,7 @@ class MpCommunicator:
         self.clock.charge(seconds, category)
 
     # -- point-to-point ------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+    def send(self, obj: Any, dest: int, tag: int = 0, offload: bool = False) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         if self.fault_state is not None:
@@ -171,7 +178,12 @@ class MpCommunicator:
         nbytes = payload_nbytes(obj)
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
-        self.clock.charge(self.machine.latency + self.machine.byte_time * nbytes, "comm")
+        if offload:
+            self.clock.charge(self.machine.post_overhead, "comm")
+        else:
+            self.clock.charge(
+                self.machine.latency + self.machine.byte_time * nbytes, "comm"
+            )
         arrival = (
             start
             + self.machine.latency
@@ -190,7 +202,7 @@ class MpCommunicator:
 
     def _timeout_diagnostics(self, source: int, tag: int) -> str:
         """Stash/inbox state for the RankFailure a timed-out recv raises."""
-        stashed = [(src, t) for src, t, _, _ in self._stash]
+        stashed = [key for key, q in self._stash.items() for _ in q]
         try:
             inbox_n = self._inboxes[self.rank].qsize()
         except (NotImplementedError, OSError):  # qsize is platform-dependent
@@ -210,12 +222,46 @@ class MpCommunicator:
             detail=reason,
         )
 
+    def _stash_put(self, item) -> None:
+        """File an unmatched inbox item under its (source, tag) deque."""
+        key = (item[0], item[1])
+        self._stash.setdefault(key, deque()).append((self._stash_seq, item))
+        self._stash_seq += 1
+
     def _stash_match(self, source: int, tag: int):
-        """Pop and return the first stashed match, or None."""
-        for i, (src, t, _arrival, _obj) in enumerate(self._stash):
+        """Pop and return the oldest stashed match, or None.
+
+        Specific (source, tag) lookups are a single dict probe +
+        popleft; wildcard lookups scan only the deque *heads* (one per
+        distinct key) and pick the globally oldest by sequence number,
+        preserving FIFO order across sources and tags.
+        """
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            q = self._stash.get((source, tag))
+            if not q:
+                return None
+            item = q.popleft()[1]
+            if not q:
+                del self._stash[(source, tag)]
+            return item
+        best_key = None
+        best_seq = -1
+        for (src, t), q in self._stash.items():
             if source in (ANY_SOURCE, src) and tag in (ANY_TAG, t):
-                return self._stash.pop(i)
-        return None
+                seq = q[0][0]
+                if best_key is None or seq < best_seq:
+                    best_key, best_seq = (src, t), seq
+        if best_key is None:
+            return None
+        q = self._stash[best_key]
+        item = q.popleft()[1]
+        if not q:
+            del self._stash[best_key]
+        return item
+
+    def stash_size(self) -> int:
+        """Total unmatched messages currently stashed (for diagnostics)."""
+        return sum(len(q) for q in self._stash.values())
 
     # -- collect hooks shared with :class:`repro.vmp.comm.Request` ---------
     def _try_collect(self, source: int, tag: int):
@@ -230,7 +276,7 @@ class MpCommunicator:
                 return self._stash_match(source, tag)
             if item[0] == _POISON:
                 self._raise_poison(item)
-            self._stash.append(item)
+            self._stash_put(item)
 
     def _collect(self, source: int, tag: int):
         """Blocking matching receive with the configured wall-clock bound."""
@@ -257,14 +303,17 @@ class MpCommunicator:
                 continue
             if item[0] == _POISON:
                 self._raise_poison(item)
-            self._stash.append(item)
+            self._stash_put(item)
 
-    def _complete_recv(self, msg) -> Any:
+    def _complete_recv(self, msg, offload: bool = False) -> Any:
         """Charge and count one completed receive; returns the payload."""
         _src, _t, arrival, obj = msg
         payload = _unpack_payload(obj)
-        self.clock.charge(self.machine.latency, "comm")
-        self.clock.advance_to(arrival, "comm_wait")
+        if offload:
+            self.clock.advance_to(arrival, "halo_wait")
+        else:
+            self.clock.charge(self.machine.latency, "comm")
+            self.clock.advance_to(arrival, "comm_wait")
         self.stats.messages_received += 1
         self.stats.bytes_received += payload_nbytes(payload)
         return payload
@@ -278,16 +327,19 @@ class MpCommunicator:
         self.send(obj, dest, tag=sendtag)
         return self.recv(source=source, tag=recvtag)
 
-    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+    def isend(self, obj, dest: int, tag: int = 0, offload: bool = False) -> Request:
         """Nonblocking send; complete on return (queue put buffers eagerly)."""
-        self.send(obj, dest, tag=tag)
+        self.send(obj, dest, tag=tag, offload=offload)
         return Request(self, "send")
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              offload: bool = False) -> Request:
         """Nonblocking receive with the shared :class:`Request` semantics."""
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
-        return Request(self, "recv", source=source, tag=tag)
+        if offload:
+            self.clock.charge(self.machine.post_overhead, "comm")
+        return Request(self, "recv", source=source, tag=tag, offload=offload)
 
     # -- collectives: identical algorithms as the thread backend -------------
     def barrier(self) -> None:

@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 from repro.obs.metrics import NOOP, MetricsRegistry
 from repro.obs.spans import SpanCollector
 from repro.util.rng import SeedSequenceFactory
+from repro.util.timer import COMM_CATEGORIES, COMPUTE_CATEGORIES, WAIT_CATEGORIES
 from repro.vmp.comm import AbortError, Communicator, Fabric
 from repro.vmp.faults import (
     AbortRecord,
@@ -141,13 +142,19 @@ class SpmdResult:
     def comm_fraction(self) -> float:
         """Share of the makespan rank 0 spent communicating or waiting.
 
-        Rank 0 is representative for the homogeneous SPMD workloads in
-        this repository; the per-rank breakdown is in ``outcomes``.
+        Counts the comm categories plus every wait category (both the
+        blocking path's ``comm_wait`` and the overlap pipeline's
+        ``halo_wait``), so overlapped and lockstep runs are directly
+        comparable.  Rank 0 is representative for the homogeneous SPMD
+        workloads in this repository; the per-rank breakdown is in
+        ``outcomes``.
         """
         o = self.outcomes[0]
         if o.model_time == 0:
             return 0.0
-        comm = o.breakdown.get("comm", 0.0) + o.breakdown.get("comm_wait", 0.0)
+        comm = sum(
+            o.breakdown.get(c, 0.0) for c in COMM_CATEGORIES + WAIT_CATEGORIES
+        )
         return comm / o.model_time
 
     def category_seconds(self, category: str) -> float:
@@ -179,15 +186,23 @@ def _fold_backend_metrics(metrics, outcomes) -> None:
     the support matrix.
     """
     for o in outcomes:
+        b = o.breakdown
         scope = metrics.scope(o.rank)
         scope.counter("comm.messages_sent").value = float(o.messages_sent)
         scope.counter("comm.bytes_sent").value = float(o.bytes_sent)
-        scope.counter("comm.wait_seconds").value = o.breakdown.get(
-            "comm_wait", 0.0
+        scope.counter("comm.wait_seconds").value = sum(
+            b.get(c, 0.0) for c in WAIT_CATEGORIES
         )
-        scope.set_gauge("phase.compute_seconds", o.breakdown.get("compute", 0.0))
-        scope.set_gauge("phase.comm_seconds", o.breakdown.get("comm", 0.0))
-        scope.set_gauge("phase.idle_seconds", o.breakdown.get("comm_wait", 0.0))
+        scope.set_gauge(
+            "phase.compute_seconds",
+            sum(b.get(c, 0.0) for c in COMPUTE_CATEGORIES),
+        )
+        scope.set_gauge(
+            "phase.comm_seconds", sum(b.get(c, 0.0) for c in COMM_CATEGORIES)
+        )
+        scope.set_gauge(
+            "phase.idle_seconds", sum(b.get(c, 0.0) for c in WAIT_CATEGORIES)
+        )
         scope.set_gauge("phase.model_seconds", o.model_time)
 
 
@@ -442,9 +457,18 @@ def run_spmd(
             # makespan splits into compute / comm overhead / idle wait.
             comm.sync_metrics()
             scope = comm.metrics
-            scope.set_gauge("phase.compute_seconds", breakdown.get("compute", 0.0))
-            scope.set_gauge("phase.comm_seconds", breakdown.get("comm", 0.0))
-            scope.set_gauge("phase.idle_seconds", breakdown.get("comm_wait", 0.0))
+            scope.set_gauge(
+                "phase.compute_seconds",
+                sum(breakdown.get(c, 0.0) for c in COMPUTE_CATEGORIES),
+            )
+            scope.set_gauge(
+                "phase.comm_seconds",
+                sum(breakdown.get(c, 0.0) for c in COMM_CATEGORIES),
+            )
+            scope.set_gauge(
+                "phase.idle_seconds",
+                sum(breakdown.get(c, 0.0) for c in WAIT_CATEGORIES),
+            )
             scope.set_gauge("phase.model_seconds", comm.clock.now)
         outcomes.append(
             RankOutcome(

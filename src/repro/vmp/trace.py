@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.timer import COMM_CATEGORIES, COMPUTE_CATEGORIES, WAIT_CATEGORIES
+
 __all__ = ["MessageEvent", "render_timeline", "summarize_traffic"]
 
 
@@ -76,7 +78,9 @@ def summarize_traffic(
         comm_fraction = []
         for b in breakdowns:
             total = sum(b.values())
-            comm = b.get("comm", 0.0) + b.get("comm_wait", 0.0)
+            comm = sum(
+                b.get(c, 0.0) for c in COMM_CATEGORIES + WAIT_CATEGORIES
+            )
             comm_fraction.append(comm / total if total > 0 else 0.0)
     else:
         makespan = max((e.t_arrival for e in events), default=0.0)
@@ -139,8 +143,9 @@ def render_timeline(
                     rows[rank][k] = "~"
     lines = [f"timeline ({makespan:.4g} s across {width} cells; ~ = in-flight msg)"]
     for r in range(n_ranks):
-        comm = breakdowns[r].get("comm", 0.0) + breakdowns[r].get("comm_wait", 0.0)
-        comp = breakdowns[r].get("compute", 0.0)
+        b = breakdowns[r]
+        comm = sum(b.get(c, 0.0) for c in COMM_CATEGORIES + WAIT_CATEGORIES)
+        comp = sum(b.get(c, 0.0) for c in COMPUTE_CATEGORIES)
         lines.append(
             f"rank {r:>3} |{''.join(rows[r])}| comp {comp:.3g}s comm {comm:.3g}s"
         )

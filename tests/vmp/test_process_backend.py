@@ -7,6 +7,7 @@ address spaces.  Kept small (P <= 4) -- the container has 2 cores.
 import numpy as np
 import pytest
 
+from repro.vmp.comm import ANY_TAG
 from repro.vmp.machines import IDEAL
 from repro.vmp.process_backend import run_multiprocessing
 from repro.vmp.scheduler import run_spmd
@@ -93,6 +94,40 @@ def prog_halo_ring(comm):
     return (int(got[0, 0]), got.shape, str(got.dtype))
 
 
+def prog_stash_bounded(comm):
+    # Regression for the keyed stash: it must hold exactly the messages
+    # that arrived but were not yet matched, and drop its per-key deques
+    # once they drain (growth stays O(outstanding), not O(delivered)).
+    n = 24
+    if comm.rank == 0:
+        for i in range(n):
+            comm.send(i, 1, tag=i)        # phase 1: specific matches
+        for i in range(n):
+            comm.send(i, 1, tag=100 + i)  # phase 2: wildcard matches
+        return comm.recv(source=1, tag=999)
+    # Phase 1: receive in *reverse* tag order.  The inbox is FIFO, so
+    # matching the last-sent tag first stashes the n-1 earlier messages,
+    # and each subsequent recv pops one straight from the stash.
+    values, trajectory = [], []
+    for tag in reversed(range(n)):
+        values.append(comm.recv(source=0, tag=tag))
+        trajectory.append(comm.stash_size())
+    # Phase 2: pile the stash up again, then drain it with wildcard
+    # receives -- those must stay FIFO by arrival across distinct keys.
+    last = comm.recv(source=0, tag=100 + n - 1)
+    wild = [comm.recv(source=0, tag=ANY_TAG) for _ in range(n - 1)]
+    ok = (
+        values == list(reversed(range(n)))
+        and trajectory == list(range(n - 1, -1, -1))
+        and last == n - 1
+        and wild == list(range(n - 1))
+        and comm.stash_size() == 0
+        and len(comm._stash) == 0  # drained deques are deleted, not leaked
+    )
+    comm.send(ok, 0, tag=999)
+    return trajectory
+
+
 def prog_crash(comm):
     # Rank 0 finishes independently; rank 1 dies.  Peers blocked on a
     # dead partner are released by its poison pill (see test_faults.py
@@ -148,6 +183,11 @@ class TestProcessBackend:
             assert src == (rank - 1) % 8
             assert shape == (2, 2048)
             assert dtype == "int8"
+
+    def test_stash_stays_bounded_by_outstanding_messages(self):
+        result = run_multiprocessing(prog_stash_bounded, 2, machine=IDEAL)
+        assert result.values[0] is True  # rank 1's in-process assertions
+        assert result.values[1] == list(range(23, -1, -1))
 
     def test_failure_propagates(self):
         with pytest.raises(RuntimeError, match="process died"):

@@ -16,7 +16,10 @@ property of the runner, but the ratios travel:
   P the two documents share (``parallel_records``);
 * telemetry overhead of the ``metrics`` variant
   (``observability_overhead``; lower is better, compared with an
-  absolute slack since its baseline sits near zero).
+  absolute slack since its baseline sits near zero);
+* the modeled comm fraction of every overlapped A/B run
+  (``overlap_records`` with ``overlap: true``; lower is better --
+  these gate that the halo-overlap pipeline keeps hiding wire time).
 
 A speedup metric regresses when it drops more than ``--tolerance``
 (default 0.20, i.e. 20%) below the baseline; the overhead metric
@@ -46,6 +49,12 @@ BASELINE_DEFAULT = REPO_ROOT / "benchmarks" / "BENCH_smoke_baseline.json"
 #: few percent at most, so a purely relative bound would gate on noise.
 OVERHEAD_SLACK = 0.05
 
+#: Absolute slack granted to the overlapped comm-fraction metrics: the
+#: fractions are modeled (deterministic for a given geometry), but the
+#: smoke tier runs fewer sweeps, so amortized collective costs shift a
+#: little between runs of different lengths.
+COMM_FRACTION_SLACK = 0.05
+
 
 def _speedups(doc: dict) -> dict[str, float]:
     """All gated higher-is-better ratio metrics of one record document."""
@@ -63,6 +72,16 @@ def _speedups(doc: dict) -> dict[str, float]:
     for p, modes in sorted(strip.items()):
         if "scalar" in modes and "vectorized" in modes:
             out[f"strip-speedup[P={p}]"] = modes["vectorized"] / modes["scalar"]
+    return out
+
+
+def _overlap_fractions(doc: dict) -> dict[str, float]:
+    """Modeled comm fraction of each overlapped A/B run (lower is better)."""
+    out: dict[str, float] = {}
+    for rec in doc.get("overlap_records", []):
+        if rec.get("overlap") and rec.get("comm_fraction_modeled") is not None:
+            name = f"overlap-comm-fraction[{rec['case']}, P={rec['p']}]"
+            out[name] = float(rec["comm_fraction_modeled"])
     return out
 
 
@@ -92,6 +111,21 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"{name}: {got:.2f} is {1 - got / want:.0%} below the "
                 f"baseline {want:.2f} (tolerance {tolerance:.0%})"
+            )
+    fresh_frac, base_frac = _overlap_fractions(fresh), _overlap_fractions(baseline)
+    for name in sorted(base_frac):
+        if name not in fresh_frac:
+            failures.append(f"{name}: missing from the fresh record")
+            continue
+        got, want = fresh_frac[name], base_frac[name]
+        ceil = want + COMM_FRACTION_SLACK + tolerance * abs(want)
+        status = "ok" if got <= ceil else "REGRESSED"
+        print(f"  {name:45s} baseline {want:8.3f}  fresh {got:8.3f}  "
+              f"ceiling {ceil:8.3f}  {status}")
+        if got > ceil:
+            failures.append(
+                f"{name}: {got:.3f} exceeds baseline {want:.3f} + slack "
+                f"(ceiling {ceil:.3f})"
             )
     got_ovh, want_ovh = _overhead(fresh), _overhead(baseline)
     if want_ovh is None:
