@@ -91,9 +91,20 @@ def run_metadata() -> dict:
         ).stdout.strip()
     except (OSError, subprocess.SubprocessError):
         sha = "unknown"
+    try:
+        # Honest parallelism budget: cgroup/affinity-limited CPU count
+        # (CI containers often expose fewer cores than os.cpu_count()).
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count()
+    from repro import kernels
+
     return {
         "git_sha": sha,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "numpy_version": np.__version__,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
+        "kernel_backend": kernels.resolve_kernel("auto"),
+        "numba_version": kernels.backend_version("numba"),
+        "cupy_version": kernels.backend_version("cupy"),
     }

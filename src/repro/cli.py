@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.kernels import KernelUnavailableError
 from repro.run.config import (
     ParallelLayout,
     TfimRunConfig,
@@ -51,6 +52,11 @@ def _add_layout_args(p: argparse.ArgumentParser, strategies: list[str]) -> None:
                    help="overlap halo exchanges with interior updates in "
                         "the strip/block sweep drivers (bit-identical "
                         "trajectories, shorter modeled makespan)")
+    p.add_argument("--kernel", default="auto",
+                   help="sweep kernel backend: 'auto' (best available), a "
+                        "registered backend (numpy/numba/cupy), or 'scalar' "
+                        "for the per-move reference path; every backend "
+                        "yields the bit-identical trajectory (default: auto)")
 
 
 def _add_mc_args(p: argparse.ArgumentParser) -> None:
@@ -146,7 +152,8 @@ def _finish_run(result, args) -> int:
 
 def _cmd_run_xxz(args) -> int:
     layout = ParallelLayout(args.strategy, args.ranks, args.machine,
-                            args.backend, overlap=args.overlap)
+                            args.backend, overlap=args.overlap,
+                            kernel=args.kernel)
     cfg = XXZRunConfig(
         n_sites=args.sites,
         beta=args.beta,
@@ -171,7 +178,8 @@ def _cmd_run_xxz(args) -> int:
 
 def _cmd_run_xxz2d(args) -> int:
     layout = ParallelLayout(args.strategy, args.ranks, args.machine,
-                            args.backend, overlap=args.overlap)
+                            args.backend, overlap=args.overlap,
+                            kernel=args.kernel)
     cfg = XXZ2DRunConfig(
         lx=args.lx,
         ly=args.ly,
@@ -197,7 +205,8 @@ def _cmd_run_xxz2d(args) -> int:
 def _cmd_run_tfim(args) -> int:
     shape = tuple(int(x) for x in args.shape.lower().split("x"))
     layout = ParallelLayout(args.strategy, args.ranks, args.machine,
-                            args.backend, overlap=args.overlap)
+                            args.backend, overlap=args.overlap,
+                            kernel=args.kernel)
     cfg = TfimRunConfig(
         spatial_shape=shape,
         beta=args.beta,
@@ -283,7 +292,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ValueError, KeyError) as exc:
+    except (ValueError, KeyError, KernelUnavailableError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

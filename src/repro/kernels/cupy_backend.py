@@ -1,0 +1,37 @@
+"""CuPy kernel-op stub: registers only when the accelerator imports.
+
+The registry probes ``import cupy`` (not just ``find_spec``) before
+ever loading this module, so on CPU-only machines ``--kernel cupy``
+fails fast with a structured :class:`KernelUnavailableError` instead
+of a CUDA driver traceback.
+
+This is deliberately a *stub*: it reserves the registry slot and the
+CLI/manifest plumbing for a GPU port, but the device kernels are not
+written yet, and -- more importantly -- a GPU backend has no
+bit-identity story against the CPU paths until its reduction orders
+are pinned down the way :mod:`repro.kernels.numba_backend` pins down
+NumPy's pairwise summation.  Until then every op delegates to the
+numpy backend on host memory, so selecting ``cupy`` on a GPU machine
+is functional (and trajectory-identical) but earns no speedup.  The
+negative registry priority keeps ``auto`` from ever picking it.
+
+See ``/opt``-style accelerator guides for the kernel-porting plan:
+each independence-class op maps onto one fused ElementwiseKernel (or a
+RawKernel over the gather tables), with the uniforms staged
+host-to-device once per sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+__all__ = ["build_ops"]
+
+
+def build_ops() -> Mapping[str, Callable]:
+    """Op table for the cupy stub (host-side delegation for now)."""
+    import cupy  # noqa: F401  -- re-assert the accelerator imports
+
+    from repro.kernels import numpy_backend
+
+    return dict(numpy_backend.OPS)

@@ -1,0 +1,490 @@
+"""Numba ``@njit(cache=True)`` kernel ops, bit-identical to ``numpy``.
+
+Each op fuses the gather -> evaluate -> accept -> scatter of one
+conflict-free independence class into a single compiled loop over the
+class's moves, eliminating the temporaries and multi-pass fancy
+indexing of the vectorized NumPy path.  Bit-identity with
+:mod:`repro.kernels.numpy_backend` rests on three pillars (documented
+in DESIGN.md, enforced by ``tests/qmc/test_kernel_registry.py``):
+
+1. *No RNG, no transcendentals in kernels.*  Uniforms and their
+   ``np.log`` values are drawn/computed by the caller with NumPy, so
+   the compared numbers are identical bytes regardless of backend.
+2. *Sequential per-move processing is exact.*  Moves within an
+   independence class have disjoint read/write footprints by
+   construction, so flip -> evaluate -> maybe-unflip one move at a
+   time produces the same accept decisions as NumPy's batched
+   speculative flips.
+3. *Reduction order is replicated.*  Plaquette-weight products are
+   strictly sequential (matching ``prod``/``multiply.reduce``), and
+   the float64 log-weight row sums replicate NumPy's pairwise
+   summation exactly: blocks of up to 128 elements use eight scalar
+   accumulators combined as ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))``
+   plus a sequential remainder, and longer rows split recursively at
+   ``n2 = (n//2) - (n//2 % 8)``.
+
+Dtype caveats: spins are int8 (bit flips via XOR; the Ising samplers
+use +/-1 int8), gather tables are intp, weights/log-weights float64.
+The ops assume C-contiguous spin storage (true for every sampler) but
+tolerate strided gather tables.
+
+This module imports :mod:`numba` at module scope; it is only loaded by
+the registry after the availability probe passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["OPS"]
+
+
+# -- NumPy pairwise-summation replica ---------------------------------
+
+@njit(cache=True)
+def _pairwise_leaf(a, lo, n):
+    """Sum of ``a[lo:lo+n]`` for n <= 128, in NumPy's block order."""
+    if n < 8:
+        res = 0.0
+        for k in range(n):
+            res += a[lo + k]
+        return res
+    r0 = a[lo]
+    r1 = a[lo + 1]
+    r2 = a[lo + 2]
+    r3 = a[lo + 3]
+    r4 = a[lo + 4]
+    r5 = a[lo + 5]
+    r6 = a[lo + 6]
+    r7 = a[lo + 7]
+    i = 8
+    stop = n - (n % 8)
+    while i < stop:
+        r0 += a[lo + i]
+        r1 += a[lo + i + 1]
+        r2 += a[lo + i + 2]
+        r3 += a[lo + i + 3]
+        r4 += a[lo + i + 4]
+        r5 += a[lo + i + 5]
+        r6 += a[lo + i + 6]
+        r7 += a[lo + i + 7]
+        i += 8
+    res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        res += a[lo + i]
+        i += 1
+    return res
+
+
+@njit(cache=True)
+def _pairwise_sum(a, lo, n):
+    """NumPy's float64 pairwise summation of ``a[lo:lo+n]``, exactly.
+
+    Iterative post-order walk of the ``pw(n) = pw(n2) + pw(n - n2)``
+    recursion tree (``n2 = n//2 - (n//2 % 8)``); leaves of <= 128
+    elements use the 8-accumulator block above.
+    """
+    if n <= 128:
+        return _pairwise_leaf(a, lo, n)
+    lo_s = np.empty(64, np.intp)
+    n_s = np.empty(64, np.intp)
+    phase = np.empty(64, np.uint8)
+    val = np.empty(64, np.float64)
+    sp = 0
+    lo_s[0] = lo
+    n_s[0] = n
+    phase[0] = 0
+    ret = 0.0
+    while sp >= 0:
+        if n_s[sp] <= 128:
+            ret = _pairwise_leaf(a, lo_s[sp], n_s[sp])
+            sp -= 1
+        elif phase[sp] == 0:
+            phase[sp] = 1
+            n2 = n_s[sp] // 2
+            n2 -= n2 % 8
+            sp += 1
+            lo_s[sp] = lo_s[sp - 1]
+            n_s[sp] = n2
+            phase[sp] = 0
+        elif phase[sp] == 1:
+            val[sp] = ret
+            phase[sp] = 2
+            n2 = n_s[sp] // 2
+            n2 -= n2 % 8
+            sp += 1
+            lo_s[sp] = lo_s[sp - 1] + n2
+            n_s[sp] = n_s[sp - 1] - n2
+            phase[sp] = 0
+        else:
+            ret = val[sp] + ret
+            sp -= 1
+    return ret
+
+
+# -- chain (1-D world-line) kernels -----------------------------------
+
+@njit(cache=True)
+def _chain_code(spins, i, t, n_sites, n_slices):
+    j = (i + 1) % n_sites
+    t1 = (t + 1) % n_slices
+    return (
+        spins[i, t] + 2 * spins[j, t] + 4 * spins[i, t1] + 8 * spins[j, t1]
+    )
+
+
+@njit(cache=True)
+def _wl1d_corner(spins, weights, i, t, u):
+    n_sites, n_slices = spins.shape
+    n_acc = 0
+    for m in range(i.size):
+        im = i[m]
+        tm = t[m]
+        im1 = (im - 1) % n_sites
+        ip1 = (im + 1) % n_sites
+        tm1 = (tm - 1) % n_slices
+        tp1 = (tm + 1) % n_slices
+        old = (
+            weights[_chain_code(spins, im1, tm, n_sites, n_slices)]
+            * weights[_chain_code(spins, ip1, tm, n_sites, n_slices)]
+            * weights[_chain_code(spins, im, tm1, n_sites, n_slices)]
+            * weights[_chain_code(spins, im, tp1, n_sites, n_slices)]
+        )
+        j = ip1
+        t1 = tp1
+        spins[im, tm] ^= 1
+        spins[im, t1] ^= 1
+        spins[j, tm] ^= 1
+        spins[j, t1] ^= 1
+        new = (
+            weights[_chain_code(spins, im1, tm, n_sites, n_slices)]
+            * weights[_chain_code(spins, ip1, tm, n_sites, n_slices)]
+            * weights[_chain_code(spins, im, tm1, n_sites, n_slices)]
+            * weights[_chain_code(spins, im, tp1, n_sites, n_slices)]
+        )
+        if new > 0.0 and u[m] * old < new:
+            n_acc += 1
+        else:
+            spins[im, tm] ^= 1
+            spins[im, t1] ^= 1
+            spins[j, tm] ^= 1
+            spins[j, t1] ^= 1
+    return n_acc
+
+
+@njit(cache=True)
+def _wl1d_col_log_weight(spins, logw, c, tmp, n_sites, n_slices):
+    """Log-weight of the two bond columns flanking site ``c``."""
+    half = n_slices // 2
+    total = 0.0
+    for b_off in range(-1, 1):
+        b = (c + b_off) % n_sites
+        start = 0 if b % 2 == 0 else 1
+        for k in range(half):
+            tt = start + 2 * k
+            tmp[k] = logw[_chain_code(spins, b, tt, n_sites, n_slices)]
+        total += _pairwise_sum(tmp, 0, half)
+    return total
+
+
+@njit(cache=True)
+def _wl1d_column(spins, logw, cols, log_u):
+    n_sites, n_slices = spins.shape
+    tmp = np.empty(n_slices // 2, np.float64)
+    n_acc = 0
+    for ci in range(cols.size):
+        c = cols[ci]
+        old = _wl1d_col_log_weight(spins, logw, c, tmp, n_sites, n_slices)
+        for t in range(n_slices):
+            spins[c, t] ^= 1
+        new = _wl1d_col_log_weight(spins, logw, c, tmp, n_sites, n_slices)
+        log_ratio = new - old
+        if np.isfinite(log_ratio) and log_u[ci] < log_ratio:
+            n_acc += 1
+        else:
+            for t in range(n_slices):
+                spins[c, t] ^= 1
+    return n_acc
+
+
+# -- 2-D world-line (square-lattice) kernels --------------------------
+
+@njit(cache=True)
+def _wl2d_segment(sf, weights, bl, br, tl, tr, wi, wj, u):
+    n_b, n_m = bl.shape[0], bl.shape[1]
+    n_acc = 0
+    for b in range(n_b):
+        for m in range(n_m):
+            code = (
+                sf[bl[b, m, 0]] + 2 * sf[br[b, m, 0]]
+                + 4 * sf[tl[b, m, 0]] + 8 * sf[tr[b, m, 0]]
+            )
+            old = weights[code]
+            for k in range(1, 8):
+                code = (
+                    sf[bl[b, m, k]] + 2 * sf[br[b, m, k]]
+                    + 4 * sf[tl[b, m, k]] + 8 * sf[tr[b, m, k]]
+                )
+                old = old * weights[code]
+            for k in range(4):
+                sf[wi[b, m, k]] ^= 1
+                sf[wj[b, m, k]] ^= 1
+            code = (
+                sf[bl[b, m, 0]] + 2 * sf[br[b, m, 0]]
+                + 4 * sf[tl[b, m, 0]] + 8 * sf[tr[b, m, 0]]
+            )
+            new = weights[code]
+            for k in range(1, 8):
+                code = (
+                    sf[bl[b, m, k]] + 2 * sf[br[b, m, k]]
+                    + 4 * sf[tl[b, m, k]] + 8 * sf[tr[b, m, k]]
+                )
+                new = new * weights[code]
+            if new > 0.0 and u[b, m] * old < new:
+                n_acc += 1
+            else:
+                for k in range(4):
+                    sf[wi[b, m, k]] ^= 1
+                    sf[wj[b, m, k]] ^= 1
+    return n_acc
+
+
+@njit(cache=True)
+def _wl2d_column(spins, logw, bl, br, tl, tr, flip, log_u):
+    sf = spins.reshape(-1)
+    n_slices = spins.shape[1]
+    tmp = np.empty(bl.shape[1], np.float64)
+    n_acc = 0
+    for s in range(flip.size):
+        for k in range(bl.shape[1]):
+            code = (
+                sf[bl[s, k]] + 2 * sf[br[s, k]]
+                + 4 * sf[tl[s, k]] + 8 * sf[tr[s, k]]
+            )
+            tmp[k] = logw[code]
+        old = _pairwise_sum(tmp, 0, tmp.size)
+        row = flip[s]
+        for t in range(n_slices):
+            spins[row, t] ^= 1
+        for k in range(bl.shape[1]):
+            code = (
+                sf[bl[s, k]] + 2 * sf[br[s, k]]
+                + 4 * sf[tl[s, k]] + 8 * sf[tr[s, k]]
+            )
+            tmp[k] = logw[code]
+        new = _pairwise_sum(tmp, 0, tmp.size)
+        log_ratio = new - old
+        if np.isfinite(log_ratio) and log_u[s] < log_ratio:
+            n_acc += 1
+        else:
+            for t in range(n_slices):
+                spins[row, t] ^= 1
+    return n_acc
+
+
+# -- classical Ising (serial, periodic) -------------------------------
+
+@njit(cache=True)
+def _ising_color3(s, kx, ky, kt, mask, log_u):
+    lx, ly, lt = s.shape
+    n_acc = 0
+    for x in range(lx):
+        xp = x + 1 if x + 1 < lx else 0
+        xm = x - 1 if x >= 1 else lx - 1
+        for y in range(ly):
+            yp = y + 1 if y + 1 < ly else 0
+            ym = y - 1 if y >= 1 else ly - 1
+            for t in range(lt):
+                if not mask[x, y, t]:
+                    continue
+                tp = t + 1 if t + 1 < lt else 0
+                tm = t - 1 if t >= 1 else lt - 1
+                sp = s[x, y, t]
+                f = kx * (s[xm, y, t] + s[xp, y, t])
+                f = f + ky * (s[x, ym, t] + s[x, yp, t])
+                f = f + kt * (s[x, y, tm] + s[x, y, tp])
+                if log_u[x, y, t] < (-2.0 * sp) * f:
+                    s[x, y, t] = -sp
+                    n_acc += 1
+    return n_acc
+
+
+def ising_color(spins, couplings, mask, log_u):
+    """Checkerboard color update, lifted to 3-D for a fixed-arity jit.
+
+    Missing trailing axes get extent 1 with zero coupling; the extra
+    ``+/-0.0`` field terms cannot change an accept decision because
+    ``log_u < 0`` strictly.  Mutates ``spins`` in place (the returned
+    array *is* ``spins``, matching the numpy op's rebind protocol).
+    Lattices beyond 3-D fall back to the numpy op.
+    """
+    ndim = spins.ndim
+    if ndim > 3 or not spins.flags.c_contiguous:
+        from repro.kernels import numpy_backend
+
+        return numpy_backend.ising_color(spins, couplings, mask, log_u)
+    shape3 = spins.shape + (1,) * (3 - ndim)
+    k3 = np.zeros(3)
+    k3[:ndim] = np.asarray(couplings, dtype=np.float64)[:ndim]
+    n_acc = _ising_color3(
+        spins.reshape(shape3), k3[0], k3[1], k3[2],
+        np.ascontiguousarray(mask).reshape(shape3),
+        np.ascontiguousarray(log_u).reshape(shape3),
+    )
+    return spins, n_acc
+
+
+# -- strip driver (1-D decomposition of the chain) --------------------
+
+@njit(cache=True)
+def _strip_corner(flat, weights, i00, i10, i01, i11, xmask, flip, uu):
+    n_acc = 0
+    for m in range(uu.size):
+        code = (
+            flat[i00[0, m]] + (flat[i10[0, m]] << 1)
+            + (flat[i01[0, m]] << 2) + (flat[i11[0, m]] << 3)
+        )
+        old = weights[code]
+        new = weights[code ^ xmask[0, 0]]
+        for k in range(1, 4):
+            code = (
+                flat[i00[k, m]] + (flat[i10[k, m]] << 1)
+                + (flat[i01[k, m]] << 2) + (flat[i11[k, m]] << 3)
+            )
+            old = old * weights[code]
+            new = new * weights[code ^ xmask[k, 0]]
+        if new > 0.0 and uu[m] * old < new:
+            for k in range(4):
+                flat[flip[k, m]] ^= 1
+            n_acc += 1
+    return n_acc
+
+
+@njit(cache=True)
+def _strip_column(loc, logw, lc, c00, c10, c01, c11, log_uu):
+    flat = loc.reshape(-1)
+    n_slices = loc.shape[1]
+    half = c00.shape[2]
+    tmp = np.empty(half, np.float64)
+    n_straight = 0
+    n_acc = 0
+    for ci in range(lc.size):
+        row = lc[ci]
+        s0 = loc[row, 0]
+        straight = True
+        for t in range(1, n_slices):
+            if loc[row, t] != s0:
+                straight = False
+                break
+        if not straight:
+            continue
+        n_straight += 1
+        for k in range(half):
+            code = (
+                flat[c00[0, ci, k]] + (flat[c10[0, ci, k]] << 1)
+                + (flat[c01[0, ci, k]] << 2) + (flat[c11[0, ci, k]] << 3)
+            )
+            tmp[k] = logw[code]
+        old = _pairwise_sum(tmp, 0, half)
+        for k in range(half):
+            code = (
+                flat[c00[0, ci, k]] + (flat[c10[0, ci, k]] << 1)
+                + (flat[c01[0, ci, k]] << 2) + (flat[c11[0, ci, k]] << 3)
+            )
+            tmp[k] = logw[code ^ 10]
+        new = _pairwise_sum(tmp, 0, half)
+        for k in range(half):
+            code = (
+                flat[c00[1, ci, k]] + (flat[c10[1, ci, k]] << 1)
+                + (flat[c01[1, ci, k]] << 2) + (flat[c11[1, ci, k]] << 3)
+            )
+            tmp[k] = logw[code]
+        old = old + _pairwise_sum(tmp, 0, half)
+        for k in range(half):
+            code = (
+                flat[c00[1, ci, k]] + (flat[c10[1, ci, k]] << 1)
+                + (flat[c01[1, ci, k]] << 2) + (flat[c11[1, ci, k]] << 3)
+            )
+            tmp[k] = logw[code ^ 5]
+        new = new + _pairwise_sum(tmp, 0, half)
+        log_ratio = new - old
+        if np.isfinite(log_ratio) and log_uu[ci] < log_ratio:
+            for t in range(n_slices):
+                loc[row, t] ^= 1
+            n_acc += 1
+    return n_straight, n_acc
+
+
+# -- block driver (2-D decomposition of the Ising film) ---------------
+
+@njit(cache=True)
+def _block_color(g, kx, ky, kt, mask, log_u):
+    nbx = g.shape[0] - 2
+    nby = g.shape[1] - 2
+    lt = g.shape[2]
+    n_acc = 0
+    for x in range(nbx):
+        for y in range(nby):
+            for t in range(lt):
+                if not mask[x, y, t]:
+                    continue
+                tp = t + 1 if t + 1 < lt else 0
+                tm = t - 1 if t >= 1 else lt - 1
+                sp = g[x + 1, y + 1, t]
+                f = kx * (g[x + 2, y + 1, t] + g[x, y + 1, t])
+                f = f + ky * (g[x + 1, y + 2, t] + g[x + 1, y, t])
+                f = f + kt * (g[x + 1, y + 1, tp] + g[x + 1, y + 1, tm])
+                if log_u[x, y, t] < (-2.0 * sp) * f:
+                    g[x + 1, y + 1, t] = -sp
+                    n_acc += 1
+    return n_acc
+
+
+# -- python-level wrappers matching the registry op signatures --------
+
+def wl1d_corner(spins, weights, i, t, u) -> int:
+    return int(_wl1d_corner(spins, weights, i, t, u))
+
+
+def wl1d_column(spins, logw, cols, log_u) -> int:
+    return int(_wl1d_column(spins, logw, cols, log_u))
+
+
+def wl2d_segment(sf, weights, bl, br, tl, tr, wi, wj, u) -> int:
+    # The class tables arrive as strided views (every-other-interval
+    # slices); numba specializes per layout, so pass them through
+    # rather than copying on every call.
+    return int(_wl2d_segment(sf, weights, bl, br, tl, tr, wi, wj, u))
+
+
+def wl2d_column(spins, logw, bl, br, tl, tr, flip, log_u) -> int:
+    return int(_wl2d_column(spins, logw, bl, br, tl, tr, flip, log_u))
+
+
+def strip_corner(flat, weights, i00, i10, i01, i11, xmask, flip, uu) -> int:
+    return int(_strip_corner(flat, weights, i00, i10, i01, i11, xmask,
+                             flip, uu))
+
+
+def strip_column(loc, logw, lc, c00, c10, c01, c11, log_uu):
+    n_straight, n_acc = _strip_column(loc, logw, lc, c00, c10, c01, c11,
+                                      log_uu)
+    return int(n_straight), int(n_acc)
+
+
+def block_color(g, couplings, mask, log_u) -> int:
+    kx, ky, kt = couplings
+    return int(_block_color(g, float(kx), float(ky), float(kt), mask, log_u))
+
+
+OPS = {
+    "wl1d_corner": wl1d_corner,
+    "wl1d_column": wl1d_column,
+    "wl2d_segment": wl2d_segment,
+    "wl2d_column": wl2d_column,
+    "ising_color": ising_color,
+    "strip_corner": strip_corner,
+    "strip_column": strip_column,
+    "block_color": block_color,
+}

@@ -1,0 +1,237 @@
+"""Vectorized NumPy kernel ops -- the bit-identity reference backend.
+
+These are the batched conflict-free update bodies that previously
+lived inline in ``qmc/worldline.py``, ``qmc/worldline2d.py``,
+``qmc/classical_ising.py`` and ``qmc/parallel.py``, moved behind the
+registry op signatures.  Each op:
+
+* receives the spin storage plus *precomputed* gather tables for one
+  independence class,
+* receives the uniforms (or their logs) already drawn by the caller --
+  no RNG and no transcendental math happens inside an op, so every
+  backend consumes the identical stream and compares against the
+  identical ``np.log`` values,
+* mutates the spins in place for the accepted moves (``ising_color``
+  returns the new spin array instead, preserving the historical
+  ``np.where`` copy semantics of the serial Ising sampler),
+* returns acceptance counts for the caller's telemetry.
+
+The floating-point evaluation order of these bodies is the contract
+other backends must reproduce exactly; see the "Kernel registry"
+section of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qmc.plaquette import codes_from_flat
+
+__all__ = ["OPS"]
+
+
+def _chain_codes(spins: np.ndarray, i, t) -> np.ndarray:
+    """Plaquette codes with bottom-left corner at ``(i, t)`` (chain)."""
+    n_sites, n_slices = spins.shape
+    j = (i + 1) % n_sites
+    t1 = (t + 1) % n_slices
+    return (
+        spins[i, t].astype(np.intp)
+        + 2 * spins[j, t].astype(np.intp)
+        + 4 * spins[i, t1].astype(np.intp)
+        + 8 * spins[j, t1].astype(np.intp)
+    )
+
+
+def wl1d_corner(spins, weights, i, t, u) -> int:
+    """Batched corner flips of one chain independence class.
+
+    ``i, t`` index the bottom-left corners; ``u`` is the caller's
+    uniform draw (one per move).  Returns the number of accepts.
+    """
+    n_sites, n_slices = spins.shape
+    im1, ip1 = (i - 1) % n_sites, (i + 1) % n_sites
+    tm1, tp1 = (t - 1) % n_slices, (t + 1) % n_slices
+    old = (
+        weights[_chain_codes(spins, im1, t)]
+        * weights[_chain_codes(spins, ip1, t)]
+        * weights[_chain_codes(spins, i, tm1)]
+        * weights[_chain_codes(spins, i, tp1)]
+    )
+    j = ip1
+    t1 = (t + 1) % n_slices
+    spins[i, t] ^= 1
+    spins[i, t1] ^= 1
+    spins[j, t] ^= 1
+    spins[j, t1] ^= 1
+    new = (
+        weights[_chain_codes(spins, im1, t)]
+        * weights[_chain_codes(spins, ip1, t)]
+        * weights[_chain_codes(spins, i, tm1)]
+        * weights[_chain_codes(spins, i, tp1)]
+    )
+    reject = ~(new > 0.0) | (u * old >= new)
+    ri, rt, rt1, rj = i[reject], t[reject], t1[reject], j[reject]
+    spins[ri, rt] ^= 1
+    spins[ri, rt1] ^= 1
+    spins[rj, rt] ^= 1
+    spins[rj, rt1] ^= 1
+    return int(i.size - np.count_nonzero(reject))
+
+
+def _chain_col_log_weight(spins, logw, cs) -> np.ndarray:
+    """Total log-weight of the two bond columns flanking sites ``cs``."""
+    n_sites, n_slices = spins.shape
+    t_even = np.arange(0, n_slices, 2, dtype=np.intp)
+    t_odd = np.arange(1, n_slices, 2, dtype=np.intp)
+    total = np.zeros(cs.size)
+    for b_off in (-1, 0):
+        b = (cs + b_off) % n_sites
+        ts = t_even if b[0] % 2 == 0 else t_odd
+        bb = np.repeat(b, ts.size)
+        tt = np.tile(ts, b.size)
+        lw = logw[_chain_codes(spins, bb, tt)].reshape(b.size, ts.size)
+        total += lw.sum(axis=1)
+    return total
+
+
+def wl1d_column(spins, logw, cols, log_u) -> int:
+    """Batched straight-column flips for the chain sampler.
+
+    ``cols`` must already be filtered to straight world lines (the
+    caller does the detection so its RNG draw sizes stay in lockstep
+    across backends); ``log_u = log(max(u, 1e-300))``.
+    """
+    old_lw = _chain_col_log_weight(spins, logw, cols)
+    spins[cols] ^= 1
+    new_lw = _chain_col_log_weight(spins, logw, cols)
+    log_ratio = new_lw - old_lw
+    with np.errstate(invalid="ignore"):
+        reject = ~np.isfinite(log_ratio) | (log_u >= log_ratio)
+    spins[cols[reject]] ^= 1
+    return int(cols.size - np.count_nonzero(reject))
+
+
+def wl2d_segment(sf, weights, bl, br, tl, tr, wi, wj, u) -> int:
+    """Batched 4-plaquette window flips of one 2-D segment class.
+
+    ``sf`` is the flat spin view; ``bl..tr`` are (B, M, 8) corner
+    gather tables, ``wi/wj`` the (B, M, 4) flip tables, ``u`` the
+    (B, M) uniform draw.
+    """
+    old = weights[codes_from_flat(sf, bl, br, tl, tr)].prod(axis=2)
+    sf[wi] ^= 1
+    sf[wj] ^= 1
+    new = weights[codes_from_flat(sf, bl, br, tl, tr)].prod(axis=2)
+    reject = ~(new > 0.0) | (u * old >= new)
+    sf[wi[reject]] ^= 1
+    sf[wj[reject]] ^= 1
+    return int(old.size - np.count_nonzero(reject))
+
+
+def wl2d_column(spins, logw, bl, br, tl, tr, flip, log_u) -> int:
+    """Batched temporal-column flips of one 2-D column class.
+
+    The caller detects straight columns, subsets the (S, T) gather
+    tables and draws ``u``; this op evaluates and commits the flips.
+    """
+    sf = spins.reshape(-1)
+    old = logw[codes_from_flat(sf, bl, br, tl, tr)].sum(axis=1)
+    spins[flip] ^= 1
+    new = logw[codes_from_flat(sf, bl, br, tl, tr)].sum(axis=1)
+    log_ratio = new - old
+    with np.errstate(invalid="ignore"):
+        reject = ~np.isfinite(log_ratio) | (log_u >= log_ratio)
+    spins[flip[reject]] ^= 1
+    return int(flip.size - np.count_nonzero(reject))
+
+
+def ising_color(spins, couplings, mask, log_u):
+    """One checkerboard color of the serial periodic Ising sweep.
+
+    Returns ``(new_spins, n_accepted)`` -- the serial sampler
+    historically rebinds ``self.spins`` to the ``np.where`` result
+    rather than mutating in place.
+    """
+    field = np.zeros(spins.shape)
+    for axis in range(spins.ndim):
+        field += couplings[axis] * (
+            np.roll(spins, 1, axis=axis) + np.roll(spins, -1, axis=axis)
+        )
+    accept = mask & (log_u < -2.0 * spins * field)
+    return np.where(accept, -spins, spins), int(np.count_nonzero(accept))
+
+
+def strip_corner(flat, weights, i00, i10, i01, i11, xmask, flip, uu) -> int:
+    """Batched corner flips of one strip-driver stage (XOR code trick).
+
+    ``flat`` is the ghosted local spin array flattened; ``i00..i11``
+    are (4, n) flat gather indices for the four plaquettes of each
+    move, ``xmask`` the (4, 1) per-plaquette XOR update masks,
+    ``flip`` the (4, n) flip indices, ``uu`` the move's share of the
+    shared per-sweep uniform block.
+    """
+    codes = (
+        flat[i00] + (flat[i10] << 1) + (flat[i01] << 2) + (flat[i11] << 3)
+    )
+    old = np.multiply.reduce(weights[codes], axis=0)
+    new = np.multiply.reduce(weights[codes ^ xmask], axis=0)
+    accept = (new > 0.0) & (uu * old < new)
+    flat[flip[:, accept]] ^= 1
+    return int(np.count_nonzero(accept))
+
+
+def strip_column(loc, logw, lc, c00, c10, c01, c11, log_uu):
+    """Batched straight-column flips of one strip-driver parity.
+
+    Straight detection happens inside the op (the uniforms come
+    pre-drawn from the shared sweep block, so no draw-order concern).
+    Returns ``(n_straight, n_accepted)``.
+    """
+    cols = loc[lc]
+    straight = cols.min(axis=1) == cols.max(axis=1)
+    n_straight = int(np.count_nonzero(straight))
+    if n_straight == 0:
+        return 0, 0
+    flat = loc.reshape(-1)
+    codes = (
+        flat[c00] + (flat[c10] << 1) + (flat[c01] << 2) + (flat[c11] << 3)
+    )
+    old_lw = logw[codes[0]].sum(axis=1) + logw[codes[1]].sum(axis=1)
+    new_lw = (
+        logw[codes[0] ^ 10].sum(axis=1) + logw[codes[1] ^ 5].sum(axis=1)
+    )
+    with np.errstate(invalid="ignore"):
+        log_ratio = new_lw - old_lw
+        accept = straight & np.isfinite(log_ratio) & (log_uu < log_ratio)
+    loc[lc[accept]] ^= 1
+    return n_straight, int(np.count_nonzero(accept))
+
+
+def block_color(g, couplings, mask, log_u) -> int:
+    """One checkerboard color of the block driver's ghosted sweep.
+
+    ``g`` is the (bx+2, by+2, lt) ghosted spin array whose interior
+    view is the block's spins; spatial neighbours come from the ghost
+    frame, temporal ones wrap locally.
+    """
+    spins = g[1:-1, 1:-1]
+    kx, ky, kt = couplings
+    field = kx * (g[2:, 1:-1] + g[:-2, 1:-1])
+    field = field + ky * (g[1:-1, 2:] + g[1:-1, :-2])
+    field += kt * (np.roll(spins, 1, axis=2) + np.roll(spins, -1, axis=2))
+    accept = mask & (log_u < -2.0 * spins * field)
+    spins[accept] = -spins[accept]
+    return int(np.count_nonzero(accept))
+
+
+OPS = {
+    "wl1d_corner": wl1d_corner,
+    "wl1d_column": wl1d_column,
+    "wl2d_segment": wl2d_segment,
+    "wl2d_column": wl2d_column,
+    "ising_color": ising_color,
+    "strip_corner": strip_corner,
+    "strip_column": strip_column,
+    "block_color": block_color,
+}

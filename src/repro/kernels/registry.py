@@ -1,0 +1,324 @@
+"""Pluggable compiled-kernel registry for the checkerboard sweeps.
+
+The sweep samplers (``qmc/worldline.py``, ``qmc/worldline2d.py``,
+``qmc/classical_ising.py``) and the SPMD drivers (``qmc/parallel.py``)
+dispatch their inner-loop work through a small table of *kernel ops* --
+one callable per conflict-free independence-class update.  A backend is
+a named provider of that table:
+
+* ``numpy``  -- the vectorized reference path (always available);
+* ``numba``  -- ``@njit(cache=True)`` ports of the same kernels,
+  bit-identical to ``numpy`` by construction (see
+  :mod:`repro.kernels.numba_backend`);
+* ``cupy``   -- a GPU stub that registers as available only when the
+  accelerator actually imports; never chosen by ``auto``.
+
+Selection semantics
+-------------------
+``resolve_kernel(name)`` maps a requested backend name to a concrete
+registered one.  ``"auto"`` picks the highest-priority *available*
+backend (numba over numpy when installed; cupy is opt-in only).
+Requesting an unavailable backend raises
+:class:`KernelUnavailableError` -- a structured, actionable error
+mirroring :class:`repro.vmp.mpi_backend.MpiUnavailableError` -- instead
+of an ImportError from deep inside a sweep.
+
+``resolve_sweep_mode(mode)`` additionally passes the ``"scalar"``
+reference mode through untouched and folds the legacy ``"vectorized"``
+alias onto ``"numpy"``, so driver configs can keep their historical
+mode vocabulary.
+
+Backends registered here must honour the bit-identity contract
+documented in DESIGN.md: identical trajectories (RNG draw for draw,
+accept for accept) with the ``numpy`` path on every lattice the
+registry serves.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.metadata
+import importlib.util
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "KernelUnavailableError",
+    "available_backends",
+    "backend_version",
+    "get_ops",
+    "kernel_available",
+    "known_backends",
+    "register_backend",
+    "resolve_kernel",
+    "resolve_sweep_mode",
+    "unregister_backend",
+]
+
+#: The op names every backend must provide.  Each op mutates the spin
+#: array(s) in place for the accepted moves of ONE independence class
+#: and returns acceptance counts; RNG draws and transcendentals stay in
+#: the caller so trajectories cannot depend on the backend's libm.
+OP_NAMES = (
+    "wl1d_corner",
+    "wl1d_column",
+    "wl2d_segment",
+    "wl2d_column",
+    "ising_color",
+    "strip_corner",
+    "strip_column",
+    "block_color",
+)
+
+
+class KernelUnavailableError(RuntimeError):
+    """Raised when a kernel backend is requested but cannot run here.
+
+    Mirrors ``MpiUnavailableError``: structured (carries the backend
+    name and reason as attributes) and actionable (the message names
+    the fallback and the install step).
+    """
+
+    def __init__(self, backend: str, reason: str, hint: str | None = None):
+        self.backend = backend
+        self.reason = reason
+        self.hint = hint or (
+            "fall back to the portable path with --kernel numpy "
+            "(or kernel='numpy')"
+        )
+        super().__init__(
+            f"kernel backend {backend!r} is unavailable: {reason}; {self.hint}"
+        )
+
+
+@dataclass
+class KernelBackend:
+    """One registered provider of the sweep kernel op table.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``--kernel NAME``).
+    priority:
+        ``"auto"`` picks the available backend with the highest
+        priority; a negative priority means *never* auto-selected
+        (explicit opt-in only, e.g. the cupy stub).
+    probe:
+        Cheap availability check; must not raise.  Result is memoized.
+    loader:
+        Called once, lazily, to build the op table (a mapping with the
+        :data:`OP_NAMES` keys).  May import heavy dependencies.
+    requires:
+        The pip-installable distribution backing the backend, used in
+        error hints and version reporting (None: stdlib/numpy only).
+    hint:
+        Override for the actionable part of the unavailable error.
+    """
+
+    name: str
+    priority: int
+    probe: Callable[[], bool]
+    loader: Callable[[], Mapping[str, Callable]]
+    requires: str | None = None
+    hint: str | None = None
+    _avail: bool | None = field(default=None, repr=False, compare=False)
+    _ops: Mapping[str, Callable] | None = field(default=None, repr=False,
+                                                compare=False)
+
+    def available(self) -> bool:
+        """Memoized availability probe (never raises)."""
+        if self._avail is None:
+            try:
+                self._avail = bool(self.probe())
+            except Exception:
+                self._avail = False
+        return self._avail
+
+    def ops(self) -> Mapping[str, Callable]:
+        """The op table, built on first use."""
+        if self._ops is None:
+            ops = self.loader()
+            missing = [n for n in OP_NAMES if n not in ops]
+            if missing:
+                raise KernelUnavailableError(
+                    self.name,
+                    f"backend op table is missing {missing}",
+                )
+            self._ops = ops
+        return self._ops
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Add (or replace) a backend in the registry."""
+    _REGISTRY[backend.name] = backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (test helper; unknown names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def known_backends() -> tuple[str, ...]:
+    """All registered backend names, best-priority first."""
+    return tuple(sorted(_REGISTRY, key=lambda n: (-_REGISTRY[n].priority, n)))
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backends that can actually run here."""
+    return tuple(n for n in known_backends() if _REGISTRY[n].available())
+
+
+def kernel_available(name: str) -> bool:
+    """True when ``name`` is registered and its probe passes."""
+    backend = _REGISTRY.get(name)
+    return backend is not None and backend.available()
+
+
+def resolve_kernel(name: str = "auto") -> str:
+    """Map a requested backend name to a concrete available one.
+
+    ``"auto"`` returns the highest-priority available backend with a
+    non-negative priority (``numpy`` is always registered and
+    available, so auto cannot fail).  The legacy ``"vectorized"`` alias
+    resolves to ``"numpy"``.  Unknown names raise ``ValueError``;
+    known-but-unavailable ones raise :class:`KernelUnavailableError`.
+    """
+    if name == "auto":
+        for cand in known_backends():
+            backend = _REGISTRY[cand]
+            if backend.priority >= 0 and backend.available():
+                return cand
+        raise KernelUnavailableError(
+            "auto", "no kernel backend is available",
+            "reinstall the package so the numpy backend registers",
+        )
+    if name == "vectorized":
+        name = "numpy"
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known backends: "
+            f"{', '.join(known_backends())} (plus 'auto', 'scalar', "
+            f"'vectorized')"
+        )
+    if not backend.available():
+        requires = backend.requires or name
+        raise KernelUnavailableError(
+            name,
+            f"the {requires!r} package is not importable in this environment",
+            backend.hint
+            or (f"pip install {requires}, or fall back with --kernel numpy "
+                f"(kernel='numpy')"),
+        )
+    return name
+
+
+def resolve_sweep_mode(mode: str = "auto") -> str:
+    """Resolve a sweep *mode*: ``"scalar"`` or a concrete backend name.
+
+    The sweep samplers accept ``mode`` strings that are a superset of
+    backend names: ``"scalar"`` selects the per-move reference
+    implementation (no registry involvement), everything else goes
+    through :func:`resolve_kernel`.
+    """
+    if mode == "scalar":
+        return "scalar"
+    try:
+        return resolve_kernel(mode)
+    except ValueError:
+        raise ValueError(
+            f"unknown sweep mode {mode!r}; expected 'scalar', 'vectorized', "
+            f"'auto', or a kernel backend ({', '.join(known_backends())})"
+        ) from None
+
+
+def get_ops(name: str) -> Mapping[str, Callable]:
+    """The op table for ``name`` (resolving ``auto``/aliases first)."""
+    return _REGISTRY[resolve_kernel(name)].ops()
+
+
+def backend_version(name: str) -> str | None:
+    """Version string of the package backing ``name`` (None: absent)."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        return None
+    if backend.requires is None:
+        return np.__version__
+    try:
+        return importlib.metadata.version(backend.requires)
+    except Exception:
+        try:
+            mod = importlib.import_module(backend.requires)
+            return getattr(mod, "__version__", None)
+        except Exception:
+            return None
+
+
+# -- built-in backends -------------------------------------------------
+
+def _numpy_ops() -> Mapping[str, Callable]:
+    from repro.kernels import numpy_backend
+
+    return numpy_backend.OPS
+
+
+def _numba_probe() -> bool:
+    return importlib.util.find_spec("numba") is not None
+
+
+def _numba_ops() -> Mapping[str, Callable]:
+    from repro.kernels import numba_backend
+
+    return numba_backend.OPS
+
+
+def _cupy_probe() -> bool:
+    # find_spec first so the common no-cupy case stays cheap; then an
+    # actual import, because cupy can be installed yet fail to load
+    # when no CUDA runtime/device is present.
+    if importlib.util.find_spec("cupy") is None:
+        return False
+    try:
+        importlib.import_module("cupy")
+        return True
+    except Exception:
+        return False
+
+
+def _cupy_ops() -> Mapping[str, Callable]:
+    from repro.kernels import cupy_backend
+
+    return cupy_backend.build_ops()
+
+
+register_backend(KernelBackend(
+    name="numpy",
+    priority=10,
+    probe=lambda: True,
+    loader=_numpy_ops,
+))
+register_backend(KernelBackend(
+    name="numba",
+    priority=20,
+    probe=_numba_probe,
+    loader=_numba_ops,
+    requires="numba",
+))
+register_backend(KernelBackend(
+    name="cupy",
+    # Negative priority: the stub is explicit opt-in, never "auto" --
+    # it has no bit-identity story against the CPU backends yet.
+    priority=-10,
+    probe=_cupy_probe,
+    loader=_cupy_ops,
+    requires="cupy",
+    hint=("install a cupy wheel matching the local CUDA runtime "
+          "(e.g. pip install cupy-cuda12x) on a GPU machine, or fall "
+          "back with --kernel numpy"),
+))

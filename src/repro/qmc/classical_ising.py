@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.util.rng import RankStream, SeedSequenceFactory
 
 __all__ = ["AnisotropicIsing", "IsingObservables", "FLOPS_PER_SPIN_UPDATE"]
@@ -73,6 +74,7 @@ class AnisotropicIsing:
         seed: int | None = 0,
         stream: RankStream | None = None,
         hot_start: bool = False,
+        kernel: str = "auto",
     ):
         shape = tuple(int(n) for n in shape)
         if len(shape) < 1:
@@ -108,6 +110,10 @@ class AnisotropicIsing:
         # color[i] = parity of coordinate sum
         grids = np.indices(shape).sum(axis=0)
         self._color_masks = [(grids % 2) == c for c in (0, 1)]
+        # Kernel backend for the color updates ("auto": registry best;
+        # every backend yields the bit-identical trajectory).
+        self.kernel = kernels.resolve_kernel(kernel)
+        self._ops = kernels.get_ops(self.kernel)
         self.n_attempted = 0
         self.n_accepted = 0
 
@@ -136,14 +142,13 @@ class AnisotropicIsing:
             uniforms = self.stream.uniform(size=self.shape)
         elif uniforms.shape != self.shape:
             raise ValueError(f"uniforms shape {uniforms.shape} != lattice {self.shape}")
+        # Metropolis ratio exp(-2 s_i field_i); accept where u < ratio.
+        log_u = np.log(np.maximum(uniforms, 1e-300))
+        op = self._ops["ising_color"]
         for mask in self._color_masks:
-            field = self.local_field()
-            # Metropolis ratio exp(-2 s_i field_i); accept where u < ratio.
-            log_u = np.log(np.maximum(uniforms, 1e-300))
-            accept = mask & (log_u < -2.0 * self.spins * field)
-            self.spins = np.where(accept, -self.spins, self.spins)
+            self.spins, n_acc = op(self.spins, self.couplings, mask, log_u)
             self.n_attempted += int(mask.sum())
-            self.n_accepted += int(accept.sum())
+            self.n_accepted += n_acc
 
     @property
     def acceptance_rate(self) -> float:

@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import kernels
 from repro.lattice.decomposition import (
     BlockDecomposition,
     StripDecomposition,
@@ -101,7 +102,10 @@ def _bind_sweep_metrics(state, metrics) -> None:
 
     Both decomposed drivers record the same sweep-level telemetry;
     pre-binding keeps the enabled hot path at one bool test plus float
-    adds, and the disabled path at a single bool test.
+    adds, and the disabled path at a single bool test.  The states
+    additionally bind a ``sweep.kernel_seconds.<backend>`` counter once
+    their kernel backend is resolved, so per-sweep kernel time lands in
+    the metrics tagged by backend.
     """
     state._obs = bool(metrics.enabled)
     if state._obs:
@@ -112,6 +116,19 @@ def _bind_sweep_metrics(state, metrics) -> None:
         state._m_wall = metrics.counter("sweep.wall_seconds")
         state._m_acc_hist = metrics.histogram(
             "sweep.acceptance", ACCEPTANCE_EDGES
+        )
+
+
+def _validate_mode(mode: str) -> None:
+    """Config-time check of a driver ``mode`` string (names only --
+    availability of a compiled backend is resolved at state init /
+    Simulation start, where the structured error can name the run)."""
+    if mode in ("scalar", "vectorized", "auto"):
+        return
+    if mode not in kernels.known_backends():
+        raise ValueError(
+            f"unknown sweep mode {mode!r}; expected 'scalar', 'vectorized', "
+            f"'auto', or a kernel backend ({', '.join(kernels.known_backends())})"
         )
 
 #: Update stages of one world-line sweep: the eight independence
@@ -167,8 +184,7 @@ class WorldlineStripConfig:
             raise ValueError("beta must be positive")
         if self.n_sweeps < 1:
             raise ValueError("need at least one sweep")
-        if self.mode not in ("scalar", "vectorized"):
-            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        _validate_mode(self.mode)
 
 
 class _StripState:
@@ -217,7 +233,17 @@ class _StripState:
         #: without telemetry flags).
         self.n_attempted = 0
         self.n_accepted = 0
+        # Resolve the kernel backend once per rank ("scalar" bypasses
+        # the registry; every registry backend is trajectory-identical).
+        self.kernel = kernels.resolve_sweep_mode(cfg.mode)
+        self._kops = (
+            None if self.kernel == "scalar" else kernels.get_ops(self.kernel)
+        )
         _bind_sweep_metrics(self, comm.metrics)
+        if self._obs:
+            self._m_kernel = comm.metrics.counter(
+                f"sweep.kernel_seconds.{self.kernel}"
+            )
         # One shared uniform block per sweep, sliced per stage: corner
         # classes consume an (L/4, T/4) lattice, column parities L/2.
         sizes = [
@@ -517,31 +543,24 @@ class _StripState:
     ) -> None:
         """One corner class (or an interior/boundary sub-table) batched.
 
-        One fused gather builds the ``(4, n_moves)`` neighbor-code
-        matrix; the post-flip codes are the same matrix XORed with the
-        per-row masks, so ``new`` needs no speculative spin flips.  The
-        weight products reduce along axis 0 in the same left-to-right
-        order as the scalar reference, keeping the accept decisions
+        The gather -> XOR-code -> accept -> scatter body is the
+        ``strip_corner`` op of the resolved kernel backend (see
+        :mod:`repro.kernels`); every backend reproduces the scalar
+        reference's weight-product order, keeping accept decisions
         bit-identical.  ``category`` attributes the compute charge
         (``interior``/``boundary`` under the overlap pipeline).
         """
         if cache is None:
             return
-        w = self.table.weights
         flat = self.loc.reshape(-1)
-        codes = (
-            flat[cache["i00"]]
-            + (flat[cache["i10"]] << 1)
-            + (flat[cache["i01"]] << 2)
-            + (flat[cache["i11"]] << 3)
-        )
-        old = np.multiply.reduce(w[codes], axis=0)
-        new = np.multiply.reduce(w[codes ^ self._CORNER_XMASK], axis=0)
         uu = u.reshape(-1)[cache["uflat"]]
-        accept = (new > 0.0) & (uu * old < new)
-        flat[cache["flip"][:, accept]] ^= 1
+        n_acc = self._kops["strip_corner"](
+            flat, self.table.weights,
+            cache["i00"], cache["i10"], cache["i01"], cache["i11"],
+            self._CORNER_XMASK, cache["flip"], uu,
+        )
         self.n_attempted += cache["j"].size
-        self.n_accepted += int(np.count_nonzero(accept))
+        self.n_accepted += n_acc
         self.comm.charge_seconds(
             self.comm.machine.compute_time(
                 FLOPS_PER_CORNER_MOVE * cache["j"].size
@@ -614,44 +633,27 @@ class _StripState:
     ) -> None:
         """Straight-line moves of one parity (or an overlap sub-table).
 
-        The cached ``(2, n_cols, T/2)`` bond-column code matrix yields
-        both log-weight sums at once: the post-flip codes are the
-        pre-flip codes XORed with 10 (bond gc-1, spins on bits 1 and 3)
-        and 5 (bond gc, bits 0 and 2), so no speculative column flips
-        are needed.  Per-column sums run in the same element order as
-        the scalar reference.
+        Straight detection and the flip evaluation run inside the
+        backend's ``strip_column`` op over the cached ``(2, n_cols,
+        T/2)`` bond-column index matrix (post-flip codes are pre-flip
+        codes XORed with 10 / 5, so no speculative column flips); the
+        log of the stage's uniforms is taken here with NumPy so every
+        backend compares against identical values.
         """
         if cache is None:
             return
         lc = cache["lc"]
         if lc.size == 0:
             return
-        cols = self.loc[lc]
-        straight = cols.min(axis=1) == cols.max(axis=1)
-        n_straight = int(np.count_nonzero(straight))
+        log_uu = np.log(np.maximum(u[cache["uc"]], 1e-300))
+        n_straight, n_acc = self._kops["strip_column"](
+            self.loc, self._logw, lc,
+            cache["c00"], cache["c10"], cache["c01"], cache["c11"], log_uu,
+        )
         if n_straight == 0:
             return
-        logw = self._logw
-        flat = self.loc.reshape(-1)
-        codes = (
-            flat[cache["c00"]]
-            + (flat[cache["c10"]] << 1)
-            + (flat[cache["c01"]] << 2)
-            + (flat[cache["c11"]] << 3)
-        )
-        old_lw = logw[codes[0]].sum(axis=1) + logw[codes[1]].sum(axis=1)
-        new_lw = logw[codes[0] ^ 10].sum(axis=1) + logw[codes[1] ^ 5].sum(axis=1)
-        uu = u[cache["uc"]]
-        with np.errstate(invalid="ignore"):
-            log_ratio = new_lw - old_lw
-        accept = (
-            straight
-            & np.isfinite(log_ratio)
-            & (np.log(np.maximum(uu, 1e-300)) < log_ratio)
-        )
-        self.loc[lc[accept]] ^= 1
         self.n_attempted += n_straight
-        self.n_accepted += int(np.count_nonzero(accept))
+        self.n_accepted += n_acc
         self.comm.charge_seconds(
             self.comm.machine.compute_time(2.0 * self.T * n_straight), category
         )
@@ -690,16 +692,21 @@ class _StripState:
 
     def _stage_kernel(self, kind: str, cache: dict | None, u: np.ndarray,
                       category: str = "compute") -> None:
-        """Dispatch one stage's (sub-)table to the configured kernel."""
+        """Dispatch one stage's (sub-)table to the resolved kernel backend."""
+        obs = self._obs
+        if obs:
+            t0 = perf_counter()
         if kind == "corner":
-            if self.cfg.mode == "scalar":
+            if self._kops is None:
                 self._corner_class_scalar(cache, u, category)
             else:
                 self._corner_class_vectorized(cache, u, category)
-        elif self.cfg.mode == "scalar":
+        elif self._kops is None:
             self._column_parity_scalar(cache, u, category)
         else:
             self._column_parity_vectorized(cache, u, category)
+        if obs:
+            self._m_kernel.inc(perf_counter() - t0)
 
     def sweep(self) -> None:
         """One full sweep: 10 stages, one aggregated ghost exchange each.
@@ -939,8 +946,7 @@ class IsingBlockConfig:
                 raise ValueError(f"{name} must be even and >= 2 (or inert 1), got {v}")
         if self.n_sweeps < 1:
             raise ValueError("need at least one sweep")
-        if self.mode not in ("scalar", "vectorized"):
-            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        _validate_mode(self.mode)
 
 
 class _BlockState:
@@ -1020,7 +1026,16 @@ class _BlockState:
                 self._bnd_masks = [m & bnd3 for m in self.color_masks]
                 self._n_int = [int(m.sum()) for m in self._int_masks]
                 self.overlap_active = True
+        # Resolve the kernel backend once per rank (see _StripState).
+        self.kernel = kernels.resolve_sweep_mode(cfg.mode)
+        self._kops = (
+            None if self.kernel == "scalar" else kernels.get_ops(self.kernel)
+        )
         _bind_sweep_metrics(self, comm.metrics)
+        if self._obs:
+            self._m_kernel = comm.metrics.counter(
+                f"sweep.kernel_seconds.{self.kernel}"
+            )
 
     # -- halo exchange ------------------------------------------------------
     def _x_mask(self, gx_plane: int, color: int) -> np.ndarray:
@@ -1193,12 +1208,23 @@ class _BlockState:
         return n_acc
 
     def _accept_vectorized(self, mask: np.ndarray, log_u: np.ndarray) -> int:
-        """Batched Metropolis over ``mask``; returns accepted-flip count."""
-        s = self.spins
-        field = self.local_field()
-        accept = mask & (log_u < -2.0 * s * field)
-        s[accept] = -s[accept]
-        return int(np.count_nonzero(accept))
+        """Batched Metropolis over ``mask`` via the resolved backend's
+        ``block_color`` op; returns the accepted-flip count."""
+        return self._kops["block_color"](self._g, self.couplings, mask, log_u)
+
+    def _update_color(self, mask: np.ndarray, log_u: np.ndarray) -> int:
+        """One (sub-)color update through the configured kernel, with
+        per-backend kernel-time telemetry."""
+        obs = self._obs
+        if obs:
+            t0 = perf_counter()
+        if self._kops is None:
+            n_acc = self._update_color_scalar(mask, log_u)
+        else:
+            n_acc = self._accept_vectorized(mask, log_u)
+        if obs:
+            self._m_kernel.inc(perf_counter() - t0)
+        return n_acc
 
     def sweep(self) -> None:
         """Both checkerboard colors, one color-packed halo exchange each.
@@ -1217,30 +1243,19 @@ class _BlockState:
             t0_model = self.comm.clock.now
         uniforms = self._sweep_uniforms()
         log_u = np.log(np.maximum(uniforms, 1e-300))
-        scalar = self.cfg.mode == "scalar"
         n_acc = 0
         if self.overlap_active:
             flops_per_color = FLOPS_PER_SPIN_UPDATE * self.spins.size
             machine = self.comm.machine
             for c in range(2):
                 pending = self._exchange_begin(color=c)
-                if scalar:
-                    n_acc += self._update_color_scalar(
-                        self._int_masks[c], log_u
-                    )
-                else:
-                    n_acc += self._accept_vectorized(self._int_masks[c], log_u)
+                n_acc += self._update_color(self._int_masks[c], log_u)
                 frac = self._n_int[c] / self._n_color_sites[c]
                 self.comm.charge_seconds(
                     machine.compute_time(flops_per_color * frac), "interior"
                 )
                 self._exchange_complete(pending)
-                if scalar:
-                    n_acc += self._update_color_scalar(
-                        self._bnd_masks[c], log_u
-                    )
-                else:
-                    n_acc += self._accept_vectorized(self._bnd_masks[c], log_u)
+                n_acc += self._update_color(self._bnd_masks[c], log_u)
                 self.comm.charge_seconds(
                     machine.compute_time(flops_per_color * (1.0 - frac)),
                     "boundary",
@@ -1248,10 +1263,7 @@ class _BlockState:
         else:
             for c, mask in enumerate(self.color_masks):
                 self._exchange_ghosts(color=c)
-                if scalar:
-                    n_acc += self._update_color_scalar(mask, log_u)
-                else:
-                    n_acc += self._accept_vectorized(mask, log_u)
+                n_acc += self._update_color(mask, log_u)
             self.comm.charge_compute(
                 FLOPS_PER_SPIN_UPDATE * self.spins.size * 2
             )
@@ -1426,8 +1438,7 @@ class Worldline2DReplicaConfig:
             raise ValueError("need at least one sweep")
         if self.measure_every < 1:
             raise ValueError("measure_every must be >= 1")
-        if self.mode not in ("auto", "scalar", "vectorized"):
-            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        _validate_mode(self.mode)
 
 
 def worldline2d_replica_flops_per_sweep(sampler) -> float:

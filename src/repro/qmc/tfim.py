@@ -134,6 +134,7 @@ class TfimQmc:
         seed: int | None = 0,
         stream: RankStream | None = None,
         hot_start: bool = False,
+        kernel: str = "auto",
     ):
         if gamma <= 0:
             raise ValueError(
@@ -162,6 +163,7 @@ class TfimQmc:
             seed=seed,
             stream=stream,
             hot_start=hot_start,
+            kernel=kernel,
         )
         self._tanh = math.tanh(x)
         self._coth = 1.0 / self._tanh

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.models.hamiltonians import XXZChainModel
 from repro.qmc.plaquette import PlaquetteTable
 from repro.util.correlation import mean_circular_correlation
@@ -118,6 +119,13 @@ class WorldlineChainQmc:
             lambda i, t: (i % 2).astype(np.int8), (self.L, self.n_slices), dtype=int
         ).astype(np.int8)
         self._init_shaded_index()
+        # Log-space plaquette weights for the column kernels (illegal
+        # codes pinned to -inf).
+        self._logw = np.where(
+            self.table.weights > 0,
+            np.log(np.maximum(self.table.weights, 1e-300)),
+            -np.inf,
+        )
         self.n_attempted = 0
         self.n_accepted = 0
 
@@ -379,108 +387,76 @@ class WorldlineChainQmc:
         gi, gt = np.meshgrid(ii, tt, indexing="ij")
         return gi.ravel(), gt.ravel()
 
-    def _vector_corner_class(self, i: np.ndarray, t: np.ndarray) -> None:
+    def _vector_corner_class(self, i: np.ndarray, t: np.ndarray, ops) -> None:
         """Simultaneous Metropolis on one independence class of corner flips.
 
         Moves within a class touch disjoint spin neighborhoods (sites
         i-1..i+2, slices t-1..t+2 are separated by the stride-4 grid),
         so parallel acceptance equals sequential acceptance in any
-        order -- the property the domain-decomposed driver relies on.
+        order -- the property the domain-decomposed driver and the
+        compiled kernel backends rely on.  The uniform draw stays here
+        (one block per class, identical across backends).
         """
-        L, T = self.L, self.n_slices
-        w = self.table.weights
-        im1, ip1 = (i - 1) % L, (i + 1) % L
-        tm1, tp1 = (t - 1) % T, (t + 1) % T
-        old = (
-            w[self._codes(im1, t)]
-            * w[self._codes(ip1, t)]
-            * w[self._codes(i, tm1)]
-            * w[self._codes(i, tp1)]
-        )
-        # Flip candidate corners, evaluate, then keep only accepted.
-        j = ip1
-        t1 = (t + 1) % T
-        self.spins[i, t] ^= 1
-        self.spins[i, t1] ^= 1
-        self.spins[j, t] ^= 1
-        self.spins[j, t1] ^= 1
-        new = (
-            w[self._codes(im1, t)]
-            * w[self._codes(ip1, t)]
-            * w[self._codes(i, tm1)]
-            * w[self._codes(i, tp1)]
-        )
         u = self.stream.uniform(size=i.size)
-        reject = ~(new > 0.0) | (u * old >= new)
+        n_acc = ops["wl1d_corner"](self.spins, self.table.weights, i, t, u)
         self.n_attempted += i.size
-        self.n_accepted += int(i.size - reject.sum())
-        ri, rt, rj, rt1 = i[reject], t[reject], j[reject], t1[reject]
-        self.spins[ri, rt] ^= 1
-        self.spins[ri, rt1] ^= 1
-        self.spins[rj, rt] ^= 1
-        self.spins[rj, rt1] ^= 1
+        self.n_accepted += n_acc
 
-    def _vector_column_parity(self, parity: int) -> None:
+    def _vector_column_parity(self, parity: int, ops) -> None:
         """Simultaneous straight-line flips on all columns of one parity."""
-        L, T = self.L, self.n_slices
+        L = self.L
         cols = np.arange(parity, L, 2, dtype=np.intp)
         straight = self.spins[cols].min(axis=1) == self.spins[cols].max(axis=1)
         cols = cols[straight]
         if cols.size == 0:
             return
-        logw = np.where(
-            self.table.weights > 0, np.log(np.maximum(self.table.weights, 1e-300)), -np.inf
-        )
-        # Affected: bonds (c-1) and c, at their active intervals.
-        t_even = np.arange(0, T, 2, dtype=np.intp)
-        t_odd = np.arange(1, T, 2, dtype=np.intp)
-
-        def col_log_weight(cs: np.ndarray) -> np.ndarray:
-            # Columns in one parity class share bond parity, so the active
-            # interval grid is identical for all of them: fully vectorized.
-            total = np.zeros(cs.size)
-            for b_off in (-1, 0):
-                b = (cs + b_off) % L
-                ts = t_even if b[0] % 2 == 0 else t_odd
-                bb = np.repeat(b, ts.size)
-                tt = np.tile(ts, b.size)
-                lw = logw[self._codes(bb, tt)].reshape(b.size, ts.size)
-                total += lw.sum(axis=1)
-            return total
-
-        old_lw = col_log_weight(cols)
-        self.spins[cols] ^= 1
-        new_lw = col_log_weight(cols)
-        log_ratio = new_lw - old_lw
         u = self.stream.uniform(size=cols.size)
-        with np.errstate(over="ignore"):
-            reject = ~np.isfinite(log_ratio) | (np.log(np.maximum(u, 1e-300)) >= log_ratio)
+        log_u = np.log(np.maximum(u, 1e-300))
+        n_acc = ops["wl1d_column"](self.spins, self._logw, cols, log_u)
         self.n_attempted += cols.size
-        self.n_accepted += int(cols.size - reject.sum())
-        self.spins[cols[reject]] ^= 1
+        self.n_accepted += n_acc
 
-    def sweep_vectorized(self) -> None:
-        """Eight-color vectorized sweep (periodic chains, L%4 == T%4 == 0)."""
+    def sweep_vectorized(self, kernel: str = "numpy") -> None:
+        """Eight-color vectorized sweep (periodic chains, L%4 == T%4 == 0).
+
+        ``kernel`` names the registry backend supplying the class ops;
+        every backend produces the bit-identical trajectory.
+        """
         if not self.can_vectorize:
             raise ValueError(
                 "vectorized sweep needs a periodic chain with L % 4 == 0 and "
                 f"n_slices % 4 == 0; got L={self.L}, T={self.n_slices}, "
-                f"periodic={self.periodic}"
+                f"periodic={self.periodic}; fall back to the per-move "
+                "reference with sweep(mode='scalar') / run(mode='scalar')"
             )
+        ops = kernels.get_ops(kernel)
         for a in range(4):
             for b in range(4):
                 if (a + b) % 2 == 1:
                     i, t = self._class_indices(a, b)
-                    self._vector_corner_class(i, t)
-        self._vector_column_parity(0)
-        self._vector_column_parity(1)
+                    self._vector_corner_class(i, t, ops)
+        self._vector_column_parity(0, ops)
+        self._vector_column_parity(1, ops)
 
-    def sweep(self) -> None:
-        """One full sweep, vectorized when the geometry allows."""
-        if self.can_vectorize:
-            self.sweep_vectorized()
-        else:
+    def sweep(self, mode: str = "auto") -> None:
+        """One full sweep.
+
+        ``mode="auto"`` (the default, and the historical behavior)
+        runs the registry's best available kernel backend when the
+        geometry allows and the scalar reference otherwise;
+        ``"scalar"`` forces the reference; a backend name ("numpy",
+        "numba", ...; "vectorized" aliases "numpy") forces that
+        backend.
+        """
+        if mode == "auto":
+            if self.can_vectorize:
+                self.sweep_vectorized(kernel=kernels.resolve_kernel("auto"))
+            else:
+                self.sweep_scalar()
+        elif mode == "scalar":
             self.sweep_scalar()
+        else:
+            self.sweep_vectorized(kernel=kernels.resolve_sweep_mode(mode))
 
     @property
     def acceptance_rate(self) -> float:
@@ -494,8 +470,9 @@ class WorldlineChainQmc:
         n_sweeps: int,
         n_thermalize: int = 0,
         measure_every: int = 1,
+        mode: str = "auto",
     ) -> WorldlineMeasurement:
-        """Thermalize, then sweep and measure.
+        """Thermalize, then sweep and measure (``mode`` as in :meth:`sweep`).
 
         Returns the raw time series; error analysis is the caller's job
         (see :mod:`repro.stats`).
@@ -503,10 +480,10 @@ class WorldlineChainQmc:
         if n_sweeps < 1:
             raise ValueError("need at least one measured sweep")
         for _ in range(n_thermalize):
-            self.sweep()
+            self.sweep(mode)
         energies, mags, mstag, corr = [], [], [], []
         for s in range(n_sweeps):
-            self.sweep()
+            self.sweep(mode)
             if s % measure_every == 0:
                 energies.append(self.energy_estimate())
                 mags.append(self.magnetization())

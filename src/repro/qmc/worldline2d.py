@@ -78,6 +78,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import kernels
 from repro.models.hamiltonians import XXZSquareModel
 from repro.obs.metrics import ACCEPTANCE_EDGES
 from repro.qmc.plaquette import PlaquetteTable, codes_from_flat, corner_flat_indices
@@ -173,6 +174,8 @@ class WorldlineSquareQmc:
         # There is no modeled clock here, so only move counts and wall
         # time are recorded; per-sweep recording happens in sweep().
         self._obs = metrics is not None and metrics.enabled
+        self._metrics = metrics if self._obs else None
+        self._m_kernel: dict = {}
         if self._obs:
             self._m_sweeps = metrics.counter("sweep.count")
             self._m_attempted = metrics.counter("sweep.attempted")
@@ -548,37 +551,42 @@ class WorldlineSquareQmc:
     # ------------------------------------------------------------------
     # batched conflict-free kernels
     # ------------------------------------------------------------------
-    def _run_segment_kernel(self, cls: dict, sl: slice) -> None:
-        """One masked-Metropolis array kernel: every segment move of one
+    def _run_segment_kernel(self, cls: dict, sl: slice, ops=None) -> None:
+        """One masked-Metropolis kernel call: every segment move of one
         conflict-free class (``sl`` selects the mod-8 interval class on
         the precomputed M axis).
 
-        Gather all corner codes through the flat-index tables, form the
-        old/new products of the 8 affected plaquette weights, accept
-        with one vectorized uniform draw, scatter back the rejected
-        flips.  All flipped spin indices within a call are distinct
-        (same-color bonds are site-disjoint; in-class intervals are >= 8
-        slices apart), so the in-place fancy-indexed XORs are exact.
+        The uniform draw happens here (one block per class, same
+        generator sequence for every backend); the gather -> accept ->
+        scatter body is the backend op.  All flipped spin indices
+        within a call are distinct (same-color bonds are site-disjoint;
+        in-class intervals are >= 8 slices apart), so in-place updates
+        are exact for both the batched and the compiled sequential
+        backends.
         """
+        if ops is None:
+            ops = kernels.get_ops("numpy")
         bl, br = cls["bl"][:, sl], cls["br"][:, sl]
         tl, tr = cls["tl"][:, sl], cls["tr"][:, sl]
         wi, wj = cls["wi"][:, sl], cls["wj"][:, sl]
         sf = self.spins.reshape(-1)
-        w = self.table.weights
-        old = w[codes_from_flat(sf, bl, br, tl, tr)].prod(axis=2)
-        sf[wi] ^= 1
-        sf[wj] ^= 1
-        new = w[codes_from_flat(sf, bl, br, tl, tr)].prod(axis=2)
-        u = self.stream.uniform(size=old.shape)
-        reject = ~(new > 0.0) | (u * old >= new)
-        sf[wi[reject]] ^= 1
-        sf[wj[reject]] ^= 1
-        self.n_attempted += old.size
-        self.n_accepted += int(old.size - reject.sum())
+        u = self.stream.uniform(size=bl.shape[:2])
+        n_acc = ops["wl2d_segment"](
+            sf, self.table.weights, bl, br, tl, tr, wi, wj, u
+        )
+        self.n_attempted += u.size
+        self.n_accepted += n_acc
 
-    def _run_column_kernel(self, cls: dict) -> None:
+    def _run_column_kernel(self, cls: dict, ops=None) -> None:
         """Batched straight-line flips across all legal sites of one
-        sublattice (log-space weights: T plaquettes per column)."""
+        sublattice (log-space weights: T plaquettes per column).
+
+        Straight detection and the uniform draw stay here so the draw
+        *size* is backend-independent; the flip evaluation is the
+        backend op.
+        """
+        if ops is None:
+            ops = kernels.get_ops("numpy")
         sites = cls["sites"]
         cols = self.spins[sites]
         straight = np.nonzero(cols.min(axis=1) == cols.max(axis=1))[0]
@@ -587,63 +595,81 @@ class WorldlineSquareQmc:
         bl, br = cls["bl"][straight], cls["br"][straight]
         tl, tr = cls["tl"][straight], cls["tr"][straight]
         flip = sites[straight]
-        sf = self.spins.reshape(-1)
-        logw = self._logw
-        old = logw[codes_from_flat(sf, bl, br, tl, tr)].sum(axis=1)
-        self.spins[flip] ^= 1
-        new = logw[codes_from_flat(sf, bl, br, tl, tr)].sum(axis=1)
-        log_ratio = new - old
         u = self.stream.uniform(size=flip.size)
-        reject = ~np.isfinite(log_ratio) | (
-            np.log(np.maximum(u, 1e-300)) >= log_ratio
+        log_u = np.log(np.maximum(u, 1e-300))
+        n_acc = ops["wl2d_column"](
+            self.spins, self._logw, bl, br, tl, tr, flip, log_u
         )
-        self.spins[flip[reject]] ^= 1
         self.n_attempted += flip.size
-        self.n_accepted += int(flip.size - reject.sum())
+        self.n_accepted += n_acc
 
-    def sweep_vectorized(self) -> None:
+    def sweep_vectorized(self, kernel: str = "numpy") -> None:
         """Batched sweep: 4 colors x 4 spatial parities x 2 interval
         classes of segment kernels, then the two sublattice column
-        kernels.  Proposal set identical to the scalar sweep."""
+        kernels.  Proposal set identical to the scalar sweep; the
+        ``kernel`` registry backend supplies the class-update ops
+        (trajectories are bit-identical across backends)."""
         if not self.can_vectorize:
             raise ValueError(
                 "vectorized sweep needs lx % 4 == 0 and ly % 4 == 0; got "
-                f"{self.lattice.lx}x{self.lattice.ly}"
+                f"{self.lattice.lx}x{self.lattice.ly}; fall back to the "
+                "per-bond reference with sweep(mode='scalar') / "
+                "run(mode='scalar') or resize the lattice "
+                "(the CLI --kernel flag only selects among batched "
+                "backends, so it needs the same divisibility)"
             )
+        ops = kernels.get_ops(kernel)
         even_m = self.n_trotter % 2 == 0
         for cls in self._seg_classes:
             if even_m:
-                self._run_segment_kernel(cls, slice(0, None, 2))
-                self._run_segment_kernel(cls, slice(1, None, 2))
+                self._run_segment_kernel(cls, slice(0, None, 2), ops)
+                self._run_segment_kernel(cls, slice(1, None, 2), ops)
             else:
                 # Odd Trotter number: the two mod-8 classes do not tile;
                 # fall back to one interval at a time, still bond-batched.
                 for m in range(self.n_trotter):
-                    self._run_segment_kernel(cls, slice(m, m + 1))
+                    self._run_segment_kernel(cls, slice(m, m + 1), ops)
         for cls in self._col_classes:
-            self._run_column_kernel(cls)
+            self._run_column_kernel(cls, ops)
+
+    def _kernel_counter(self, backend: str):
+        """Per-backend kernel-time counter, created on first use."""
+        counter = self._m_kernel.get(backend)
+        if counter is None:
+            counter = self._metrics.counter(f"sweep.kernel_seconds.{backend}")
+            self._m_kernel[backend] = counter
+        return counter
 
     def sweep(self, mode: str = "auto") -> None:
         """One full sweep: every (bond, activation) segment move once,
         then straight-line attempts on every site.
 
-        ``mode="vectorized"`` runs the batched conflict-free kernels,
-        ``mode="scalar"`` the per-bond reference, ``"auto"`` picks the
-        kernels whenever the geometry allows.  Both modes propose the
-        same move set and sample the same distribution.
+        ``mode`` selects the implementation: ``"scalar"`` runs the
+        per-bond reference, a kernel-backend name (``"numpy"``,
+        ``"numba"``, ...; ``"vectorized"`` is a legacy alias for
+        ``"numpy"``) runs the batched conflict-free kernels through
+        that backend, and ``"auto"`` asks the registry for the best
+        available backend whenever the geometry allows.  Every mode
+        proposes the same move set; the batched backends are
+        bit-identical to each other.
         """
         if mode == "auto":
-            mode = "vectorized" if self.can_vectorize else "scalar"
+            mode = (
+                kernels.resolve_kernel("auto")
+                if self.can_vectorize else "scalar"
+            )
+        elif mode != "scalar":
+            mode = kernels.resolve_sweep_mode(mode)
         obs = self._obs
         if obs:
             t0_wall = perf_counter()
             att0, acc0 = self.n_attempted, self.n_accepted
-        if mode == "vectorized":
-            self.sweep_vectorized()
-        elif mode == "scalar":
+        if mode == "scalar":
             self.sweep_scalar()
         else:
-            raise ValueError(f"unknown sweep mode {mode!r}")
+            self.sweep_vectorized(kernel=mode)
+            if obs:
+                self._kernel_counter(mode).inc(perf_counter() - t0_wall)
         if obs:
             att = self.n_attempted - att0
             acc = self.n_accepted - acc0

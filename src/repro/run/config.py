@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import kernels
+
 __all__ = ["ParallelLayout", "XXZRunConfig", "XXZ2DRunConfig", "TfimRunConfig"]
 
 
@@ -28,6 +30,14 @@ class ParallelLayout:
         pipeline (pack -> post -> update interior -> wait -> update
         boundary).  Trajectories stay bit-identical to the lockstep
         path; only the modeled timeline changes.
+    kernel:
+        Compiled-kernel backend for the checkerboard sweeps:
+        ``auto`` (default; best available registry backend), a
+        registered backend name (``numpy``/``numba``/``cupy``), or
+        ``scalar`` for the per-move reference path.  Every registry
+        backend produces the bit-identical trajectory; selection is
+        resolved once at run start so an unavailable backend fails
+        fast with a :class:`repro.kernels.KernelUnavailableError`.
     """
 
     strategy: str = "serial"
@@ -35,6 +45,7 @@ class ParallelLayout:
     machine: str = "Ideal"
     backend: str = "thread"
     overlap: bool = False
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.strategy not in ("serial", "strip", "block", "replica"):
@@ -54,6 +65,14 @@ class ParallelLayout:
             raise ValueError(
                 "halo overlap applies to the SPMD strategies (strip/block); "
                 f"{self.strategy!r} has no halo to overlap"
+            )
+        if self.kernel not in ("auto", "scalar", "vectorized") and (
+            self.kernel not in kernels.known_backends()
+        ):
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected 'auto', 'scalar', "
+                f"'vectorized', or a registered backend "
+                f"({', '.join(kernels.known_backends())})"
             )
 
 

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import kernels
 from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
 from repro.qmc.parallel import (
     IsingBlockConfig,
@@ -118,6 +119,19 @@ def _emit_observability(kind, cfg, params, registry, spmd=None, runtime=None):
     return outputs
 
 
+def _resolve_layout_kernel(layout) -> str:
+    """Resolve ``layout.kernel`` to a concrete sweep mode up front.
+
+    Returns ``"scalar"`` or a concrete registered backend name
+    (``auto`` picks the best available one).  Resolving *before* any
+    rank programs spawn means a run requesting an uninstalled backend
+    (e.g. ``--kernel cupy`` on a CPU box) fails fast with a structured
+    :class:`repro.kernels.KernelUnavailableError` instead of dying
+    mid-flight inside a worker.
+    """
+    return kernels.resolve_sweep_mode(layout.kernel)
+
+
 def _estimate(name: str, series: np.ndarray) -> ObservableEstimate:
     """Binning-analysis point estimate of a time series."""
     series = np.asarray(series, dtype=float)
@@ -169,6 +183,10 @@ class Simulation:
         cfg: XXZ2DRunConfig = self.config
         layout = cfg.layout
         n_sites = cfg.lx * cfg.ly
+        kernel = _resolve_layout_kernel(layout)
+        # "auto" keeps the sampler's geometry gate (scalar fallback on
+        # off-grid lattices); explicit backends are passed through.
+        mode = "auto" if layout.kernel == "auto" else kernel
         params = {
             "lx": cfg.lx,
             "ly": cfg.ly,
@@ -178,8 +196,10 @@ class Simulation:
             "n_slices": cfg.n_slices,
             "strategy": layout.strategy,
             "n_ranks": layout.n_ranks,
+            "kernel": kernel,
         }
         result = RunResult(kind="xxz2d", parameters=params)
+        result.runtime.update(kernel=kernel)
         registry = _obs_registry(cfg)
         t0_wall = time.perf_counter()
         model = XXZSquareModel(lx=cfg.lx, ly=cfg.ly, jz=cfg.jz, jxy=cfg.jxy)
@@ -191,7 +211,9 @@ class Simulation:
                 model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx,
                 metrics=registry.scope(chain_idx) if registry is not None else None,
             )
-            meas = sampler.run(cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every)
+            meas = sampler.run(
+                cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every, mode=mode
+            )
             energy_all.append(meas.energy)
             mag_all.append(meas.magnetization)
             mstag_all.append(meas.m_stag_sq)
@@ -225,6 +247,8 @@ class Simulation:
     def _run_xxz(self) -> RunResult:
         cfg: XXZRunConfig = self.config
         layout = cfg.layout
+        kernel = _resolve_layout_kernel(layout)
+        mode = "auto" if layout.kernel == "auto" else kernel
         params = {
             "n_sites": cfg.n_sites,
             "beta": cfg.beta,
@@ -236,8 +260,10 @@ class Simulation:
             "n_ranks": layout.n_ranks,
             "machine": layout.machine,
             "backend": layout.backend,
+            "kernel": kernel,
         }
         result = RunResult(kind="xxz", parameters=params)
+        result.runtime.update(kernel=kernel)
         registry = _obs_registry(cfg)
         t0_wall = time.perf_counter()
         spmd = None
@@ -254,7 +280,7 @@ class Simulation:
                     model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx
                 )
                 meas = sampler.run(
-                    cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every
+                    cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every, mode=mode
                 )
                 all_energy.append(meas.energy)
                 all_mag.append(meas.magnetization)
@@ -275,6 +301,7 @@ class Simulation:
                 n_thermalize=cfg.n_thermalize,
                 measure_every=cfg.measure_every,
                 overlap=layout.overlap,
+                mode=kernel,
             )
             spmd = run_spmd(
                 worldline_strip_program,
@@ -323,6 +350,11 @@ class Simulation:
         cfg: TfimRunConfig = self.config
         layout = cfg.layout
         n_sites = int(np.prod(cfg.spatial_shape))
+        kernel = _resolve_layout_kernel(layout)
+        # The serial classical sampler's batched color update *is* its
+        # reference implementation, so "scalar" maps to numpy there;
+        # the block driver keeps a true per-site scalar path.
+        serial_kernel = "numpy" if kernel == "scalar" else kernel
         params = {
             "spatial_shape": list(cfg.spatial_shape),
             "beta": cfg.beta,
@@ -333,8 +365,10 @@ class Simulation:
             "n_ranks": layout.n_ranks,
             "machine": layout.machine,
             "backend": layout.backend,
+            "kernel": kernel,
         }
         result = RunResult(kind="tfim", parameters=params)
+        result.runtime.update(kernel=kernel)
         registry = _obs_registry(cfg)
         t0_wall = time.perf_counter()
         spmd = None
@@ -351,6 +385,7 @@ class Simulation:
                     beta=cfg.beta,
                     n_slices=cfg.n_slices,
                     seed=cfg.seed + chain_idx,
+                    kernel=serial_kernel,
                 )
                 meas = sampler.run(cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every)
                 e_all.append(meas.energy)
@@ -387,6 +422,7 @@ class Simulation:
                 measure_every=cfg.measure_every,
                 sweep_seed=cfg.seed,
                 overlap=layout.overlap,
+                mode=kernel,
             )
             spmd = run_spmd(
                 ising_block_program,

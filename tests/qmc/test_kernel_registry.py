@@ -1,0 +1,464 @@
+"""The pluggable kernel registry: selection, errors, bit-identity.
+
+Every registered backend must produce the *bit-identical* trajectory:
+RNG draws stay in the callers, so a backend can only differ by the
+order it evaluates the same accept inequalities -- and the compiled
+backends replicate numpy's reduction order exactly.  This suite pins:
+
+* registry semantics: priority-ordered ``auto`` selection, the
+  ``vectorized`` alias, unknown-name errors, fake-backend registration;
+* the structured :class:`KernelUnavailableError` (backend/reason
+  attributes, actionable ``--kernel numpy`` fallback in the message);
+* serial samplers: ``mode="numpy"`` is bit-identical to the legacy
+  ``mode="vectorized"`` path, and -- where numba is installed -- the
+  JIT backend is bit-identical to numpy on the chain, square-lattice
+  and classical-Ising samplers;
+* SPMD drivers: strip/block trajectories agree between numpy and numba
+  kernels across P in {1, 2, 4}, overlap on/off, and the thread/mp
+  backends, and a checkpoint written under one kernel resumes under
+  the other bit for bit (the kernel is absent from the resume
+  fingerprint, like the overlap knob);
+* telemetry: per-sweep kernel time lands in a counter tagged by the
+  backend name.
+
+The numba legs skip cleanly where numba is not importable; CI's numba
+job installs it and runs this file as its bit-identity gate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels import KernelBackend, KernelUnavailableError
+from repro.models.hamiltonians import XXZChainModel, XXZSquareModel
+from repro.obs import MetricsRegistry
+from repro.qmc.classical_ising import AnisotropicIsing
+from repro.qmc.parallel import (
+    IsingBlockConfig,
+    Worldline2DReplicaConfig,
+    WorldlineStripConfig,
+    ising_block_program,
+    worldline_strip_program,
+)
+from repro.qmc.worldline import WorldlineChainQmc
+from repro.qmc.worldline2d import WorldlineSquareQmc
+from repro.run.checkpoint import CheckpointConfig
+from repro.run.config import ParallelLayout
+from repro.vmp.machines import PARAGON
+from repro.vmp.scheduler import run_spmd
+
+HAVE_NUMBA = kernels.kernel_available("numba")
+needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+
+#: Kernel pairs whose trajectories must agree (numpy against every
+#: other available batched backend; just the alias pair without numba).
+PAIRS = [("vectorized", "numpy")] + (
+    [("numpy", "numba")] if HAVE_NUMBA else []
+)
+
+
+# ======================================================================
+# registry semantics
+# ======================================================================
+
+
+class TestRegistrySemantics:
+    def test_numpy_always_registered_and_available(self):
+        assert "numpy" in kernels.known_backends()
+        assert kernels.kernel_available("numpy")
+        assert "numpy" in kernels.available_backends()
+
+    def test_known_backends_priority_ordered(self):
+        names = kernels.known_backends()
+        # numba (20) outranks numpy (10); the cupy stub (-10) sits last
+        # so auto never drifts onto the GPU path by accident.
+        assert names.index("numba") < names.index("numpy") < names.index("cupy")
+
+    def test_auto_resolves_to_an_available_backend(self):
+        assert kernels.resolve_kernel("auto") in kernels.available_backends()
+
+    def test_vectorized_alias_resolves_to_numpy(self):
+        assert kernels.resolve_kernel("vectorized") == "numpy"
+
+    def test_scalar_passes_through_resolve_sweep_mode(self):
+        assert kernels.resolve_sweep_mode("scalar") == "scalar"
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown kernel backend 'simd'"):
+            kernels.resolve_kernel("simd")
+        with pytest.raises(ValueError, match="unknown sweep mode 'simd'"):
+            kernels.resolve_sweep_mode("simd")
+
+    def test_ops_table_complete(self):
+        ops = kernels.get_ops("numpy")
+        assert set(kernels.OP_NAMES) <= set(ops)
+        assert all(callable(ops[n]) for n in kernels.OP_NAMES)
+
+    def test_backend_version_reporting(self):
+        assert kernels.backend_version("numpy") == np.__version__
+        if not HAVE_NUMBA:
+            assert kernels.backend_version("numba") is None
+
+    def test_registered_fake_backend_wins_auto(self):
+        fake = KernelBackend(
+            name="fake-accel",
+            priority=99,
+            probe=lambda: True,
+            loader=lambda: dict(kernels.get_ops("numpy")),
+        )
+        kernels.register_backend(fake)
+        try:
+            assert kernels.resolve_kernel("auto") == "fake-accel"
+            assert set(kernels.OP_NAMES) <= set(kernels.get_ops("fake-accel"))
+        finally:
+            kernels.unregister_backend("fake-accel")
+        assert kernels.resolve_kernel("auto") in ("numpy", "numba")
+
+    def test_negative_priority_backend_never_auto_selected(self):
+        fake = KernelBackend(
+            name="fake-optin",
+            priority=-1,
+            probe=lambda: True,
+            loader=lambda: dict(kernels.get_ops("numpy")),
+        )
+        kernels.register_backend(fake)
+        try:
+            assert kernels.resolve_kernel("auto") != "fake-optin"
+            assert kernels.resolve_kernel("fake-optin") == "fake-optin"
+        finally:
+            kernels.unregister_backend("fake-optin")
+
+    def test_incomplete_op_table_rejected(self):
+        fake = KernelBackend(
+            name="fake-broken",
+            priority=-1,
+            probe=lambda: True,
+            loader=lambda: {"wl1d_corner": lambda *a: 0},
+        )
+        kernels.register_backend(fake)
+        try:
+            with pytest.raises(KernelUnavailableError, match="missing"):
+                kernels.get_ops("fake-broken")
+        finally:
+            kernels.unregister_backend("fake-broken")
+
+
+class TestStructuredError:
+    def test_attributes_and_message(self):
+        err = KernelUnavailableError("numba", "not importable")
+        assert isinstance(err, RuntimeError)
+        assert err.backend == "numba"
+        assert err.reason == "not importable"
+        assert "--kernel numpy" in str(err)
+
+    def test_unavailable_backend_raises_structured_error(self):
+        fake = KernelBackend(
+            name="fake-gpu",
+            priority=-5,
+            probe=lambda: False,
+            loader=lambda: {},
+            requires="fakepkg",
+        )
+        kernels.register_backend(fake)
+        try:
+            with pytest.raises(KernelUnavailableError) as exc:
+                kernels.resolve_kernel("fake-gpu")
+            assert exc.value.backend == "fake-gpu"
+            assert "fakepkg" in str(exc.value)
+            assert "--kernel numpy" in str(exc.value)
+        finally:
+            kernels.unregister_backend("fake-gpu")
+
+    @pytest.mark.skipif(kernels.kernel_available("cupy"),
+                        reason="cupy installed here")
+    def test_cupy_unavailable_is_structured_and_actionable(self):
+        with pytest.raises(KernelUnavailableError) as exc:
+            kernels.resolve_kernel("cupy")
+        assert exc.value.backend == "cupy"
+        assert "--kernel numpy" in str(exc.value)
+
+    def test_probe_exceptions_mean_unavailable_not_crash(self):
+        def bad_probe():
+            raise ImportError("broken install")
+
+        fake = KernelBackend(
+            name="fake-bad", priority=-5, probe=bad_probe, loader=lambda: {}
+        )
+        kernels.register_backend(fake)
+        try:
+            assert not kernels.kernel_available("fake-bad")
+        finally:
+            kernels.unregister_backend("fake-bad")
+
+
+# ======================================================================
+# configuration surfaces
+# ======================================================================
+
+
+class TestConfigSurfaces:
+    def test_layout_accepts_registry_names(self):
+        for name in ("auto", "scalar", "vectorized", "numpy", "numba", "cupy"):
+            assert ParallelLayout(kernel=name).kernel == name
+
+    def test_layout_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel 'bogus'"):
+            ParallelLayout(kernel="bogus")
+
+    def test_strip_config_accepts_backend_modes(self):
+        cfg = WorldlineStripConfig(n_sites=8, jz=1, jxy=1, beta=1, n_slices=8,
+                                   n_sweeps=1, mode="numpy")
+        assert cfg.mode == "numpy"
+        with pytest.raises(ValueError, match="unknown sweep mode"):
+            WorldlineStripConfig(n_sites=8, jz=1, jxy=1, beta=1, n_slices=8,
+                                 n_sweeps=1, mode="simd")
+
+    def test_block_config_accepts_backend_modes(self):
+        cfg = IsingBlockConfig(lx=4, ly=4, lt=4, kx=0.2, ky=0.2, kt=0.3,
+                               n_sweeps=1, mode="numpy")
+        assert cfg.mode == "numpy"
+
+    def test_replica_config_accepts_backend_modes(self):
+        cfg = Worldline2DReplicaConfig(lx=4, ly=4, beta=1.0, n_slices=8,
+                                       mode="numpy")
+        assert cfg.mode == "numpy"
+
+    def test_divisibility_error_names_scalar_fallback(self):
+        model = XXZSquareModel(2, 4)
+        q = WorldlineSquareQmc(model, beta=1.0, n_slices=8, seed=0)
+        assert not q.can_vectorize
+        with pytest.raises(ValueError, match="scalar"):
+            q.sweep_vectorized()
+
+    @pytest.mark.skipif(kernels.kernel_available("cupy"),
+                        reason="cupy installed here")
+    def test_cli_kernel_cupy_exits_2_with_message(self, capsys):
+        from repro.cli import main
+
+        rc = main(["run-xxz", "--sites", "8", "--beta", "1.0",
+                   "--sweeps", "4", "--thermalize", "1", "--kernel", "cupy"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cupy" in err and "--kernel numpy" in err
+
+
+# ======================================================================
+# serial bit-identity
+# ======================================================================
+
+
+def _chain(seed=3):
+    return WorldlineChainQmc(XXZChainModel(8), beta=0.9, n_slices=8, seed=seed)
+
+
+def _square(seed=5):
+    return WorldlineSquareQmc(XXZSquareModel(4, 4), beta=0.8, n_slices=8,
+                              seed=seed)
+
+
+@pytest.mark.parametrize("ref_mode,got_mode", PAIRS)
+class TestSerialBitIdentity:
+    def test_chain_trajectories_identical(self, ref_mode, got_mode):
+        a, b = _chain(), _chain()
+        for _ in range(6):
+            a.sweep(mode=ref_mode)
+            b.sweep(mode=got_mode)
+        np.testing.assert_array_equal(a.spins, b.spins)
+        assert a.n_attempted == b.n_attempted
+        assert a.n_accepted == b.n_accepted
+        b.check_invariants()
+
+    def test_square_trajectories_identical(self, ref_mode, got_mode):
+        a, b = _square(), _square()
+        for _ in range(6):
+            a.sweep(mode=ref_mode)
+            b.sweep(mode=got_mode)
+        np.testing.assert_array_equal(a.spins, b.spins)
+        assert a.n_attempted == b.n_attempted
+        assert a.n_accepted == b.n_accepted
+        b.check_invariants()
+
+    def test_ising_trajectories_identical(self, ref_mode, got_mode):
+        kern = {"vectorized": "numpy"}.get  # the Ising sampler has no alias
+        a = AnisotropicIsing((6, 6, 4), (0.3, 0.3, 0.4), seed=7, hot_start=True,
+                             kernel=kern(ref_mode, ref_mode))
+        b = AnisotropicIsing((6, 6, 4), (0.3, 0.3, 0.4), seed=7, hot_start=True,
+                             kernel=kern(got_mode, got_mode))
+        for _ in range(8):
+            a.sweep()
+            b.sweep()
+        np.testing.assert_array_equal(a.spins, b.spins)
+        assert a.n_accepted == b.n_accepted
+
+
+@needs_numba
+class TestNumbaSerialShapes:
+    """Geometry corners the fixed-signature JIT kernels must cover."""
+
+    def test_ising_2d_lifted_to_3d(self):
+        a = AnisotropicIsing((8, 8), (0.35, 0.35), seed=11, hot_start=True,
+                             kernel="numpy")
+        b = AnisotropicIsing((8, 8), (0.35, 0.35), seed=11, hot_start=True,
+                             kernel="numba")
+        for _ in range(8):
+            a.sweep()
+            b.sweep()
+        np.testing.assert_array_equal(a.spins, b.spins)
+        assert a.n_accepted == b.n_accepted
+
+    def test_pairwise_sum_replicates_numpy(self):
+        from repro.kernels.numba_backend import _pairwise_sum
+
+        rng = np.random.default_rng(0)
+        for n in (1, 5, 8, 9, 64, 127, 128, 129, 500, 4096):
+            a = rng.standard_normal(n) * 10.0 ** rng.integers(-8, 8, size=n)
+            assert _pairwise_sum(a, 0, n) == np.sum(a), n
+
+    def test_square_larger_lattice(self):
+        a = WorldlineSquareQmc(XXZSquareModel(8, 4), beta=1.1, n_slices=12,
+                               seed=13)
+        b = WorldlineSquareQmc(XXZSquareModel(8, 4), beta=1.1, n_slices=12,
+                               seed=13)
+        for _ in range(4):
+            a.sweep(mode="numpy")
+            b.sweep(mode="numba")
+        np.testing.assert_array_equal(a.spins, b.spins)
+        assert a.n_accepted == b.n_accepted
+        b.check_invariants()
+
+
+# ======================================================================
+# SPMD drivers
+# ======================================================================
+
+
+def _strip_cfg(mode, overlap=False, n_sweeps=5):
+    return WorldlineStripConfig(
+        n_sites=16, jz=1.0, jxy=0.8, beta=0.9, n_slices=8,
+        n_sweeps=n_sweeps, n_thermalize=1, mode=mode, overlap=overlap,
+    )
+
+
+def _block_cfg(mode, overlap=False, n_sweeps=5):
+    return IsingBlockConfig(
+        lx=8, ly=8, lt=4, kx=0.25, ky=0.25, kt=0.4,
+        n_sweeps=n_sweeps, n_thermalize=1, mode=mode, overlap=overlap,
+    )
+
+
+def _run_strip(p, mode, overlap=False, backend="thread", ckpt=None, n_sweeps=5):
+    return run_spmd(
+        worldline_strip_program, p, machine=PARAGON, seed=21,
+        args=(_strip_cfg(mode, overlap, n_sweeps), ckpt), backend=backend,
+    )
+
+
+def _run_block(p, mode, overlap=False, backend="thread", ckpt=None, n_sweeps=5):
+    return run_spmd(
+        ising_block_program, p, machine=PARAGON, seed=21,
+        args=(_block_cfg(mode, overlap, n_sweeps), ckpt), backend=backend,
+    )
+
+
+def _assert_same(ref, got, keys):
+    for r_ref, r_got in zip(ref.values, got.values):
+        for k in keys:
+            np.testing.assert_array_equal(r_ref[k], r_got[k], err_msg=k)
+        assert r_ref["n_attempted"] == r_got["n_attempted"]
+        assert r_ref["n_accepted"] == r_got["n_accepted"]
+
+
+STRIP_KEYS = ("energy", "magnetization", "owned_spins")
+BLOCK_KEYS = ("magnetization", "bond_sums", "block")
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+class TestDriverKernelAgreement:
+    def test_strip_numpy_matches_vectorized_alias(self, p):
+        _assert_same(_run_strip(p, "vectorized"), _run_strip(p, "numpy"),
+                     STRIP_KEYS)
+
+    def test_block_numpy_matches_vectorized_alias(self, p):
+        _assert_same(_run_block(p, "vectorized"), _run_block(p, "numpy"),
+                     BLOCK_KEYS)
+
+    @needs_numba
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_strip_numba_matches_numpy(self, p, overlap):
+        _assert_same(_run_strip(p, "numpy", overlap),
+                     _run_strip(p, "numba", overlap), STRIP_KEYS)
+
+    @needs_numba
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_block_numba_matches_numpy(self, p, overlap):
+        _assert_same(_run_block(p, "numpy", overlap),
+                     _run_block(p, "numba", overlap), BLOCK_KEYS)
+
+
+@needs_numba
+@pytest.mark.tier1_fault
+class TestNumbaAcrossProcessBackends:
+    def test_strip_numba_mp_matches_numpy_thread(self):
+        _assert_same(_run_strip(2, "numpy", backend="thread"),
+                     _run_strip(2, "numba", backend="mp"), STRIP_KEYS)
+
+    def test_block_numba_mp_matches_numpy_thread(self):
+        _assert_same(_run_block(2, "numpy", backend="thread"),
+                     _run_block(2, "numba", backend="mp"), BLOCK_KEYS)
+
+
+@needs_numba
+class TestResumeWithKernelToggled:
+    """The kernel is not part of the resume fingerprint (like overlap)."""
+
+    @pytest.mark.parametrize("save_mode,resume_mode",
+                             [("numpy", "numba"), ("numba", "numpy")])
+    def test_strip_resume_toggles_kernel(self, tmp_path, save_mode,
+                                         resume_mode):
+        ref = _run_strip(2, "numpy", n_sweeps=6).values[0]
+        d = tmp_path / "ck"
+        _run_strip(2, save_mode, ckpt=CheckpointConfig(d, every=3), n_sweeps=3)
+        resumed = _run_strip(
+            2, resume_mode, ckpt=CheckpointConfig(d, resume=True), n_sweeps=6
+        ).values[0]
+        for k in STRIP_KEYS:
+            np.testing.assert_array_equal(resumed[k], ref[k], err_msg=k)
+
+    def test_block_resume_toggles_kernel(self, tmp_path):
+        ref = _run_block(2, "numpy", n_sweeps=6).values[0]
+        d = tmp_path / "ck"
+        _run_block(2, "numpy", ckpt=CheckpointConfig(d, every=3), n_sweeps=3)
+        resumed = _run_block(
+            2, "numba", ckpt=CheckpointConfig(d, resume=True), n_sweeps=6
+        ).values[0]
+        for k in BLOCK_KEYS:
+            np.testing.assert_array_equal(resumed[k], ref[k], err_msg=k)
+
+
+# ======================================================================
+# telemetry
+# ======================================================================
+
+
+class TestKernelTelemetry:
+    def test_serial_sweep_time_tagged_by_backend(self):
+        reg = MetricsRegistry(interval=1)
+        q = WorldlineSquareQmc(XXZSquareModel(4, 4), beta=0.8, n_slices=8,
+                               seed=5, metrics=reg.scope(0))
+        q.sweep(mode="numpy")
+        summary = reg.summary()[0]
+        assert summary["sweep.kernel_seconds.numpy"] > 0.0
+
+    def test_strip_driver_records_kernel_counter(self):
+        reg = MetricsRegistry(interval=1)
+        run_spmd(worldline_strip_program, 2, machine=PARAGON, seed=21,
+                 args=(_strip_cfg("numpy"), None), metrics=reg)
+        for rank in reg.ranks:
+            assert reg.summary()[rank]["sweep.kernel_seconds.numpy"] > 0.0
+
+    def test_block_driver_records_kernel_counter(self):
+        reg = MetricsRegistry(interval=1)
+        run_spmd(ising_block_program, 2, machine=PARAGON, seed=21,
+                 args=(_block_cfg("numpy"), None), metrics=reg)
+        for rank in reg.ranks:
+            assert reg.summary()[rank]["sweep.kernel_seconds.numpy"] > 0.0

@@ -19,7 +19,13 @@ property of the runner, but the ratios travel:
   absolute slack since its baseline sits near zero);
 * the modeled comm fraction of every overlapped A/B run
   (``overlap_records`` with ``overlap: true``; lower is better --
-  these gate that the halo-overlap pipeline keeps hiding wire time).
+  these gate that the halo-overlap pipeline keeps hiding wire time);
+* the per-backend kernel-registry speedup over batched numpy
+  (``kernel_records``, backends other than numpy only).  On top of the
+  relative baseline diff, ``--require-kernel NAME=MIN`` (repeatable)
+  enforces an absolute floor on a fresh kernel speedup, and
+  ``--kernel-only`` skips the baseline diff entirely for CI jobs that
+  run just the kernel benchmark.
 
 A speedup metric regresses when it drops more than ``--tolerance``
 (default 0.20, i.e. 20%) below the baseline; the overhead metric
@@ -72,7 +78,61 @@ def _speedups(doc: dict) -> dict[str, float]:
     for p, modes in sorted(strip.items()):
         if "scalar" in modes and "vectorized" in modes:
             out[f"strip-speedup[P={p}]"] = modes["vectorized"] / modes["scalar"]
+    for name, ratio in sorted(_kernel_speedups(doc).items()):
+        out[name] = ratio
     return out
+
+
+def _kernel_speedups(doc: dict) -> dict[str, float]:
+    """Per-backend warm speedup over batched numpy (``kernel_records``).
+
+    The numpy record itself is excluded (its ratio is 1.0 by
+    construction); records only exist for backends installed on the
+    runner, so a numpy-only baseline never gates a numba-enabled fresh
+    run and vice versa -- hard floors come from ``--require-kernel``.
+    """
+    out: dict[str, float] = {}
+    for rec in doc.get("kernel_records", []):
+        if rec.get("backend") != "numpy" and "speedup_vs_numpy" in rec:
+            out[f"kernel-speedup[{rec['backend']}]"] = float(
+                rec["speedup_vs_numpy"]
+            )
+    return out
+
+
+def _require_kernels(fresh: dict, requirements: list[str]) -> list[str]:
+    """Enforce ``NAME=MIN`` lower bounds on the fresh kernel speedups.
+
+    Unlike the baseline diff (relative, tolerance-padded), these are
+    absolute floors: the CI numba job passes ``--require-kernel
+    numba=3.0`` so the JIT backend can never quietly decay to numpy
+    speed even if a slow baseline were committed.
+    """
+    failures: list[str] = []
+    speedups = _kernel_speedups(fresh)
+    for spec in requirements:
+        name, _, minimum = spec.partition("=")
+        try:
+            floor = float(minimum)
+        except ValueError:
+            failures.append(f"--require-kernel {spec!r}: expected NAME=MIN")
+            continue
+        key = f"kernel-speedup[{name}]"
+        if key not in speedups:
+            failures.append(
+                f"{key}: no fresh kernel record for backend {name!r} "
+                f"(is it installed on this runner?)"
+            )
+            continue
+        got = speedups[key]
+        status = "ok" if got >= floor else "BELOW FLOOR"
+        print(f"  {key:45s} required {floor:8.2f}  fresh {got:8.2f}  "
+              f"{status}")
+        if got < floor:
+            failures.append(
+                f"{key}: {got:.2f}x is below the required floor {floor:.2f}x"
+            )
+    return failures
 
 
 def _overlap_fractions(doc: dict) -> dict[str, float]:
@@ -154,6 +214,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional drop of speedup metrics "
                              "(default 0.20)")
+    parser.add_argument("--require-kernel", metavar="NAME=MIN", action="append",
+                        default=[],
+                        help="absolute lower bound on a fresh kernel-speedup "
+                             "ratio, e.g. numba=3.0 (repeatable; checked in "
+                             "addition to the baseline diff)")
+    parser.add_argument("--kernel-only", action="store_true",
+                        help="skip the baseline diff and check only the "
+                             "--require-kernel floors (for CI jobs that run "
+                             "just the kernel benchmark)")
     parser.add_argument("--waive", metavar="REASON", default=None,
                         help="report but do not fail (also: CHECK_BENCH_WAIVE "
                              "env var)")
@@ -173,16 +242,22 @@ def main(argv: list[str] | None = None) -> int:
         shutil.copyfile(args.fresh, args.baseline)
         print(f"baseline updated from {args.fresh}")
         return 0
-    if not args.baseline.exists():
+    if not args.kernel_only and not args.baseline.exists():
         print(f"error: no baseline at {args.baseline}; generate one with "
               f"--update-baseline and commit it", file=sys.stderr)
         return 2
 
     fresh = json.loads(args.fresh.read_text())
-    baseline = json.loads(args.baseline.read_text())
-    print(f"comparing {args.fresh.name} against {args.baseline.name} "
-          f"(tolerance {args.tolerance:.0%}):")
-    failures = compare(fresh, baseline, args.tolerance)
+    failures: list[str] = []
+    if args.kernel_only:
+        print(f"checking kernel floors in {args.fresh.name} "
+              f"(baseline diff skipped):")
+    else:
+        baseline = json.loads(args.baseline.read_text())
+        print(f"comparing {args.fresh.name} against {args.baseline.name} "
+              f"(tolerance {args.tolerance:.0%}):")
+        failures += compare(fresh, baseline, args.tolerance)
+    failures += _require_kernels(fresh, args.require_kernel)
 
     waiver = args.waive or os.environ.get("CHECK_BENCH_WAIVE")
     if failures:
