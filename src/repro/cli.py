@@ -57,6 +57,10 @@ def _add_layout_args(p: argparse.ArgumentParser, strategies: list[str]) -> None:
                         "registered backend (numpy/numba/cupy), or 'scalar' "
                         "for the per-move reference path; every backend "
                         "yields the bit-identical trajectory (default: auto)")
+    p.add_argument("--replicas", type=int, default=1, metavar="R",
+                   help="two-level ensemble x domain run: R independent "
+                        "strip replicas of --ranks domain processors each "
+                        "(R * RANKS total; strip strategy only)")
 
 
 def _add_mc_args(p: argparse.ArgumentParser) -> None:
@@ -153,7 +157,7 @@ def _finish_run(result, args) -> int:
 def _cmd_run_xxz(args) -> int:
     layout = ParallelLayout(args.strategy, args.ranks, args.machine,
                             args.backend, overlap=args.overlap,
-                            kernel=args.kernel)
+                            kernel=args.kernel, replicas=args.replicas)
     cfg = XXZRunConfig(
         n_sites=args.sites,
         beta=args.beta,
@@ -179,7 +183,7 @@ def _cmd_run_xxz(args) -> int:
 def _cmd_run_xxz2d(args) -> int:
     layout = ParallelLayout(args.strategy, args.ranks, args.machine,
                             args.backend, overlap=args.overlap,
-                            kernel=args.kernel)
+                            kernel=args.kernel, replicas=args.replicas)
     cfg = XXZ2DRunConfig(
         lx=args.lx,
         ly=args.ly,
@@ -206,7 +210,7 @@ def _cmd_run_tfim(args) -> int:
     shape = tuple(int(x) for x in args.shape.lower().split("x"))
     layout = ParallelLayout(args.strategy, args.ranks, args.machine,
                             args.backend, overlap=args.overlap,
-                            kernel=args.kernel)
+                            kernel=args.kernel, replicas=args.replicas)
     cfg = TfimRunConfig(
         spatial_shape=shape,
         beta=args.beta,

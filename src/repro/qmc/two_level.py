@@ -1,0 +1,294 @@
+"""Two-level ensemble x domain parallelism for the strip driver.
+
+The paper's massively-parallel story composes two orthogonal axes on
+one machine: an *ensemble* of independent replicas (different seeds,
+optionally different temperatures) where each replica is itself
+*domain-decomposed* over a strip of processors.  This module builds
+that composition out of :meth:`Communicator.split`:
+
+* world ranks ``[r*P, (r+1)*P)`` form replica ``r``'s **domain
+  sub-communicator** (``split(color=replica, ...)``), inside which the
+  unchanged :func:`~repro.qmc.parallel.worldline_strip_program` logic
+  runs -- the strip driver only ever uses comm-relative ranks, so a
+  P-rank domain behaves exactly like a flat P-rank world;
+* the ``R`` domain leaders (domain rank 0) form the **ensemble
+  sub-communicator** (``split(..., label="ensemble")``), over which
+  replica statistics are pooled.  The ``ensemble`` label routes its
+  clock charges to the ``ensemble``/``ensemble_wait`` categories, so
+  telemetry reports ensemble-swap and halo traffic as separate
+  per-level comm fractions.
+
+**Bit-identity anchor.**  A replica's trajectory consumes randomness
+only from the strip driver's rank-count-independent sweep streams
+(seeded by ``sweep_seed``), never from communicator traffic, and a
+domain allreduce at ``P`` ranks combines in exactly the order a flat
+``P``-rank run uses.  A composed ``R x P`` run is therefore
+bit-identical, replica by replica, to ``R`` independent flat strip
+runs with the same per-replica seeds -- the correctness anchor the
+test suite asserts on all three backends.
+
+**Fault containment.**  Ensemble traffic is the only coupling between
+replicas, and every ensemble operation here tolerates a
+:class:`~repro.vmp.faults.RankFailure`: if one replica's domain dies,
+the surviving replicas complete their own trajectories (with
+``ensemble_degraded=True`` and no pooled series) instead of cascading.
+
+**Checkpointing.**  Each replica checkpoints into its own
+``replica####/`` subdirectory using the strip driver's per-rank
+bundles (fingerprinted at ``n_ranks=P``), and world rank 0 writes a
+``layout.json`` manifest recording ``R x P``.  A resume validates the
+manifest first: a flat-layout checkpoint directory (no manifest) or a
+mismatched geometry is rejected with a clear error before any rank
+state is touched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.qmc.parallel import WorldlineStripConfig, _StripState
+from repro.vmp.faults import RankFailure
+
+__all__ = [
+    "TwoLevelConfig",
+    "two_level_program",
+    "replica_checkpoint_dir",
+    "read_layout_manifest",
+]
+
+_MANIFEST = "layout.json"
+
+
+@dataclass(frozen=True)
+class TwoLevelConfig:
+    """Composed ensemble x domain run: ``replicas`` strips of ``domain_ranks``.
+
+    ``base`` is the per-replica strip configuration; replica ``r`` runs
+    it with ``sweep_seed = sweep_seeds[r]`` (default: ``base.sweep_seed
+    + r``, giving independent trajectories) and ``beta = betas[r]``
+    when a temperature ladder is given.  ``ensemble_every`` is the
+    cadence, in measurement steps, of the in-run ensemble heartbeat
+    (leaders pool the latest energy estimate; 0 disables it).
+    """
+
+    replicas: int
+    domain_ranks: int
+    base: WorldlineStripConfig
+    sweep_seeds: tuple[int, ...] | None = None
+    betas: tuple[float, ...] | None = None
+    ensemble_every: int = 1
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+        if self.domain_ranks < 1:
+            raise ValueError("need at least one domain rank per replica")
+        if self.sweep_seeds is not None and len(self.sweep_seeds) != self.replicas:
+            raise ValueError(
+                f"sweep_seeds has {len(self.sweep_seeds)} entries for "
+                f"{self.replicas} replicas"
+            )
+        if self.betas is not None and len(self.betas) != self.replicas:
+            raise ValueError(
+                f"betas has {len(self.betas)} entries for {self.replicas} replicas"
+            )
+        if self.ensemble_every < 0:
+            raise ValueError("ensemble_every must be >= 0")
+
+    @property
+    def n_ranks(self) -> int:
+        """World size of the composed run."""
+        return self.replicas * self.domain_ranks
+
+    def seed_for(self, replica: int) -> int:
+        if self.sweep_seeds is not None:
+            return int(self.sweep_seeds[replica])
+        return int(self.base.sweep_seed) + replica
+
+    def config_for(self, replica: int) -> WorldlineStripConfig:
+        """The flat strip config replica ``replica`` executes."""
+        kwargs = {"sweep_seed": self.seed_for(replica)}
+        if self.betas is not None:
+            kwargs["beta"] = float(self.betas[replica])
+        return replace(self.base, **kwargs)
+
+
+def replica_checkpoint_dir(directory: str | Path, replica: int) -> Path:
+    """One replica's bundle subdirectory: ``<directory>/replica0003/``."""
+    return Path(directory) / f"replica{replica:04d}"
+
+
+def read_layout_manifest(directory: str | Path) -> dict:
+    """Load and return a checkpoint directory's two-level manifest.
+
+    Raises ``ValueError`` when the manifest is absent (a flat-layout
+    checkpoint cannot seed a two-level resume) or malformed.
+    """
+    path = Path(directory) / _MANIFEST
+    if not path.exists():
+        raise ValueError(
+            f"checkpoint directory {directory} has no {_MANIFEST} manifest: "
+            f"it holds a flat-layout checkpoint, which cannot resume a "
+            f"two-level (replicas x strip) run"
+        )
+    manifest = json.loads(path.read_text())
+    if manifest.get("layout") != "two-level":
+        raise ValueError(
+            f"manifest {path} declares layout {manifest.get('layout')!r}, "
+            f"expected 'two-level'"
+        )
+    return manifest
+
+
+def _write_layout_manifest(directory: str | Path, cfg: TwoLevelConfig) -> None:
+    """Atomically write the composed layout's manifest (world rank 0)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / _MANIFEST
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(
+        json.dumps(
+            {
+                "layout": "two-level",
+                "replicas": cfg.replicas,
+                "domain_ranks": cfg.domain_ranks,
+            }
+        )
+    )
+    os.replace(tmp, path)
+
+
+def _validate_resume_layout(directory: str | Path, cfg: TwoLevelConfig) -> None:
+    manifest = read_layout_manifest(directory)
+    for key, want in (
+        ("replicas", cfg.replicas),
+        ("domain_ranks", cfg.domain_ranks),
+    ):
+        got = manifest.get(key)
+        if got != want:
+            raise ValueError(
+                f"checkpoint layout mismatch in {directory}: {key} is "
+                f"{got!r}, this run expects {want!r}"
+            )
+
+
+def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
+    """SPMD rank program: ``R`` strip replicas over domain sub-communicators.
+
+    Returns on every rank its replica's trajectory (``energy`` /
+    ``magnetization`` series, final owned spins, move counters --
+    bit-identical to the equivalent flat strip run) plus the
+    ensemble-pooled mean series (``ensemble_energy`` /
+    ``ensemble_magnetization``; None when pooling was degraded by a
+    peer-replica failure).
+    """
+    R, P = cfg.replicas, cfg.domain_ranks
+    if comm.size != R * P:
+        raise ValueError(
+            f"two-level layout {R} x {P} needs {R * P} ranks, got {comm.size}"
+        )
+    replica = comm.rank // P
+    domain = comm.split(replica, key=comm.rank, name=f"replica{replica}")
+    is_leader = domain.rank == 0
+    ensemble = comm.split(
+        0 if is_leader else None,
+        key=comm.rank,
+        label="ensemble",
+        name="ensemble",
+    )
+
+    rep_cfg = cfg.config_for(replica)
+    if checkpoint is not None and checkpoint.resume:
+        _validate_resume_layout(checkpoint.directory, cfg)
+    state = _StripState(domain, rep_cfg)
+    energies: list[float] = []
+    mags: list[float] = []
+    first_sweep = 0
+    rep_dir = (
+        replica_checkpoint_dir(checkpoint.directory, replica)
+        if checkpoint is not None
+        else None
+    )
+    if checkpoint is not None and checkpoint.resume:
+        first_sweep, energies, mags = state.restore_rank_state(rep_dir)
+    else:
+        for _ in range(rep_cfg.n_thermalize):
+            state.sweep()
+
+    degraded = False
+    n_syncs = 0
+    measured = 0
+    for s in range(first_sweep, rep_cfg.n_sweeps):
+        state.sweep()
+        if s % rep_cfg.measure_every == 0:
+            state.exchange_ghosts()
+            dlog = domain.allreduce(state.local_dlog_sum())
+            mag = domain.allreduce(state.local_magnetization())
+            energies.append(-dlog / state.n_trotter)
+            mags.append(mag)
+            measured += 1
+            # Ensemble heartbeat: leaders pool the latest estimate so
+            # the run exercises (and telemetry measures) ensemble-level
+            # traffic at a controlled cadence.  A peer-replica failure
+            # degrades pooling but never this replica's trajectory.
+            if (
+                ensemble is not None
+                and not degraded
+                and cfg.ensemble_every
+                and measured % cfg.ensemble_every == 0
+            ):
+                try:
+                    ensemble.allreduce(energies[-1])
+                    n_syncs += 1
+                except RankFailure:
+                    degraded = True
+        if (
+            checkpoint is not None
+            and checkpoint.every
+            and (s + 1) % checkpoint.every == 0
+        ):
+            if comm.rank == 0:
+                _write_layout_manifest(checkpoint.directory, cfg)
+            state.save_rank_state(rep_dir, s + 1, energies, mags)
+
+    # Pooled mean series, computed once from the full series so resumed
+    # runs pool bit-identically to uninterrupted ones.
+    pooled_e = pooled_m = None
+    if ensemble is not None and not degraded:
+        try:
+            pooled_e = ensemble.allreduce(np.asarray(energies, dtype=np.float64))
+            pooled_m = ensemble.allreduce(np.asarray(mags, dtype=np.float64))
+            pooled_e = pooled_e / R
+            pooled_m = pooled_m / R
+        except RankFailure:
+            degraded = True
+            pooled_e = pooled_m = None
+    if is_leader:
+        pooled = domain.bcast((pooled_e, pooled_m, degraded), root=0)
+    else:
+        pooled = domain.bcast(None, root=0)
+    pooled_e, pooled_m, degraded = pooled
+
+    owned = state.loc[2 : state.n_owned + 2].copy()
+    return {
+        "replica": replica,
+        "energy": np.array(energies),
+        "magnetization": np.array(mags),
+        "owned_spins": owned,
+        "start": state.start,
+        "stop": state.stop,
+        "beta": rep_cfg.beta,
+        "dtau": state.dtau,
+        "mode": rep_cfg.mode,
+        "n_attempted": state.n_attempted,
+        "n_accepted": state.n_accepted,
+        "ensemble_energy": pooled_e,
+        "ensemble_magnetization": pooled_m,
+        "n_ensemble_syncs": n_syncs,
+        "ensemble_degraded": degraded,
+    }

@@ -38,6 +38,13 @@ class ParallelLayout:
         backend produces the bit-identical trajectory; selection is
         resolved once at run start so an unavailable backend fails
         fast with a :class:`repro.kernels.KernelUnavailableError`.
+    replicas:
+        Number of independent strip replicas in a two-level ensemble x
+        domain run.  With ``replicas > 1`` (``strip`` strategy only)
+        the run uses ``replicas * n_ranks`` processors: each replica is
+        a strip of ``n_ranks`` domain ranks, and the replica leaders
+        pool statistics over an ensemble sub-communicator (see
+        :mod:`repro.qmc.two_level`).
     """
 
     strategy: str = "serial"
@@ -46,6 +53,7 @@ class ParallelLayout:
     backend: str = "thread"
     overlap: bool = False
     kernel: str = "auto"
+    replicas: int = 1
 
     def __post_init__(self):
         if self.strategy not in ("serial", "strip", "block", "replica"):
@@ -73,6 +81,13 @@ class ParallelLayout:
                 f"unknown kernel {self.kernel!r}; expected 'auto', 'scalar', "
                 f"'vectorized', or a registered backend "
                 f"({', '.join(kernels.known_backends())})"
+            )
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.replicas > 1 and self.strategy != "strip":
+            raise ValueError(
+                "a two-level ensemble (replicas > 1) composes with the "
+                f"'strip' strategy only, got {self.strategy!r}"
             )
 
 

@@ -261,6 +261,7 @@ class Simulation:
             "machine": layout.machine,
             "backend": layout.backend,
             "kernel": kernel,
+            "replicas": layout.replicas,
         }
         result = RunResult(kind="xxz", parameters=params)
         result.runtime.update(kernel=kernel)
@@ -303,19 +304,43 @@ class Simulation:
                 overlap=layout.overlap,
                 mode=kernel,
             )
+            if layout.replicas > 1:
+                from repro.qmc.two_level import TwoLevelConfig, two_level_program
+
+                tl_cfg = TwoLevelConfig(
+                    replicas=layout.replicas,
+                    domain_ranks=layout.n_ranks,
+                    base=wl_cfg,
+                )
+                program, prog_args = two_level_program, (
+                    tl_cfg, _checkpoint_config(cfg),
+                )
+                n_ranks = tl_cfg.n_ranks
+            else:
+                program, prog_args = worldline_strip_program, (
+                    wl_cfg, _checkpoint_config(cfg),
+                )
+                n_ranks = layout.n_ranks
             spmd = run_spmd(
-                worldline_strip_program,
-                layout.n_ranks,
+                program,
+                n_ranks,
                 machine=MACHINES[layout.machine],
                 seed=cfg.seed,
-                args=(wl_cfg, _checkpoint_config(cfg)),
+                args=prog_args,
                 metrics=registry,
                 spans=cfg.trace_out is not None,
                 trace=cfg.trace_out is not None,
                 backend=layout.backend,
             )
-            energy = spmd.values[0]["energy"]
-            mag = spmd.values[0]["magnetization"]
+            out0 = spmd.values[0]
+            if layout.replicas > 1 and out0["ensemble_energy"] is not None:
+                # Pooled ensemble-mean series; the per-replica series
+                # stay available in the rank values.
+                energy = out0["ensemble_energy"]
+                mag = out0["ensemble_magnetization"]
+            else:
+                energy = out0["energy"]
+                mag = out0["magnetization"]
             result.model_time = spmd.elapsed_model_time
             result.comm_fraction = spmd.comm_fraction()
             n_sweeps_run = cfg.n_sweeps + cfg.n_thermalize
@@ -326,6 +351,13 @@ class Simulation:
                 halo_messages=spmd.total_messages,
                 report=_report_summary(spmd.report),
             )
+            if layout.replicas > 1:
+                result.runtime.update(
+                    replicas=layout.replicas,
+                    domain_ranks=layout.n_ranks,
+                    comm_fraction_by_level=spmd.comm_fraction_by_level(),
+                    ensemble_degraded=bool(out0["ensemble_degraded"]),
+                )
 
         self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
         _emit_observability(

@@ -429,6 +429,13 @@ class Communicator:
         #: and at end of run) rather than bumped per message -- the only
         #: per-message cost when enabled is the wire-size histogram.
         self.metrics = metrics
+        #: Clock categories this endpoint charges (see util.timer).  A
+        #: sub-communicator created with ``split(..., label=...)``
+        #: temporarily swaps these around delegated operations so its
+        #: traffic is attributed to its own per-level categories.
+        self._cat_comm = "comm"
+        self._cat_wait = "comm_wait"
+        self._cat_halo_wait = "halo_wait"
         self._obs = bool(metrics.enabled)
         if self._obs:
             self._m_msg_hist = metrics.histogram(
@@ -481,10 +488,11 @@ class Communicator:
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
         if offload:
-            self.clock.charge(self.machine.post_overhead, "comm")
+            self.clock.charge(self.machine.post_overhead, self._cat_comm)
         else:
             self.clock.charge(
-                self.machine.latency + self.machine.byte_time * nbytes, "comm"
+                self.machine.latency + self.machine.byte_time * nbytes,
+                self._cat_comm,
             )
         arrival = (
             start
@@ -543,10 +551,10 @@ class Communicator:
         arrival stamp (``halo_wait``).
         """
         if offload:
-            self.clock.advance_to(msg.arrival, "halo_wait")
+            self.clock.advance_to(msg.arrival, self._cat_halo_wait)
         else:
-            self.clock.charge(self.machine.latency, "comm")
-            self.clock.advance_to(msg.arrival, "comm_wait")
+            self.clock.charge(self.machine.latency, self._cat_comm)
+            self.clock.advance_to(msg.arrival, self._cat_wait)
         self.stats.messages_received += 1
         self.stats.bytes_received += msg.nbytes
         return msg.payload
@@ -594,8 +602,23 @@ class Communicator:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
         if offload:
-            self.clock.charge(self.machine.post_overhead, "comm")
+            self.clock.charge(self.machine.post_overhead, self._cat_comm)
         return Request(self, "recv", source=source, tag=tag, offload=offload)
+
+    # -- communicator splitting --------------------------------------------
+    def split(self, color: int | None, key: int = 0, *,
+              label: str | None = None, name: str | None = None):
+        """MPI-style collective split into sub-communicators.
+
+        Every rank calls this with its own ``color``/``key``; ranks of
+        equal color form one sub-communicator, ordered by ``(key,
+        parent rank)``.  ``color=None`` (the MPI_UNDEFINED analogue)
+        returns ``None``.  See :mod:`repro.vmp.split` for scoping,
+        clock-accounting (``label=``) and naming (``name=``) semantics.
+        """
+        from repro.vmp.split import split_communicator
+
+        return split_communicator(self, color, key, label=label, name=name)
 
     # -- collectives (implemented in repro.vmp.collectives) ----------------
     def barrier(self) -> None:

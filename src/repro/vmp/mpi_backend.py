@@ -169,6 +169,13 @@ def _require_mpi():
     return MPI
 
 
+def _sub_topology(parent: Topology, members) -> Topology:
+    """Embedded-subset topology of a split child (lazy import, no cycle)."""
+    from repro.vmp.split import SubTopology
+
+    return SubTopology(parent, members)
+
+
 class MpiCommunicator:
     """One rank's endpoint over a real mpi4py communicator.
 
@@ -211,6 +218,16 @@ class MpiCommunicator:
         self._stash: list[tuple[int, int, float, Any]] = []
         #: Outstanding MPI isend requests (reaped opportunistically).
         self._pending_sends: list = []
+        #: Sub-communicators created by :meth:`split` (finalized with us).
+        self._children: list[MpiCommunicator] = []
+        #: Optional display name (set on split children); prefixed to
+        #: RankFailure details so failures name the replica/level.
+        self.name: str | None = None
+        # Clock categories this endpoint charges; a labeled split child
+        # gets per-level categories instead (see repro.vmp.split).
+        self._cat_comm = "comm"
+        self._cat_wait = "comm_wait"
+        self._cat_halo_wait = "halo_wait"
 
     def sync_metrics(self) -> None:
         """No-op counterpart of Communicator.sync_metrics (metrics is NOOP)."""
@@ -244,10 +261,11 @@ class MpiCommunicator:
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
         if offload:
-            self.clock.charge(self.machine.post_overhead, "comm")
+            self.clock.charge(self.machine.post_overhead, self._cat_comm)
         else:
             self.clock.charge(
-                self.machine.latency + self.machine.byte_time * nbytes, "comm"
+                self.machine.latency + self.machine.byte_time * nbytes,
+                self._cat_comm,
             )
         arrival = (
             start
@@ -321,14 +339,15 @@ class MpiCommunicator:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 stashed = [(s, t) for s, t, _, _ in self._stash]
+                prefix = f"[{self.name}] " if self.name else ""
                 raise RankFailure(
                     failed_rank=None if source == ANY_SOURCE else source,
                     detected_by=self.rank,
                     via="timeout",
                     detail=(
-                        f"no message (source={source}, tag={tag}) within "
-                        f"{self.recv_timeout}s; stash holds {len(stashed)} "
-                        f"unmatched message(s) {stashed[:8]}"
+                        f"{prefix}no message (source={source}, tag={tag}) "
+                        f"within {self.recv_timeout}s; stash holds "
+                        f"{len(stashed)} unmatched message(s) {stashed[:8]}"
                     ),
                 )
             # Exponential backoff (0.5 ms doubling to 50 ms): prompt
@@ -340,10 +359,10 @@ class MpiCommunicator:
         """Charge and count one completed receive; returns the payload."""
         _src, _tag, arrival, payload = msg
         if offload:
-            self.clock.advance_to(arrival, "halo_wait")
+            self.clock.advance_to(arrival, self._cat_halo_wait)
         else:
-            self.clock.charge(self.machine.latency, "comm")
-            self.clock.advance_to(arrival, "comm_wait")
+            self.clock.charge(self.machine.latency, self._cat_comm)
+            self.clock.advance_to(arrival, self._cat_wait)
         self.stats.messages_received += 1
         self.stats.bytes_received += payload_nbytes(payload)
         return payload
@@ -370,14 +389,66 @@ class MpiCommunicator:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
         if offload:
-            self.clock.charge(self.machine.post_overhead, "comm")
+            self.clock.charge(self.machine.post_overhead, self._cat_comm)
         return Request(self, "recv", source=source, tag=tag, offload=offload)
 
     def finalize(self) -> None:
         """Complete every outstanding send (call after the program returns)."""
+        for child in self._children:
+            child.finalize()
         if self._pending_sends:
             self._MPI.Request.Waitall(self._pending_sends)
             self._pending_sends = []
+
+    # -- communicator splitting --------------------------------------------
+    def split(self, color: int | None, key: int = 0, *,
+              label: str | None = None, name: str | None = None):
+        """MPI-style collective split, backed by a real ``MPI.Comm.Split``.
+
+        The membership exchange runs as a *modeled* allgather over this
+        communicator first -- the same exchange the thread and mp
+        backends perform -- so modeled makespans stay bit-identical
+        across transports; the real ``Split`` then provides genuinely
+        scoped point-to-point and collective traffic.  The child shares
+        this rank's clock and stats (one rank, one clock), charges
+        ``label``-derived categories when a label is given, and is
+        finalized together with its parent.
+        """
+        from repro.vmp.split import _validate_label, split_membership
+
+        _validate_label(label)
+        members, my_rank = split_membership(self, color, key)
+        mpi_color = self._MPI.UNDEFINED if color is None else int(color)
+        sub_mpi = self._mpi.Split(mpi_color, int(key))
+        if color is None:
+            return None
+        child = MpiCommunicator(
+            sub_mpi,
+            self.machine,
+            _sub_topology(self.topology, members),
+            self.stream,
+            recv_timeout=self.recv_timeout,
+            metrics=self.metrics,
+        )
+        # MPI_Comm_split orders by (key, parent rank) -- the same order
+        # split_membership computed; the check guards the assumption.
+        if child.rank != my_rank:
+            raise RuntimeError(
+                f"MPI split rank {child.rank} != modeled rank {my_rank}"
+            )
+        child.clock = self.clock
+        child.stats = self.stats
+        child.name = name
+        if label is not None:
+            child._cat_comm = label
+            child._cat_wait = f"{label}_wait"
+            child._cat_halo_wait = f"{label}_wait"
+        else:
+            child._cat_comm = self._cat_comm
+            child._cat_wait = self._cat_wait
+            child._cat_halo_wait = self._cat_halo_wait
+        self._children.append(child)
+        return child
 
     # -- collectives: identical algorithms as the other backends -----------
     def barrier(self) -> None:

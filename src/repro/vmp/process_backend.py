@@ -158,6 +158,12 @@ class MpCommunicator:
         # folds CommStats and the clock breakdown into the run's
         # registry after the fact (see run_spmd backend dispatch).
         self.metrics = NOOP
+        # Clock categories this endpoint charges; a labeled
+        # sub-communicator swaps these around delegated operations
+        # (see repro.vmp.split).
+        self._cat_comm = "comm"
+        self._cat_wait = "comm_wait"
+        self._cat_halo_wait = "halo_wait"
 
     def sync_metrics(self) -> None:
         """No-op counterpart of Communicator.sync_metrics (metrics is NOOP)."""
@@ -179,10 +185,11 @@ class MpCommunicator:
         hops = self.topology.hops(self.rank, dest)
         start = self.clock.now
         if offload:
-            self.clock.charge(self.machine.post_overhead, "comm")
+            self.clock.charge(self.machine.post_overhead, self._cat_comm)
         else:
             self.clock.charge(
-                self.machine.latency + self.machine.byte_time * nbytes, "comm"
+                self.machine.latency + self.machine.byte_time * nbytes,
+                self._cat_comm,
             )
         arrival = (
             start
@@ -310,10 +317,10 @@ class MpCommunicator:
         _src, _t, arrival, obj = msg
         payload = _unpack_payload(obj)
         if offload:
-            self.clock.advance_to(arrival, "halo_wait")
+            self.clock.advance_to(arrival, self._cat_halo_wait)
         else:
-            self.clock.charge(self.machine.latency, "comm")
-            self.clock.advance_to(arrival, "comm_wait")
+            self.clock.charge(self.machine.latency, self._cat_comm)
+            self.clock.advance_to(arrival, self._cat_wait)
         self.stats.messages_received += 1
         self.stats.bytes_received += payload_nbytes(payload)
         return payload
@@ -338,8 +345,16 @@ class MpCommunicator:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
         if offload:
-            self.clock.charge(self.machine.post_overhead, "comm")
+            self.clock.charge(self.machine.post_overhead, self._cat_comm)
         return Request(self, "recv", source=source, tag=tag, offload=offload)
+
+    # -- communicator splitting ---------------------------------------------
+    def split(self, color: int | None, key: int = 0, *,
+              label: str | None = None, name: str | None = None):
+        """MPI-style collective split (see :meth:`Communicator.split`)."""
+        from repro.vmp.split import split_communicator
+
+        return split_communicator(self, color, key, label=label, name=name)
 
     # -- collectives: identical algorithms as the thread backend -------------
     def barrier(self) -> None:

@@ -45,3 +45,64 @@ def assert_within(value: float, reference: float, error: float,
         f"|diff| {abs(value - reference):.3g} > window {window:.3g} "
         f"({n_sigma} sigma x {error:.3g} + {atol:.3g})"
     )
+
+
+# ----------------------------------------------------------------------
+# shared driver bit-identity matrix
+# ----------------------------------------------------------------------
+# The overlap, backend-agreement, and kernel-registry suites all assert
+# the same invariant -- two runs of an SPMD sweep driver produce the
+# bit-identical trajectory -- over different (P, mode, backend) axes.
+# The run-and-compare loop lives here once; each suite parameterizes it
+# with its own configs, seeds, and backend markers.
+
+#: Per-rank result keys the strip world-line driver must reproduce bitwise.
+STRIP_KEYS = ("energy", "magnetization", "owned_spins")
+#: Per-rank result keys of the block Ising/TFIM driver.
+BLOCK_KEYS = ("magnetization", "bond_sums", "block")
+
+
+def run_driver_matrix(program, n_ranks, cfg, *, seed, machine=None,
+                      backend="thread", checkpoint=None):
+    """Run one cell of a driver bit-identity matrix.
+
+    A thin, keyword-explicit wrapper over ``run_spmd`` so every suite
+    launches driver runs identically: ``args`` is always ``(cfg,
+    checkpoint)`` -- the signature shared by the strip and block
+    drivers -- and the machine defaults to PARAGON, whose nonzero
+    latency/bandwidth exercises the modeled-time agreement too.
+    """
+    from repro.vmp.machines import PARAGON
+    from repro.vmp.scheduler import run_spmd
+
+    return run_spmd(
+        program,
+        n_ranks,
+        machine=machine if machine is not None else PARAGON,
+        seed=seed,
+        args=(cfg, checkpoint),
+        backend=backend,
+    )
+
+
+def assert_bit_identical(ref, got, keys, *, accounting=False):
+    """Assert two SpmdResults carry the bit-identical trajectory.
+
+    Compares the given per-rank result ``keys`` array-exactly plus the
+    attempt/accept counters.  With ``accounting=True`` also asserts the
+    modeled makespan and message totals agree exactly -- the
+    cross-backend agreement contract (same trajectory AND same modeled
+    cost on every transport).
+    """
+    assert len(got.values) == len(ref.values)
+    for rank, (r, g) in enumerate(zip(ref.values, got.values)):
+        for key in keys:
+            np.testing.assert_array_equal(
+                g[key], r[key], err_msg=f"rank {rank} key {key!r}"
+            )
+        assert g["n_attempted"] == r["n_attempted"], f"rank {rank}"
+        assert g["n_accepted"] == r["n_accepted"], f"rank {rank}"
+    if accounting:
+        assert got.elapsed_model_time == ref.elapsed_model_time
+        assert got.total_messages == ref.total_messages
+        assert got.total_bytes == ref.total_bytes

@@ -8,9 +8,13 @@ that guarantee at P in {1, 2, 4} for both sweep kernels (scalar and
 vectorized) of the strip world-line driver, plus the block Ising
 driver.  The mpi leg skips where mpi4py/mpiexec are absent; CI's MPI
 job runs it.
+
+All cells run through the shared ``tests.conftest.run_driver_matrix``
+/ ``assert_bit_identical`` helpers with ``accounting=True`` -- this
+suite owns the strictest contract (same trajectory AND same modeled
+makespan/message totals on every transport).
 """
 
-import numpy as np
 import pytest
 
 from repro.qmc.parallel import (
@@ -19,9 +23,13 @@ from repro.qmc.parallel import (
     ising_block_program,
     worldline_strip_program,
 )
-from repro.vmp.machines import PARAGON
 from repro.vmp.mpi_backend import mpi_available, mpiexec_available
-from repro.vmp.scheduler import run_spmd
+from tests.conftest import (
+    BLOCK_KEYS,
+    STRIP_KEYS,
+    assert_bit_identical,
+    run_driver_matrix,
+)
 
 HAVE_REAL_MPI = mpi_available() and mpiexec_available()
 
@@ -43,24 +51,10 @@ def _block_cfg() -> IsingBlockConfig:
 
 
 def _run_strip(backend: str, n_ranks: int, mode: str):
-    return run_spmd(
-        worldline_strip_program, n_ranks, machine=PARAGON, seed=42,
-        args=(_strip_cfg(mode), None), backend=backend,
+    return run_driver_matrix(
+        worldline_strip_program, n_ranks, _strip_cfg(mode),
+        seed=42, backend=backend,
     )
-
-
-def _assert_identical(ref, got) -> None:
-    """Full trajectory + accounting equality between two SpmdResults."""
-    for r_ref, r_got in zip(ref.values, got.values):
-        np.testing.assert_array_equal(r_ref["energy"], r_got["energy"])
-        np.testing.assert_array_equal(
-            r_ref["magnetization"], r_got["magnetization"]
-        )
-        assert r_ref["n_attempted"] == r_got["n_attempted"]
-        assert r_ref["n_accepted"] == r_got["n_accepted"]
-    assert got.elapsed_model_time == ref.elapsed_model_time
-    assert got.total_messages == ref.total_messages
-    assert got.total_bytes == ref.total_bytes
 
 
 @pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
@@ -70,24 +64,18 @@ class TestStripAgreement:
     def test_bit_identical_to_thread(self, backend, mode, n_ranks):
         ref = _run_strip("thread", n_ranks, mode)
         got = _run_strip(backend, n_ranks, mode)
-        _assert_identical(ref, got)
+        assert_bit_identical(ref, got, STRIP_KEYS, accounting=True)
 
 
 @pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
 def test_block_driver_agrees(backend):
     def run(b):
-        return run_spmd(
-            ising_block_program, 4, machine=PARAGON, seed=7,
-            args=(_block_cfg(), None), backend=b,
+        return run_driver_matrix(
+            ising_block_program, 4, _block_cfg(), seed=7, backend=b
         )
 
     ref, got = run("thread"), run(backend)
-    for r_ref, r_got in zip(ref.values, got.values):
-        np.testing.assert_array_equal(r_ref["bond_sums"], r_got["bond_sums"])
-        np.testing.assert_array_equal(
-            r_ref["magnetization"], r_got["magnetization"]
-        )
-    assert got.elapsed_model_time == ref.elapsed_model_time
+    assert_bit_identical(ref, got, BLOCK_KEYS, accounting=True)
 
 
 @pytest.mark.parametrize("backend", ["thread"] + BACKENDS_UNDER_TEST)
@@ -96,4 +84,4 @@ def test_rerun_is_deterministic(backend, mode):
     # Same seed, same backend, run twice: byte-for-byte repeatable.
     a = _run_strip(backend, 2, mode)
     b = _run_strip(backend, 2, mode)
-    _assert_identical(a, b)
+    assert_bit_identical(a, b, STRIP_KEYS, accounting=True)

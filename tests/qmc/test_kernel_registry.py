@@ -46,6 +46,12 @@ from repro.run.checkpoint import CheckpointConfig
 from repro.run.config import ParallelLayout
 from repro.vmp.machines import PARAGON
 from repro.vmp.scheduler import run_spmd
+from tests.conftest import (
+    BLOCK_KEYS,
+    STRIP_KEYS,
+    assert_bit_identical,
+    run_driver_matrix,
+)
 
 HAVE_NUMBA = kernels.kernel_available("numba")
 needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
@@ -347,51 +353,39 @@ def _block_cfg(mode, overlap=False, n_sweeps=5):
 
 
 def _run_strip(p, mode, overlap=False, backend="thread", ckpt=None, n_sweeps=5):
-    return run_spmd(
-        worldline_strip_program, p, machine=PARAGON, seed=21,
-        args=(_strip_cfg(mode, overlap, n_sweeps), ckpt), backend=backend,
+    return run_driver_matrix(
+        worldline_strip_program, p, _strip_cfg(mode, overlap, n_sweeps),
+        seed=21, backend=backend, checkpoint=ckpt,
     )
 
 
 def _run_block(p, mode, overlap=False, backend="thread", ckpt=None, n_sweeps=5):
-    return run_spmd(
-        ising_block_program, p, machine=PARAGON, seed=21,
-        args=(_block_cfg(mode, overlap, n_sweeps), ckpt), backend=backend,
+    return run_driver_matrix(
+        ising_block_program, p, _block_cfg(mode, overlap, n_sweeps),
+        seed=21, backend=backend, checkpoint=ckpt,
     )
-
-
-def _assert_same(ref, got, keys):
-    for r_ref, r_got in zip(ref.values, got.values):
-        for k in keys:
-            np.testing.assert_array_equal(r_ref[k], r_got[k], err_msg=k)
-        assert r_ref["n_attempted"] == r_got["n_attempted"]
-        assert r_ref["n_accepted"] == r_got["n_accepted"]
-
-
-STRIP_KEYS = ("energy", "magnetization", "owned_spins")
-BLOCK_KEYS = ("magnetization", "bond_sums", "block")
 
 
 @pytest.mark.parametrize("p", [1, 2, 4])
 class TestDriverKernelAgreement:
     def test_strip_numpy_matches_vectorized_alias(self, p):
-        _assert_same(_run_strip(p, "vectorized"), _run_strip(p, "numpy"),
+        assert_bit_identical(_run_strip(p, "vectorized"), _run_strip(p, "numpy"),
                      STRIP_KEYS)
 
     def test_block_numpy_matches_vectorized_alias(self, p):
-        _assert_same(_run_block(p, "vectorized"), _run_block(p, "numpy"),
+        assert_bit_identical(_run_block(p, "vectorized"), _run_block(p, "numpy"),
                      BLOCK_KEYS)
 
     @needs_numba
     @pytest.mark.parametrize("overlap", [False, True])
     def test_strip_numba_matches_numpy(self, p, overlap):
-        _assert_same(_run_strip(p, "numpy", overlap),
+        assert_bit_identical(_run_strip(p, "numpy", overlap),
                      _run_strip(p, "numba", overlap), STRIP_KEYS)
 
     @needs_numba
     @pytest.mark.parametrize("overlap", [False, True])
     def test_block_numba_matches_numpy(self, p, overlap):
-        _assert_same(_run_block(p, "numpy", overlap),
+        assert_bit_identical(_run_block(p, "numpy", overlap),
                      _run_block(p, "numba", overlap), BLOCK_KEYS)
 
 
@@ -399,11 +393,11 @@ class TestDriverKernelAgreement:
 @pytest.mark.tier1_fault
 class TestNumbaAcrossProcessBackends:
     def test_strip_numba_mp_matches_numpy_thread(self):
-        _assert_same(_run_strip(2, "numpy", backend="thread"),
+        assert_bit_identical(_run_strip(2, "numpy", backend="thread"),
                      _run_strip(2, "numba", backend="mp"), STRIP_KEYS)
 
     def test_block_numba_mp_matches_numpy_thread(self):
-        _assert_same(_run_block(2, "numpy", backend="thread"),
+        assert_bit_identical(_run_block(2, "numpy", backend="thread"),
                      _run_block(2, "numba", backend="mp"), BLOCK_KEYS)
 
 

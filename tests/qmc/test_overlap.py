@@ -13,6 +13,10 @@ This suite pins:
 * checkpoint compatibility: the knob is absent from the resume
   fingerprint, so a lockstep checkpoint resumes overlapped (and vice
   versa) bit for bit.
+
+The bit-identity cells run through the shared
+``tests.conftest.run_driver_matrix`` / ``assert_bit_identical``
+helpers, the one matrix runner every driver-agreement suite uses.
 """
 
 import numpy as np
@@ -31,6 +35,12 @@ from repro.run.checkpoint import CheckpointConfig
 from repro.vmp.machines import PARAGON
 from repro.vmp.mpi_backend import mpi_available, mpiexec_available
 from repro.vmp.scheduler import run_spmd
+from tests.conftest import (
+    BLOCK_KEYS,
+    STRIP_KEYS,
+    assert_bit_identical,
+    run_driver_matrix,
+)
 
 HAVE_REAL_MPI = mpi_available() and mpiexec_available()
 # The process-spawning backend legs carry the tier1_fault marker (the
@@ -177,30 +187,20 @@ class TestBlockPartitionTables:
 # ======================================================================
 
 
-def _run_strip(p, mode, overlap, backend="thread"):
-    return run_spmd(
-        worldline_strip_program, p, machine=PARAGON, seed=42,
-        args=(_strip_cfg(mode=mode, overlap=overlap), None), backend=backend,
+def _run_strip(p, mode, overlap, backend="thread", ckpt=None, n_sweeps=6):
+    return run_driver_matrix(
+        worldline_strip_program, p,
+        _strip_cfg(mode=mode, overlap=overlap, n_sweeps=n_sweeps),
+        seed=42, backend=backend, checkpoint=ckpt,
     )
 
 
-def _run_block(p, mode, overlap, backend="thread"):
-    return run_spmd(
-        ising_block_program, p, machine=PARAGON, seed=42,
-        args=(_block_cfg(mode=mode, overlap=overlap), None), backend=backend,
+def _run_block(p, mode, overlap, backend="thread", ckpt=None, n_sweeps=6):
+    return run_driver_matrix(
+        ising_block_program, p,
+        _block_cfg(mode=mode, overlap=overlap, n_sweeps=n_sweeps),
+        seed=42, backend=backend, checkpoint=ckpt,
     )
-
-
-def _assert_same_trajectory(ref, got, keys):
-    for r_ref, r_got in zip(ref.values, got.values):
-        for k in keys:
-            np.testing.assert_array_equal(r_ref[k], r_got[k], err_msg=k)
-        assert r_ref["n_attempted"] == r_got["n_attempted"]
-        assert r_ref["n_accepted"] == r_got["n_accepted"]
-
-
-STRIP_KEYS = ("energy", "magnetization", "owned_spins")
-BLOCK_KEYS = ("magnetization", "bond_sums", "block")
 
 
 @pytest.mark.parametrize("p", [1, 2, 4])
@@ -209,7 +209,7 @@ class TestOverlapBitIdentity:
     def test_strip_overlap_matches_lockstep(self, p, mode):
         ref = _run_strip(p, mode, overlap=False)
         got = _run_strip(p, mode, overlap=True)
-        _assert_same_trajectory(ref, got, STRIP_KEYS)
+        assert_bit_identical(ref, got, STRIP_KEYS)
         if p > 1:
             # The pipeline must shorten the modeled makespan, never pad it.
             assert got.elapsed_model_time < ref.elapsed_model_time
@@ -217,7 +217,7 @@ class TestOverlapBitIdentity:
     def test_block_overlap_matches_lockstep(self, p, mode):
         ref = _run_block(p, mode, overlap=False)
         got = _run_block(p, mode, overlap=True)
-        _assert_same_trajectory(ref, got, BLOCK_KEYS)
+        assert_bit_identical(ref, got, BLOCK_KEYS)
         if p > 1:
             assert got.elapsed_model_time < ref.elapsed_model_time
 
@@ -228,12 +228,12 @@ class TestOverlapAcrossBackends:
     def test_strip_backend_agrees_with_thread_lockstep(self, backend, p):
         ref = _run_strip(p, "vectorized", overlap=False, backend="thread")
         got = _run_strip(p, "vectorized", overlap=True, backend=backend)
-        _assert_same_trajectory(ref, got, STRIP_KEYS)
+        assert_bit_identical(ref, got, STRIP_KEYS)
 
     def test_block_backend_agrees_with_thread_lockstep(self, backend, p):
         ref = _run_block(p, "vectorized", overlap=False, backend="thread")
         got = _run_block(p, "vectorized", overlap=True, backend=backend)
-        _assert_same_trajectory(ref, got, BLOCK_KEYS)
+        assert_bit_identical(ref, got, BLOCK_KEYS)
 
 
 # ======================================================================
@@ -248,16 +248,11 @@ class TestOverlapResume:
                                           resume_overlap):
         ref = _run_strip(2, "vectorized", overlap=False).values[0]
         d = tmp_path / "ck"
-        run_spmd(
-            worldline_strip_program, 2, PARAGON, seed=42,
-            args=(_strip_cfg(overlap=save_overlap, n_sweeps=3),
-                  CheckpointConfig(d, every=3)),
-        )
-        resumed = run_spmd(
-            worldline_strip_program, 2, PARAGON, seed=42,
-            args=(_strip_cfg(overlap=resume_overlap, n_sweeps=6),
-                  CheckpointConfig(d, resume=True)),
-        ).values[0]
+        _run_strip(2, "vectorized", overlap=save_overlap, n_sweeps=3,
+                   ckpt=CheckpointConfig(d, every=3))
+        resumed = _run_strip(2, "vectorized", overlap=resume_overlap,
+                             n_sweeps=6,
+                             ckpt=CheckpointConfig(d, resume=True)).values[0]
         np.testing.assert_array_equal(resumed["energy"], ref["energy"])
         np.testing.assert_array_equal(
             resumed["magnetization"], ref["magnetization"]
@@ -269,15 +264,9 @@ class TestOverlapResume:
     def test_block_resume_toggles_overlap(self, tmp_path):
         ref = _run_block(2, "vectorized", overlap=False).values[0]
         d = tmp_path / "ck"
-        run_spmd(
-            ising_block_program, 2, PARAGON, seed=42,
-            args=(_block_cfg(overlap=False, n_sweeps=3),
-                  CheckpointConfig(d, every=3)),
-        )
-        resumed = run_spmd(
-            ising_block_program, 2, PARAGON, seed=42,
-            args=(_block_cfg(overlap=True, n_sweeps=6),
-                  CheckpointConfig(d, resume=True)),
-        ).values[0]
+        _run_block(2, "vectorized", overlap=False, n_sweeps=3,
+                   ckpt=CheckpointConfig(d, every=3))
+        resumed = _run_block(2, "vectorized", overlap=True, n_sweeps=6,
+                             ckpt=CheckpointConfig(d, resume=True)).values[0]
         np.testing.assert_array_equal(resumed["block"], ref["block"])
         np.testing.assert_array_equal(resumed["bond_sums"], ref["bond_sums"])

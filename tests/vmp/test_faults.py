@@ -332,6 +332,93 @@ class TestMpCommunicatorTimeout:
         assert "synthetic death" in str(excinfo.value)
 
 
+# ======================================================================
+# two-level (ensemble x domain) fault containment
+# ======================================================================
+
+
+def _two_level_cfg():
+    from repro.qmc.two_level import TwoLevelConfig
+
+    return TwoLevelConfig(
+        replicas=2,
+        domain_ranks=2,
+        base=_strip_cfg(n_sweeps=4),
+    )
+
+
+class TestTwoLevelFaults:
+    """Killing one replica's domain must not take down the ensemble.
+
+    Replicas are coupled only through the leaders' ensemble
+    sub-communicator, and :func:`two_level_program` tolerates a
+    :class:`RankFailure` on every ensemble operation: the surviving
+    replica finishes its own trajectory (degraded, unpooled) while the
+    dead replica's domain surfaces the structured failure.
+    """
+
+    def test_domain_crash_is_contained_to_its_replica(self):
+        from repro.qmc.two_level import two_level_program
+
+        # Rank 2 is replica 1's leader; step 25 lands mid-first-sweep,
+        # after the two split() membership exchanges.
+        plan = FaultPlan((CrashFault(rank=2, at_step=25),))
+        with pytest.raises(InjectedRankCrash) as excinfo:
+            run_spmd(
+                two_level_program, 4, IDEAL, args=(_two_level_cfg(),),
+                fault_plan=plan, recv_timeout=5.0,
+            )
+        report = excinfo.value.run_report
+        assert report.failed_ranks() == [2]
+        # Replica 0's ranks run to completion: their domain traffic
+        # never touches the dead replica, and the leader's ensemble
+        # failure is absorbed as degraded pooling.
+        assert {0, 1} <= set(report.completed)
+        # Replica 1's surviving member aborts on its dead domain peer.
+        assert [a.rank for a in report.aborted] == [3]
+        assert all(a.failed_rank == 2 for a in report.aborted)
+
+    def test_rank_failure_is_prefixed_with_the_replica_name(self):
+        def prog(comm):
+            replica = comm.rank // 2
+            sub = comm.split(replica, key=comm.rank, name=f"replica{replica}")
+            if comm.rank == 0:
+                try:
+                    sub.recv(source=1, tag=5)  # the peer never sends
+                except RankFailure as exc:
+                    return (str(exc), exc.via, exc.detected_by)
+            return None
+
+        res = run_spmd(prog, 4, IDEAL, recv_timeout=0.5)
+        msg, via, detected_by = res.values[0]
+        assert "[replica0]" in msg
+        assert via == "timeout"
+        assert detected_by == 0
+
+    @mp_fault
+    def test_mp_backend_names_the_dead_replica_rank(self):
+        from repro.qmc.two_level import two_level_program
+
+        plan = FaultPlan((CrashFault(rank=2, at_step=25),))
+        t0 = time.monotonic()
+        with pytest.raises(RankFailure) as excinfo:
+            run_multiprocessing(
+                two_level_program, 4, IDEAL, args=(_two_level_cfg(),),
+                fault_plan=plan, recv_timeout=10.0,
+            )
+        assert time.monotonic() - t0 < 10.0
+        exc = excinfo.value
+        assert exc.failed_rank == 2
+        report = exc.run_report
+        assert report.failed_ranks() == [2]
+        assert report.failures[0].injected
+        # Every other rank either completed or aborted blaming rank 2
+        # (poison pills may reach replica 0 mid-receive on this backend).
+        others = set(report.completed) | {a.rank for a in report.aborted}
+        assert others == {0, 1, 3}
+        assert all(a.failed_rank == 2 for a in report.aborted)
+
+
 def test_run_report_summary_is_informative():
     plan = FaultPlan((CrashFault(rank=1, at_step=2),))
     with pytest.raises(InjectedRankCrash) as excinfo:

@@ -20,6 +20,10 @@ property of the runner, but the ratios travel:
 * the modeled comm fraction of every overlapped A/B run
   (``overlap_records`` with ``overlap: true``; lower is better --
   these gate that the halo-overlap pipeline keeps hiding wire time);
+* the per-layout comm fraction of the two-level ensemble x domain
+  campaign (``two_level_records``, executed and modeled alike; lower
+  is better, same ceiling as the overlap fractions), plus a structural
+  check that the modeled full-machine (1024-node) record is present;
 * the per-backend kernel-registry speedup over batched numpy
   (``kernel_records``, backends other than numpy only).  On top of the
   relative baseline diff, ``--require-kernel NAME=MIN`` (repeatable)
@@ -145,6 +149,25 @@ def _overlap_fractions(doc: dict) -> dict[str, float]:
     return out
 
 
+def _two_level_fractions(doc: dict) -> dict[str, float]:
+    """Per-layout comm fraction of the two-level records (lower is better).
+
+    Executed and modeled records gate alike (the modeled full-machine
+    record is tagged so a layout can exist in both flavours); the
+    fractions are deterministic on the machine model, with the same
+    sweep-count sensitivity as the overlap fractions.
+    """
+    out: dict[str, float] = {}
+    for rec in doc.get("two_level_records", []):
+        if rec.get("comm_fraction_modeled") is None:
+            continue
+        tag = rec["layout"] + ("" if rec.get("executed") else " modeled")
+        out[f"two-level-comm-fraction[{tag}]"] = float(
+            rec["comm_fraction_modeled"]
+        )
+    return out
+
+
 def _overhead(doc: dict) -> float | None:
     """The metrics-variant telemetry overhead, or None when absent."""
     section = doc.get("observability_overhead") or {}
@@ -172,7 +195,17 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
                 f"{name}: {got:.2f} is {1 - got / want:.0%} below the "
                 f"baseline {want:.2f} (tolerance {tolerance:.0%})"
             )
-    fresh_frac, base_frac = _overlap_fractions(fresh), _overlap_fractions(baseline)
+    fresh_frac = {**_overlap_fractions(fresh), **_two_level_fractions(fresh)}
+    base_frac = {**_overlap_fractions(baseline),
+                 **_two_level_fractions(baseline)}
+    if baseline.get("two_level_records") and not any(
+        not rec.get("executed")
+        for rec in fresh.get("two_level_records", [])
+    ):
+        failures.append(
+            "two_level_records: the modeled full-machine record is missing "
+            "from the fresh document"
+        )
     for name in sorted(base_frac):
         if name not in fresh_frac:
             failures.append(f"{name}: missing from the fresh record")
