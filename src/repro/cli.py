@@ -11,9 +11,14 @@ Commands
 ``scaling``
     Print a performance-model scaling table for a chosen machine,
     strategy and lattice.
+``report``
+    Aggregate finished runs' manifests + metrics/events JSONL into a
+    text or HTML dashboard (per-rank tables, convergence verdicts,
+    health timeline).
 
 Every ``run-*`` command accepts ``--output PATH`` to persist the result
-as JSON (+NPZ series) via :mod:`repro.run.results`.
+as JSON (+NPZ series) via :mod:`repro.run.results`, and ``--health`` to
+stream convergence/health diagnostics during the run.
 """
 
 from __future__ import annotations
@@ -86,7 +91,20 @@ def _add_mc_args(p: argparse.ArgumentParser) -> None:
                         "spans (strip/block layouts; open in Perfetto)")
     p.add_argument("--obs-interval", type=int, default=0, metavar="N",
                    help="snapshot metrics every N sweeps into --metrics-out "
-                        "(0: summaries only)")
+                        "(0: summaries only); with --health also sets the "
+                        "health-check cadence")
+    p.add_argument("--health", action="store_true",
+                   help="enable the streaming run-health engine (online "
+                        "convergence estimators + alert rules; trajectories "
+                        "stay bit-identical to a run without it)")
+    p.add_argument("--health-rules", type=str, default=None, metavar="PATH",
+                   help="JSON file overriding the default health rules "
+                        "(implies nothing without --health)")
+    p.add_argument("--events-out", type=str, default=None, metavar="PATH",
+                   help="write health events as JSONL (requires --health)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the human-readable summary on stdout "
+                        "(file sinks are still written)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--ly", type=int, default=128)
     p_sc.add_argument("--slices", type=int, default=32)
     p_sc.add_argument("--max-p", type=int, default=1024)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="render a run-health dashboard from finished runs' artifacts",
+    )
+    p_rep.add_argument("paths", nargs="+", metavar="PATH",
+                       help="run manifest.json files and/or directories to "
+                            "search recursively for them")
+    p_rep.add_argument("--format", choices=["text", "html", "json"],
+                       default="text", help="output format (default: text)")
+    p_rep.add_argument("--out", type=str, default=None, metavar="FILE",
+                       help="write the dashboard to FILE instead of stdout")
     return parser
 
 
@@ -143,14 +173,17 @@ def _finish_run(result, args) -> int:
     identical result (the mpi backend allgathers rank values), so only
     world rank 0 talks to the terminal and the filesystem.
     """
+    from repro.run.reporting import StatusReporter
     from repro.vmp.mpi_backend import world_rank_hint
 
     if world_rank_hint() != 0:
         return 0
-    print(result.summary())
+    reporter = StatusReporter(quiet=getattr(args, "quiet", False))
+    reporter.info(result.summary())
     if args.output:
         save_result(result, args.output)
-        print(f"saved to {args.output}.json")
+        reporter.info(f"saved to {args.output}.json")
+    reporter.flush()
     return 0
 
 
@@ -175,6 +208,9 @@ def _cmd_run_xxz(args) -> int:
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
         obs_interval=args.obs_interval,
+        health=args.health,
+        health_rules=args.health_rules,
+        events_out=args.events_out,
     )
     result = Simulation(cfg).run()
     return _finish_run(result, args)
@@ -201,6 +237,9 @@ def _cmd_run_xxz2d(args) -> int:
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
         obs_interval=args.obs_interval,
+        health=args.health,
+        health_rules=args.health_rules,
+        events_out=args.events_out,
     )
     result = Simulation(cfg).run()
     return _finish_run(result, args)
@@ -227,6 +266,9 @@ def _cmd_run_tfim(args) -> int:
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
         obs_interval=args.obs_interval,
+        health=args.health,
+        health_rules=args.health_rules,
+        events_out=args.events_out,
     )
     result = Simulation(cfg).run()
     return _finish_run(result, args)
@@ -282,12 +324,41 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.report import (
+        build_report,
+        discover_runs,
+        load_run,
+        render_html,
+        render_text,
+    )
+
+    manifests = discover_runs(args.paths)
+    report = build_report([load_run(m) for m in manifests])
+    if args.format == "html":
+        rendered = render_html(report)
+    elif args.format == "json":
+        rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    else:
+        rendered = render_text(report)
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"report written to {args.out}")
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
 _COMMANDS = {
     "run-xxz": _cmd_run_xxz,
     "run-xxz2d": _cmd_run_xxz2d,
     "run-tfim": _cmd_run_tfim,
     "machines": _cmd_machines,
     "scaling": _cmd_scaling,
+    "report": _cmd_report,
 }
 
 

@@ -1,10 +1,12 @@
-"""Unified observability: metrics, phase spans, trace export, manifests.
+"""Unified observability: metrics, spans, traces, manifests, health.
 
-See DESIGN.md "Observability" for the naming scheme and clock-domain
-rules.  The short version: everything here is off by default (drivers
-record against the free :data:`~repro.obs.metrics.NOOP` recorder),
-modeled-time quantities are bit-reproducible, and wall-clock values are
-always suffixed ``wall_seconds``.
+See DESIGN.md "Observability" and "Run health & reporting" for the
+naming scheme and clock-domain rules.  The short version: everything
+here is off by default (drivers record against the free
+:data:`~repro.obs.metrics.NOOP` recorder and the
+:data:`~repro.obs.health.NOOP_HEALTH` monitor), modeled-time quantities
+are bit-reproducible, and wall-clock values are always suffixed
+``wall_seconds``.
 """
 
 from repro.obs.chrome_trace import (
@@ -12,6 +14,26 @@ from repro.obs.chrome_trace import (
     chrome_trace_doc,
     chrome_trace_events,
     write_chrome_trace,
+)
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    events_summary,
+    health_instant_events,
+    read_events_jsonl,
+    sort_events,
+    validate_event,
+    write_events_jsonl,
+)
+from repro.obs.health import (
+    NOOP_HEALTH,
+    SEVERITIES,
+    HealthEvent,
+    HealthMonitor,
+    HealthRules,
+    NoopHealthMonitor,
+    clock_comm_seconds,
+    load_health_rules,
 )
 from repro.obs.manifest import (
     build_manifest,
@@ -31,30 +53,79 @@ from repro.obs.metrics import (
     NoopMetrics,
     RankMetrics,
 )
-from repro.obs.sinks import read_metrics_jsonl, write_metrics_jsonl
+from repro.obs.online import (
+    StreamingBinning,
+    Welford,
+    gelman_rubin,
+    gelman_rubin_from_moments,
+    gelman_rubin_from_pooled_sums,
+)
+from repro.obs.report import (
+    REPORT_VERSION,
+    build_report,
+    discover_runs,
+    load_run,
+    render_html,
+    render_text,
+)
+from repro.obs.sinks import (
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    read_metrics_jsonl,
+    write_metrics_jsonl,
+)
 from repro.obs.spans import Span, SpanCollector
 
 __all__ = [
     "ACCEPTANCE_EDGES",
     "MESSAGE_BYTES_EDGES",
     "CATEGORY_ALIASES",
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMA_VERSION",
+    "REPORT_VERSION",
+    "SEVERITIES",
     "Counter",
     "Gauge",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthRules",
     "Histogram",
     "MetricsRegistry",
+    "NoopHealthMonitor",
     "NoopMetrics",
     "NOOP",
+    "NOOP_HEALTH",
     "RankMetrics",
     "Span",
     "SpanCollector",
+    "StreamingBinning",
+    "Welford",
     "build_manifest",
+    "build_report",
     "chrome_trace_doc",
     "chrome_trace_events",
+    "clock_comm_seconds",
     "config_hash",
+    "discover_runs",
     "environment_info",
+    "events_summary",
+    "gelman_rubin",
+    "gelman_rubin_from_moments",
+    "gelman_rubin_from_pooled_sums",
     "git_revision",
+    "health_instant_events",
+    "load_health_rules",
+    "load_run",
+    "read_events_jsonl",
     "read_metrics_jsonl",
+    "render_html",
+    "render_text",
+    "sort_events",
+    "validate_event",
     "write_chrome_trace",
+    "write_events_jsonl",
     "write_manifest",
     "write_metrics_jsonl",
 ]

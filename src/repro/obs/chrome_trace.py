@@ -52,6 +52,7 @@ def chrome_trace_events(
     spans: Iterable[Span],
     messages: Sequence | None = None,
     ranks: Sequence[int] | None = None,
+    instants: Sequence[dict] | None = None,
 ) -> list[dict]:
     """The flat ``traceEvents`` list: metadata + phase + message events.
 
@@ -59,7 +60,10 @@ def chrome_trace_events(
     objects; ``messages`` (optional) are
     :class:`~repro.vmp.trace.MessageEvent` records to draw as flow
     arrows; ``ranks`` optionally forces thread-name metadata for ranks
-    that recorded nothing.
+    that recorded nothing; ``instants`` (optional) are pre-built
+    instant ("i") event dicts -- e.g. health alerts from
+    :func:`repro.obs.events.health_instant_events` -- appended verbatim
+    so they show as markers on the timeline.
     """
     spans = list(spans)
     known_ranks = sorted(
@@ -114,6 +118,7 @@ def chrome_trace_events(
              "ts": _round_us(m.t_arrival), "args": {"nbytes": m.nbytes,
                                                     "src": m.src}}
         )
+    events.extend(instants or ())
     return events
 
 
@@ -122,10 +127,11 @@ def chrome_trace_doc(
     messages: Sequence | None = None,
     ranks: Sequence[int] | None = None,
     metadata: dict | None = None,
+    instants: Sequence[dict] | None = None,
 ) -> dict:
     """The complete JSON-object form of the trace (what the file holds)."""
     doc = {
-        "traceEvents": chrome_trace_events(spans, messages, ranks),
+        "traceEvents": chrome_trace_events(spans, messages, ranks, instants),
         "displayTimeUnit": "ms",
     }
     if metadata:
@@ -139,6 +145,7 @@ def write_chrome_trace(
     messages: Sequence | None = None,
     ranks: Sequence[int] | None = None,
     metadata: dict | None = None,
+    instants: Sequence[dict] | None = None,
 ) -> Path:
     """Write the trace JSON to ``path`` (parents created); returns the path.
 
@@ -147,6 +154,6 @@ def write_chrome_trace(
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    doc = chrome_trace_doc(spans, messages, ranks, metadata)
+    doc = chrome_trace_doc(spans, messages, ranks, metadata, instants)
     path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     return path

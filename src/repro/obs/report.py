@@ -1,0 +1,393 @@
+"""Post-hoc run dashboard: ``repro report`` over manifests + JSONL sinks.
+
+One entry point aggregates any number of finished runs -- each anchored
+by the ``manifest.json`` the run wrote next to its metrics/events/trace
+files -- into a single text or HTML dashboard: per-run parameter and
+runtime summary, per-rank metric tables, convergence verdicts from the
+streaming estimators, comm-fraction breakdowns, and the health-event
+timeline.  This is the campaign-level view the ROADMAP's service layer
+renders through: point it at one run directory or a whole sweep's
+output tree.
+
+The report itself is also available as a JSON document
+(:func:`build_report`) so CI can validate its schema and downstream
+tooling can consume it without scraping the rendered forms.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.events import read_events_jsonl
+from repro.obs.sinks import read_metrics_jsonl
+from repro.util.tables import Table, format_float
+
+__all__ = [
+    "REPORT_VERSION",
+    "discover_runs",
+    "load_run",
+    "build_report",
+    "render_text",
+    "render_html",
+]
+
+REPORT_VERSION = 1
+
+#: Per-rank metric columns shown in the dashboard (when present).
+_RANK_COLUMNS = (
+    ("sweep.count", "sweeps"),
+    ("sweep.attempted", "attempted"),
+    ("sweep.accepted", "accepted"),
+    ("comm.messages_sent", "msgs"),
+    ("comm.bytes_sent", "bytes"),
+    ("comm.wait_seconds", "wait[s]"),
+)
+
+
+def discover_runs(paths: Iterable[str | Path]) -> list[Path]:
+    """Find run manifests under the given files/directories.
+
+    A path that *is* a manifest (or any ``.json`` file with a
+    ``manifest_version`` key) anchors one run; a directory is searched
+    recursively for ``manifest.json`` files.  Returns sorted unique
+    paths; raises :class:`ValueError` when nothing is found (a silent
+    empty dashboard would read as "all healthy").
+    """
+    found: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            found.update(p.rglob("manifest.json"))
+        elif p.is_file():
+            found.add(p)
+        else:
+            raise ValueError(f"report path {p} does not exist")
+    manifests = sorted(found)
+    if not manifests:
+        raise ValueError(
+            f"no manifest.json found under {[str(p) for p in paths]}; "
+            f"run with --metrics-out/--events-out to produce one"
+        )
+    return manifests
+
+
+def load_run(manifest_path: str | Path) -> dict:
+    """Load one run: its manifest plus whatever sinks it points at.
+
+    Missing or unreadable side files degrade to empty lists -- the
+    report renders what exists -- but a malformed manifest raises.
+    """
+    manifest_path = Path(manifest_path)
+    manifest = json.loads(manifest_path.read_text())
+    if "manifest_version" not in manifest:
+        raise ValueError(f"{manifest_path} is not a run manifest")
+    outputs = manifest.get("outputs", {})
+
+    def _resolve(key: str) -> Path | None:
+        raw = outputs.get(key)
+        if not raw:
+            return None
+        p = Path(raw)
+        if not p.is_file():
+            # Artifacts may have been relocated together; try the
+            # manifest's own directory before giving up.
+            p = manifest_path.parent / Path(raw).name
+        return p if p.is_file() else None
+
+    metrics_rows: list[dict] = []
+    metrics_path = _resolve("metrics_out")
+    if metrics_path is not None:
+        metrics_rows = read_metrics_jsonl(metrics_path)
+    events: list[dict] = []
+    events_path = _resolve("events_out")
+    if events_path is not None:
+        events = read_events_jsonl(events_path)
+    return {
+        "manifest_path": str(manifest_path),
+        "manifest": manifest,
+        "metrics_rows": metrics_rows,
+        "events": events,
+    }
+
+
+def _rank_table_rows(manifest: dict) -> list[dict]:
+    """Per-rank rows from the manifest's metric summaries."""
+    rows = []
+    for rank, values in sorted(
+        manifest.get("rank_metrics", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        row = {"rank": int(rank)}
+        for name, _label in _RANK_COLUMNS:
+            if name in values:
+                row[name] = values[name]
+        rows.append(row)
+    return rows
+
+
+def _convergence_rows(health: dict) -> list[dict]:
+    """Per-rank/per-observable convergence verdicts from health output."""
+    rows = []
+    for summary in health.get("rank_summaries", []):
+        for name, obs in summary.get("observables", {}).items():
+            rows.append(
+                {
+                    "rank": summary.get("rank", 0),
+                    "replica": summary.get("replica"),
+                    "observable": name,
+                    "mean": obs.get("mean"),
+                    "error": obs.get("error"),
+                    "tau_int": obs.get("tau_int"),
+                    "converged": bool(obs.get("converged")),
+                }
+            )
+        for name, rhat in summary.get("rhat", {}).items():
+            rows.append(
+                {
+                    "rank": summary.get("rank", 0),
+                    "replica": summary.get("replica"),
+                    "observable": f"rhat:{name}",
+                    "mean": rhat,
+                    "error": None,
+                    "tau_int": None,
+                    "converged": None,
+                }
+            )
+    return rows
+
+
+def _comm_fractions(manifest: dict) -> dict:
+    runtime = manifest.get("runtime", {})
+    out = {}
+    for key in ("comm_fraction", "comm_fraction_by_level"):
+        if runtime.get(key) is not None:
+            out[key] = runtime[key]
+    return out
+
+
+def build_report(runs: Sequence[dict]) -> dict:
+    """The machine-readable dashboard document over loaded runs."""
+    report_runs = []
+    for run in runs:
+        manifest = run["manifest"]
+        health = manifest.get("health", {})
+        report_runs.append(
+            {
+                "manifest_path": run["manifest_path"],
+                "kind": manifest.get("kind"),
+                "config_hash": manifest.get("config_hash"),
+                "seed": manifest.get("seed"),
+                "written_at": manifest.get("written_at"),
+                "parameters": manifest.get("parameters", {}),
+                "runtime": manifest.get("runtime", {}),
+                "rank_table": _rank_table_rows(manifest),
+                "health_summary": health.get("summary", {}),
+                "convergence": _convergence_rows(health),
+                "comm": _comm_fractions(manifest),
+                "events": run.get("events", []),
+                "n_metrics_rows": len(run.get("metrics_rows", [])),
+            }
+        )
+    n_unhealthy = sum(
+        1
+        for r in report_runs
+        if r["health_summary"] and not r["health_summary"].get("healthy", True)
+    )
+    return {
+        "report_version": REPORT_VERSION,
+        "n_runs": len(report_runs),
+        "n_unhealthy": n_unhealthy,
+        "runs": report_runs,
+    }
+
+
+def _run_title(run: dict) -> str:
+    chash = run.get("config_hash") or "?"
+    return f"{run.get('kind', '?')} run {str(chash)[:12]} (seed {run.get('seed')})"
+
+
+def _verdict(run: dict) -> str:
+    hs = run.get("health_summary") or {}
+    if not hs:
+        return "no health data"
+    if hs.get("healthy", True):
+        return "healthy"
+    sev = hs.get("by_severity", {})
+    parts = [f"{sev[s]} {s}" for s in ("critical", "warning") if sev.get(s)]
+    return "ATTENTION: " + ", ".join(parts)
+
+
+def render_text(report: dict) -> str:
+    """Terminal dashboard: aligned tables per run plus a campaign header."""
+    lines = [
+        f"repro report v{report['report_version']}: {report['n_runs']} run(s), "
+        f"{report['n_unhealthy']} unhealthy",
+    ]
+    for run in report["runs"]:
+        lines.append("")
+        lines.append(f"== {_run_title(run)} -- {_verdict(run)}")
+        params = ", ".join(f"{k}={v}" for k, v in sorted(run["parameters"].items()))
+        if params:
+            lines.append(f"   parameters: {params}")
+        runtime = run["runtime"]
+        bits = []
+        for key, label in (
+            ("wall_seconds", "wall[s]"),
+            ("sweeps_per_second", "sweeps/s"),
+            ("n_attempted", "attempted"),
+            ("n_accepted", "accepted"),
+        ):
+            if runtime.get(key) is not None:
+                bits.append(f"{label}={format_float(runtime[key])}")
+        comm = run["comm"].get("comm_fraction")
+        if comm is not None:
+            bits.append(f"comm_fraction={format_float(comm)}")
+        if bits:
+            lines.append(f"   runtime: {', '.join(bits)}")
+        by_level = run["comm"].get("comm_fraction_by_level")
+        if by_level:
+            lines.append(
+                "   comm by level: "
+                + ", ".join(f"{k}={format_float(v)}" for k, v in sorted(by_level.items()))
+            )
+        if run["rank_table"]:
+            t = Table(
+                "per-rank metrics", ["rank"] + [lbl for _n, lbl in _RANK_COLUMNS]
+            )
+            for row in run["rank_table"]:
+                t.add_row(
+                    [row["rank"]] + [row.get(name, "-") for name, _l in _RANK_COLUMNS]
+                )
+            lines.append(_indent(t.render()))
+        if run["convergence"]:
+            t = Table(
+                "convergence",
+                ["rank", "replica", "observable", "mean", "error", "tau_int", "verdict"],
+            )
+            for row in run["convergence"]:
+                verdict = (
+                    "-" if row["converged"] is None
+                    else ("converged" if row["converged"] else "NOT converged")
+                )
+                t.add_row(
+                    [
+                        row["rank"],
+                        "-" if row["replica"] is None else row["replica"],
+                        row["observable"],
+                        "-" if row["mean"] is None else row["mean"],
+                        "-" if row["error"] is None else row["error"],
+                        "-" if row["tau_int"] is None else row["tau_int"],
+                        verdict,
+                    ]
+                )
+            lines.append(_indent(t.render()))
+        if run["events"]:
+            t = Table(
+                "health timeline", ["sweep", "rank", "severity", "rule", "message"]
+            )
+            for e in run["events"]:
+                t.add_row(
+                    [e["sweep"], e["rank"], e["severity"], e["rule"], e["message"]]
+                )
+            lines.append(_indent(t.render()))
+        elif run["health_summary"]:
+            lines.append("   health timeline: no events")
+    return "\n".join(lines) + "\n"
+
+
+def _indent(block: str, prefix: str = "   ") -> str:
+    return "\n".join(prefix + line for line in block.splitlines())
+
+
+def _html_table(title: str, columns: Sequence[str], rows: Sequence[Sequence]) -> str:
+    head = "".join(f"<th>{_html.escape(str(c))}</th>" for c in columns)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_html.escape(format_float(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<h3>{_html.escape(title)}</h3>"
+        f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    )
+
+
+def render_html(report: dict) -> str:
+    """Self-contained single-file HTML dashboard (no external assets)."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>repro report</title><style>",
+        "body{font-family:system-ui,sans-serif;margin:2em;max-width:72em}",
+        "table{border-collapse:collapse;margin:0.5em 0}",
+        "th,td{border:1px solid #ccc;padding:0.25em 0.6em;text-align:right}",
+        "th{background:#f0f0f0}td:first-child,th:first-child{text-align:left}",
+        ".healthy{color:#1a7f37}.attention{color:#b91c1c;font-weight:bold}",
+        ".params{color:#555;font-size:0.9em}",
+        "</style></head><body>",
+        f"<h1>repro report</h1><p>{report['n_runs']} run(s), "
+        f"{report['n_unhealthy']} unhealthy "
+        f"(report schema v{report['report_version']})</p>",
+    ]
+    for run in report["runs"]:
+        verdict = _verdict(run)
+        cls = "healthy" if verdict in ("healthy", "no health data") else "attention"
+        parts.append(f"<h2>{_html.escape(_run_title(run))} "
+                     f"<span class='{cls}'>[{_html.escape(verdict)}]</span></h2>")
+        params = ", ".join(f"{k}={v}" for k, v in sorted(run["parameters"].items()))
+        parts.append(f"<p class='params'>{_html.escape(params)}</p>")
+        comm = run["comm"]
+        if comm:
+            items = []
+            if comm.get("comm_fraction") is not None:
+                items.append(("total", comm["comm_fraction"]))
+            items.extend(sorted((comm.get("comm_fraction_by_level") or {}).items()))
+            parts.append(
+                _html_table("comm fractions", ["level", "fraction"], items)
+            )
+        if run["rank_table"]:
+            parts.append(
+                _html_table(
+                    "per-rank metrics",
+                    ["rank"] + [lbl for _n, lbl in _RANK_COLUMNS],
+                    [
+                        [row["rank"]]
+                        + [row.get(name, "-") for name, _l in _RANK_COLUMNS]
+                        for row in run["rank_table"]
+                    ],
+                )
+            )
+        if run["convergence"]:
+            parts.append(
+                _html_table(
+                    "convergence",
+                    ["rank", "replica", "observable", "mean", "error", "tau_int",
+                     "verdict"],
+                    [
+                        [
+                            row["rank"],
+                            "-" if row["replica"] is None else row["replica"],
+                            row["observable"],
+                            "-" if row["mean"] is None else row["mean"],
+                            "-" if row["error"] is None else row["error"],
+                            "-" if row["tau_int"] is None else row["tau_int"],
+                            "-" if row["converged"] is None
+                            else ("converged" if row["converged"] else "NOT converged"),
+                        ]
+                        for row in run["convergence"]
+                    ],
+                )
+            )
+        if run["events"]:
+            parts.append(
+                _html_table(
+                    "health timeline",
+                    ["sweep", "rank", "severity", "rule", "message"],
+                    [
+                        [e["sweep"], e["rank"], e["severity"], e["rule"], e["message"]]
+                        for e in run["events"]
+                    ],
+                )
+            )
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -1,11 +1,17 @@
 """Metrics sinks: JSONL time series on disk.
 
-One JSON object per line, in arrival order.  Rows are the snapshots a
-run's :class:`~repro.obs.metrics.MetricsRegistry` accumulated (periodic
+One JSON object per line, in arrival order.  The first line is a schema
+header ``{"kind": "schema", "schema": "repro.metrics", "version": 2}``
+so readers can refuse files written by a future format instead of
+silently misparsing them.  The remaining rows are the snapshots a run's
+:class:`~repro.obs.metrics.MetricsRegistry` accumulated (periodic
 per-rank rows labeled with sweep index and modeled time) followed by
 one ``{"kind": "summary"}`` row per rank holding the final cumulative
 values.  JSONL keeps the sink append-friendly and greppable; the
 structured end-of-run view lives in ``manifest.json``.
+
+Version history: version 1 files had no header (``read_metrics_jsonl``
+still accepts them); version 2 added the header row.
 """
 
 from __future__ import annotations
@@ -13,14 +19,24 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["write_metrics_jsonl", "read_metrics_jsonl"]
+__all__ = [
+    "METRICS_SCHEMA",
+    "METRICS_SCHEMA_VERSION",
+    "write_metrics_jsonl",
+    "read_metrics_jsonl",
+]
+
+METRICS_SCHEMA = "repro.metrics"
+METRICS_SCHEMA_VERSION = 2
 
 
 def write_metrics_jsonl(path: str | Path, registry) -> Path:
     """Write a registry's snapshots + per-rank summary rows to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"kind": "schema", "schema": METRICS_SCHEMA, "version": METRICS_SCHEMA_VERSION}
     with path.open("w") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
         for row in registry.snapshots():
             fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
         for rank, values in registry.summary().items():
@@ -30,11 +46,29 @@ def write_metrics_jsonl(path: str | Path, registry) -> Path:
 
 
 def read_metrics_jsonl(path: str | Path) -> list[dict]:
-    """Parse a metrics JSONL file back into its row dicts."""
+    """Parse a metrics JSONL file back into its data rows.
+
+    The schema header is consumed (and validated), not returned, so
+    callers see the same row list as before versioning.  Headerless
+    files are accepted as legacy version 1; an unknown schema name or a
+    version this reader does not understand raises :class:`ValueError`.
+    """
     rows: list[dict] = []
     with Path(path).open() as fh:
         for line in fh:
             line = line.strip()
             if line:
                 rows.append(json.loads(line))
+    if rows and rows[0].get("kind") == "schema":
+        header = rows.pop(0)
+        if header.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"{path} declares schema {header.get('schema')!r}; expected {METRICS_SCHEMA!r}"
+            )
+        version = header.get("version")
+        if version not in (1, METRICS_SCHEMA_VERSION):
+            raise ValueError(
+                f"{path} has metrics schema version {version!r}; this reader "
+                f"understands versions 1..{METRICS_SCHEMA_VERSION}"
+            )
     return rows

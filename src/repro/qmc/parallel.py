@@ -73,11 +73,13 @@ from repro.qmc.classical_ising import FLOPS_PER_SPIN_UPDATE
 from repro.qmc.plaquette import PlaquetteTable
 from repro.models.hamiltonians import XXZSquareModel
 from repro.qmc.worldline import FLOPS_PER_CORNER_MOVE
+from repro.obs.health import NOOP_HEALTH, HealthMonitor, clock_comm_seconds
 from repro.obs.metrics import ACCEPTANCE_EDGES
 from repro.qmc.worldline2d import FLOPS_PER_SEGMENT_MOVE, WorldlineSquareQmc
 from repro.util.rng import SeedSequenceFactory
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.run.__init__
+    from repro.obs.health import HealthRules
     from repro.run.checkpoint import CheckpointConfig
 
 __all__ = [
@@ -843,7 +845,10 @@ class _StripState:
 
 
 def worldline_strip_program(
-    comm, cfg: WorldlineStripConfig, checkpoint: "CheckpointConfig | None" = None
+    comm,
+    cfg: WorldlineStripConfig,
+    checkpoint: "CheckpointConfig | None" = None,
+    health: "HealthRules | None" = None,
 ) -> dict:
     """SPMD rank program: strip-decomposed world-line XXZ chain.
 
@@ -856,10 +861,22 @@ def worldline_strip_program(
     ``every``-th sweep; with ``resume=True`` each rank restores its
     bundle first (skipping thermalization, already in the trajectory)
     and continues **bit-identically** to the uninterrupted run.
+
+    ``health`` (a :class:`~repro.obs.health.HealthRules`) turns on the
+    streaming run-health monitor: measured observables feed online
+    estimators and the declarative rules fire at ``health.interval``
+    sweeps, with the resulting events/summary returned in the value
+    dict.  The monitor is pure observation (no RNG, no comm), so the
+    trajectory is bit-identical with health on or off.
     """
     state = _StripState(comm, cfg)
     metrics = comm.metrics
     interval = metrics.interval if metrics.enabled else 0
+    monitor = (
+        HealthMonitor(health, rank=comm.rank) if health is not None else NOOP_HEALTH
+    )
+    health_on = monitor.enabled
+    check_every = health.interval if health is not None else 0
     energies, mags = [], []
     first_sweep = 0
     if checkpoint is not None and checkpoint.resume:
@@ -877,17 +894,29 @@ def worldline_strip_program(
             mag = comm.allreduce(state.local_magnetization())
             energies.append(-dlog / state.n_trotter)
             mags.append(mag)
+            if health_on:
+                monitor.t_model = comm.clock.now
+                monitor.observe("energy", energies[-1], s)
+                monitor.observe("magnetization", mag, s)
         if (
             checkpoint is not None
             and checkpoint.every
             and (s + 1) % checkpoint.every == 0
         ):
             state.save_rank_state(checkpoint.directory, s + 1, energies, mags)
+        if check_every and (s + 1) % check_every == 0:
+            monitor.check(
+                s + 1,
+                attempted=state.n_attempted,
+                accepted=state.n_accepted,
+                model_seconds=comm.clock.now,
+                comm_seconds=clock_comm_seconds(comm.clock),
+            )
         if interval and (s + 1) % interval == 0:
             comm.sync_metrics()
             metrics.snapshot(sweep=s + 1, t_model=comm.clock.now)
     owned = state.loc[2 : state.n_owned + 2].copy()
-    return {
+    out = {
         "energy": np.array(energies),
         "magnetization": np.array(mags),
         "owned_spins": owned,
@@ -899,6 +928,10 @@ def worldline_strip_program(
         "n_attempted": state.n_attempted,
         "n_accepted": state.n_accepted,
     }
+    if health_on:
+        out["health_events"] = monitor.event_docs()
+        out["health_summary"] = monitor.summary()
+    return out
 
 
 # ======================================================================
@@ -1356,18 +1389,27 @@ class _BlockState:
 
 
 def ising_block_program(
-    comm, cfg: IsingBlockConfig, checkpoint: "CheckpointConfig | None" = None
+    comm,
+    cfg: IsingBlockConfig,
+    checkpoint: "CheckpointConfig | None" = None,
+    health: "HealthRules | None" = None,
 ) -> dict:
     """SPMD rank program: block-decomposed anisotropic Ising sweeps.
 
     Returns on every rank the (identical) global time series of
     magnetization and per-axis bond sums, plus the rank's owned block
     for bit-identity checks.  ``checkpoint`` enables per-rank
-    checkpoint/restart exactly as in :func:`worldline_strip_program`.
+    checkpoint/restart and ``health`` the streaming run-health monitor,
+    exactly as in :func:`worldline_strip_program`.
     """
     state = _BlockState(comm, cfg)
     metrics = comm.metrics
     interval = metrics.interval if metrics.enabled else 0
+    monitor = (
+        HealthMonitor(health, rank=comm.rank) if health is not None else NOOP_HEALTH
+    )
+    health_on = monitor.enabled
+    check_every = health.interval if health is not None else 0
     n_sites = cfg.lx * cfg.ly * cfg.lt
     mags, bonds = [], []
     first_sweep = 0
@@ -1383,16 +1425,27 @@ def ising_block_program(
             b = comm.allreduce(state.local_bond_sums())
             mags.append(m)
             bonds.append(b)
+            if health_on:
+                monitor.t_model = comm.clock.now
+                monitor.observe("magnetization", m, s)
         if (
             checkpoint is not None
             and checkpoint.every
             and (s + 1) % checkpoint.every == 0
         ):
             state.save_rank_state(checkpoint.directory, s + 1, mags, bonds)
+        if check_every and (s + 1) % check_every == 0:
+            monitor.check(
+                s + 1,
+                attempted=state.n_attempted,
+                accepted=state.n_accepted,
+                model_seconds=comm.clock.now,
+                comm_seconds=clock_comm_seconds(comm.clock),
+            )
         if interval and (s + 1) % interval == 0:
             comm.sync_metrics()
             metrics.snapshot(sweep=s + 1, t_model=comm.clock.now)
-    return {
+    out = {
         "magnetization": np.array(mags),
         "bond_sums": np.array(bonds),
         "block": state.spins.copy(),
@@ -1402,6 +1455,10 @@ def ising_block_program(
         "n_attempted": state.n_attempted,
         "n_accepted": state.n_accepted,
     }
+    if health_on:
+        out["health_events"] = monitor.event_docs()
+        out["health_summary"] = monitor.summary()
+    return out
 
 
 # ======================================================================

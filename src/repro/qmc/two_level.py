@@ -51,6 +51,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.health import NOOP_HEALTH, HealthMonitor, clock_comm_seconds
+from repro.obs.online import Welford, gelman_rubin_from_pooled_sums
 from repro.qmc.parallel import WorldlineStripConfig, _StripState
 from repro.vmp.faults import RankFailure
 
@@ -177,7 +179,7 @@ def _validate_resume_layout(directory: str | Path, cfg: TwoLevelConfig) -> None:
             )
 
 
-def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
+def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None, health=None) -> dict:
     """SPMD rank program: ``R`` strip replicas over domain sub-communicators.
 
     Returns on every rank its replica's trajectory (``energy`` /
@@ -186,6 +188,17 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
     ensemble-pooled mean series (``ensemble_energy`` /
     ``ensemble_magnetization``; None when pooling was degraded by a
     peer-replica failure).
+
+    ``health`` (a :class:`~repro.obs.health.HealthRules`) enables the
+    streaming run-health monitor exactly as in
+    :func:`~repro.qmc.parallel.worldline_strip_program`, plus the
+    two-level-only diagnostic: at the ensemble heartbeat cadence the
+    ``R`` replica leaders pool their streaming energy moments with one
+    sum-allreduce over the ensemble communicator (charged to the
+    ``ensemble`` clock categories) and evaluate the cross-replica
+    Gelman--Rubin R-hat against ``health.rhat_max``.  The monitor adds
+    no RNG draws and no domain-level traffic, so trajectories stay
+    bit-identical with health on or off.
     """
     R, P = cfg.replicas, cfg.domain_ranks
     if comm.size != R * P:
@@ -201,6 +214,15 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
         label="ensemble",
         name="ensemble",
     )
+
+    monitor = (
+        HealthMonitor(health, rank=comm.rank, replica=replica)
+        if health is not None
+        else NOOP_HEALTH
+    )
+    health_on = monitor.enabled
+    check_every = health.interval if health is not None else 0
+    energy_stats = Welford()
 
     rep_cfg = cfg.config_for(replica)
     if checkpoint is not None and checkpoint.resume:
@@ -232,6 +254,11 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
             energies.append(-dlog / state.n_trotter)
             mags.append(mag)
             measured += 1
+            if health_on:
+                monitor.t_model = comm.clock.now
+                monitor.observe("energy", energies[-1], s)
+                monitor.observe("magnetization", mag, s)
+                energy_stats.push(energies[-1])
             # Ensemble heartbeat: leaders pool the latest estimate so
             # the run exercises (and telemetry measures) ensemble-level
             # traffic at a controlled cadence.  A peer-replica failure
@@ -245,6 +272,21 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
                 try:
                     ensemble.allreduce(energies[-1])
                     n_syncs += 1
+                    # Cross-replica convergence: pool the leaders'
+                    # streaming energy moments and check R-hat.  One
+                    # extra ensemble-charged allreduce per heartbeat;
+                    # no domain traffic, no RNG, so the trajectory is
+                    # untouched.
+                    if health_on and R >= 2 and measured >= 2:
+                        count, mean, var = energy_stats.moments()
+                        sums = ensemble.allreduce(
+                            np.array([mean, mean * mean, var], dtype=np.float64)
+                        )
+                        rhat = gelman_rubin_from_pooled_sums(
+                            count, R, sums[0], sums[1], sums[2]
+                        )
+                        monitor.t_model = comm.clock.now
+                        monitor.observe_rhat("energy", rhat, s)
                 except RankFailure:
                     degraded = True
         if (
@@ -255,6 +297,14 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
             if comm.rank == 0:
                 _write_layout_manifest(checkpoint.directory, cfg)
             state.save_rank_state(rep_dir, s + 1, energies, mags)
+        if check_every and (s + 1) % check_every == 0:
+            monitor.check(
+                s + 1,
+                attempted=state.n_attempted,
+                accepted=state.n_accepted,
+                model_seconds=comm.clock.now,
+                comm_seconds=clock_comm_seconds(comm.clock),
+            )
 
     # Pooled mean series, computed once from the full series so resumed
     # runs pool bit-identically to uninterrupted ones.
@@ -275,7 +325,7 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
     pooled_e, pooled_m, degraded = pooled
 
     owned = state.loc[2 : state.n_owned + 2].copy()
-    return {
+    out = {
         "replica": replica,
         "energy": np.array(energies),
         "magnetization": np.array(mags),
@@ -292,3 +342,7 @@ def two_level_program(comm, cfg: TwoLevelConfig, checkpoint=None) -> dict:
         "n_ensemble_syncs": n_syncs,
         "ensemble_degraded": degraded,
     }
+    if health_on:
+        out["health_events"] = monitor.event_docs()
+        out["health_summary"] = monitor.summary()
+    return out

@@ -135,6 +135,7 @@ class WorldlineSquareQmc:
         seed: int | None = 0,
         stream: RankStream | None = None,
         metrics=None,
+        health=None,
     ):
         if not model.periodic:
             raise ValueError("the 2-D world-line sampler uses periodic lattices")
@@ -175,6 +176,12 @@ class WorldlineSquareQmc:
         # time are recorded; per-sweep recording happens in sweep().
         self._obs = metrics is not None and metrics.enabled
         self._metrics = metrics if self._obs else None
+        # Optional run-health monitor (repro.obs.health): a HealthMonitor
+        # fed from run(), or the inert NOOP_HEALTH.  Pure observation --
+        # it draws no randomness and never touches sampler state.
+        from repro.obs.health import NOOP_HEALTH
+
+        self._health = health if health is not None else NOOP_HEALTH
         self._m_kernel: dict = {}
         if self._obs:
             self._m_sweeps = metrics.counter("sweep.count")
@@ -723,6 +730,9 @@ class WorldlineSquareQmc:
             raise ValueError("need at least one measured sweep")
         for _ in range(n_thermalize):
             self.sweep(mode)
+        monitor = self._health
+        health_on = monitor.enabled
+        check_every = monitor.rules.interval if health_on else 0
         energy, mags, mstag = [], [], []
         for s in range(n_sweeps):
             self.sweep(mode)
@@ -730,6 +740,15 @@ class WorldlineSquareQmc:
                 energy.append(self.energy_estimate())
                 mags.append(self.magnetization())
                 mstag.append(self.staggered_magnetization_sq())
+                if health_on:
+                    monitor.observe("energy", energy[-1], s)
+                    monitor.observe("magnetization", mags[-1], s)
+            if check_every and (s + 1) % check_every == 0:
+                # No modeled clock on the serial sampler: the
+                # comm-fraction rule stays dormant (model_seconds=None).
+                monitor.check(
+                    s + 1, attempted=self.n_attempted, accepted=self.n_accepted
+                )
         return Worldline2DMeasurement(
             beta=self.beta,
             dtau=self.dtau,

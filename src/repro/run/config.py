@@ -147,6 +147,19 @@ def _validate_obs_fields(cfg, span_strategies: tuple[str, ...]) -> None:
         )
 
 
+def _validate_health_fields(cfg) -> None:
+    """Shared validation of the health/health_rules/events_out trio.
+
+    Health works on every layout (SPMD drivers check in-loop, serial
+    samplers stream the same estimators), so the only constraints are
+    that the auxiliary knobs require the engine to be on.
+    """
+    if cfg.health_rules is not None and not cfg.health:
+        raise ValueError("health_rules given but health is not enabled")
+    if cfg.events_out is not None and not cfg.health:
+        raise ValueError("events_out given but health is not enabled")
+
+
 @dataclass(frozen=True)
 class XXZRunConfig:
     """World-line run of the spin-1/2 XXZ chain."""
@@ -168,6 +181,9 @@ class XXZRunConfig:
     metrics_out: str | None = None
     trace_out: str | None = None
     obs_interval: int = 0
+    health: bool = False
+    health_rules: str | None = None
+    events_out: str | None = None
 
     def __post_init__(self):
         if self.beta <= 0:
@@ -185,6 +201,7 @@ class XXZRunConfig:
                 raise ValueError("strip layout requires a periodic chain")
         _validate_checkpoint_fields(self, supported_strategy="strip")
         _validate_obs_fields(self, span_strategies=("strip",))
+        _validate_health_fields(self)
 
 
 @dataclass(frozen=True)
@@ -213,6 +230,9 @@ class XXZ2DRunConfig:
     metrics_out: str | None = None
     trace_out: str | None = None
     obs_interval: int = 0
+    health: bool = False
+    health_rules: str | None = None
+    events_out: str | None = None
 
     def __post_init__(self):
         if self.beta <= 0:
@@ -227,6 +247,7 @@ class XXZ2DRunConfig:
             )
         _validate_checkpoint_fields(self, supported_strategy=None)
         _validate_obs_fields(self, span_strategies=())
+        _validate_health_fields(self)
 
 
 @dataclass(frozen=True)
@@ -249,6 +270,9 @@ class TfimRunConfig:
     metrics_out: str | None = None
     trace_out: str | None = None
     obs_interval: int = 0
+    health: bool = False
+    health_rules: str | None = None
+    events_out: str | None = None
 
     def __post_init__(self):
         if len(self.spatial_shape) not in (1, 2):
@@ -263,3 +287,4 @@ class TfimRunConfig:
             raise ValueError("TFIM uses 'block' (or serial/replica) layouts")
         _validate_checkpoint_fields(self, supported_strategy="block")
         _validate_obs_fields(self, span_strategies=("block",))
+        _validate_health_fields(self)

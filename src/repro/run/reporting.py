@@ -1,0 +1,65 @@
+"""Single stdout choke point for human-facing run status.
+
+Every ``run-*`` CLI path historically printed summary lines directly;
+with machine sinks (metrics/events JSONL) and health verdicts joining
+the party, interleaved writes would corrupt piped output.  The
+:class:`StatusReporter` buffers all human-facing lines for a run and
+flushes them to the terminal in one write at the end -- after every
+file sink has been written -- so stdout carries either the one
+human-readable block or (with ``quiet=True``) nothing at all.
+
+Machine-readable artifacts never go through this class: they go to the
+paths the user named (``--output``, ``--metrics-out``, ``--events-out``,
+...).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+__all__ = ["StatusReporter", "format_health_verdict"]
+
+
+class StatusReporter:
+    """Buffered reporter for human-facing run status lines.
+
+    ``quiet`` drops everything (the ``--quiet`` flag); ``stream``
+    defaults to ``sys.stdout`` at flush time so test monkeypatching of
+    ``sys.stdout`` keeps working.
+    """
+
+    def __init__(self, quiet: bool = False, stream: TextIO | None = None):
+        self.quiet = quiet
+        self._stream = stream
+        self._lines: list[str] = []
+
+    def info(self, text: str) -> None:
+        """Buffer one human-facing line (or block) for the final flush."""
+        if not self.quiet:
+            self._lines.append(text)
+
+    def flush(self) -> None:
+        """Emit everything buffered in a single write, then reset."""
+        if self._lines:
+            stream = self._stream if self._stream is not None else sys.stdout
+            stream.write("\n".join(self._lines) + "\n")
+            stream.flush()
+        self._lines = []
+
+
+def format_health_verdict(health: dict) -> str:
+    """One-line human verdict from a run's health summary dict.
+
+    ``health`` is the aggregate stored in ``result.runtime['health']``:
+    ``{"healthy": bool, "n_events": int, "by_severity": {...}}``.
+    """
+    if health.get("healthy", True):
+        n = health.get("n_events", 0)
+        suffix = f" ({n} informational event{'s' if n != 1 else ''})" if n else ""
+        return f"health: OK{suffix}"
+    sev = health.get("by_severity", {})
+    parts = [
+        f"{sev[s]} {s}" for s in ("critical", "warning") if sev.get(s)
+    ]
+    return f"health: ATTENTION ({', '.join(parts) or 'events recorded'})"

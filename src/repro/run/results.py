@@ -101,7 +101,11 @@ class RunResult:
                 f" completed, {rep.get('n_failed', 0)} failed,"
                 f" {rep.get('n_aborted', 0)} aborted"
             )
-        for path_key in ("metrics_out", "trace_out", "manifest"):
+        if rt.get("health"):
+            from repro.run.reporting import format_health_verdict
+
+            lines.append(f"  {format_health_verdict(rt['health'])}")
+        for path_key in ("metrics_out", "trace_out", "events_out", "manifest"):
             if rt.get(path_key):
                 lines.append(f"  {path_key} -> {rt[path_key]}")
         return "\n".join(lines)

@@ -69,6 +69,82 @@ def _obs_registry(cfg):
     return MetricsRegistry(interval=cfg.obs_interval)
 
 
+def _health_rules(cfg):
+    """The run's HealthRules, or None when ``--health`` is off.
+
+    ``--health-rules FILE`` overrides the defaults; ``--obs-interval``,
+    when set, overrides the check cadence so health checks and metric
+    snapshots land on the same sweeps.
+    """
+    if not cfg.health:
+        return None
+    import dataclasses
+
+    from repro.obs.health import HealthRules, load_health_rules
+
+    rules = (
+        load_health_rules(cfg.health_rules)
+        if cfg.health_rules is not None
+        else HealthRules()
+    )
+    if cfg.obs_interval > 0 and rules.interval != cfg.obs_interval:
+        rules = dataclasses.replace(rules, interval=cfg.obs_interval)
+    return rules
+
+
+def _posthoc_health(rules, series, n_attempted, n_accepted, measure_every, rank=0):
+    """Run the health monitor over already-measured serial series.
+
+    The serial chain samplers have no in-loop hook; feeding their
+    measured series through the same monitor after the fact gives the
+    identical estimators and NaN sentinels, plus a single end-of-run
+    acceptance-band check over the whole run.  Returns the monitor.
+    """
+    from repro.obs.health import HealthMonitor
+
+    monitor = HealthMonitor(rules, rank=rank)
+    n_meas = max((len(v) for v in series.values()), default=0)
+    for i in range(n_meas):
+        sweep = i * measure_every
+        for name, values in series.items():
+            if i < len(values):
+                monitor.observe(name, float(values[i]), sweep)
+    last_sweep = max((n_meas - 1) * measure_every, 0)
+    monitor.check(0, attempted=0, accepted=0)  # open the window
+    monitor.check(last_sweep, attempted=int(n_attempted), accepted=int(n_accepted))
+    return monitor
+
+
+def _collect_health(rules, result, monitors=None, spmd=None):
+    """Merge per-rank health output into one run-level view.
+
+    ``monitors`` are in-process HealthMonitor objects (serial paths);
+    ``spmd`` contributes the rank programs' returned events/summaries.
+    Stores the aggregate verdict in ``result.runtime['health']`` and
+    returns ``{"events": [...], "summary": {...}, "rank_summaries":
+    [...]}`` for the sinks, or None when health is off.
+    """
+    if rules is None:
+        return None
+    from repro.obs.events import events_summary, sort_events
+
+    events: list[dict] = []
+    rank_summaries: list[dict] = []
+    for monitor in monitors or ():
+        events.extend(monitor.event_docs())
+        rank_summaries.append(monitor.summary())
+    if spmd is not None:
+        events.extend(spmd.health_events())
+        for value in spmd.values:
+            if isinstance(value, dict) and value.get("health_summary"):
+                rank_summaries.append(value["health_summary"])
+    events = sort_events(events)
+    summary = events_summary(events)
+    summary["rules"] = rules.to_doc()
+    result.runtime["health"] = summary
+    return {"events": events, "summary": summary, "rank_summaries": rank_summaries}
+
+
 def _report_summary(report) -> dict:
     """Compact JSON view of a RunReport for runtime/CLI output."""
     if report is None:
@@ -81,12 +157,14 @@ def _report_summary(report) -> dict:
     }
 
 
-def _emit_observability(kind, cfg, params, registry, spmd=None, runtime=None):
-    """Write the requested metrics JSONL / Chrome trace / manifest files.
+def _emit_observability(kind, cfg, params, registry, spmd=None, runtime=None,
+                        health=None):
+    """Write the requested metrics/events JSONL / Chrome trace / manifest.
 
     Returns ``{key: path}`` of everything written (also merged into
-    ``runtime`` so the CLI summary can point at the files).  Under an
-    MPI launch every rank computes the same result; only world rank 0
+    ``runtime`` so the CLI summary can point at the files).  ``health``
+    is the :func:`_collect_health` bundle (or None).  Under an MPI
+    launch every rank computes the same result; only world rank 0
     writes files, so mpiexec runs do not race on the output paths.
     """
     from repro.obs import build_manifest, write_manifest, write_metrics_jsonl
@@ -101,15 +179,27 @@ def _emit_observability(kind, cfg, params, registry, spmd=None, runtime=None):
         outputs["trace_out"] = str(
             spmd.write_chrome_trace(cfg.trace_out, metadata={"kind": kind, **params})
         )
-    anchor = cfg.metrics_out or cfg.trace_out
+    if cfg.events_out is not None and health is not None:
+        from repro.obs.events import write_events_jsonl
+
+        outputs["events_out"] = str(
+            write_events_jsonl(cfg.events_out, health["events"])
+        )
+    anchor = cfg.metrics_out or cfg.trace_out or cfg.events_out
     if anchor is not None:
+        extra = {"outputs": dict(outputs), "runtime": dict(runtime or {})}
+        if health is not None:
+            extra["health"] = {
+                "summary": health["summary"],
+                "rank_summaries": health["rank_summaries"],
+            }
         manifest = build_manifest(
             kind,
             params,
             seed=cfg.seed,
             registry=registry,
             report=spmd.report if spmd is not None else None,
-            extra={"outputs": dict(outputs), "runtime": dict(runtime or {})},
+            extra=extra,
         )
         outputs["manifest"] = str(
             write_manifest(Path(anchor).parent / "manifest.json", manifest)
@@ -201,15 +291,24 @@ class Simulation:
         result = RunResult(kind="xxz2d", parameters=params)
         result.runtime.update(kernel=kernel)
         registry = _obs_registry(cfg)
+        rules = _health_rules(cfg)
+        monitors = []
         t0_wall = time.perf_counter()
         model = XXZSquareModel(lx=cfg.lx, ly=cfg.ly, jz=cfg.jz, jxy=cfg.jxy)
         n_chains = layout.n_ranks if layout.strategy == "replica" else 1
         energy_all, mag_all, mstag_all = [], [], []
         n_att = n_acc = 0
         for chain_idx in range(n_chains):
+            monitor = None
+            if rules is not None:
+                from repro.obs.health import HealthMonitor
+
+                monitor = HealthMonitor(rules, rank=chain_idx)
+                monitors.append(monitor)
             sampler = WorldlineSquareQmc(
                 model, cfg.beta, cfg.n_slices, seed=cfg.seed + chain_idx,
                 metrics=registry.scope(chain_idx) if registry is not None else None,
+                health=monitor,
             )
             meas = sampler.run(
                 cfg.n_sweeps, cfg.n_thermalize, cfg.measure_every, mode=mode
@@ -225,7 +324,10 @@ class Simulation:
         result.runtime.update(n_attempted=n_att, n_accepted=n_acc)
         n_sweeps_run = n_chains * (cfg.n_sweeps + cfg.n_thermalize)
         self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
-        _emit_observability("xxz2d", cfg, params, registry, runtime=result.runtime)
+        health = _collect_health(rules, result, monitors=monitors)
+        _emit_observability(
+            "xxz2d", cfg, params, registry, runtime=result.runtime, health=health
+        )
 
         result.estimates["energy"] = _estimate("energy", energy)
         result.estimates["energy_per_site"] = _estimate(
@@ -266,6 +368,8 @@ class Simulation:
         result = RunResult(kind="xxz", parameters=params)
         result.runtime.update(kernel=kernel)
         registry = _obs_registry(cfg)
+        rules = _health_rules(cfg)
+        monitors = []
         t0_wall = time.perf_counter()
         spmd = None
 
@@ -287,6 +391,17 @@ class Simulation:
                 all_mag.append(meas.magnetization)
                 n_att += getattr(sampler, "n_attempted", 0)
                 n_acc += getattr(sampler, "n_accepted", 0)
+                if rules is not None:
+                    monitors.append(
+                        _posthoc_health(
+                            rules,
+                            {"energy": meas.energy, "magnetization": meas.magnetization},
+                            getattr(sampler, "n_attempted", 0),
+                            getattr(sampler, "n_accepted", 0),
+                            cfg.measure_every,
+                            rank=chain_idx,
+                        )
+                    )
             energy = np.concatenate(all_energy)
             mag = np.concatenate(all_mag)
             n_sweeps_run = n_chains * (cfg.n_sweeps + cfg.n_thermalize)
@@ -313,12 +428,12 @@ class Simulation:
                     base=wl_cfg,
                 )
                 program, prog_args = two_level_program, (
-                    tl_cfg, _checkpoint_config(cfg),
+                    tl_cfg, _checkpoint_config(cfg), rules,
                 )
                 n_ranks = tl_cfg.n_ranks
             else:
                 program, prog_args = worldline_strip_program, (
-                    wl_cfg, _checkpoint_config(cfg),
+                    wl_cfg, _checkpoint_config(cfg), rules,
                 )
                 n_ranks = layout.n_ranks
             spmd = run_spmd(
@@ -360,8 +475,10 @@ class Simulation:
                 )
 
         self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
+        health = _collect_health(rules, result, monitors=monitors, spmd=spmd)
         _emit_observability(
-            "xxz", cfg, params, registry, spmd=spmd, runtime=result.runtime
+            "xxz", cfg, params, registry, spmd=spmd, runtime=result.runtime,
+            health=health,
         )
 
         result.estimates["energy"] = _estimate("energy", energy)
@@ -402,6 +519,8 @@ class Simulation:
         result = RunResult(kind="tfim", parameters=params)
         result.runtime.update(kernel=kernel)
         registry = _obs_registry(cfg)
+        rules = _health_rules(cfg)
+        monitors = []
         t0_wall = time.perf_counter()
         spmd = None
 
@@ -426,6 +545,21 @@ class Simulation:
                 inner = getattr(sampler, "classical", sampler)
                 n_att += getattr(inner, "n_attempted", 0)
                 n_acc += getattr(inner, "n_accepted", 0)
+                if rules is not None:
+                    monitors.append(
+                        _posthoc_health(
+                            rules,
+                            {
+                                "energy": meas.energy,
+                                "sigma_x": meas.sigma_x,
+                                "abs_magnetization": meas.abs_magnetization,
+                            },
+                            getattr(inner, "n_attempted", 0),
+                            getattr(inner, "n_accepted", 0),
+                            cfg.measure_every,
+                            rank=chain_idx,
+                        )
+                    )
             energy = np.concatenate(e_all)
             sigma_x = np.concatenate(sx_all)
             abs_mag = np.concatenate(m_all)
@@ -461,7 +595,7 @@ class Simulation:
                 layout.n_ranks,
                 machine=MACHINES[layout.machine],
                 seed=cfg.seed,
-                args=(block_cfg, _checkpoint_config(cfg)),
+                args=(block_cfg, _checkpoint_config(cfg), rules),
                 metrics=registry,
                 spans=cfg.trace_out is not None,
                 trace=cfg.trace_out is not None,
@@ -502,8 +636,10 @@ class Simulation:
             )
 
         self._finish_runtime(result, registry, n_sweeps_run, t0_wall)
+        health = _collect_health(rules, result, monitors=monitors, spmd=spmd)
         _emit_observability(
-            "tfim", cfg, params, registry, spmd=spmd, runtime=result.runtime
+            "tfim", cfg, params, registry, spmd=spmd, runtime=result.runtime,
+            health=health,
         )
 
         result.estimates["energy"] = _estimate("energy", energy)

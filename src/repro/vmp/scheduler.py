@@ -83,9 +83,29 @@ class SpmdResult:
     #: Per-rank phase spans when launched with ``spans=True`` (else None).
     spans: list | None = None
 
+    def health_events(self) -> list[dict]:
+        """All ranks' health-event records, deterministically ordered.
+
+        Rank programs that run with health rules return their monitor's
+        events under a ``"health_events"`` key in the value dict; this
+        gathers them across ranks (empty when health was off).
+        """
+        from repro.obs.events import sort_events
+
+        events: list[dict] = []
+        for o in self.outcomes:
+            if isinstance(o.value, dict):
+                events.extend(o.value.get("health_events") or ())
+        return sort_events(events)
+
     def chrome_trace(self, metadata: dict | None = None) -> dict:
-        """Chrome ``trace_event`` document of the run (requires spans=True)."""
+        """Chrome ``trace_event`` document of the run (requires spans=True).
+
+        Health events, when any rank emitted them, appear as instant
+        markers on the emitting rank's timeline row.
+        """
         from repro.obs.chrome_trace import chrome_trace_doc
+        from repro.obs.events import health_instant_events
 
         if self.spans is None:
             raise ValueError("run has no phase spans; pass spans=True to run_spmd")
@@ -94,11 +114,13 @@ class SpmdResult:
             messages=self.trace,
             ranks=[o.rank for o in self.outcomes],
             metadata=metadata,
+            instants=health_instant_events(self.health_events()),
         )
 
     def write_chrome_trace(self, path, metadata: dict | None = None):
         """Write the Chrome trace JSON to ``path`` (see chrome_trace)."""
         from repro.obs.chrome_trace import write_chrome_trace
+        from repro.obs.events import health_instant_events
 
         if self.spans is None:
             raise ValueError("run has no phase spans; pass spans=True to run_spmd")
@@ -108,6 +130,7 @@ class SpmdResult:
             messages=self.trace,
             ranks=[o.rank for o in self.outcomes],
             metadata=metadata,
+            instants=health_instant_events(self.health_events()),
         )
 
     def render_timeline(self, width: int = 72) -> str:

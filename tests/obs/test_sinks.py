@@ -1,0 +1,58 @@
+"""Metrics JSONL schema versioning: stamped on write, checked on read."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import (
+    METRICS_SCHEMA,
+    METRICS_SCHEMA_VERSION,
+    read_metrics_jsonl,
+    write_metrics_jsonl,
+)
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.scope(0).counter("sweep.count").inc(5)
+    return reg
+
+
+class TestSchemaVersion:
+    def test_writer_stamps_header(self, tmp_path):
+        path = write_metrics_jsonl(tmp_path / "m.jsonl", _registry())
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "kind": "schema",
+            "schema": METRICS_SCHEMA,
+            "version": METRICS_SCHEMA_VERSION,
+        }
+
+    def test_reader_pops_header(self, tmp_path):
+        path = write_metrics_jsonl(tmp_path / "m.jsonl", _registry())
+        rows = read_metrics_jsonl(path)
+        assert rows and all(r.get("kind") != "schema" for r in rows)
+
+    def test_legacy_headerless_accepted(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"kind": "summary", "rank": 0, "metrics": {}}\n')
+        rows = read_metrics_jsonl(path)
+        assert rows == [{"kind": "summary", "rank": 0, "metrics": {}}]
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            json.dumps({"kind": "schema", "schema": METRICS_SCHEMA,
+                        "version": 999}) + "\n"
+        )
+        with pytest.raises(ValueError, match="version"):
+            read_metrics_jsonl(path)
+
+    def test_wrong_schema_name_rejected(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            '{"kind": "schema", "schema": "somebody.else", "version": 1}\n'
+        )
+        with pytest.raises(ValueError, match="schema"):
+            read_metrics_jsonl(path)

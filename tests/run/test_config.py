@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.run.config import ParallelLayout, TfimRunConfig, XXZRunConfig
+from repro.run.config import (
+    ParallelLayout,
+    TfimRunConfig,
+    XXZ2DRunConfig,
+    XXZRunConfig,
+)
 
 
 class TestParallelLayout:
@@ -80,3 +85,32 @@ class TestTfimRunConfig:
                 spatial_shape=(8,), beta=1.0,
                 layout=ParallelLayout("strip", 2),
             )
+
+
+class TestHealthFields:
+    """The --health / --health-rules / --events-out config trio."""
+
+    def test_defaults_off(self):
+        cfg = XXZRunConfig(n_sites=8, beta=1.0)
+        assert cfg.health is False
+        assert cfg.health_rules is None and cfg.events_out is None
+
+    def test_health_enables_companions(self):
+        cfg = XXZRunConfig(n_sites=8, beta=1.0, health=True,
+                           health_rules="rules.json", events_out="ev.jsonl")
+        assert cfg.health
+
+    @pytest.mark.parametrize("kw", [
+        {"health_rules": "rules.json"},
+        {"events_out": "ev.jsonl"},
+    ])
+    def test_companions_require_health(self, kw):
+        with pytest.raises(ValueError, match="health"):
+            XXZRunConfig(n_sites=8, beta=1.0, **kw)
+
+    def test_all_config_kinds_carry_fields(self):
+        for cfg in (
+            XXZ2DRunConfig(lx=4, ly=4, beta=1.0, health=True),
+            TfimRunConfig(spatial_shape=(8,), beta=1.0, health=True),
+        ):
+            assert cfg.health

@@ -1,0 +1,130 @@
+"""Status reporting and the health engine on the facade's serial paths."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.run.config import (
+    ParallelLayout,
+    TfimRunConfig,
+    XXZ2DRunConfig,
+    XXZRunConfig,
+)
+from repro.run.reporting import StatusReporter, format_health_verdict
+from repro.run.simulation import Simulation
+
+
+class TestStatusReporter:
+    def test_buffers_and_flushes_once(self):
+        stream = io.StringIO()
+        rep = StatusReporter(stream=stream)
+        rep.info("line one")
+        rep.info("line two")
+        assert stream.getvalue() == ""  # nothing until flush
+        rep.flush()
+        assert stream.getvalue() == "line one\nline two\n"
+        rep.flush()  # idempotent once drained
+        assert stream.getvalue() == "line one\nline two\n"
+
+    def test_quiet_drops_everything(self):
+        stream = io.StringIO()
+        rep = StatusReporter(quiet=True, stream=stream)
+        rep.info("secret")
+        rep.flush()
+        assert stream.getvalue() == ""
+
+
+class TestHealthVerdict:
+    def test_ok(self):
+        assert format_health_verdict({"healthy": True, "n_events": 0}) == \
+            "health: OK"
+        assert "2 informational" in format_health_verdict(
+            {"healthy": True, "n_events": 2})
+
+    def test_attention(self):
+        verdict = format_health_verdict(
+            {"healthy": False,
+             "by_severity": {"critical": 1, "warning": 3}})
+        assert verdict == "health: ATTENTION (1 critical, 3 warning)"
+
+
+class TestQuietFlag:
+    def test_quiet_run_prints_nothing(self, capsys, tmp_path):
+        out_path = tmp_path / "res"
+        code = main([
+            "run-xxz", "--sites", "8", "--beta", "0.5", "--slices", "8",
+            "--sweeps", "20", "--thermalize", "2", "--quiet",
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        # The machine artifact is still written.
+        assert (tmp_path / "res.json").exists()
+
+    def test_default_prints_summary(self, capsys):
+        assert main([
+            "run-xxz", "--sites", "8", "--beta", "0.5", "--slices", "8",
+            "--sweeps", "20", "--thermalize", "2",
+        ]) == 0
+        assert "energy" in capsys.readouterr().out
+
+
+class TestSerialPathHealth:
+    """Post-hoc health on the serial/replica (non-SPMD) facade paths."""
+
+    def test_xxz_serial_health_summary(self):
+        cfg = XXZRunConfig(n_sites=8, beta=1.0, n_sweeps=40, n_thermalize=5,
+                           health=True)
+        result = Simulation(cfg).run()
+        health = result.runtime["health"]
+        assert health["healthy"] in (True, False)
+        assert "by_severity" in health and "rules" in health
+
+    def test_xxz2d_in_run_health(self):
+        cfg = XXZ2DRunConfig(lx=4, ly=4, beta=1.0, n_sweeps=30,
+                             n_thermalize=2, health=True)
+        result = Simulation(cfg).run()
+        assert "health" in result.runtime
+
+    def test_tfim_serial_health(self):
+        cfg = TfimRunConfig(spatial_shape=(8,), beta=1.0, n_sweeps=30,
+                            n_thermalize=2, health=True)
+        result = Simulation(cfg).run()
+        assert "health" in result.runtime
+
+    def test_replica_layout_health(self):
+        cfg = XXZRunConfig(
+            n_sites=8, beta=1.0, n_sweeps=30, n_thermalize=2, health=True,
+            layout=ParallelLayout("replica", 2),
+        )
+        result = Simulation(cfg).run()
+        assert "health" in result.runtime
+
+    def test_injected_fault_reaches_summary_line(self, capsys, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"acceptance_band": [0.9, 1.0]}))
+        code = main([
+            "run-xxz", "--sites", "8", "--beta", "0.5", "--slices", "8",
+            "--sweeps", "20", "--thermalize", "2",
+            "--health", "--health-rules", str(rules),
+        ])
+        assert code == 0
+        assert "health: ATTENTION" in capsys.readouterr().out
+
+    def test_health_off_keeps_runtime_clean(self):
+        cfg = XXZRunConfig(n_sites=8, beta=1.0, n_sweeps=20, n_thermalize=2)
+        result = Simulation(cfg).run()
+        assert "health" not in result.runtime
+
+    def test_events_out_written_on_spmd_path(self, tmp_path):
+        cfg = XXZRunConfig(
+            n_sites=16, beta=1.0, n_sweeps=20, n_thermalize=2, health=True,
+            events_out=str(tmp_path / "ev.jsonl"),
+            layout=ParallelLayout("strip", 2),
+        )
+        result = Simulation(cfg).run()
+        assert result.runtime["events_out"] == str(tmp_path / "ev.jsonl")
+        header = json.loads((tmp_path / "ev.jsonl").read_text().splitlines()[0])
+        assert header["schema"] == "repro.health.events"
