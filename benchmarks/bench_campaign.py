@@ -1,0 +1,142 @@
+"""Campaign scheduler throughput and result-cache benchmark.
+
+Runs one small XXZ sweep campaign twice through the real scheduler
+(:func:`repro.run.campaign.run_campaign`, backend OS processes, bounded
+pool) and records the numbers the serving layer lives on:
+
+* the **fresh** leg executes every grid cell (``jobs=2``) and yields
+  the campaign's aggregate sweeps/s (total sweeps swept anywhere,
+  divided by campaign wall time -- scheduling overhead included);
+* the **resumed** leg re-invokes the identical spec with ``resume=True``
+  and must serve every run from the config-hash result cache, so its
+  wall time measures pure cache-lookup overhead.
+
+The record lands in ``BENCH_perf.json`` under ``campaign_records`` and
+is gated by ``tools/check_bench.py``: the cached rerun must report at
+least one cache hit (structurally: *all* runs cached), and the
+fresh/resumed wall ratio (``cache_speedup``) plus the aggregate
+throughput must clear conservative floors.  Absolute per-runner speed
+is deliberately not compared across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.run.campaign import CampaignSpec, run_campaign
+from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_perf.json"
+SMOKE_JSON_PATH = (
+    REPO_ROOT / "benchmarks" / "output" / "smoke" / "BENCH_perf_smoke.json"
+)
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _campaign_spec(smoke: bool) -> CampaignSpec:
+    """The benchmark grid: 6 runs at smoke scale, 8 at full tier."""
+    betas = [0.5, 1.0, 1.5] if smoke else [0.5, 0.75, 1.0, 1.5]
+    return CampaignSpec(
+        kind="xxz",
+        name="bench",
+        base={
+            "n_sites": 8,
+            "n_slices": 8,
+            "n_sweeps": 40 if smoke else 120,
+            "n_thermalize": 5 if smoke else 20,
+        },
+        sweep={"beta": betas, "seed": [0, 1]},
+        jobs=2,
+        timeout=300.0,
+        retries=1,
+    )
+
+
+def collect_campaign(smoke: bool, out_root: Path) -> dict:
+    """Run the fresh + resumed legs; return one campaign record."""
+    spec = _campaign_spec(smoke)
+    campaign_dir = out_root / "campaign_bench"
+    fresh = run_campaign(spec, out_dir=campaign_dir, resume=False)
+    resumed = run_campaign(spec, out_dir=campaign_dir, resume=True)
+    record = {
+        "tier": "smoke" if smoke else "full",
+        "kind": spec.kind,
+        "n_runs": spec.n_runs,
+        "jobs": spec.jobs,
+        "fresh": {
+            "wall_seconds": fresh.wall_seconds,
+            "completed": fresh.counters["completed"],
+            "cached": fresh.counters["cached"],
+            "failed": fresh.counters["failed"],
+            "retried": fresh.counters["retried"],
+            "total_sweeps": fresh.aggregate["total_sweeps"],
+            "sweeps_per_second": fresh.aggregate["sweeps_per_second"],
+        },
+        "resumed": {
+            "wall_seconds": resumed.wall_seconds,
+            "completed": resumed.counters["completed"],
+            "cache_hits": resumed.counters["cached"],
+            "failed": resumed.counters["failed"],
+        },
+        "cache_speedup": (
+            fresh.wall_seconds / resumed.wall_seconds
+            if resumed.wall_seconds > 0
+            else float("inf")
+        ),
+    }
+    return record
+
+
+def render(record: dict) -> Table:
+    t = Table(
+        f"campaign scheduler ({record['n_runs']} runs, "
+        f"jobs={record['jobs']}, tier={record['tier']})",
+        ["leg", "wall[s]", "completed", "cached", "agg sweeps/s"],
+    )
+    t.add_row(
+        [
+            "fresh",
+            round(record["fresh"]["wall_seconds"], 3),
+            record["fresh"]["completed"],
+            record["fresh"]["cached"],
+            round(record["fresh"]["sweeps_per_second"], 1),
+        ]
+    )
+    t.add_row(
+        [
+            "resumed",
+            round(record["resumed"]["wall_seconds"], 3),
+            record["resumed"]["completed"],
+            record["resumed"]["cache_hits"],
+            "-",
+        ]
+    )
+    t.add_row(
+        ["cache speedup", round(record["cache_speedup"], 1), "-", "-", "-"]
+    )
+    return t
+
+
+def test_campaign_scheduler(record, smoke):
+    out_root = OUTPUT_DIR / "smoke" if smoke else OUTPUT_DIR
+    rec = collect_campaign(smoke, out_root)
+    record("campaign", render(rec).render())
+
+    # Merge rather than rewrite: the other benchmark modules store
+    # their sections in the same document in collection order.
+    json_path = SMOKE_JSON_PATH if smoke else JSON_PATH
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    doc = json.loads(json_path.read_text()) if json_path.exists() else {}
+    doc["campaign_records"] = [rec]
+    json_path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    # Hard invariants at every tier; the perf floors live in
+    # tools/check_bench.py where they can be waived explicitly.
+    assert rec["fresh"]["completed"] == rec["n_runs"]
+    assert rec["fresh"]["failed"] == 0
+    assert rec["resumed"]["cache_hits"] == rec["n_runs"], (
+        "cached rerun re-executed runs instead of serving the cache"
+    )
+    assert rec["resumed"]["completed"] == 0

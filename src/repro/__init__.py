@@ -32,6 +32,8 @@ Subpackages
 """
 
 from repro.run import (
+    CampaignResult,
+    CampaignSpec,
     ObservableEstimate,
     ParallelLayout,
     RunResult,
@@ -39,8 +41,10 @@ from repro.run import (
     TfimRunConfig,
     XXZ2DRunConfig,
     XXZRunConfig,
+    load_campaign_spec,
     load_checkpoint,
     load_result,
+    run_campaign,
     save_checkpoint,
     save_result,
 )
@@ -59,5 +63,9 @@ __all__ = [
     "load_result",
     "save_checkpoint",
     "load_checkpoint",
+    "CampaignSpec",
+    "CampaignResult",
+    "load_campaign_spec",
+    "run_campaign",
     "__version__",
 ]

@@ -11,10 +11,15 @@ Commands
 ``scaling``
     Print a performance-model scaling table for a chosen machine,
     strategy and lattice.
+``run-campaign``
+    Expand a sweep spec (TOML) into a grid of runs and schedule them
+    over a bounded pool of backend processes, with a config-hash result
+    cache (``--resume`` skips completed runs), per-run timeouts, and
+    retry-with-backoff on rank failures.
 ``report``
     Aggregate finished runs' manifests + metrics/events JSONL into a
     text or HTML dashboard (per-rank tables, convergence verdicts,
-    health timeline).
+    health timeline); campaign directories add a campaign summary.
 
 Every ``run-*`` command accepts ``--output PATH`` to persist the result
 as JSON (+NPZ series) via :mod:`repro.run.results`, and ``--health`` to
@@ -151,6 +156,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--ly", type=int, default=128)
     p_sc.add_argument("--slices", type=int, default=32)
     p_sc.add_argument("--max-p", type=int, default=1024)
+
+    p_camp = sub.add_parser(
+        "run-campaign",
+        help="schedule a sweep-spec grid of runs with a result cache",
+    )
+    p_camp.add_argument("--spec", type=str, required=True, metavar="PATH",
+                        help="campaign spec file (.toml, or .json with the "
+                             "same structure)")
+    p_camp.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker-pool width (overrides the spec's jobs)")
+    p_camp.add_argument("--output-dir", type=str, default=None, metavar="DIR",
+                        help="campaign output root (overrides the spec's "
+                             "output_dir; default: <name>_campaign)")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="serve completed runs from the config-hash "
+                             "result cache and restart interrupted "
+                             "checkpointed runs from their bundles")
+    p_camp.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-run wall-clock timeout in seconds "
+                             "(0: none; overrides the spec)")
+    p_camp.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="max retries per run on transient failures "
+                             "(overrides the spec)")
+    p_camp.add_argument("--policy", choices=["fail-fast", "keep-going"],
+                        default=None,
+                        help="whether a failed run cancels the not-yet-"
+                             "started remainder (overrides the spec)")
+    p_camp.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines and the final "
+                             "summary table (campaign.json is still written)")
 
     p_rep = sub.add_parser(
         "report",
@@ -324,20 +359,46 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_run_campaign(args) -> int:
+    from repro.run.campaign import load_campaign_spec, run_campaign
+    from repro.run.reporting import StatusReporter
+
+    reporter = StatusReporter(quiet=args.quiet)
+    spec = load_campaign_spec(args.spec)
+    progress = None if args.quiet else (lambda msg: print(msg, flush=True))
+    result = run_campaign(
+        spec,
+        out_dir=args.output_dir,
+        jobs=args.jobs,
+        resume=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+        policy=args.policy,
+        progress=progress,
+    )
+    reporter.info(result.summary_table())
+    reporter.info(f"campaign manifest: {result.out_dir / 'campaign.json'}")
+    reporter.flush()
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args) -> int:
     import json
     from pathlib import Path
 
     from repro.obs.report import (
         build_report,
+        discover_campaigns,
         discover_runs,
+        load_campaign,
         load_run,
         render_html,
         render_text,
     )
 
     manifests = discover_runs(args.paths)
-    report = build_report([load_run(m) for m in manifests])
+    campaigns = [load_campaign(c) for c in discover_campaigns(args.paths)]
+    report = build_report([load_run(m) for m in manifests], campaigns)
     if args.format == "html":
         rendered = render_html(report)
     elif args.format == "json":
@@ -356,6 +417,7 @@ _COMMANDS = {
     "run-xxz": _cmd_run_xxz,
     "run-xxz2d": _cmd_run_xxz2d,
     "run-tfim": _cmd_run_tfim,
+    "run-campaign": _cmd_run_campaign,
     "machines": _cmd_machines,
     "scaling": _cmd_scaling,
     "report": _cmd_report,
@@ -370,6 +432,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ValueError, KeyError, KernelUnavailableError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # An interrupted campaign has already persisted every completed
+        # run's status document; re-invoking with --resume serves those
+        # from the cache.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -28,13 +28,15 @@ from repro.util.tables import Table, format_float
 __all__ = [
     "REPORT_VERSION",
     "discover_runs",
+    "discover_campaigns",
     "load_run",
+    "load_campaign",
     "build_report",
     "render_text",
     "render_html",
 ]
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 #: Per-rank metric columns shown in the dashboard (when present).
 _RANK_COLUMNS = (
@@ -72,6 +74,33 @@ def discover_runs(paths: Iterable[str | Path]) -> list[Path]:
             f"run with --metrics-out/--events-out to produce one"
         )
     return manifests
+
+
+def discover_campaigns(paths: Iterable[str | Path]) -> list[Path]:
+    """Find campaign manifests (``campaign.json``) under files/directories.
+
+    Campaigns are an optional layer on top of runs, so -- unlike
+    :func:`discover_runs` -- finding nothing is not an error: a plain
+    run directory simply has no campaign section.  Nonexistent paths
+    are ignored here; :func:`discover_runs` already rejects them.
+    """
+    found: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            found.update(p.rglob("campaign.json"))
+        elif p.is_file() and p.name == "campaign.json":
+            found.add(p)
+    return sorted(found)
+
+
+def load_campaign(manifest_path: str | Path) -> dict:
+    """Load one campaign manifest written by ``run-campaign``."""
+    manifest_path = Path(manifest_path)
+    doc = json.loads(manifest_path.read_text())
+    if "campaign_version" not in doc:
+        raise ValueError(f"{manifest_path} is not a campaign manifest")
+    return {"manifest_path": str(manifest_path), "campaign": doc}
 
 
 def load_run(manifest_path: str | Path) -> dict:
@@ -167,8 +196,42 @@ def _comm_fractions(manifest: dict) -> dict:
     return out
 
 
-def build_report(runs: Sequence[dict]) -> dict:
-    """The machine-readable dashboard document over loaded runs."""
+def _campaign_summary(loaded: dict) -> dict:
+    """Compact per-campaign view for the report document."""
+    doc = loaded["campaign"]
+    counters = doc.get("counters", {})
+    aggregate = doc.get("aggregate", {})
+    return {
+        "manifest_path": loaded["manifest_path"],
+        "name": doc.get("name"),
+        "kind": doc.get("kind"),
+        "n_runs": doc.get("n_runs"),
+        "jobs": doc.get("jobs"),
+        "policy": doc.get("policy"),
+        "interrupted": bool(doc.get("interrupted", False)),
+        "counters": dict(counters),
+        "aggregate": dict(aggregate),
+        "runs": [
+            {
+                "run_id": r.get("run_id"),
+                "status": r.get("status"),
+                "cached": bool(r.get("cached", False)),
+                "attempts": r.get("attempts"),
+                "wall_seconds": r.get("wall_seconds"),
+                "sweeps_per_second": r.get("sweeps_per_second"),
+            }
+            for r in doc.get("runs", [])
+        ],
+    }
+
+
+def build_report(runs: Sequence[dict], campaigns: Sequence[dict] = ()) -> dict:
+    """The machine-readable dashboard document over loaded runs.
+
+    ``campaigns`` are :func:`load_campaign` documents; each contributes
+    a campaign summary (scheduler counters, cache hits, aggregate
+    throughput) on top of the per-run sections.
+    """
     report_runs = []
     for run in runs:
         manifest = run["manifest"]
@@ -199,6 +262,7 @@ def build_report(runs: Sequence[dict]) -> dict:
         "report_version": REPORT_VERSION,
         "n_runs": len(report_runs),
         "n_unhealthy": n_unhealthy,
+        "campaigns": [_campaign_summary(c) for c in campaigns],
         "runs": report_runs,
     }
 
@@ -219,12 +283,57 @@ def _verdict(run: dict) -> str:
     return "ATTENTION: " + ", ".join(parts)
 
 
+def _campaign_verdict(c: dict) -> str:
+    counters = c.get("counters", {})
+    bits = [f"{counters.get('completed', 0)} fresh",
+            f"{counters.get('cached', 0)} cached"]
+    if counters.get("failed"):
+        bits.append(f"{counters['failed']} FAILED")
+    if counters.get("skipped"):
+        bits.append(f"{counters['skipped']} skipped")
+    if c.get("interrupted"):
+        bits.append("INTERRUPTED")
+    return ", ".join(bits)
+
+
 def render_text(report: dict) -> str:
     """Terminal dashboard: aligned tables per run plus a campaign header."""
     lines = [
         f"repro report v{report['report_version']}: {report['n_runs']} run(s), "
         f"{report['n_unhealthy']} unhealthy",
     ]
+    for c in report.get("campaigns", []):
+        lines.append("")
+        lines.append(
+            f"== campaign {c.get('name', '?')!r} ({c.get('kind', '?')}, "
+            f"{c.get('n_runs', '?')} runs, jobs={c.get('jobs', '?')}) -- "
+            f"{_campaign_verdict(c)}"
+        )
+        agg = c.get("aggregate", {})
+        if agg:
+            lines.append(
+                "   aggregate: "
+                + ", ".join(
+                    f"{k}={format_float(v)}" for k, v in sorted(agg.items())
+                )
+            )
+        if c["runs"]:
+            t = Table(
+                "campaign runs",
+                ["run", "status", "cached", "attempts", "wall[s]", "sweeps/s"],
+            )
+            for r in c["runs"]:
+                t.add_row(
+                    [
+                        r.get("run_id", "?"),
+                        r.get("status", "?"),
+                        "yes" if r.get("cached") else "no",
+                        r.get("attempts", "-"),
+                        format_float(r.get("wall_seconds") or 0.0),
+                        format_float(r.get("sweeps_per_second") or 0.0),
+                    ]
+                )
+            lines.append(_indent(t.render()))
     for run in report["runs"]:
         lines.append("")
         lines.append(f"== {_run_title(run)} -- {_verdict(run)}")
@@ -329,6 +438,49 @@ def render_html(report: dict) -> str:
         f"{report['n_unhealthy']} unhealthy "
         f"(report schema v{report['report_version']})</p>",
     ]
+    for c in report.get("campaigns", []):
+        verdict = _campaign_verdict(c)
+        counters = c.get("counters", {})
+        cls = (
+            "attention"
+            if counters.get("failed") or c.get("interrupted")
+            else "healthy"
+        )
+        parts.append(
+            f"<h2>campaign {_html.escape(str(c.get('name', '?')))} "
+            f"<span class='{cls}'>[{_html.escape(verdict)}]</span></h2>"
+        )
+        agg = c.get("aggregate", {})
+        parts.append(
+            "<p class='params'>"
+            + _html.escape(
+                f"kind={c.get('kind')}, n_runs={c.get('n_runs')}, "
+                f"jobs={c.get('jobs')}, policy={c.get('policy')}, "
+                + ", ".join(
+                    f"{k}={format_float(v)}" for k, v in sorted(agg.items())
+                )
+            )
+            + "</p>"
+        )
+        if c["runs"]:
+            parts.append(
+                _html_table(
+                    "campaign runs",
+                    ["run", "status", "cached", "attempts", "wall[s]",
+                     "sweeps/s"],
+                    [
+                        [
+                            r.get("run_id", "?"),
+                            r.get("status", "?"),
+                            "yes" if r.get("cached") else "no",
+                            r.get("attempts", "-"),
+                            r.get("wall_seconds") or 0.0,
+                            r.get("sweeps_per_second") or 0.0,
+                        ]
+                        for r in c["runs"]
+                    ],
+                )
+            )
     for run in report["runs"]:
         verdict = _verdict(run)
         cls = "healthy" if verdict in ("healthy", "no health data") else "attention"

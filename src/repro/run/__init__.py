@@ -1,5 +1,12 @@
 """High-level orchestration: configs, the Simulation facade, result I/O."""
 
+from repro.run.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    expand_grid,
+    load_campaign_spec,
+    run_campaign,
+)
 from repro.run.checkpoint import load_checkpoint, save_checkpoint
 from repro.run.config import (
     ParallelLayout,
@@ -22,4 +29,9 @@ __all__ = [
     "load_result",
     "save_checkpoint",
     "load_checkpoint",
+    "CampaignSpec",
+    "CampaignResult",
+    "expand_grid",
+    "load_campaign_spec",
+    "run_campaign",
 ]

@@ -1,0 +1,1013 @@
+"""Campaign service layer: sweep-spec-driven multi-run scheduling.
+
+Weigel's first tier of Monte Carlo parallelism -- and the production
+reality of every QMC group -- is the embarrassingly parallel *outer*
+loop: many independent runs over a parameter grid, farmed out to
+whatever processors are free, restarted after crashes, and never
+recomputed once finished.  This module composes the primitives built by
+the earlier PRs (run manifests with ``config_hash``, per-rank
+checkpoint bundles, JSONL metrics, health events, the ``repro report``
+dashboard) into that serving layer:
+
+* :class:`CampaignSpec` -- a validated sweep specification, normally
+  loaded from a TOML file (:func:`load_campaign_spec`; a small built-in
+  parser covers Python 3.10 where :mod:`tomllib` is absent, and
+  ``.json`` specs are accepted unchanged).  ``[base]`` holds the run
+  parameters shared by every run, ``[sweep]`` maps field names to value
+  lists; their cartesian product is the campaign grid.
+* :func:`expand_grid` -- the grid as a list of :class:`CampaignRun`
+  records, each with a stable ``run_id``, its merged parameter dict,
+  and its **cache key**: :func:`repro.obs.manifest.config_hash` over
+  ``{"kind": ..., "params": ...}``.  The key is a pure function of the
+  spec contents, so it is stable across process restarts and machines.
+* :func:`run_campaign` -- the async scheduler.  Runs fan out across a
+  bounded worker pool of backend OS processes (one ``python -m repro
+  run-<kind> ...`` per run), with a per-run wall-clock timeout,
+  retry-with-backoff on transient failures (a surfaced
+  :class:`~repro.vmp.faults.RankFailure`, a timeout, or any non-config
+  crash), and a ``fail-fast`` | ``keep-going`` policy.  Completed runs
+  write an atomic ``campaign_run.json`` status document keyed by the
+  cache key; on ``resume=True`` those runs are **cache hits** and are
+  skipped, interrupted checkpointed runs restart from their bundles,
+  and a stale status/checkpoint (cache key mismatch after a spec edit)
+  is rejected and the run re-executed from scratch.
+
+Every run directory contains the full artifact set the rest of the
+stack already understands (``result.json``/``result.npz``,
+``metrics.jsonl``, ``manifest.json``), so ``repro report <campaign
+dir>`` renders the whole campaign; the campaign itself adds a
+``campaign.json`` manifest with per-run statuses and the campaign
+counters (completed / cached / retried / failed, aggregate sweeps/s),
+which also flow through a :class:`repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import shutil
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Mapping, Sequence
+
+from repro.obs.manifest import config_hash
+from repro.vmp.faults import RankFailure
+
+__all__ = [
+    "CAMPAIGN_VERSION",
+    "CampaignSpec",
+    "CampaignRun",
+    "RunAttempt",
+    "RunOutcome",
+    "CampaignResult",
+    "load_campaign_spec",
+    "parse_spec_dict",
+    "expand_grid",
+    "run_campaign",
+]
+
+#: Schema version stamped on ``campaign.json`` and ``campaign_run.json``.
+CAMPAIGN_VERSION = 1
+
+#: CLI exit code the run commands use for configuration errors
+#: (ValueError / unknown kernel); such failures are permanent -- no
+#: retry can fix a bad parameter.
+_CONFIG_ERROR_EXIT = 2
+
+_KINDS = ("xxz", "xxz2d", "tfim")
+
+#: Spec field -> CLI flag, shared by every kind.
+_COMMON_FLAGS = {
+    "beta": "--beta",
+    "n_slices": "--slices",
+    "n_sweeps": "--sweeps",
+    "n_thermalize": "--thermalize",
+    "seed": "--seed",
+    "strategy": "--strategy",
+    "ranks": "--ranks",
+    "machine": "--machine",
+    "backend": "--backend",
+    "kernel": "--kernel",
+    "replicas": "--replicas",
+}
+
+#: Boolean spec fields that map to store-true CLI flags.
+_COMMON_BOOL_FLAGS = {"overlap": "--overlap"}
+
+#: Kind-specific spec field -> CLI flag.
+_KIND_FLAGS = {
+    "xxz": {"n_sites": "--sites", "jz": "--jz", "jxy": "--jxy"},
+    "xxz2d": {"lx": "--lx", "ly": "--ly", "jz": "--jz", "jxy": "--jxy"},
+    "tfim": {"shape": "--shape", "j": "--j", "gamma": "--gamma"},
+}
+
+#: Kind-specific boolean fields (value False emits the flag).
+_KIND_FALSE_FLAGS = {"xxz": {"periodic": "--open-chain"}}
+
+#: Fields every run of a kind must end up with after base+sweep merge.
+_REQUIRED_FIELDS = {
+    "xxz": ("n_sites", "beta"),
+    "xxz2d": ("lx", "ly", "beta"),
+    "tfim": ("shape", "beta"),
+}
+
+#: ``checkpoint_every`` is handled out of band (it also needs a
+#: per-run ``--checkpoint-dir``), so it is allowed but has no flag here.
+_SPECIAL_FIELDS = ("checkpoint_every",)
+
+
+# ======================================================================
+# spec parsing
+# ======================================================================
+
+
+def _parse_minimal_toml(text: str) -> dict:
+    """Parse the TOML subset campaign specs use (3.10 fallback).
+
+    Supported: one level of ``[section]`` tables; ``key = value`` with
+    string (single/double quoted), integer, float, boolean, and
+    single-line array values; ``#`` comments.  Anything fancier raises
+    with a pointer at the stdlib parser.
+    """
+    doc: dict[str, Any] = {}
+    section = doc
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_toml_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]") or line.startswith("[["):
+                raise ValueError(
+                    f"spec line {lineno}: unsupported table header {line!r} "
+                    f"(the built-in TOML subset has single-level tables only)"
+                )
+            name = line[1:-1].strip()
+            section = doc.setdefault(name, {})
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise ValueError(f"spec line {lineno}: expected 'key = value'")
+        section[key.strip().strip('"').strip("'")] = _parse_toml_value(
+            value.strip(), lineno
+        )
+    return doc
+
+
+def _strip_toml_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a quoted string."""
+    quote = None
+    for i, ch in enumerate(line):
+        if quote is None and ch in "\"'":
+            quote = ch
+        elif quote == ch:
+            quote = None
+        elif quote is None and ch == "#":
+            return line[:i]
+    return line
+
+
+def _parse_toml_value(token: str, lineno: int):
+    if not token:
+        raise ValueError(f"spec line {lineno}: empty value")
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_toml_value(part.strip(), lineno)
+            for part in _split_toml_array(inner)
+        ]
+    if token[0] in "\"'":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise ValueError(f"spec line {lineno}: unterminated string {token!r}")
+        return token[1:-1]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"spec line {lineno}: cannot parse value {token!r} (the "
+            f"built-in TOML subset covers strings, numbers, booleans and "
+            f"single-line arrays; install Python >= 3.11 for full TOML)"
+        ) from None
+
+
+def _split_toml_array(inner: str) -> list[str]:
+    parts, depth, quote, start = [], 0, None, 0
+    for i, ch in enumerate(inner):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(inner[start:i])
+            start = i + 1
+    parts.append(inner[start:])
+    return [p for p in parts if p.strip()]
+
+
+def _load_toml(path: Path) -> dict:
+    text = path.read_text()
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: stdlib tomllib landed in 3.11
+        return _parse_minimal_toml(text)
+    return tomllib.loads(text)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated campaign: shared run parameters plus sweep axes.
+
+    ``base`` maps spec fields to scalar values shared by every run;
+    ``sweep`` maps spec fields to value lists whose cartesian product
+    (in declaration order) defines the grid.  A field may appear in
+    either, not both.
+    """
+
+    kind: str
+    name: str = "campaign"
+    base: Mapping[str, Any] = field(default_factory=dict)
+    sweep: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    jobs: int = 2
+    timeout: float = 600.0
+    retries: int = 2
+    backoff: float = 0.5
+    policy: str = "keep-going"
+    output_dir: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown campaign kind {self.kind!r}; expected one of "
+                f"{', '.join(_KINDS)}"
+            )
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.timeout < 0:
+            raise ValueError("timeout must be >= 0 (0: no per-run timeout)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.policy not in ("fail-fast", "keep-going"):
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected 'fail-fast' or "
+                f"'keep-going'"
+            )
+        allowed = self.allowed_fields(self.kind)
+        for source, mapping in (("base", self.base), ("sweep", self.sweep)):
+            for key in mapping:
+                if key not in allowed:
+                    raise ValueError(
+                        f"[{source}] field {key!r} is not a {self.kind} run "
+                        f"parameter; allowed: {', '.join(sorted(allowed))}"
+                    )
+        for key, values in self.sweep.items():
+            if key in self.base:
+                raise ValueError(
+                    f"field {key!r} appears in both [base] and [sweep]"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"[sweep] field {key!r} must be a non-empty value list"
+                )
+        present = set(self.base) | set(self.sweep)
+        missing = [f for f in _REQUIRED_FIELDS[self.kind] if f not in present]
+        if missing:
+            raise ValueError(
+                f"{self.kind} campaign is missing required field(s): "
+                f"{', '.join(missing)}"
+            )
+
+    @staticmethod
+    def allowed_fields(kind: str) -> set[str]:
+        return (
+            set(_COMMON_FLAGS)
+            | set(_COMMON_BOOL_FLAGS)
+            | set(_KIND_FLAGS[kind])
+            | set(_KIND_FALSE_FLAGS.get(kind, {}))
+            | set(_SPECIAL_FIELDS)
+        )
+
+    @property
+    def n_runs(self) -> int:
+        n = 1
+        for values in self.sweep.values():
+            n *= len(values)
+        return n
+
+
+def parse_spec_dict(doc: Mapping[str, Any], name_hint: str = "campaign"
+                    ) -> CampaignSpec:
+    """Build a :class:`CampaignSpec` from a parsed spec document."""
+    if "campaign" not in doc:
+        raise ValueError("spec has no [campaign] table")
+    head = dict(doc["campaign"])
+    kind = head.pop("kind", None)
+    if kind is None:
+        raise ValueError("[campaign] table needs a 'kind' (xxz/xxz2d/tfim)")
+    known = {"name", "jobs", "timeout", "retries", "backoff", "policy",
+             "output_dir"}
+    unknown = set(head) - known
+    if unknown:
+        raise ValueError(
+            f"unknown [campaign] key(s): {', '.join(sorted(unknown))}; "
+            f"allowed: kind, {', '.join(sorted(known))}"
+        )
+    extra_tables = set(doc) - {"campaign", "base", "sweep"}
+    if extra_tables:
+        raise ValueError(
+            f"unknown spec table(s): {', '.join(sorted(extra_tables))}; "
+            f"expected [campaign], [base], [sweep]"
+        )
+    return CampaignSpec(
+        kind=str(kind),
+        name=str(head.get("name", name_hint)),
+        base=dict(doc.get("base", {})),
+        sweep={k: list(v) for k, v in dict(doc.get("sweep", {})).items()},
+        jobs=int(head.get("jobs", 2)),
+        timeout=float(head.get("timeout", 600.0)),
+        retries=int(head.get("retries", 2)),
+        backoff=float(head.get("backoff", 0.5)),
+        policy=str(head.get("policy", "keep-going")),
+        output_dir=head.get("output_dir"),
+    )
+
+
+def load_campaign_spec(path: str | Path) -> CampaignSpec:
+    """Load a campaign spec from a ``.toml`` (or ``.json``) file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ValueError(f"campaign spec {path} does not exist")
+    if path.suffix == ".json":
+        doc = json.loads(path.read_text())
+    else:
+        doc = _load_toml(path)
+    return parse_spec_dict(doc, name_hint=path.stem)
+
+
+# ======================================================================
+# grid expansion + cache keys
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """One cell of the campaign grid."""
+
+    run_id: str
+    index: int
+    kind: str
+    params: Mapping[str, Any]  # merged base + swept values
+    swept: Mapping[str, Any]  # just this run's swept values
+    cache_key: str
+
+
+def _slug(value: Any) -> str:
+    s = str(value)
+    return "".join(ch if (ch.isalnum() or ch in ".-") else "_" for ch in s)
+
+
+def run_cache_key(kind: str, params: Mapping[str, Any]) -> str:
+    """The campaign result-cache key of one run.
+
+    This is the manifest machinery's :func:`config_hash` (sha256 over
+    canonical JSON) applied to the run's *spec-level* identity -- its
+    kind plus every parameter the spec sets.  Fields the spec does not
+    mention fall to the CLI defaults and deliberately do not enter the
+    key: adding a default explicitly to a spec *does* change the key,
+    which errs on the side of recomputing rather than serving a stale
+    result.
+    """
+    return config_hash({"kind": kind, "params": dict(params)})
+
+
+def expand_grid(spec: CampaignSpec) -> list[CampaignRun]:
+    """Expand the sweep axes into the ordered list of campaign runs."""
+    axes = list(spec.sweep.items())
+    names = [name for name, _values in axes]
+    runs: list[CampaignRun] = []
+    for index, combo in enumerate(
+        itertools.product(*[values for _name, values in axes])
+    ):
+        swept = dict(zip(names, combo))
+        params = {**spec.base, **swept}
+        label = "-".join(f"{k}{_slug(v)}" for k, v in swept.items())
+        run_id = f"r{index:04d}" + (f"-{label}" if label else "")
+        runs.append(
+            CampaignRun(
+                run_id=run_id,
+                index=index,
+                kind=spec.kind,
+                params=params,
+                swept=swept,
+                cache_key=run_cache_key(spec.kind, params),
+            )
+        )
+    return runs
+
+
+def build_run_argv(run: CampaignRun, run_dir: Path, resume: bool = False
+                   ) -> list[str]:
+    """The backend-process command line of one run.
+
+    Every run writes the standard artifact set into its own directory:
+    ``result.json``/``.npz`` (``--output``), ``metrics.jsonl`` +
+    ``manifest.json`` (``--metrics-out``).  ``checkpoint_every > 0``
+    adds per-rank checkpoint bundles under ``checkpoints/``; ``resume``
+    restarts from them.
+    """
+    argv = [sys.executable, "-m", "repro", f"run-{run.kind}"]
+    flags = {**_COMMON_FLAGS, **_KIND_FLAGS[run.kind]}
+    bools = dict(_COMMON_BOOL_FLAGS)
+    false_flags = _KIND_FALSE_FLAGS.get(run.kind, {})
+    checkpoint_every = 0
+    for name, value in run.params.items():
+        if name == "checkpoint_every":
+            checkpoint_every = int(value)
+        elif name in bools:
+            if value:
+                argv.append(bools[name])
+        elif name in false_flags:
+            if not value:
+                argv.append(false_flags[name])
+        else:
+            argv += [flags[name], str(value)]
+    argv += ["--output", str(run_dir / "result")]
+    argv += ["--metrics-out", str(run_dir / "metrics.jsonl")]
+    if checkpoint_every > 0:
+        argv += ["--checkpoint-every", str(checkpoint_every),
+                 "--checkpoint-dir", str(run_dir / "checkpoints")]
+        if resume:
+            argv.append("--resume")
+    argv.append("--quiet")
+    return argv
+
+
+# ======================================================================
+# per-run status documents (the result cache)
+# ======================================================================
+
+
+def _status_path(run_dir: Path) -> Path:
+    return run_dir / "campaign_run.json"
+
+
+def _write_json_atomic(path: Path, doc: dict) -> None:
+    """Write JSON via tmp+rename so a mid-flight kill cannot corrupt it."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n")
+    os.replace(tmp, path)
+
+
+def _read_status(run_dir: Path) -> dict | None:
+    path = _status_path(run_dir)
+    if not path.is_file():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _run_manifest(run_dir: Path) -> dict | None:
+    path = run_dir / "manifest.json"
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _is_cache_hit(run: CampaignRun, run_dir: Path) -> bool:
+    """Whether a prior completed run can be served from the cache.
+
+    A hit needs all of: a completed status document whose cache key
+    matches the fresh spec's key, the run's own ``manifest.json`` with
+    the ``config_hash`` recorded at completion (a run whose artifacts
+    were regenerated by different code/config is stale), and the
+    ``result.json`` payload itself.
+    """
+    status = _read_status(run_dir)
+    if status is None or status.get("status") != "completed":
+        return False
+    if status.get("cache_key") != run.cache_key:
+        return False
+    if not (run_dir / "result.json").is_file():
+        return False
+    manifest = _run_manifest(run_dir)
+    if manifest is None:
+        return False
+    recorded = status.get("manifest_config_hash")
+    return recorded is not None and manifest.get("config_hash") == recorded
+
+
+def _prepare_run_dir(run: CampaignRun, run_dir: Path, resume: bool
+                     ) -> tuple[bool, bool]:
+    """Classify one run against its directory: (cache_hit, resume_flag).
+
+    Without ``resume`` any previous artifacts are cleared -- a fresh
+    campaign invocation recomputes everything.  With it, a completed
+    matching run is a cache hit; an interrupted matching run restarts
+    from its checkpoint bundles when it has any; and a *stale* status
+    or checkpoint set (cache-key mismatch: the spec changed under the
+    directory) is rejected and purged so the run re-executes cleanly.
+    """
+    status = _read_status(run_dir)
+    if not resume:
+        if run_dir.exists():
+            shutil.rmtree(run_dir)
+        return False, False
+    if _is_cache_hit(run, run_dir):
+        return True, False
+    if status is not None and status.get("cache_key") != run.cache_key:
+        # Stale: written by a different configuration.  Everything in
+        # the directory (checkpoints included) describes another run.
+        shutil.rmtree(run_dir)
+        return False, False
+    checkpoints = run_dir / "checkpoints"
+    has_bundles = checkpoints.is_dir() and any(checkpoints.glob("rank*.npz"))
+    wants_checkpointing = int(run.params.get("checkpoint_every", 0) or 0) > 0
+    return False, bool(has_bundles and wants_checkpointing)
+
+
+# ======================================================================
+# the async scheduler
+# ======================================================================
+
+
+@dataclass
+class RunAttempt:
+    """What one execution attempt of one run produced."""
+
+    returncode: int
+    wall_seconds: float
+    stderr_tail: str = ""
+    transient: bool | None = None  # None: classify from code/stderr
+
+
+@dataclass
+class RunOutcome:
+    """Final state of one run after scheduling."""
+
+    run: CampaignRun
+    status: str  # "completed" | "cached" | "failed" | "skipped"
+    cached: bool = False
+    attempts: int = 0
+    wall_seconds: float = 0.0
+    sweeps_per_second: float = 0.0
+    n_sweeps: float = 0.0
+    resumed_from_checkpoint: bool = False
+    error: str | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign invocation."""
+
+    spec: CampaignSpec
+    out_dir: Path
+    outcomes: list[RunOutcome]
+    wall_seconds: float
+    counters: dict[str, int]
+    aggregate: dict[str, float]
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.interrupted and all(
+            o.status in ("completed", "cached") for o in self.outcomes
+        )
+
+    def summary_table(self) -> str:
+        from repro.util.tables import Table
+
+        t = Table(
+            f"campaign {self.spec.name!r}: "
+            f"{self.counters['completed']} fresh, "
+            f"{self.counters['cached']} cached, "
+            f"{self.counters['failed']} failed, "
+            f"{self.counters['retried']} retries "
+            f"({self.wall_seconds:.2f} s wall, "
+            f"{self.aggregate['sweeps_per_second']:.1f} sweeps/s aggregate)",
+            ["run", "status", "attempts", "wall[s]", "sweeps/s"],
+        )
+        for o in self.outcomes:
+            t.add_row(
+                [
+                    o.run.run_id,
+                    o.status + (" (resumed)" if o.resumed_from_checkpoint else ""),
+                    o.attempts,
+                    round(o.wall_seconds, 3),
+                    round(o.sweeps_per_second, 1),
+                ]
+            )
+        return t.render()
+
+
+Executor = Callable[[CampaignRun, Sequence[str], int], Awaitable[RunAttempt]]
+
+
+def subprocess_executor(timeout: float) -> Executor:
+    """The default executor: one backend OS process per attempt.
+
+    The child is its own process group leader, so cancelling the
+    campaign (``KeyboardInterrupt`` / a ``fail-fast`` abort) can kill
+    the whole rank tree a run may have spawned, not just the CLI
+    front process.
+    """
+
+    # The child must resolve ``import repro`` exactly as this process
+    # did, installed or not: prepend our package's parent directory to
+    # its PYTHONPATH.
+    package_root = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+
+    async def _execute(run: CampaignRun, argv: Sequence[str], attempt: int
+                       ) -> RunAttempt:
+        t0 = time.perf_counter()
+        proc = await asyncio.create_subprocess_exec(
+            *argv,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
+            start_new_session=True,
+            env=env,
+        )
+        try:
+            if timeout > 0:
+                _out, err = await asyncio.wait_for(
+                    proc.communicate(), timeout=timeout
+                )
+            else:
+                _out, err = await proc.communicate()
+        except asyncio.TimeoutError:
+            _kill_process_tree(proc)
+            await proc.communicate()
+            return RunAttempt(
+                returncode=-1,
+                wall_seconds=time.perf_counter() - t0,
+                stderr_tail=f"timed out after {timeout:.1f} s",
+                transient=True,
+            )
+        except asyncio.CancelledError:
+            _kill_process_tree(proc)
+            await proc.communicate()
+            raise
+        tail = err.decode(errors="replace")[-2000:] if err else ""
+        return RunAttempt(
+            returncode=proc.returncode,
+            wall_seconds=time.perf_counter() - t0,
+            stderr_tail=tail,
+        )
+
+    return _execute
+
+
+def _kill_process_tree(proc) -> None:
+    try:
+        os.killpg(proc.pid, 9)
+    except (ProcessLookupError, PermissionError, OSError):
+        try:
+            proc.kill()
+        except ProcessLookupError:
+            pass
+
+
+def _is_transient(attempt: RunAttempt) -> bool:
+    """Whether an attempt's failure is worth retrying.
+
+    Config errors (exit 2: a bad parameter will fail identically every
+    time) are permanent; everything else -- a surfaced
+    :class:`RankFailure`, a timeout, a crash/signal -- is transient,
+    matching the farm-style production assumption that node loss is
+    routine and configs are vetted.
+    """
+    if attempt.transient is not None:
+        return attempt.transient
+    return attempt.returncode != _CONFIG_ERROR_EXIT
+
+
+async def _run_one(
+    run: CampaignRun,
+    run_dir: Path,
+    spec: CampaignSpec,
+    resume_from_checkpoint: bool,
+    executor: Executor,
+) -> RunOutcome:
+    """Execute one run to completion, retrying transient failures."""
+    outcome = RunOutcome(run=run, status="failed")
+    t0 = time.perf_counter()
+    for attempt_no in range(spec.retries + 1):
+        run_dir.mkdir(parents=True, exist_ok=True)
+        argv = build_run_argv(run, run_dir, resume=resume_from_checkpoint)
+        _write_json_atomic(
+            _status_path(run_dir),
+            {
+                "campaign_run_version": CAMPAIGN_VERSION,
+                "run_id": run.run_id,
+                "cache_key": run.cache_key,
+                "status": "running",
+                "attempt": attempt_no + 1,
+                "params": dict(run.params),
+                "argv": list(argv),
+            },
+        )
+        outcome.attempts = attempt_no + 1
+        try:
+            attempt = await executor(run, argv, attempt_no)
+        except RankFailure as exc:
+            # In-process executors surface the structured error
+            # directly; treat it exactly like a subprocess that died
+            # with a RankFailure on stderr.
+            attempt = RunAttempt(
+                returncode=1,
+                wall_seconds=time.perf_counter() - t0,
+                stderr_tail=f"RankFailure: {exc}",
+                transient=True,
+            )
+        if attempt.returncode == 0:
+            manifest = _run_manifest(run_dir)
+            runtime = (manifest or {}).get("runtime", {})
+            outcome.status = "completed"
+            outcome.wall_seconds = time.perf_counter() - t0
+            outcome.sweeps_per_second = float(
+                runtime.get("sweeps_per_second", 0.0) or 0.0
+            )
+            outcome.n_sweeps = float(runtime.get("n_sweeps", 0.0) or 0.0)
+            outcome.resumed_from_checkpoint = resume_from_checkpoint
+            _write_json_atomic(
+                _status_path(run_dir),
+                {
+                    "campaign_run_version": CAMPAIGN_VERSION,
+                    "run_id": run.run_id,
+                    "cache_key": run.cache_key,
+                    "status": "completed",
+                    "attempts": outcome.attempts,
+                    "wall_seconds": outcome.wall_seconds,
+                    "sweeps_per_second": outcome.sweeps_per_second,
+                    "n_sweeps": outcome.n_sweeps,
+                    "resumed_from_checkpoint": resume_from_checkpoint,
+                    "manifest_config_hash": (
+                        (manifest or {}).get("config_hash")
+                    ),
+                    "params": dict(run.params),
+                },
+            )
+            return outcome
+        outcome.error = (
+            f"exit {attempt.returncode}"
+            + (f": {attempt.stderr_tail.strip().splitlines()[-1]}"
+               if attempt.stderr_tail.strip() else "")
+        )
+        if not _is_transient(attempt) or attempt_no == spec.retries:
+            break
+        # A failed attempt may have left partial checkpoints behind; a
+        # matching cache key means they are still this configuration's,
+        # so the retry may resume from them when checkpointing is on.
+        checkpoints = run_dir / "checkpoints"
+        resume_from_checkpoint = bool(
+            int(run.params.get("checkpoint_every", 0) or 0) > 0
+            and checkpoints.is_dir()
+            and any(checkpoints.glob("rank*.npz"))
+        )
+        await asyncio.sleep(spec.backoff * (2 ** attempt_no))
+    outcome.wall_seconds = time.perf_counter() - t0
+    _write_json_atomic(
+        _status_path(run_dir),
+        {
+            "campaign_run_version": CAMPAIGN_VERSION,
+            "run_id": run.run_id,
+            "cache_key": run.cache_key,
+            "status": "failed",
+            "attempts": outcome.attempts,
+            "error": outcome.error,
+            "params": dict(run.params),
+        },
+    )
+    return outcome
+
+
+async def _run_campaign_async(
+    spec: CampaignSpec,
+    out_dir: Path,
+    resume: bool,
+    executor: Executor | None,
+    progress: Callable[[str], None] | None,
+) -> CampaignResult:
+    runs = expand_grid(spec)
+    runs_root = out_dir / "runs"
+    if executor is None:
+        executor = subprocess_executor(spec.timeout)
+    say = progress or (lambda _msg: None)
+
+    outcomes: dict[int, RunOutcome] = {}
+    retried = 0
+    abort = asyncio.Event()
+    semaphore = asyncio.Semaphore(spec.jobs)
+    t0 = time.perf_counter()
+
+    async def _task(run: CampaignRun) -> None:
+        nonlocal retried
+        run_dir = runs_root / run.run_id
+        cached, resume_ckpt = _prepare_run_dir(run, run_dir, resume)
+        if cached:
+            status = _read_status(run_dir) or {}
+            outcomes[run.index] = RunOutcome(
+                run=run,
+                status="cached",
+                cached=True,
+                attempts=0,
+                wall_seconds=0.0,
+                sweeps_per_second=float(
+                    status.get("sweeps_per_second", 0.0) or 0.0
+                ),
+                n_sweeps=0.0,  # nothing recomputed
+            )
+            say(f"[campaign] {run.run_id}: cache hit "
+                f"({run.cache_key[:12]})")
+            return
+        async with semaphore:
+            if abort.is_set():
+                outcomes[run.index] = RunOutcome(run=run, status="skipped")
+                return
+            say(f"[campaign] {run.run_id}: running"
+                + (" (resuming from checkpoints)" if resume_ckpt else ""))
+            outcome = await _run_one(run, run_dir, spec, resume_ckpt, executor)
+            outcomes[run.index] = outcome
+            retried += max(0, outcome.attempts - 1)
+            if outcome.status == "failed":
+                say(f"[campaign] {run.run_id}: FAILED after "
+                    f"{outcome.attempts} attempt(s) ({outcome.error})")
+                if spec.policy == "fail-fast":
+                    abort.set()
+            else:
+                say(f"[campaign] {run.run_id}: {outcome.status} in "
+                    f"{outcome.wall_seconds:.2f} s")
+
+    tasks = [asyncio.create_task(_task(run)) for run in runs]
+    try:
+        await asyncio.gather(*tasks)
+        interrupted = False
+    except asyncio.CancelledError:
+        for t in tasks:
+            t.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        interrupted = True
+    wall = time.perf_counter() - t0
+
+    ordered = [
+        outcomes.get(run.index, RunOutcome(run=run, status="skipped"))
+        for run in runs
+    ]
+    counters = {
+        "completed": sum(1 for o in ordered if o.status == "completed"),
+        "cached": sum(1 for o in ordered if o.status == "cached"),
+        "failed": sum(1 for o in ordered if o.status == "failed"),
+        "skipped": sum(1 for o in ordered if o.status == "skipped"),
+        "retried": retried,
+    }
+    total_sweeps = sum(o.n_sweeps for o in ordered)
+    aggregate = {
+        "wall_seconds": wall,
+        "total_sweeps": total_sweeps,
+        "sweeps_per_second": total_sweeps / wall if wall > 0 else 0.0,
+    }
+    result = CampaignResult(
+        spec=spec,
+        out_dir=out_dir,
+        outcomes=ordered,
+        wall_seconds=wall,
+        counters=counters,
+        aggregate=aggregate,
+        interrupted=interrupted,
+    )
+    _write_campaign_manifest(result)
+    return result
+
+
+def _campaign_metrics(result: CampaignResult) -> dict:
+    """Fold the campaign counters through a MetricsRegistry summary.
+
+    The campaign is "rank 0" of its own one-node registry, so the
+    counters surface with the same summary schema every other telemetry
+    consumer in :mod:`repro.obs` understands.
+    """
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry(namespace="campaign")
+    scope = registry.scope(0)
+    for name, value in result.counters.items():
+        scope.count(f"campaign.runs_{name}", value)
+    scope.count("campaign.sweeps", result.aggregate["total_sweeps"])
+    scope.set_gauge(
+        "campaign.sweeps_per_second", result.aggregate["sweeps_per_second"]
+    )
+    scope.set_gauge("campaign.wall_seconds", result.wall_seconds)
+    return {str(r): v for r, v in registry.summary().items()}
+
+
+def _write_campaign_manifest(result: CampaignResult) -> Path:
+    from datetime import datetime, timezone
+
+    spec = result.spec
+    doc = {
+        "campaign_version": CAMPAIGN_VERSION,
+        "name": spec.name,
+        "kind": spec.kind,
+        "n_runs": len(result.outcomes),
+        "jobs": spec.jobs,
+        "policy": spec.policy,
+        "base": dict(spec.base),
+        "sweep": {k: list(v) for k, v in spec.sweep.items()},
+        "counters": dict(result.counters),
+        "aggregate": dict(result.aggregate),
+        "interrupted": result.interrupted,
+        "metrics": _campaign_metrics(result),
+        "runs": [
+            {
+                "run_id": o.run.run_id,
+                "cache_key": o.run.cache_key,
+                "status": o.status,
+                "cached": o.cached,
+                "attempts": o.attempts,
+                "wall_seconds": o.wall_seconds,
+                "sweeps_per_second": o.sweeps_per_second,
+                "resumed_from_checkpoint": o.resumed_from_checkpoint,
+                "error": o.error,
+                "swept": dict(o.run.swept),
+                "dir": str(Path("runs") / o.run.run_id),
+                "manifest": str(Path("runs") / o.run.run_id / "manifest.json"),
+            }
+            for o in result.outcomes
+        ],
+        "written_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    path = result.out_dir / "campaign.json"
+    _write_json_atomic(path, doc)
+    return path
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: str | Path | None = None,
+    jobs: int | None = None,
+    resume: bool = False,
+    timeout: float | None = None,
+    retries: int | None = None,
+    policy: str | None = None,
+    executor: Executor | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign; returns the :class:`CampaignResult`.
+
+    Keyword overrides (``jobs``/``timeout``/``retries``/``policy``)
+    replace the spec's values for this invocation only -- they do not
+    enter any cache key.  ``executor`` replaces the backend-process
+    launcher (tests inject failures through it); ``progress`` receives
+    one human-readable line per scheduling event.
+    """
+    import dataclasses
+
+    overrides = {}
+    if jobs is not None:
+        overrides["jobs"] = jobs
+    if timeout is not None:
+        overrides["timeout"] = timeout
+    if retries is not None:
+        overrides["retries"] = retries
+    if policy is not None:
+        overrides["policy"] = policy
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    if out_dir is None:
+        out_dir = spec.output_dir or f"{spec.name}_campaign"
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return asyncio.run(
+        _run_campaign_async(spec, out_dir, resume, executor, progress)
+    )

@@ -16,7 +16,9 @@ from repro.cli import main
 from repro.obs.report import (
     REPORT_VERSION,
     build_report,
+    discover_campaigns,
     discover_runs,
+    load_campaign,
     load_run,
     render_html,
     render_text,
@@ -138,3 +140,66 @@ class TestCliReport:
     def test_missing_path_exits_2(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.tier1_fault
+class TestCampaignSection:
+    """Reports over a real ``run-campaign`` output directory."""
+
+    @pytest.fixture(scope="class")
+    def campaign_dir(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("campaign")
+        spec = d / "spec.json"
+        spec.write_text(json.dumps({
+            "campaign": {"kind": "xxz", "name": "report-demo"},
+            "base": {"n_sites": 6, "n_slices": 4, "n_sweeps": 10,
+                     "n_thermalize": 2},
+            "sweep": {"beta": [0.5, 1.0]},
+        }))
+        out = d / "out"
+        assert main(["run-campaign", "--spec", str(spec),
+                     "--output-dir", str(out), "--quiet"]) == 0
+        return out
+
+    def test_discovery_is_optional(self, tmp_path, campaign_dir):
+        assert discover_campaigns([tmp_path]) == []
+        (found,) = discover_campaigns([campaign_dir])
+        assert found.name == "campaign.json"
+        # Direct file paths work too.
+        assert discover_campaigns([found]) == [found]
+
+    def test_non_campaign_json_rejected(self, tmp_path):
+        bogus = tmp_path / "campaign.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="not a campaign manifest"):
+            load_campaign(bogus)
+
+    def test_report_carries_campaign_summary(self, campaign_dir):
+        campaigns = [load_campaign(p)
+                     for p in discover_campaigns([campaign_dir])]
+        runs = [load_run(m) for m in discover_runs([campaign_dir])]
+        report = build_report(runs, campaigns=campaigns)
+        assert report["n_runs"] == 2
+        (summary,) = report["campaigns"]
+        assert summary["name"] == "report-demo"
+        assert summary["n_runs"] == 2
+        assert summary["counters"]["completed"] == 2
+        assert {r["status"] for r in summary["runs"]} == {"completed"}
+        json.dumps(report)  # stays JSON-serializable
+
+    def test_text_and_html_render_campaign(self, campaign_dir):
+        campaigns = [load_campaign(p)
+                     for p in discover_campaigns([campaign_dir])]
+        runs = [load_run(m) for m in discover_runs([campaign_dir])]
+        report = build_report(runs, campaigns=campaigns)
+        text = render_text(report)
+        assert "report-demo" in text
+        assert "2 fresh" in text and "0 cached" in text
+        html = render_html(report)
+        assert "report-demo" in html and "campaign" in html.lower()
+
+    def test_cli_report_over_campaign_dir(self, campaign_dir, capsys):
+        assert main(["report", str(campaign_dir), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["campaigns"]) == 1
+        assert doc["campaigns"][0]["counters"]["completed"] == 2

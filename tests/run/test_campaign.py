@@ -1,0 +1,456 @@
+"""Campaign scheduler: specs, cache keys, resume, retry, pool width.
+
+Pure tests cover spec parsing/validation (including the built-in TOML
+subset parser against stdlib ``tomllib``), grid expansion, and cache-key
+purity.  The ``tier1_fault``-marked tests drive the real scheduler with
+backend OS processes: fresh-then-resume cache hits, stale-checkpoint
+rejection after a spec edit, retry-then-succeed after a genuinely
+fault-injected :class:`~repro.vmp.faults.RankFailure`, and bit-identity
+of the result set across worker-pool widths (the acceptance criterion:
+an interrupted+resumed campaign equals an uninterrupted ``--jobs 1``
+one, which reduces to scheduling order never entering the physics).
+"""
+
+import asyncio
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.run.campaign import (
+    CAMPAIGN_VERSION,
+    CampaignSpec,
+    RunAttempt,
+    _is_transient,
+    _parse_minimal_toml,
+    build_run_argv,
+    expand_grid,
+    load_campaign_spec,
+    parse_spec_dict,
+    run_cache_key,
+    run_campaign,
+    subprocess_executor,
+)
+from repro.vmp.faults import (
+    CrashFault,
+    FaultPlan,
+    InjectedRankCrash,
+    RankFailure,
+)
+from repro.vmp.machines import IDEAL
+from repro.vmp.scheduler import run_spmd
+
+fault = pytest.mark.tier1_fault
+
+SPEC_TOML = textwrap.dedent("""\
+    # An ordinary small sweep spec.
+    [campaign]
+    kind = "xxz"
+    name = "demo"
+    jobs = 3
+    timeout = 120.0
+    retries = 1
+    backoff = 0.25
+    policy = "fail-fast"
+
+    [base]
+    n_sites = 8
+    n_slices = 4
+    n_sweeps = 10
+    n_thermalize = 2
+    jz = 1.0
+
+    [sweep]
+    beta = [0.5, 1.0]
+    seed = [0, 1]
+""")
+
+
+def _spec(**overrides):
+    kw = dict(
+        kind="xxz",
+        name="t",
+        base={"n_sites": 6, "n_slices": 4, "n_sweeps": 10, "n_thermalize": 2},
+        sweep={"beta": [0.5, 1.0]},
+        jobs=2,
+        timeout=120.0,
+        retries=1,
+        backoff=0.01,
+    )
+    kw.update(overrides)
+    return CampaignSpec(**kw)
+
+
+# ======================================================================
+# spec parsing + validation
+# ======================================================================
+
+
+class TestSpecParsing:
+    def test_toml_spec_loads(self, tmp_path):
+        path = tmp_path / "demo.toml"
+        path.write_text(SPEC_TOML)
+        spec = load_campaign_spec(path)
+        assert spec.kind == "xxz" and spec.name == "demo"
+        assert spec.jobs == 3 and spec.retries == 1
+        assert spec.policy == "fail-fast"
+        assert spec.base["n_sites"] == 8 and spec.base["jz"] == 1.0
+        assert spec.sweep == {"beta": [0.5, 1.0], "seed": [0, 1]}
+        assert spec.n_runs == 4
+
+    def test_minimal_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        assert _parse_minimal_toml(SPEC_TOML) == tomllib.loads(SPEC_TOML)
+
+    def test_minimal_parser_rejects_nested_tables(self):
+        with pytest.raises(ValueError, match="single-level"):
+            _parse_minimal_toml("[[campaign]]\nkind = 'xxz'\n")
+
+    def test_json_spec_loads(self, tmp_path):
+        path = tmp_path / "demo.json"
+        path.write_text(json.dumps({
+            "campaign": {"kind": "tfim"},
+            "base": {"shape": "4x4", "n_slices": 4},
+            "sweep": {"beta": [0.5, 1.0]},
+        }))
+        spec = load_campaign_spec(path)
+        assert spec.kind == "tfim" and spec.name == "demo"
+        assert spec.n_runs == 2
+
+    def test_missing_spec_file(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_campaign_spec(tmp_path / "nope.toml")
+
+    @pytest.mark.parametrize("doc, match", [
+        ({}, r"no \[campaign\] table"),
+        ({"campaign": {}}, "needs a 'kind'"),
+        ({"campaign": {"kind": "bogus"}}, "unknown campaign kind"),
+        ({"campaign": {"kind": "xxz", "cores": 4}}, "unknown"),
+        ({"campaign": {"kind": "xxz"}, "extra": {}}, "unknown spec table"),
+    ])
+    def test_bad_documents_rejected(self, doc, match):
+        with pytest.raises(ValueError, match=match):
+            parse_spec_dict(doc)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not a xxz run parameter"):
+            _spec(base={"n_sites": 6, "voltage": 3.0})
+
+    def test_base_sweep_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            _spec(base={"n_sites": 6, "beta": 1.0}, sweep={"beta": [0.5]})
+
+    def test_empty_sweep_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            _spec(sweep={"beta": []})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            _spec(base={"n_slices": 4}, sweep={"beta": [0.5]})
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            _spec(policy="shrug")
+
+
+# ======================================================================
+# grid expansion + cache keys
+# ======================================================================
+
+
+class TestGridAndCacheKeys:
+    def test_declaration_order_and_run_ids(self):
+        spec = _spec(sweep={"beta": [0.5, 1.0], "seed": [0, 1]})
+        runs = expand_grid(spec)
+        assert [r.run_id for r in runs] == [
+            "r0000-beta0.5-seed0", "r0001-beta0.5-seed1",
+            "r0002-beta1.0-seed0", "r0003-beta1.0-seed1",
+        ]
+        assert runs[2].swept == {"beta": 1.0, "seed": 0}
+        assert runs[2].params["n_sites"] == 6
+
+    def test_cache_key_is_pure_and_distinct(self):
+        spec = _spec()
+        first = [r.cache_key for r in expand_grid(spec)]
+        again = [r.cache_key for r in expand_grid(spec)]
+        assert first == again
+        assert len(set(first)) == len(first)
+        # Scheduling knobs never enter the key...
+        tweaked = _spec(jobs=7, timeout=1.0, retries=0)
+        assert [r.cache_key for r in expand_grid(tweaked)] == first
+        # ...but any physics parameter does.
+        edited = _spec(base={**spec.base, "n_sweeps": 11})
+        assert all(
+            a != b
+            for a, b in zip(first, (r.cache_key for r in expand_grid(edited)))
+        )
+
+    @fault
+    def test_cache_key_stable_across_process_restart(self, tmp_path):
+        """The resume contract: a fresh interpreter recomputes the keys."""
+        spec = _spec(sweep={"beta": [0.5, 1.0], "seed": [0, 1]})
+        mine = {r.run_id: r.cache_key for r in expand_grid(spec)}
+        script = textwrap.dedent("""\
+            import json, sys
+            from repro.run.campaign import CampaignSpec, expand_grid
+            spec = CampaignSpec(**json.loads(sys.argv[1]))
+            print(json.dumps(
+                {r.run_id: r.cache_key for r in expand_grid(spec)}))
+        """)
+        spec_json = json.dumps({
+            "kind": spec.kind, "name": spec.name,
+            "base": dict(spec.base),
+            "sweep": {k: list(v) for k, v in spec.sweep.items()},
+        })
+        out = subprocess.run(
+            [sys.executable, "-c", script, spec_json],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src")},
+        )
+        assert json.loads(out.stdout) == mine
+
+    def test_run_cache_key_matches_manifest_hashing(self):
+        from repro.obs.manifest import config_hash
+
+        params = {"n_sites": 6, "beta": 0.5}
+        assert run_cache_key("xxz", params) == config_hash(
+            {"kind": "xxz", "params": params}
+        )
+
+    def test_build_run_argv_flag_mapping(self, tmp_path):
+        spec = _spec(base={
+            "n_sites": 8, "n_slices": 4, "n_sweeps": 10, "n_thermalize": 2,
+            "strategy": "strip", "ranks": 2, "overlap": True,
+            "periodic": False, "checkpoint_every": 5,
+        })
+        (run,) = expand_grid(_spec(base=spec.base, sweep={"beta": [0.5]}))
+        argv = build_run_argv(run, tmp_path, resume=True)
+        assert argv[:4] == [sys.executable, "-m", "repro", "run-xxz"]
+        text = " ".join(argv)
+        assert "--sites 8" in text and "--beta 0.5" in text
+        assert "--strategy strip --ranks 2" in text
+        assert "--overlap" in text and "--open-chain" in text
+        assert "--checkpoint-every 5" in text and "--resume" in text
+        assert f"--output {tmp_path / 'result'}" in text
+        assert "--quiet" in text
+
+    def test_transient_classification(self):
+        # Config errors are permanent; crashes and timeouts retry.
+        assert not _is_transient(RunAttempt(returncode=2, wall_seconds=0.1))
+        assert _is_transient(RunAttempt(returncode=1, wall_seconds=0.1))
+        assert _is_transient(RunAttempt(returncode=-9, wall_seconds=0.1))
+        assert _is_transient(
+            RunAttempt(returncode=2, wall_seconds=0.1, transient=True)
+        )
+
+
+# ======================================================================
+# the scheduler, end to end (backend OS processes)
+# ======================================================================
+
+
+@fault
+class TestSchedulerEndToEnd:
+    def test_fresh_campaign_then_resume_is_all_cache_hits(self, tmp_path):
+        spec = _spec()
+        out = tmp_path / "c"
+        fresh = run_campaign(spec, out_dir=out)
+        assert fresh.ok
+        assert fresh.counters["completed"] == 2
+        assert fresh.counters["cached"] == 0
+        for o in fresh.outcomes:
+            run_dir = out / "runs" / o.run.run_id
+            assert (run_dir / "result.json").is_file()
+            assert (run_dir / "manifest.json").is_file()
+            assert (run_dir / "campaign_run.json").is_file()
+        manifest = json.loads((out / "campaign.json").read_text())
+        assert manifest["campaign_version"] == CAMPAIGN_VERSION
+        assert manifest["counters"]["completed"] == 2
+
+        resumed = run_campaign(spec, out_dir=out, resume=True)
+        assert resumed.ok
+        assert resumed.counters["cached"] == 2
+        assert resumed.counters["completed"] == 0
+        # The campaign counters flow through the metrics registry.
+        manifest = json.loads((out / "campaign.json").read_text())
+        assert manifest["metrics"]["0"]["campaign.runs_cached"] == 2
+
+    def test_without_resume_everything_recomputes(self, tmp_path):
+        spec = _spec(sweep={"beta": [0.5]})
+        out = tmp_path / "c"
+        assert run_campaign(spec, out_dir=out).counters["completed"] == 1
+        again = run_campaign(spec, out_dir=out)  # resume=False
+        assert again.counters == {
+            "completed": 1, "cached": 0, "failed": 0, "skipped": 0,
+            "retried": 0,
+        }
+
+    def test_spec_edit_invalidates_cache_and_checkpoints(self, tmp_path):
+        """Stale rejection: resume after a spec edit must recompute."""
+        base = {
+            "n_sites": 8, "n_slices": 4, "n_sweeps": 10, "n_thermalize": 2,
+            "strategy": "strip", "ranks": 2, "checkpoint_every": 4,
+        }
+        out = tmp_path / "c"
+        first = run_campaign(_spec(base=base, sweep={"beta": [0.5]}),
+                             out_dir=out)
+        assert first.ok
+        run_dir = out / "runs" / first.outcomes[0].run.run_id
+        assert any((run_dir / "checkpoints").glob("rank*.npz"))
+        stale_key = first.outcomes[0].run.cache_key
+
+        edited = _spec(base={**base, "n_sweeps": 14}, sweep={"beta": [0.5]})
+        second = run_campaign(edited, out_dir=out, resume=True)
+        assert second.ok
+        assert second.counters["cached"] == 0
+        assert second.counters["completed"] == 1
+        # The stale artifacts (checkpoints included) were purged, not
+        # resumed from: the run executed from scratch under the new key.
+        assert not second.outcomes[0].resumed_from_checkpoint
+        status = json.loads((run_dir / "campaign_run.json").read_text())
+        assert status["cache_key"] == second.outcomes[0].run.cache_key
+        assert status["cache_key"] != stale_key
+
+    def test_interrupted_run_resumes_from_checkpoints(self, tmp_path):
+        """An unfinished run with bundles restarts from them on resume."""
+        base = {
+            "n_sites": 8, "n_slices": 4, "n_sweeps": 10, "n_thermalize": 2,
+            "strategy": "strip", "ranks": 2, "checkpoint_every": 4,
+        }
+        spec = _spec(base=base, sweep={"beta": [0.5]})
+        out = tmp_path / "c"
+        assert run_campaign(spec, out_dir=out).ok
+        run_dir = out / "runs" / expand_grid(spec)[0].run_id
+        # Simulate a kill that landed after checkpointing but before
+        # completion: the status doc and results are gone, bundles stay.
+        (run_dir / "campaign_run.json").unlink()
+        (run_dir / "result.json").unlink()
+        resumed = run_campaign(spec, out_dir=out, resume=True)
+        assert resumed.ok
+        assert resumed.counters["completed"] == 1
+        assert resumed.outcomes[0].resumed_from_checkpoint
+        assert (run_dir / "result.json").is_file()
+
+    def test_config_error_fails_permanently_without_retry(self, tmp_path):
+        spec = _spec(
+            base={"n_sites": 6, "n_slices": 4, "n_sweeps": 10,
+                  "n_thermalize": 2, "kernel": "no-such-kernel"},
+            sweep={"beta": [0.5]},
+            retries=2,
+        )
+        result = run_campaign(spec, out_dir=tmp_path / "c")
+        assert not result.ok
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert outcome.attempts == 1, "config errors must not be retried"
+        assert result.counters["retried"] == 0
+        assert "exit 2" in outcome.error
+
+    def test_fail_fast_skips_pending_runs(self, tmp_path):
+        spec = _spec(
+            base={"n_sites": 6, "n_slices": 4, "n_sweeps": 10,
+                  "n_thermalize": 2, "kernel": "no-such-kernel"},
+            sweep={"beta": [0.5, 1.0, 1.5]},
+            jobs=1,
+            retries=0,
+            policy="fail-fast",
+        )
+        result = run_campaign(spec, out_dir=tmp_path / "c")
+        assert not result.ok
+        assert result.counters["failed"] >= 1
+        assert result.counters["skipped"] >= 1
+        assert result.counters["failed"] + result.counters["skipped"] == 3
+
+    def test_retry_then_succeed_after_injected_rank_failure(self, tmp_path):
+        """A CrashFault-driven RankFailure is transient: retry succeeds."""
+        spec = _spec(sweep={"beta": [0.7]}, retries=2, backoff=0.01)
+        real = subprocess_executor(spec.timeout)
+        injected = []
+
+        def ring(comm, n_rounds=6):
+            total = 0.0
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            for _ in range(n_rounds):
+                total += comm.sendrecv(float(comm.rank), dest=right,
+                                       source=left)
+            return total
+
+        async def flaky(run, argv, attempt):
+            if attempt == 0:
+                # A genuine fault-injected SPMD run: rank 1 of a 2-rank
+                # ring dies at its third comm op.  Surface the failure
+                # as the structured RankFailure a surviving driver
+                # raises, which the scheduler must classify as
+                # transient and retry.
+                plan = FaultPlan((CrashFault(rank=1, at_step=3),))
+                try:
+                    run_spmd(ring, 2, IDEAL, fault_plan=plan,
+                             recv_timeout=5.0)
+                except InjectedRankCrash as exc:
+                    report = exc.run_report
+                    injected.append(report)
+                    raise RankFailure(
+                        failed_rank=report.failed_ranks()[0],
+                        detected_by=report.aborted[0].rank,
+                        via="dead-rank",
+                        detail=repr(exc),
+                    ) from exc
+                raise AssertionError("fault plan did not fire")
+            return await real(run, argv, attempt)
+
+        result = run_campaign(spec, out_dir=tmp_path / "c", executor=flaky)
+        assert result.ok
+        outcome = result.outcomes[0]
+        assert outcome.status == "completed"
+        assert outcome.attempts == 2
+        assert result.counters["retried"] == 1
+        assert injected and injected[0].failed_ranks() == [1]
+
+    def test_pool_width_never_enters_the_results(self, tmp_path):
+        """--jobs 1 and --jobs 4 produce bit-identical result sets."""
+        spec = _spec(sweep={"beta": [0.5, 1.0], "seed": [0, 1]})
+        serial = run_campaign(spec, out_dir=tmp_path / "serial", jobs=1)
+        wide = run_campaign(spec, out_dir=tmp_path / "wide", jobs=4)
+        assert serial.ok and wide.ok
+        for run in expand_grid(spec):
+            a = tmp_path / "serial" / "runs" / run.run_id
+            b = tmp_path / "wide" / "runs" / run.run_id
+            ra = json.loads((a / "result.json").read_text())
+            rb = json.loads((b / "result.json").read_text())
+            assert ra["estimates"] == rb["estimates"], run.run_id
+            with np.load(a / "result.npz") as na, \
+                    np.load(b / "result.npz") as nb:
+                for key in nb.files:
+                    np.testing.assert_array_equal(na[key], nb[key])
+
+
+# ======================================================================
+# executor unit behavior
+# ======================================================================
+
+
+@fault
+class TestSubprocessExecutor:
+    def test_timeout_is_transient(self, tmp_path):
+        execute = subprocess_executor(timeout=0.2)
+        (run,) = expand_grid(_spec(sweep={"beta": [0.5]}))
+        argv = [sys.executable, "-c", "import time; time.sleep(30)"]
+        attempt = asyncio.run(execute(run, argv, 0))
+        assert attempt.transient is True
+        assert _is_transient(attempt)
+        assert "timed out" in attempt.stderr_tail
+        assert attempt.wall_seconds < 5.0
+
+    def test_stderr_tail_captured(self, tmp_path):
+        execute = subprocess_executor(timeout=30.0)
+        (run,) = expand_grid(_spec(sweep={"beta": [0.5]}))
+        argv = [sys.executable, "-c",
+                "import sys; sys.stderr.write('boom-diag'); sys.exit(3)"]
+        attempt = asyncio.run(execute(run, argv, 0))
+        assert attempt.returncode == 3
+        assert "boom-diag" in attempt.stderr_tail

@@ -64,6 +64,16 @@ FULL_TIER_DEFAULT = REPO_ROOT / "BENCH_perf.json"
 #: few percent at most, so a purely relative bound would gate on noise.
 OVERHEAD_SLACK = 0.05
 
+#: Floors on the campaign-scheduler record (``campaign_records``).
+#: ``cache_speedup`` is the fresh/resumed wall ratio of the identical
+#: campaign: a cached rerun executes nothing, so even on a slow runner
+#: it must be several times faster than actually sweeping.  The
+#: aggregate-throughput floor is deliberately conservative (the bench
+#: grid sweeps tiny 8-site chains; anything slower than this means the
+#: scheduler itself is pathological, not the sampler).
+CAMPAIGN_CACHE_SPEEDUP_FLOOR = 2.0
+CAMPAIGN_MIN_SWEEPS_PER_S = 5.0
+
 #: Absolute slack granted to the overlapped comm-fraction metrics: the
 #: fractions are modeled (deterministic for a given geometry), but the
 #: smoke tier runs fewer sweeps, so amortized collective costs shift a
@@ -171,6 +181,63 @@ def _two_level_fractions(doc: dict) -> dict[str, float]:
             rec["comm_fraction_modeled"]
         )
     return out
+
+
+def check_campaign_records(doc: dict, required: bool = False) -> list[str]:
+    """Gate the campaign-scheduler records of one document.
+
+    Structural checks: the fresh leg completed the whole grid with no
+    failures, and the cached rerun reports at least one cache hit (in
+    fact the full grid -- a rerun of an untouched campaign must never
+    recompute).  Perf floors: the fresh/resumed wall ratio
+    (``cache_speedup``) and the aggregate sweeps/s, both conservative
+    absolute bounds rather than baseline diffs because campaign wall
+    time is dominated by runner-specific process startup.
+
+    With ``required=False`` a document without ``campaign_records`` is
+    skipped (the kernel-only and perf-kernel-only invocations never run
+    the campaign benchmark); ``required=True`` makes absence a failure.
+    """
+    records = doc.get("campaign_records")
+    if not records:
+        if required:
+            return ["campaign_records: missing (run 'pytest "
+                    "benchmarks/bench_campaign.py --smoke' first)"]
+        print("  (no campaign_records in the fresh document; campaign "
+              "gate skipped)")
+        return []
+    failures: list[str] = []
+    for rec in records:
+        tag = f"tier={rec.get('tier', '?')}"
+        fresh, resumed = rec.get("fresh", {}), rec.get("resumed", {})
+        n_runs = rec.get("n_runs", 0)
+        checks = [
+            (f"campaign-fresh-completed[{tag}]",
+             fresh.get("completed"), "==", n_runs),
+            (f"campaign-fresh-failed[{tag}]",
+             fresh.get("failed"), "==", 0),
+            (f"campaign-cache-hits[{tag}]",
+             resumed.get("cache_hits"), ">=", 1),
+            (f"campaign-resumed-completed[{tag}]",
+             resumed.get("completed"), "==", 0),
+            (f"campaign-cache-speedup[{tag}]",
+             rec.get("cache_speedup"), ">=", CAMPAIGN_CACHE_SPEEDUP_FLOOR),
+            (f"campaign-agg-sweeps-per-s[{tag}]",
+             fresh.get("sweeps_per_second"), ">=", CAMPAIGN_MIN_SWEEPS_PER_S),
+        ]
+        for name, got, op, want in checks:
+            ok = got is not None and (
+                got == want if op == "==" else got >= want
+            )
+            status = "ok" if ok else "FAILED"
+            shown = "missing" if got is None else f"{got:8.2f}"
+            print(f"  {name:45s} required {op} {want:<8} got {shown}  "
+                  f"{status}")
+            if not ok:
+                failures.append(
+                    f"{name}: got {got!r}, required {op} {want}"
+                )
+    return failures
 
 
 #: Telemetry variants gated against the baseline (lower is better).
@@ -314,6 +381,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the baseline diff and check only the "
                              "--require-kernel floors (for CI jobs that run "
                              "just the kernel benchmark)")
+    parser.add_argument("--full-tier", action="store_true",
+                        help="gate a full-tier document's internal "
+                             "invariants (telemetry-overhead bars, campaign "
+                             "floors, structural records) without diffing "
+                             "against the smoke baseline; for the nightly "
+                             "full-benchmark workflow, pass --fresh "
+                             "BENCH_perf.json")
     parser.add_argument("--waive", metavar="REASON", default=None,
                         help="report but do not fail (also: CHECK_BENCH_WAIVE "
                              "env var)")
@@ -343,11 +417,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.kernel_only:
         print(f"checking kernel floors in {args.fresh.name} "
               f"(baseline diff skipped):")
+    elif args.full_tier:
+        print(f"checking full-tier document {args.fresh.name} "
+              f"(baseline diff skipped):")
+        failures += check_committed_overheads(args.fresh)
+        failures += check_campaign_records(fresh, required=True)
+        if fresh.get("two_level_records") and not any(
+            not rec.get("executed")
+            for rec in fresh["two_level_records"]
+        ):
+            failures.append(
+                "two_level_records: the modeled full-machine record is "
+                "missing from the fresh document"
+            )
     else:
         baseline = json.loads(args.baseline.read_text())
         print(f"comparing {args.fresh.name} against {args.baseline.name} "
               f"(tolerance {args.tolerance:.0%}):")
         failures += compare(fresh, baseline, args.tolerance)
+        print(f"checking campaign-scheduler records in {args.fresh.name}:")
+        failures += check_campaign_records(fresh)
         print(f"checking committed telemetry overheads in "
               f"{FULL_TIER_DEFAULT.name}:")
         failures += check_committed_overheads(FULL_TIER_DEFAULT)
